@@ -1,0 +1,105 @@
+//! Criterion benchmarks of scheduling overhead (the measurements behind
+//! Figures 5, 6 and 13, plus the optimised-vs-reference ablation).
+//!
+//! These time the *scheduler*, not the simulated application: the
+//! simulation advances in virtual time, so wall-clock cost is dominated by
+//! scheduler callbacks and engine bookkeeping — exactly the "scheduling
+//! time" the paper reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memtree_order::mem_postorder;
+use memtree_sched::{Activation, MemBooking, MemBookingRef};
+use memtree_sim::{simulate, SimConfig};
+use memtree_tree::TaskTree;
+
+fn synthetic(n: usize, seed: u64) -> TaskTree {
+    memtree_gen::synthetic::paper_tree(n, seed)
+}
+
+/// A chain-like deep tree (the Figure 6 regime, H = Θ(n)).
+fn deep_chain(n: usize) -> TaskTree {
+    memtree_gen::shapes::chain(n, memtree_tree::TaskSpec::new(5, 10, 1.0))
+}
+
+fn bench_heuristics_by_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_synthetic");
+    for &n in &[1_000usize, 10_000] {
+        let tree = synthetic(n, 42);
+        let ao = mem_postorder(&tree);
+        let m = ao.sequential_peak(&tree) * 2;
+        let cfg = SimConfig { measure_overhead: false, ..SimConfig::new(8, m) };
+        group.bench_with_input(BenchmarkId::new("MemBooking", n), &n, |b, _| {
+            b.iter(|| {
+                let s = MemBooking::try_new(&tree, &ao, &ao, m).unwrap();
+                simulate(&tree, cfg, s).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("Activation", n), &n, |b, _| {
+            b.iter(|| {
+                let s = Activation::try_new(&tree, &ao, &ao, m).unwrap();
+                simulate(&tree, cfg, s).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_deep_trees(c: &mut Criterion) {
+    // The nH term: deep chains are MemBooking's worst case.
+    let mut group = c.benchmark_group("schedule_deep_chain");
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let tree = deep_chain(n);
+        let ao = mem_postorder(&tree);
+        let m = ao.sequential_peak(&tree) * 2;
+        let cfg = SimConfig { measure_overhead: false, ..SimConfig::new(8, m) };
+        group.bench_with_input(BenchmarkId::new("MemBooking", n), &n, |b, _| {
+            b.iter(|| {
+                let s = MemBooking::try_new(&tree, &ao, &ao, m).unwrap();
+                simulate(&tree, cfg, s).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimized_vs_reference(c: &mut Criterion) {
+    // The Appendix-B data structures vs the literal Algorithms 2-4: the
+    // complexity ablation (O(n(H+log n)) vs O(n²·H)).
+    let mut group = c.benchmark_group("membooking_impls");
+    let n = 2_000;
+    let tree = synthetic(n, 7);
+    let ao = mem_postorder(&tree);
+    let m = ao.sequential_peak(&tree) * 2;
+    let cfg = SimConfig { measure_overhead: false, ..SimConfig::new(8, m) };
+    group.bench_function("optimized", |b| {
+        b.iter(|| {
+            let s = MemBooking::try_new(&tree, &ao, &ao, m).unwrap();
+            simulate(&tree, cfg, s).unwrap()
+        })
+    });
+    group.bench_function("reference", |b| {
+        b.iter(|| {
+            let s = MemBookingRef::try_new(&tree, &ao, &ao, m).unwrap();
+            simulate(&tree, cfg, s).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_order_construction(c: &mut Criterion) {
+    // Preprocessing cost: the orders are built once per tree.
+    let mut group = c.benchmark_group("order_construction");
+    let tree = synthetic(10_000, 3);
+    group.bench_function("memPO", |b| b.iter(|| memtree_order::mem_postorder(&tree)));
+    group.bench_function("OptSeq", |b| b.iter(|| memtree_order::optimal_traversal(&tree)));
+    group.bench_function("CP", |b| b.iter(|| memtree_order::cp_order(&tree)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_heuristics_by_size, bench_deep_trees,
+              bench_optimized_vs_reference, bench_order_construction
+}
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Aggregation helpers: means, medians, deciles — the statistics the
+//! paper's ribbon plots report.
+
+/// Summary statistics of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// First decile (10th percentile).
+    pub d1: f64,
+    /// Ninth decile (90th percentile).
+    pub d9: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of `values`. Returns `None` for empty input.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut v: Vec<f64> = values.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let n = v.len();
+        let mean = v.iter().sum::<f64>() / n as f64;
+        Some(Summary {
+            count: n,
+            mean,
+            median: percentile(&v, 0.5),
+            d1: percentile(&v, 0.1),
+            d9: percentile(&v, 0.9),
+            min: v[0],
+            max: v[n - 1],
+        })
+    }
+}
+
+/// Linear-interpolation percentile of a sorted slice, `q` in `[0, 1]`.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    assert!((0.0..=1.0).contains(&q));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[4.0, 1.0, 3.0, 2.0, 5.0]).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.d1 - 1.4).abs() < 1e-12);
+        assert!((s.d9 - 4.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.d1, 7.0);
+        assert_eq!(s.d9, 7.0);
+    }
+
+    #[test]
+    fn percentile_endpoints() {
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 3.0);
+        assert_eq!(percentile(&v, 0.5), 2.0);
+    }
+}

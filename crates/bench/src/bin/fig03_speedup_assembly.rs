@@ -1,0 +1,7 @@
+//! Figure 3: speedup of MemBooking over Activation, assembly trees.
+fn main() {
+    let scale = memtree_bench::scale_from_env();
+    let cases = memtree_bench::assembly_cases(scale);
+    let factors = memtree_bench::corpus::memory_factors(scale, 20.0);
+    memtree_bench::figures::fig_speedup(&cases, 8, &factors).emit();
+}

@@ -1,0 +1,7 @@
+//! Figure 4: fraction of available memory used, assembly trees.
+fn main() {
+    let scale = memtree_bench::scale_from_env();
+    let cases = memtree_bench::assembly_cases(scale);
+    let factors = memtree_bench::corpus::memory_factors(scale, 20.0);
+    memtree_bench::figures::fig_memfrac(&cases, 8, &factors).emit();
+}

@@ -1,0 +1,7 @@
+//! Figure 9: the heuristics across p ∈ {2,4,8,16,32}, assembly trees.
+fn main() {
+    let scale = memtree_bench::scale_from_env();
+    let cases = memtree_bench::assembly_cases(scale);
+    let factors = memtree_bench::corpus::memory_factors(scale, 20.0);
+    memtree_bench::figures::fig_processors(&cases, &[2, 4, 8, 16, 32], &factors).emit();
+}

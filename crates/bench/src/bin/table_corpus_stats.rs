@@ -1,0 +1,24 @@
+//! Corpus inventory: the structural spread of the trees behind every
+//! experiment (the reproduction's analogue of the paper's corpus
+//! description in Section 7.1).
+fn main() {
+    let scale = memtree_bench::scale_from_env();
+    println!("corpus,tree,nodes,height,max_degree,leaves,min_memory,total_time");
+    for (corpus, cases) in [
+        ("assembly", memtree_bench::assembly_cases(scale)),
+        ("synthetic", memtree_bench::synthetic_cases(scale)),
+    ] {
+        for c in &cases {
+            println!(
+                "{corpus},{},{},{},{},{},{},{:.1}",
+                c.name,
+                c.len(),
+                c.stats.height,
+                c.stats.max_degree,
+                c.tree.leaf_count(),
+                c.min_memory,
+                c.tree.total_time()
+            );
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//! Section 7.1: the synthetic generator's node-degree distribution.
+fn main() {
+    memtree_bench::figures::table_degree_distribution(400_000, 7).emit();
+}

@@ -1,0 +1,12 @@
+//! Section 6: how often the memory-aware lower bound beats the classical
+//! one, on both corpora.
+fn main() {
+    let scale = memtree_bench::scale_from_env();
+    let factors = memtree_bench::corpus::memory_factors(scale, 10.0);
+    println!("## assembly trees");
+    let cases = memtree_bench::assembly_cases(scale);
+    memtree_bench::figures::table_lowerbound(&cases, 8, &factors).emit();
+    println!("## synthetic trees");
+    let cases = memtree_bench::synthetic_cases(scale);
+    memtree_bench::figures::table_lowerbound(&cases, 8, &factors).emit();
+}

@@ -1,0 +1,88 @@
+//! Corpora for the experiments: assembly trees (multifrontal pipeline)
+//! and the paper's synthetic family.
+
+use crate::runner::TreeCase;
+use memtree_multifrontal::CorpusSpec;
+
+/// Experiment scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Small corpora: every binary finishes in seconds to a couple of
+    /// minutes. The default.
+    Quick,
+    /// Paper-sized corpora (within laptop limits).
+    Full,
+}
+
+/// The assembly-tree corpus (the UFL-collection stand-in; DESIGN.md §5).
+pub fn assembly_cases(scale: Scale) -> Vec<TreeCase> {
+    let spec = match scale {
+        Scale::Quick => CorpusSpec {
+            grids2d: vec![20, 30, 40, 50],
+            grids3d: vec![7, 9],
+            bands: vec![(3_000, 1), (8_000, 1), (2_000, 3)],
+            randoms: vec![(1_500, 2_200, 11), (3_000, 4_500, 12), (3_000, 1_500, 13)],
+            amalgamate_below: 0,
+            params: Default::default(),
+        },
+        Scale::Full => CorpusSpec::evaluation(),
+    };
+    memtree_multifrontal::assembly_corpus(&spec)
+        .into_iter()
+        .map(|(name, tree)| TreeCase::new(name, tree))
+        .collect()
+}
+
+/// The synthetic corpus of Section 7.1: `count` trees per size.
+pub fn synthetic_cases(scale: Scale) -> Vec<TreeCase> {
+    let plan: &[(usize, usize)] = match scale {
+        // (node count, number of trees)
+        Scale::Quick => &[(1_000, 12), (10_000, 6)],
+        Scale::Full => &[(1_000, 50), (10_000, 50), (100_000, 12)],
+    };
+    let mut out = Vec::new();
+    for &(n, count) in plan {
+        for k in 0..count {
+            let seed = 1_000 * n as u64 + k as u64;
+            let tree = memtree_gen::synthetic::paper_tree(n, seed);
+            out.push(TreeCase::new(format!("synth-{n}-{k}"), tree));
+        }
+    }
+    out
+}
+
+/// The memory factors swept by the makespan figures (the paper's x-axis
+/// "normalized memory bound", 1…20 for assembly trees, 1…10 synthetic).
+pub fn memory_factors(scale: Scale, max: f64) -> Vec<f64> {
+    let base: Vec<f64> = match scale {
+        Scale::Quick => vec![1.0, 1.2, 1.5, 2.0, 3.0, 5.0, 10.0, 15.0, 20.0],
+        Scale::Full => vec![
+            1.0, 1.1, 1.2, 1.4, 1.6, 1.8, 2.0, 2.5, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0,
+            15.0, 20.0,
+        ],
+    };
+    base.into_iter().filter(|&f| f <= max).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_corpora_build() {
+        let a = assembly_cases(Scale::Quick);
+        assert!(a.len() >= 8);
+        let s = synthetic_cases(Scale::Quick);
+        assert_eq!(s.len(), 18);
+        for c in a.iter().chain(&s) {
+            assert!(c.min_memory > 0, "{} has zero minimum memory", c.name);
+        }
+    }
+
+    #[test]
+    fn factors_capped() {
+        let f = memory_factors(Scale::Quick, 10.0);
+        assert!(f.iter().all(|&x| x <= 10.0));
+        assert_eq!(f[0], 1.0);
+    }
+}

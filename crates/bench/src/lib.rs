@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! One binary per figure (`src/bin/figNN_*.rs`) prints the figure's series
+//! as CSV on stdout plus a short *shape summary* — who wins, by what
+//! factor, where the curves cross — the quantities EXPERIMENTS.md compares
+//! against the paper. Table binaries do the same for the textual
+//! statistics (lower-bound improvements, RedTree failure rates, the degree
+//! table).
+//!
+//! Scale is controlled by the first CLI argument or the `MEMTREE_SCALE`
+//! environment variable: `quick` (default; minutes) or `full` (the
+//! paper-sized corpora; longer).
+
+pub mod aggregate;
+pub mod corpus;
+pub mod figures;
+pub mod runner;
+
+pub use aggregate::Summary;
+pub use corpus::{assembly_cases, synthetic_cases, Scale};
+pub use runner::{run_heuristic, run_redtree, OrderPair, RunOutcome, TreeCase};
+
+/// Parses the scale from CLI args / environment.
+pub fn scale_from_env() -> Scale {
+    let arg = std::env::args().nth(1);
+    let var = std::env::var("MEMTREE_SCALE").ok();
+    match arg.or(var).as_deref() {
+        Some("full") => Scale::Full,
+        _ => Scale::Quick,
+    }
+}
+
+/// Prints a CSV header and rows through a tiny helper so every binary
+/// formats identically.
+pub fn print_csv(header: &str, rows: &[String]) {
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    writeln!(lock, "{header}").unwrap();
+    for r in rows {
+        writeln!(lock, "{r}").unwrap();
+    }
+}

@@ -1,0 +1,275 @@
+//! Per-tree experiment execution.
+
+use memtree_order::{make_order, Order, OrderKind};
+use memtree_sched::{
+    build_scheduler, to_reduction_tree, HeuristicKind, LowerBounds, RedTreeBooking,
+};
+use memtree_sim::{simulate, SimConfig};
+use memtree_tree::{TaskTree, TreeStats};
+use std::collections::HashMap;
+
+/// A corpus tree with its precomputed analysis.
+pub struct TreeCase {
+    /// Human-readable name (CSV key).
+    pub name: String,
+    /// The tree itself.
+    pub tree: TaskTree,
+    /// Structural statistics.
+    pub stats: TreeStats,
+    /// Minimum memory: the peak of the peak-minimising postorder — the
+    /// unit of the "normalized memory bound" axis.
+    pub min_memory: u64,
+    orders: std::cell::RefCell<HashMap<OrderKind, std::rc::Rc<Order>>>,
+    redtree: std::cell::OnceCell<RedCase>,
+}
+
+struct RedCase {
+    tree: TaskTree,
+    ao: Order,
+    min_memory: u64,
+}
+
+/// A pair of order kinds: activation and execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct OrderPair {
+    /// Activation order (must be topological).
+    pub ao: OrderKind,
+    /// Execution priority.
+    pub eo: OrderKind,
+}
+
+impl OrderPair {
+    /// The paper's default: memPO for both.
+    pub fn default_pair() -> Self {
+        OrderPair { ao: OrderKind::MemPostorder, eo: OrderKind::MemPostorder }
+    }
+
+    /// The six combinations of Figures 8 and 14.
+    pub fn paper_combinations() -> Vec<OrderPair> {
+        use OrderKind::*;
+        vec![
+            OrderPair { ao: MemPostorder, eo: MemPostorder },
+            OrderPair { ao: MemPostorder, eo: CriticalPath },
+            OrderPair { ao: OptSeq, eo: CriticalPath },
+            OrderPair { ao: OptSeq, eo: OptSeq },
+            OrderPair { ao: PerfPostorder, eo: CriticalPath },
+            OrderPair { ao: PerfPostorder, eo: PerfPostorder },
+        ]
+    }
+
+    /// Plot label, e.g. `memPO/CP`.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.ao.label(), self.eo.label())
+    }
+}
+
+/// Outcome of one (tree × policy × p × memory factor) run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// False when the policy could not schedule under this bound
+    /// (infeasible memory) — counted for the ≥95 % plotting rule.
+    pub scheduled: bool,
+    /// Absolute makespan (0 when not scheduled).
+    pub makespan: f64,
+    /// Makespan divided by the best lower bound (Section 6).
+    pub normalized: f64,
+    /// Peak actual memory / bound (Figures 4 and 12).
+    pub memory_fraction: f64,
+    /// Wall-clock seconds spent in scheduler callbacks (Figures 5/6/13).
+    pub scheduling_seconds: f64,
+}
+
+impl RunOutcome {
+    fn unscheduled() -> Self {
+        RunOutcome {
+            scheduled: false,
+            makespan: 0.0,
+            normalized: 0.0,
+            memory_fraction: 0.0,
+            scheduling_seconds: 0.0,
+        }
+    }
+}
+
+impl TreeCase {
+    /// Analyses `tree` (stats + memPO peak).
+    pub fn new(name: impl Into<String>, tree: TaskTree) -> Self {
+        let stats = TreeStats::compute(&tree);
+        let mem_po = memtree_order::mem_postorder(&tree);
+        let min_memory = mem_po.sequential_peak(&tree).max(1);
+        let case = TreeCase {
+            name: name.into(),
+            tree,
+            stats,
+            min_memory,
+            orders: std::cell::RefCell::new(HashMap::new()),
+            redtree: std::cell::OnceCell::new(),
+        };
+        case.orders
+            .borrow_mut()
+            .insert(OrderKind::MemPostorder, std::rc::Rc::new(mem_po));
+        case
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// True when the tree is empty (never, for built cases).
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// The order of `kind`, computed once and cached.
+    pub fn order(&self, kind: OrderKind) -> std::rc::Rc<Order> {
+        if let Some(o) = self.orders.borrow().get(&kind) {
+            return o.clone();
+        }
+        let o = std::rc::Rc::new(make_order(&self.tree, kind));
+        self.orders.borrow_mut().insert(kind, o.clone());
+        o
+    }
+
+    /// The memory bound for a normalized factor.
+    pub fn memory_at(&self, factor: f64) -> u64 {
+        ((self.min_memory as f64) * factor).ceil() as u64
+    }
+
+    /// Lower bounds at `(p, factor)`.
+    pub fn lower_bounds(&self, processors: usize, factor: f64) -> LowerBounds {
+        LowerBounds::compute_with_stats(
+            &self.tree,
+            &self.stats,
+            processors,
+            self.memory_at(factor),
+        )
+    }
+
+    fn red_case(&self) -> &RedCase {
+        self.redtree.get_or_init(|| {
+            let tr = to_reduction_tree(&self.tree);
+            let ao = memtree_order::mem_postorder(&tr.tree);
+            let min_memory = RedTreeBooking::min_memory(&tr.tree, &ao);
+            RedCase { tree: tr.tree, ao, min_memory }
+        })
+    }
+
+    /// Minimum memory the RedTree baseline needs on this tree (after the
+    /// transform) — used by the failure-rate table.
+    pub fn redtree_min_memory(&self) -> u64 {
+        self.red_case().min_memory
+    }
+}
+
+/// Runs `kind` on `case` and reports the outcome.
+///
+/// Infeasible memory (construction refusal) yields
+/// `RunOutcome::scheduled == false`, matching the paper's "unable to
+/// schedule within the bound" accounting.
+pub fn run_heuristic(
+    case: &TreeCase,
+    kind: HeuristicKind,
+    orders: OrderPair,
+    processors: usize,
+    factor: f64,
+) -> RunOutcome {
+    let memory = case.memory_at(factor);
+    let ao = case.order(orders.ao);
+    let eo = case.order(orders.eo);
+    let Ok(scheduler) = build_scheduler(kind, &case.tree, &ao, &eo, memory) else {
+        return RunOutcome::unscheduled();
+    };
+    let trace = simulate(&case.tree, SimConfig::new(processors, memory), scheduler)
+        .unwrap_or_else(|e| panic!("{}: {kind} must not fail mid-run: {e}", case.name));
+    debug_assert!(memtree_sim::validate::validate_trace(&case.tree, &trace).is_ok());
+    let lb = case.lower_bounds(processors, factor);
+    RunOutcome {
+        scheduled: true,
+        makespan: trace.makespan,
+        normalized: trace.makespan / lb.best(),
+        memory_fraction: trace.memory_fraction_used(),
+        scheduling_seconds: trace.scheduling_seconds,
+    }
+}
+
+/// Runs the MemBookingRedTree baseline: schedules the *transformed* tree
+/// under the same absolute memory bound, normalising against the original
+/// tree's lower bounds (fictitious tasks take zero time, so makespans are
+/// comparable).
+pub fn run_redtree(case: &TreeCase, processors: usize, factor: f64) -> RunOutcome {
+    let memory = case.memory_at(factor);
+    let red = case.red_case();
+    let Ok(scheduler) = RedTreeBooking::try_new(&red.tree, &red.ao, &red.ao, memory) else {
+        return RunOutcome::unscheduled();
+    };
+    let trace = simulate(&red.tree, SimConfig::new(processors, memory), scheduler)
+        .unwrap_or_else(|e| panic!("{}: RedTree must not fail mid-run: {e}", case.name));
+    let lb = case.lower_bounds(processors, factor);
+    RunOutcome {
+        scheduled: true,
+        makespan: trace.makespan,
+        normalized: trace.makespan / lb.best(),
+        memory_fraction: trace.memory_fraction_used(),
+        scheduling_seconds: trace.scheduling_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case() -> TreeCase {
+        TreeCase::new("t", memtree_gen::synthetic::paper_tree(300, 5))
+    }
+
+    #[test]
+    fn membooking_dominates_activation_under_pressure() {
+        let c = case();
+        let p = 8;
+        let mb = run_heuristic(&c, HeuristicKind::MemBooking, OrderPair::default_pair(), p, 1.5);
+        let ac = run_heuristic(&c, HeuristicKind::Activation, OrderPair::default_pair(), p, 1.5);
+        assert!(mb.scheduled && ac.scheduled);
+        assert!(
+            mb.makespan <= ac.makespan * 1.02,
+            "MemBooking {} should not lose to Activation {}",
+            mb.makespan,
+            ac.makespan
+        );
+    }
+
+    #[test]
+    fn factor_one_always_schedulable_for_membooking() {
+        let c = case();
+        let out = run_heuristic(
+            &c,
+            HeuristicKind::MemBooking,
+            OrderPair::default_pair(),
+            4,
+            1.0,
+        );
+        assert!(out.scheduled);
+        assert!(out.normalized >= 1.0 - 1e-9, "makespan below a lower bound");
+    }
+
+    #[test]
+    fn redtree_runs_or_reports_infeasible() {
+        let c = case();
+        let tight = run_redtree(&c, 4, 1.0);
+        let roomy = run_redtree(&c, 4, 20.0);
+        // Under a huge bound it must schedule; under factor 1 it usually
+        // cannot (transform inflation).
+        assert!(roomy.scheduled);
+        if tight.scheduled {
+            assert!(tight.makespan >= roomy.makespan);
+        }
+    }
+
+    #[test]
+    fn order_cache_returns_same_instance() {
+        let c = case();
+        let a = c.order(OrderKind::CriticalPath);
+        let b = c.order(OrderKind::CriticalPath);
+        assert!(std::rc::Rc::ptr_eq(&a, &b));
+    }
+}

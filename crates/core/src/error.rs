@@ -1,0 +1,60 @@
+//! Scheduler construction errors.
+
+use std::fmt;
+
+/// Errors raised when a scheduling policy cannot be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// The memory bound is below what the policy provably needs — the
+    /// sequential peak of its activation order. Running anyway could
+    /// deadlock, so construction is refused (this is the paper's
+    /// feasibility condition in Theorem 1).
+    InfeasibleMemory {
+        /// Peak memory of the sequential activation order.
+        required: u64,
+        /// Memory bound requested.
+        available: u64,
+    },
+    /// `MemBookingRedTree` must be constructed through
+    /// [`crate::redtree::RedTreeBooking::try_new`] because it schedules a
+    /// transformed tree.
+    NeedsTransformedTree,
+    /// The orders passed do not belong to the tree (wrong length).
+    OrderMismatch {
+        /// Nodes in the tree.
+        tree_len: usize,
+        /// Nodes in the offending order.
+        order_len: usize,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::InfeasibleMemory { required, available } => write!(
+                f,
+                "memory bound {available} below the sequential activation peak {required}"
+            ),
+            SchedError::NeedsTransformedTree => {
+                write!(f, "MemBookingRedTree requires the reduction-tree transform; use RedTreeBooking::try_new")
+            }
+            SchedError::OrderMismatch { tree_len, order_len } => {
+                write!(f, "order covers {order_len} nodes but the tree has {tree_len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = SchedError::InfeasibleMemory { required: 100, available: 50 };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("50"));
+    }
+}

@@ -1,0 +1,104 @@
+#![warn(missing_docs)]
+//! Memory-aware task-tree schedulers.
+//!
+//! This crate implements the paper's contribution and its two competitors,
+//! all as [`memtree_sim::Scheduler`] policies:
+//!
+//! * [`membooking`] — **MemBooking** (Section 4), the paper's algorithm:
+//!   activation books only the memory a subtree cannot recycle later, and
+//!   completions re-dispatch freed memory to ancestors As Late As Possible.
+//!   Ships both the literal reference implementation (Algorithms 2–4) and
+//!   the optimised `O(n(H + log n))` implementation (Appendix B,
+//!   Algorithms 5–6).
+//! * [`activation`] — the simple **Activation** policy of Agullo et al.
+//!   (Section 3.1, Algorithm 1): books `n_i + f_i` per activated node.
+//! * [`redtree`] — **MemBookingRedTree** (Section 3.2): transforms the
+//!   tree into a reduction tree and books statically-precomputed subtree
+//!   requirements (a reconstruction; see DESIGN.md §4.3).
+//! * [`seq`] — the one-processor baseline executing the activation order.
+//! * [`lower_bound`] — the classical makespan lower bounds plus the
+//!   paper's new memory-aware bound (Section 6, Theorem 3).
+//!
+//! All policies guarantee completion when the memory bound admits their
+//! sequential activation order; [`SchedError::InfeasibleMemory`] is
+//! returned up front otherwise.
+
+pub mod activation;
+pub mod error;
+pub mod lower_bound;
+pub mod membooking;
+pub mod moldable;
+pub mod redtree;
+pub mod seq;
+
+pub use activation::Activation;
+pub use error::SchedError;
+pub use lower_bound::LowerBounds;
+pub use membooking::{MemBooking, MemBookingRef};
+pub use moldable::{AllotmentCaps, MoldableMemBooking};
+pub use redtree::{to_reduction_tree, RedTreeBooking, ReductionTransform};
+pub use seq::Sequential;
+
+use memtree_order::Order;
+use memtree_tree::TaskTree;
+
+/// Which heuristic to instantiate — the legend of Figures 2/9/10/15.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HeuristicKind {
+    /// Agullo et al.'s simple activation policy.
+    Activation,
+    /// The paper's MemBooking (optimised implementation).
+    MemBooking,
+    /// The reference (unoptimised) MemBooking — same schedule, slower.
+    MemBookingRef,
+    /// The reduction-tree booking baseline. Note: this policy runs on the
+    /// *transformed* tree; use [`redtree::RedTreeBooking`] directly.
+    MemBookingRedTree,
+    /// Sequential execution of the activation order.
+    Sequential,
+}
+
+impl HeuristicKind {
+    /// Label used in CSV output, matching the paper's plot legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            HeuristicKind::Activation => "Activation",
+            HeuristicKind::MemBooking => "MemBooking",
+            HeuristicKind::MemBookingRef => "MemBookingRef",
+            HeuristicKind::MemBookingRedTree => "MemBookingRedTree",
+            HeuristicKind::Sequential => "Sequential",
+        }
+    }
+}
+
+impl std::fmt::Display for HeuristicKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Builds the scheduler of the given kind over `tree` with activation order
+/// `ao`, execution order `eo` and memory bound `memory`.
+///
+/// [`HeuristicKind::MemBookingRedTree`] is not constructible here because
+/// it schedules a *different* (transformed) tree; the experiment harness
+/// calls [`redtree::RedTreeBooking::try_new`] directly.
+pub fn build_scheduler<'a>(
+    kind: HeuristicKind,
+    tree: &'a TaskTree,
+    ao: &'a Order,
+    eo: &'a Order,
+    memory: u64,
+) -> Result<Box<dyn memtree_sim::Scheduler + 'a>, SchedError> {
+    Ok(match kind {
+        HeuristicKind::Activation => Box::new(Activation::try_new(tree, ao, eo, memory)?),
+        HeuristicKind::MemBooking => Box::new(MemBooking::try_new(tree, ao, eo, memory)?),
+        HeuristicKind::MemBookingRef => {
+            Box::new(MemBookingRef::try_new(tree, ao, eo, memory)?)
+        }
+        HeuristicKind::Sequential => Box::new(Sequential::try_new(tree, ao, memory)?),
+        HeuristicKind::MemBookingRedTree => {
+            return Err(SchedError::NeedsTransformedTree);
+        }
+    })
+}

@@ -1,0 +1,160 @@
+//! Small probability distributions used by the generators.
+//!
+//! Implemented by hand (inverse-CDF sampling) so the workspace does not need
+//! `rand_distr`.
+
+use rand::Rng;
+
+/// A scaled, truncated exponential distribution.
+///
+/// Samples `scale · X` with `X ~ Exp(rate)`, clamped into `[lo, hi]`. The
+/// paper's synthetic edge weights use `rate = 1`, `scale = 100`,
+/// `[lo, hi] = [10, 10000]` (Section 7.1: "a truncated exponential
+/// distribution of parameter 1 … multiplied by 100 and then truncated to
+/// fit in the interval [10; 10.000]").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TruncatedExp {
+    /// Rate λ of the exponential.
+    pub rate: f64,
+    /// Multiplier applied to the raw sample.
+    pub scale: f64,
+    /// Lower clamp.
+    pub lo: f64,
+    /// Upper clamp.
+    pub hi: f64,
+}
+
+impl TruncatedExp {
+    /// The paper's edge-weight distribution.
+    pub fn paper_edge_weights() -> Self {
+        TruncatedExp { rate: 1.0, scale: 100.0, lo: 10.0, hi: 10_000.0 }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF of Exp(rate): -ln(1 - U) / rate, with U in [0, 1).
+        let u: f64 = rng.random();
+        let x = -(1.0 - u).ln() / self.rate;
+        (self.scale * x).clamp(self.lo, self.hi)
+    }
+}
+
+/// A discrete distribution over `1..=probs.len()` given by cumulative
+/// weights. Used for the node-degree distribution of Section 7.1.
+#[derive(Clone, Debug)]
+pub struct DegreeDistribution {
+    cumulative: Vec<f64>,
+}
+
+impl DegreeDistribution {
+    /// Builds the distribution from per-degree weights for degrees
+    /// `1, 2, …, probs.len()`. Weights are normalised to sum to 1 — the
+    /// paper's own table sums to 0.99, so exact unity cannot be required.
+    pub fn new(probs: &[f64]) -> Self {
+        assert!(!probs.is_empty(), "need at least one degree");
+        assert!(probs.iter().all(|&p| p >= 0.0), "negative probability");
+        let total: f64 = probs.iter().sum();
+        assert!(total > 0.0, "degree probabilities must have a positive sum");
+        let mut cumulative = Vec::with_capacity(probs.len());
+        let mut acc = 0.0;
+        for &p in probs {
+            acc += p / total;
+            cumulative.push(acc);
+        }
+        // Guard against floating-point shortfall at the top.
+        *cumulative.last_mut().unwrap() = 1.0;
+        DegreeDistribution { cumulative }
+    }
+
+    /// The paper's degree distribution: Pr(1) = 0.58, Pr(2) = 0.17,
+    /// Pr(3) = Pr(4) = Pr(5) = 0.08 (the table in Section 7.1; favouring
+    /// small degrees "to avoid very large and short trees"). The published
+    /// numbers sum to 0.99; they are normalised here.
+    pub fn paper() -> Self {
+        Self::new(&[0.58, 0.17, 0.08, 0.08, 0.08])
+    }
+
+    /// Draws a degree in `1..=max_degree`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        // Linear scan: the support has ≤ 5 entries in practice.
+        for (k, &c) in self.cumulative.iter().enumerate() {
+            if u < c {
+                return k + 1;
+            }
+        }
+        self.cumulative.len()
+    }
+
+    /// Expected value of the distribution.
+    pub fn mean(&self) -> f64 {
+        let mut prev = 0.0;
+        let mut mean = 0.0;
+        for (k, &c) in self.cumulative.iter().enumerate() {
+            mean += (k + 1) as f64 * (c - prev);
+            prev = c;
+        }
+        mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn truncated_exp_respects_bounds() {
+        let d = TruncatedExp::paper_edge_weights();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((10.0..=10_000.0).contains(&x), "sample {x} out of range");
+        }
+    }
+
+    #[test]
+    fn truncated_exp_mean_close_to_scale() {
+        // E[100·Exp(1)] = 100; truncation at 10 raises it slightly, the cap
+        // at 10000 is negligible. Expect a mean around 103–106.
+        let d = TruncatedExp::paper_edge_weights();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let mean = sum / n as f64;
+        assert!((100.0..112.0).contains(&mean), "mean {mean} looks wrong");
+    }
+
+    #[test]
+    fn degree_distribution_frequencies_match() {
+        let d = DegreeDistribution::paper();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 400_000;
+        let mut counts = [0usize; 5];
+        for _ in 0..n {
+            counts[d.sample(&mut rng) - 1] += 1;
+        }
+        let expected = [0.58, 0.17, 0.08, 0.08, 0.08].map(|p| p / 0.99);
+        for (k, &e) in expected.iter().enumerate() {
+            let freq = counts[k] as f64 / n as f64;
+            assert!(
+                (freq - e).abs() < 0.01,
+                "degree {} frequency {freq} vs expected {e}",
+                k + 1
+            );
+        }
+    }
+
+    #[test]
+    fn degree_mean() {
+        let d = DegreeDistribution::paper();
+        assert!((d.mean() - 1.88 / 0.99).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive sum")]
+    fn bad_probabilities_rejected() {
+        DegreeDistribution::new(&[0.0, 0.0]);
+    }
+}

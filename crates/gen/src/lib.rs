@@ -1,0 +1,17 @@
+#![warn(missing_docs)]
+//! Synthetic task-tree generators.
+//!
+//! [`synthetic`] reproduces the random-tree family of Section 7.1 of the
+//! paper (degree distribution over `[1, 5]`, truncated-exponential edge
+//! weights, execution data at 10 % of the output size). [`shapes`] provides
+//! deterministic families — chains, stars, k-ary trees, caterpillars,
+//! spindles — used by unit tests, adversarial cases and ablations.
+//!
+//! All generators are deterministic given a seed.
+
+pub mod distributions;
+pub mod shapes;
+pub mod synthetic;
+
+pub use distributions::TruncatedExp;
+pub use synthetic::{FrontierDiscipline, SyntheticConfig, TimeMode};

@@ -1,0 +1,295 @@
+//! The paper's synthetic tree generator (Section 7.1).
+//!
+//! Trees are grown from the root by sampling a child count for every node
+//! from the degree distribution `Pr(δ = 1) = 0.58`, `Pr(2) = 0.17`,
+//! `Pr(3) = Pr(4) = Pr(5) = 0.08`, stopping once the requested node count is
+//! reached (the unexpanded frontier becomes leaves). Edge weights follow a
+//! truncated exponential (`100·Exp(1)` clamped to `[10, 10000]`); the
+//! execution data of a node is 10 % of its outgoing edge weight.
+//!
+//! The paper says processing time is "proportional to its outgoing edge
+//! degree" — given the sentence reads like a slip for *weight* (a node's
+//! outgoing edge has no degree) we default to time ∝ output size and expose
+//! [`TimeMode`] for the other readings.
+//!
+//! The expansion discipline changes the tree's aspect ratio: FIFO expansion
+//! yields shallow bushy trees, LIFO yields deep ones. The paper reports
+//! average heights of 63 / 95 / 131 for 1k / 10k / 100k nodes; a random
+//! frontier discipline reproduces that intermediate regime best and is the
+//! default (see EXPERIMENTS.md for the calibration).
+
+use crate::distributions::{DegreeDistribution, TruncatedExp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use memtree_tree::{TaskSpec, TaskTree, TreeBuilder};
+
+/// Calibrated bias toward depth-first expansion used by
+/// [`SyntheticConfig::paper`]; see EXPERIMENTS.md for the measured heights.
+pub const PAPER_Q: f64 = 0.8;
+
+/// How the generator picks the next frontier node to expand.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FrontierDiscipline {
+    /// Expand the oldest frontier node (BFS): shallow, bushy trees.
+    Fifo,
+    /// Expand the newest frontier node (DFS): deep, narrow trees.
+    Lifo,
+    /// Expand a uniformly random frontier node: heights ≈ e·ln n.
+    Random,
+    /// With probability `q` expand the newest frontier node, otherwise a
+    /// uniformly random one. Interpolates between `Random` (q = 0) and
+    /// `Lifo` (q = 1); the default `q` is calibrated so average heights
+    /// land near the paper's reported 63 / 95 / 131 for 1k / 10k / 100k
+    /// nodes (see EXPERIMENTS.md).
+    BiasedNewest {
+        /// Probability of continuing from the newest frontier node.
+        q: f64,
+    },
+}
+
+/// How processing times are derived.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimeMode {
+    /// `t_i = time_factor · f_i` (default; see module docs).
+    ProportionalToOutput,
+    /// `t_i = time_factor · degree(i)` (literal reading of the paper).
+    ProportionalToDegree,
+    /// `t_i = time_factor` for every node.
+    Unit,
+}
+
+/// Configuration of the synthetic generator.
+#[derive(Clone, Debug)]
+pub struct SyntheticConfig {
+    /// Number of nodes to generate.
+    pub n: usize,
+    /// Degree probabilities for degrees `1..=probs.len()`.
+    pub degree_probs: Vec<f64>,
+    /// Edge-weight distribution (defines `f_i`).
+    pub weights: TruncatedExp,
+    /// `n_i = exec_fraction · f_i` (paper: 0.1).
+    pub exec_fraction: f64,
+    /// Processing-time derivation.
+    pub time_mode: TimeMode,
+    /// Multiplier applied by [`TimeMode`].
+    pub time_factor: f64,
+    /// Frontier expansion discipline.
+    pub discipline: FrontierDiscipline,
+}
+
+impl SyntheticConfig {
+    /// The paper's configuration for a tree of `n` nodes.
+    pub fn paper(n: usize) -> Self {
+        SyntheticConfig {
+            n,
+            degree_probs: vec![0.58, 0.17, 0.08, 0.08, 0.08],
+            weights: TruncatedExp::paper_edge_weights(),
+            exec_fraction: 0.1,
+            time_mode: TimeMode::ProportionalToOutput,
+            time_factor: 1.0,
+            discipline: FrontierDiscipline::BiasedNewest { q: PAPER_Q },
+        }
+    }
+
+    /// Generates a tree with this configuration, deterministically in
+    /// `seed`.
+    pub fn generate(&self, seed: u64) -> TaskTree {
+        assert!(self.n > 0, "cannot generate an empty tree");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let degrees = DegreeDistribution::new(&self.degree_probs);
+
+        // Grow the structure: parents[i] for node i, nodes created in
+        // discovery order (root = 0).
+        let mut parents: Vec<Option<usize>> = Vec::with_capacity(self.n);
+        parents.push(None);
+        let mut frontier: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        frontier.push_back(0);
+        while parents.len() < self.n && !frontier.is_empty() {
+            let node = match self.discipline {
+                FrontierDiscipline::Fifo => frontier.pop_front().unwrap(),
+                FrontierDiscipline::Lifo => frontier.pop_back().unwrap(),
+                FrontierDiscipline::Random => {
+                    let slot = rng.random_range(0..frontier.len());
+                    frontier.swap_remove_back(slot).unwrap()
+                }
+                FrontierDiscipline::BiasedNewest { q } => {
+                    if rng.random::<f64>() < q {
+                        frontier.pop_back().unwrap()
+                    } else {
+                        let slot = rng.random_range(0..frontier.len());
+                        frontier.swap_remove_back(slot).unwrap()
+                    }
+                }
+            };
+            let d = degrees.sample(&mut rng).min(self.n - parents.len());
+            for _ in 0..d {
+                let id = parents.len();
+                parents.push(Some(node));
+                frontier.push_back(id);
+            }
+        }
+        // If the frontier died out early (possible with FIFO/LIFO swaps and
+        // tiny degree draws capped by the budget), graft remaining nodes as
+        // children of the last node — in practice the degree distribution
+        // has no zero, so the frontier only empties when n is reached.
+        while parents.len() < self.n {
+            parents.push(Some(parents.len() - 1));
+        }
+
+        // Sample sizes and times.
+        let mut b = TreeBuilder::with_capacity(self.n);
+        let mut child_count = vec![0u32; self.n];
+        for p in parents.iter().flatten() {
+            child_count[*p] += 1;
+        }
+        for (i, &p) in parents.iter().enumerate() {
+            let f = self.weights.sample(&mut rng).round().max(1.0);
+            let exec = (self.exec_fraction * f).round() as u64;
+            let time = match self.time_mode {
+                TimeMode::ProportionalToOutput => self.time_factor * f,
+                TimeMode::ProportionalToDegree => {
+                    self.time_factor * (child_count[i].max(1) as f64)
+                }
+                TimeMode::Unit => self.time_factor,
+            };
+            b.push_with_parent_index(p, TaskSpec::new(exec, f as u64, time));
+        }
+        b.build().expect("synthetic tree is structurally valid")
+    }
+}
+
+/// Convenience: one paper-configured tree of `n` nodes.
+pub fn paper_tree(n: usize, seed: u64) -> TaskTree {
+    SyntheticConfig::paper(n).generate(seed)
+}
+
+/// Convenience: the paper's batch of `count` trees of `n` nodes with
+/// consecutive seeds derived from `base_seed`.
+pub fn paper_batch(n: usize, count: usize, base_seed: u64) -> Vec<TaskTree> {
+    (0..count)
+        .map(|k| paper_tree(n, base_seed.wrapping_add(k as u64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtree_tree::validate::check_consistency;
+    use memtree_tree::TreeStats;
+
+    #[test]
+    fn generates_exactly_n_nodes() {
+        for n in [1usize, 2, 10, 1000] {
+            let t = paper_tree(n, 42);
+            assert_eq!(t.len(), n);
+            check_consistency(&t).unwrap();
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = paper_tree(500, 1);
+        let b = paper_tree(500, 1);
+        assert_eq!(a, b);
+        assert_ne!(a, paper_tree(500, 2));
+    }
+
+    #[test]
+    fn weights_in_bounds_and_exec_is_tenth() {
+        let t = paper_tree(2000, 7);
+        for i in t.nodes() {
+            let f = t.output(i);
+            assert!((10..=10_000).contains(&f), "f {f} out of bounds");
+            let expected = (0.1 * f as f64).round() as u64;
+            assert_eq!(t.exec(i), expected);
+            assert_eq!(t.time(i), f as f64);
+        }
+    }
+
+    #[test]
+    fn degree_never_exceeds_five() {
+        let t = paper_tree(5000, 11);
+        let s = TreeStats::compute(&t);
+        assert!(s.max_degree <= 5);
+    }
+
+    #[test]
+    fn disciplines_change_height() {
+        let mk = |d| {
+            let mut c = SyntheticConfig::paper(4000);
+            c.discipline = d;
+            // Average over a few seeds to avoid flaky ordering.
+            (0..5)
+                .map(|s| TreeStats::compute(&c.generate(3 + s)).height)
+                .sum::<u32>()
+                / 5
+        };
+        let fifo = mk(FrontierDiscipline::Fifo);
+        let lifo = mk(FrontierDiscipline::Lifo);
+        let random = mk(FrontierDiscipline::Random);
+        let biased = mk(FrontierDiscipline::BiasedNewest { q: PAPER_Q });
+        assert!(fifo < random, "fifo {fifo} should be shallower than random {random}");
+        assert!(random < biased, "random {random} should be shallower than biased {biased}");
+        assert!(biased < lifo, "biased {biased} should be shallower than lifo {lifo}");
+    }
+
+    #[test]
+    #[ignore = "calibration helper; run with --ignored --nocapture"]
+    fn calibrate_height_bias() {
+        for q in [0.5, 0.7, 0.8, 0.85, 0.9, 0.95] {
+            for n in [1000usize, 10_000, 100_000] {
+                let mut c = SyntheticConfig::paper(n);
+                c.discipline = FrontierDiscipline::BiasedNewest { q };
+                let reps = if n == 100_000 { 3 } else { 10 };
+                let avg: f64 = (0..reps)
+                    .map(|s| TreeStats::compute(&c.generate(900 + s)).height as f64)
+                    .sum::<f64>()
+                    / reps as f64;
+                println!("q={q} n={n} avg_height={avg:.1}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_discipline_heights_are_in_paper_ballpark() {
+        // Paper: average heights 63 (1k), 95 (10k), 131 (100k). Accept a
+        // generous band — the aspect ratio matters, not the digit.
+        let avg = |n: usize| {
+            let hs: Vec<u32> = (0..10)
+                .map(|s| TreeStats::compute(&paper_tree(n, 100 + s)).height)
+                .collect();
+            hs.iter().sum::<u32>() as f64 / hs.len() as f64
+        };
+        let h1k = avg(1000);
+        assert!(
+            (20.0..200.0).contains(&h1k),
+            "height {h1k} for 1k nodes far from the paper's 63"
+        );
+    }
+
+    #[test]
+    fn time_modes() {
+        let mut c = SyntheticConfig::paper(200);
+        c.time_mode = TimeMode::Unit;
+        c.time_factor = 2.5;
+        let t = c.generate(5);
+        assert!(t.nodes().all(|i| t.time(i) == 2.5));
+
+        c.time_mode = TimeMode::ProportionalToDegree;
+        c.time_factor = 1.0;
+        let t = c.generate(5);
+        for i in t.nodes() {
+            assert_eq!(t.time(i), t.degree(i).max(1) as f64);
+        }
+    }
+
+    #[test]
+    fn batch_has_distinct_trees() {
+        let batch = paper_batch(300, 5, 1000);
+        assert_eq!(batch.len(), 5);
+        for w in batch.windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests of the generators.
+
+use memtree_gen::synthetic::{FrontierDiscipline, SyntheticConfig, TimeMode};
+use memtree_gen::{shapes, TruncatedExp};
+use memtree_tree::validate::check_consistency;
+use memtree_tree::{TaskSpec, TreeStats};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every configuration of the synthetic generator yields exactly `n`
+    /// structurally valid nodes with sizes in spec.
+    #[test]
+    fn synthetic_always_valid(
+        n in 1usize..400,
+        seed in 0u64..1000,
+        discipline in 0u8..4,
+        time_mode in 0u8..3,
+    ) {
+        let mut c = SyntheticConfig::paper(n);
+        c.discipline = match discipline {
+            0 => FrontierDiscipline::Fifo,
+            1 => FrontierDiscipline::Lifo,
+            2 => FrontierDiscipline::Random,
+            _ => FrontierDiscipline::BiasedNewest { q: 0.8 },
+        };
+        c.time_mode = match time_mode {
+            0 => TimeMode::ProportionalToOutput,
+            1 => TimeMode::ProportionalToDegree,
+            _ => TimeMode::Unit,
+        };
+        let t = c.generate(seed);
+        prop_assert_eq!(t.len(), n);
+        check_consistency(&t).unwrap();
+        for i in t.nodes() {
+            prop_assert!((10..=10_000).contains(&t.output(i)));
+            prop_assert!(t.time(i) > 0.0);
+        }
+        let s = TreeStats::compute(&t);
+        prop_assert!(s.max_degree <= 5);
+    }
+
+    /// The truncated exponential never leaves its interval, for arbitrary
+    /// parameters.
+    #[test]
+    fn truncated_exp_in_bounds(
+        rate in 0.1f64..5.0,
+        scale in 1.0f64..500.0,
+        lo in 0.0f64..50.0,
+        width in 1.0f64..1000.0,
+        seed in 0u64..100,
+    ) {
+        use rand::SeedableRng;
+        let d = TruncatedExp { rate, scale, lo, hi: lo + width };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x >= lo && x <= lo + width, "{x} outside [{lo}, {}]", lo + width);
+        }
+    }
+
+    /// Shape generators produce the advertised node counts and stay valid.
+    #[test]
+    fn shapes_are_valid(n in 1usize..60, k in 1usize..6, seed in 0u64..50) {
+        let spec = TaskSpec::new(1, 2, 1.0);
+        for t in [
+            shapes::chain(n, spec),
+            shapes::star(n, spec, spec),
+            shapes::caterpillar(n, k, spec, spec),
+            shapes::spindle(k, n, spec),
+            shapes::random_recursive(n, spec, seed),
+            shapes::binary_reduction(n, 4, 1.0),
+        ] {
+            check_consistency(&t).unwrap();
+        }
+    }
+}
+
+/// The paper's corpus contains trees with maximum degree up to 175 000 —
+/// exercise the huge-star regime end to end.
+#[test]
+fn huge_star_smoke() {
+    let t = shapes::star(50_001, TaskSpec::new(0, 1, 1.0), TaskSpec::new(0, 2, 1.0));
+    assert_eq!(TreeStats::compute(&t).max_degree, 50_000);
+    let po = memtree_tree::traverse::postorder(&t);
+    let peak = memtree_tree::memory::sequential_peak(&t, &po).unwrap();
+    // All leaf outputs live when the root runs.
+    assert_eq!(peak, 50_000 * 2 + 1);
+}

@@ -1,0 +1,149 @@
+//! From supernodes to an assembly task tree.
+//!
+//! Each supernodal front of order `d` with `w` pivots becomes one task of
+//! the tree-scheduling model:
+//!
+//! * output `f = (d − w)²` — the contribution block passed to the parent
+//!   front (scaled by `entry_size`);
+//! * execution data `n = d² − (d − w)²` — the factor columns held while
+//!   the front is processed and written out at completion;
+//! * time = dense partial-factorization flops
+//!   `Σ_{k=1..w} (d − k + 1)²`, scaled by `time_scale`.
+//!
+//! This is exactly how multifrontal codes map onto the paper's model: the
+//! elimination tree of fronts is the task tree, contribution blocks are
+//! the edge data.
+
+use crate::supernodes::Supernode;
+use memtree_tree::{TaskSpec, TaskTree, TreeBuilder};
+
+/// Scaling knobs for task sizes and times.
+#[derive(Clone, Copy, Debug)]
+pub struct AssemblyParams {
+    /// Memory units per factor entry (1 = count entries).
+    pub entry_size: u64,
+    /// Time units per flop.
+    pub time_scale: f64,
+}
+
+impl Default for AssemblyParams {
+    fn default() -> Self {
+        AssemblyParams { entry_size: 1, time_scale: 1e-6 }
+    }
+}
+
+/// Flops of a dense partial factorization: eliminate `w` pivots from a
+/// front of order `d`.
+pub fn partial_factorization_flops(d: u64, w: u64) -> f64 {
+    debug_assert!(w <= d);
+    // Σ_{k=1..w} (d - k + 1)² — one rank-1 update per pivot.
+    let mut flops = 0f64;
+    for k in 1..=w {
+        let s = (d - k + 1) as f64;
+        flops += s * s;
+    }
+    flops
+}
+
+/// Builds the assembly task tree from a supernode partition and its parent
+/// map (children-before-parents order, as produced by
+/// [`crate::supernodes::supernode_parents`]).
+pub fn assembly_tree(
+    snodes: &[Supernode],
+    sn_parent: &[Option<usize>],
+    params: AssemblyParams,
+) -> TaskTree {
+    assert_eq!(snodes.len(), sn_parent.len());
+    let mut b = TreeBuilder::with_capacity(snodes.len());
+    for (s, sn) in snodes.iter().enumerate() {
+        let d = sn.front;
+        let w = sn.width as u64;
+        assert!(w <= d, "supernode {s} wider than its front");
+        let cb = d - w;
+        let output = cb * cb * params.entry_size;
+        let exec = (d * d - cb * cb) * params.entry_size;
+        let time = partial_factorization_flops(d, w) * params.time_scale;
+        b.push_with_parent_index(sn_parent[s], TaskSpec::new(exec, output, time));
+    }
+    b.build().expect("supernode forest with one root is a valid tree")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::colcount::column_counts;
+    use crate::etree::elimination_tree;
+    use crate::pattern::SparsePattern;
+    use crate::supernodes::{fundamental_supernodes, supernode_parents};
+    use memtree_tree::validate::check_consistency;
+
+    fn pipeline(p: &SparsePattern) -> TaskTree {
+        let et = elimination_tree(p);
+        let po = crate::etree::etree_postorder(&et);
+        let q = p.permute(&po);
+        let et = elimination_tree(&q);
+        let cc = column_counts(&q, &et);
+        let sn = fundamental_supernodes(&et, &cc);
+        let par = supernode_parents(&sn, &et);
+        assembly_tree(&sn, &par, AssemblyParams::default())
+    }
+
+    #[test]
+    fn flops_formula() {
+        // d = 3, w = 3: 9 + 4 + 1 = 14.
+        assert_eq!(partial_factorization_flops(3, 3), 14.0);
+        // w = 0: no work.
+        assert_eq!(partial_factorization_flops(5, 0), 0.0);
+    }
+
+    #[test]
+    fn dense_matrix_is_single_task() {
+        let p = SparsePattern::from_edges(
+            4,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+        );
+        let t = pipeline(&p);
+        assert_eq!(t.len(), 1);
+        let root = t.root();
+        assert_eq!(t.output(root), 0, "root has no contribution block");
+        assert_eq!(t.exec(root), 16, "whole 4x4 front is factor data");
+    }
+
+    #[test]
+    fn grid_assembly_tree_is_consistent() {
+        let p = SparsePattern::grid2d(8);
+        let t = pipeline(&p);
+        check_consistency(&t).unwrap();
+        // The root front has no contribution block.
+        assert_eq!(t.output(t.root()), 0);
+        // Total pivots = matrix order (each column eliminated once) —
+        // reconstruct from exec+output = d².
+        assert!(t.len() > 1);
+    }
+
+    #[test]
+    fn band_matrix_gives_deep_tree() {
+        let p = SparsePattern::band(200, 1);
+        let t = pipeline(&p);
+        let stats = memtree_tree::TreeStats::compute(&t);
+        assert!(
+            stats.height as usize >= t.len() - 2,
+            "tridiagonal assembly tree must be (nearly) a chain: height {} for {} nodes",
+            stats.height,
+            t.len()
+        );
+    }
+
+    #[test]
+    fn mem_needed_matches_front_size() {
+        // For every front: MemNeeded = children CBs + n + f. The front
+        // itself (d²) must be ≤ n + f (factors + own CB).
+        let p = SparsePattern::grid2d(7);
+        let t = pipeline(&p);
+        for i in t.nodes() {
+            let d2 = t.exec(i) + t.output(i);
+            assert!(d2 > 0);
+            assert!(t.mem_needed(i) >= d2);
+        }
+    }
+}

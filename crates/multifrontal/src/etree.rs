@@ -1,0 +1,174 @@
+//! Elimination trees (Liu 1986/1990).
+//!
+//! The elimination tree of a symmetric matrix `A` has
+//! `parent(j) = min { i > j : l_ij ≠ 0 }` — the first off-diagonal nonzero
+//! in column `j` of the Cholesky factor. Liu's algorithm computes it in
+//! nearly linear time by walking up partially-built trees with ancestor
+//! path compression.
+
+use crate::pattern::SparsePattern;
+
+/// Computes the elimination-tree parent of every column
+/// (`None` for roots). For a connected (irreducible) pattern there is a
+/// single root: column `n − 1`.
+pub fn elimination_tree(pattern: &SparsePattern) -> Vec<Option<usize>> {
+    let n = pattern.order();
+    let mut parent: Vec<usize> = vec![usize::MAX; n];
+    // Path-compressed ancestors for the traversal.
+    let mut ancestor: Vec<usize> = vec![usize::MAX; n];
+
+    for j in 0..n {
+        for &i in pattern.column(j) {
+            let mut i = i as usize;
+            if i >= j {
+                continue; // use the lower triangle of row j
+            }
+            // Walk from i up to the current root, compressing the path,
+            // and attach the root under j.
+            while ancestor[i] != usize::MAX && ancestor[i] != j {
+                let next = ancestor[i];
+                ancestor[i] = j;
+                i = next;
+            }
+            if ancestor[i] == usize::MAX {
+                ancestor[i] = j;
+                parent[i] = j;
+            }
+        }
+    }
+
+    parent
+        .into_iter()
+        .map(|p| (p != usize::MAX).then_some(p))
+        .collect()
+}
+
+/// A postorder of the elimination tree (children before parents), with
+/// children visited in ascending index. Iterative; handles forests.
+pub fn etree_postorder(parent: &[Option<usize>]) -> Vec<usize> {
+    let n = parent.len();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut roots = Vec::new();
+    for (j, &p) in parent.iter().enumerate() {
+        match p {
+            Some(p) => children[p].push(j),
+            None => roots.push(j),
+        }
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for &r in &roots {
+        stack.push((r, 0));
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            if *next < children[node].len() {
+                let c = children[node][*next];
+                *next += 1;
+                stack.push((c, 0));
+            } else {
+                out.push(node);
+                stack.pop();
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tridiagonal_gives_a_chain() {
+        // Band(n,1): parent(j) = j+1 — the chain elimination tree.
+        let p = SparsePattern::band(6, 1);
+        let et = elimination_tree(&p);
+        for (j, &p) in et.iter().enumerate().take(5) {
+            assert_eq!(p, Some(j + 1));
+        }
+        assert_eq!(et[5], None);
+    }
+
+    #[test]
+    fn arrow_matrix_gives_a_star() {
+        // Arrow: column n-1 connected to everyone; others independent.
+        // parent(j) = n-1 for all j < n-1.
+        let edges: Vec<(usize, usize)> = (0..5).map(|j| (j, 5)).collect();
+        let p = SparsePattern::from_edges(6, &edges);
+        let et = elimination_tree(&p);
+        for &p in et.iter().take(5) {
+            assert_eq!(p, Some(5));
+        }
+        assert_eq!(et[5], None);
+    }
+
+    #[test]
+    fn textbook_example() {
+        // Classic example (Davis, "Direct Methods", fig. 4.2-style):
+        // verify against a brute-force symbolic factorization.
+        let p = SparsePattern::from_edges(
+            8,
+            &[(0, 3), (0, 5), (1, 4), (1, 7), (2, 3), (2, 6), (3, 7), (4, 6), (5, 6), (6, 7)],
+        );
+        let fast = elimination_tree(&p);
+        let slow = brute_force_etree(&p);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_patterns() {
+        for seed in 0..20 {
+            let p = SparsePattern::random_connected(40, 60, seed);
+            assert_eq!(elimination_tree(&p), brute_force_etree(&p), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn connected_pattern_has_single_root() {
+        let p = SparsePattern::grid2d(5);
+        let et = elimination_tree(&p);
+        let roots = et.iter().filter(|p| p.is_none()).count();
+        assert_eq!(roots, 1);
+        assert_eq!(et[24], None, "last column is the root");
+    }
+
+    #[test]
+    fn postorder_is_topological() {
+        let p = SparsePattern::grid2d(4);
+        let et = elimination_tree(&p);
+        let po = etree_postorder(&et);
+        assert_eq!(po.len(), 16);
+        let mut seen = [false; 16];
+        for &j in &po {
+            if let Some(pj) = et[j] {
+                assert!(!seen[pj], "parent {pj} before child {j}");
+            }
+            seen[j] = true;
+        }
+    }
+
+    /// O(n²) reference: simulate symbolic Cholesky row structures.
+    fn brute_force_etree(pattern: &SparsePattern) -> Vec<Option<usize>> {
+        let n = pattern.order();
+        // Column structures of L, built column by column.
+        let mut l_cols: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for j in 0..n {
+            // struct(L(:,j)) = pattern(A(j:n, j)) ∪ union of struct(L(:,c))
+            // for children c (columns whose first below-diag nonzero is j).
+            let mut s: Vec<usize> = pattern
+                .column(j)
+                .iter()
+                .map(|&i| i as usize)
+                .filter(|&i| i > j)
+                .collect();
+            for col in l_cols.iter().take(j) {
+                if col.first() == Some(&j) {
+                    s.extend(col.iter().copied().filter(|&i| i > j));
+                }
+            }
+            s.sort_unstable();
+            s.dedup();
+            l_cols[j] = s;
+        }
+        (0..n).map(|j| l_cols[j].first().copied()).collect()
+    }
+}

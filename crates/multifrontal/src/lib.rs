@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! Symbolic multifrontal analysis: from a sparse symmetric matrix pattern
+//! to an assembly task tree.
+//!
+//! The paper evaluates its schedulers on 608 *assembly trees* obtained by
+//! symbolic analysis of sparse matrices from the University of Florida
+//! collection. That collection is an online dataset; this crate rebuilds
+//! the **pipeline that produces such trees** so the evaluation exercises
+//! the same code paths on structurally equivalent inputs:
+//!
+//! 1. [`pattern`] — symmetric sparse patterns (CSC), with generators for
+//!    2-D/3-D grid Laplacians, banded matrices and random patterns;
+//! 2. [`ordering`] — fill-reducing permutations: nested dissection for
+//!    grids, minimum degree for general patterns;
+//! 3. [`etree`] — the elimination tree (Liu's ancestor path-compression
+//!    algorithm) and its postordering;
+//! 4. [`colcount`] — column counts of the Cholesky factor via symbolic
+//!    up-traversal of row subtrees;
+//! 5. [`supernodes`] — fundamental supernodes with optional relaxed
+//!    amalgamation;
+//! 6. [`assembly`] — frontal-matrix sizing: each supernodal front of order
+//!    `d` with `w` pivots becomes a task with output (contribution block)
+//!    `f = (d−w)²`, execution data `n = d² − (d−w)²` (the factor entries,
+//!    released at completion) and time = partial-factorization flops.
+//!
+//! The result is a [`memtree_tree::TaskTree`] with the heavy-tailed front
+//! sizes, irregular degrees and extreme heights (band matrices give
+//! chain-like trees) the paper's corpus exhibits.
+
+pub mod assembly;
+pub mod colcount;
+pub mod corpus;
+pub mod etree;
+pub mod ordering;
+pub mod pattern;
+pub mod supernodes;
+
+pub use assembly::{assembly_tree, AssemblyParams};
+pub use corpus::{assembly_corpus, CorpusSpec};
+pub use etree::{elimination_tree, etree_postorder};
+pub use pattern::SparsePattern;

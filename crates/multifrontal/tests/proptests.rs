@@ -1,0 +1,92 @@
+//! Property tests of the symbolic-analysis pipeline.
+
+use memtree_multifrontal::colcount::{column_counts, factor_nnz};
+use memtree_multifrontal::ordering::{is_permutation, minimum_degree};
+use memtree_multifrontal::{elimination_tree, etree_postorder, CorpusSpec, SparsePattern};
+use memtree_tree::validate::check_consistency;
+use proptest::prelude::*;
+
+fn arb_pattern() -> impl Strategy<Value = SparsePattern> {
+    (2usize..40, 0usize..80, 0u64..1000)
+        .prop_map(|(n, extra, seed)| SparsePattern::random_connected(n, extra, seed))
+}
+
+proptest! {
+    /// The elimination tree of a connected pattern is a tree rooted at the
+    /// last column, with parents strictly above children.
+    #[test]
+    fn etree_structure(p in arb_pattern()) {
+        let et = elimination_tree(&p);
+        let n = p.order();
+        prop_assert_eq!(et.len(), n);
+        prop_assert_eq!(et[n - 1], None, "last column is the root");
+        for (j, &par) in et.iter().enumerate().take(n - 1) {
+            let par = par.expect("connected pattern: every column has a parent");
+            prop_assert!(par > j, "parent {par} not above column {j}");
+        }
+        // Postorder covers everything exactly once.
+        let po = etree_postorder(&et);
+        let mut seen = vec![false; n];
+        for &x in &po {
+            prop_assert!(!seen[x]);
+            seen[x] = true;
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    /// Column counts are consistent: within bounds, and the factor never
+    /// has fewer nonzeros than the original lower triangle.
+    #[test]
+    fn colcount_bounds(p in arb_pattern()) {
+        let n = p.order();
+        let et = elimination_tree(&p);
+        let cc = column_counts(&p, &et);
+        for (j, &c) in cc.iter().enumerate() {
+            prop_assert!(c >= 1, "column {j} lost its diagonal");
+            prop_assert!(c <= (n - j) as u64, "column {j} count {c} exceeds n - j");
+        }
+        let lower_nnz = n as u64 + (p.nnz_off_diagonal() / 2) as u64;
+        prop_assert!(factor_nnz(&cc) >= lower_nnz, "factor lost entries of A");
+    }
+
+    /// Minimum degree always emits a permutation, and the permuted pattern
+    /// factors with no more fill than the identity order... is NOT a
+    /// theorem (MD is a heuristic), so only validity is asserted here.
+    #[test]
+    fn minimum_degree_validity(p in arb_pattern()) {
+        let perm = minimum_degree(&p);
+        prop_assert!(is_permutation(&perm, p.order()));
+        let q = p.permute(&perm);
+        prop_assert_eq!(q.nnz_off_diagonal(), p.nnz_off_diagonal());
+    }
+
+    /// The full pipeline yields a valid assembly tree whose pivots cover
+    /// the matrix exactly once (Σ width = n) and whose root front has no
+    /// contribution block.
+    #[test]
+    fn pipeline_yields_valid_assembly_tree(p in arb_pattern()) {
+        let spec = CorpusSpec::small();
+        let perm = minimum_degree(&p);
+        let tree = spec.analyze(&p, &perm);
+        check_consistency(&tree).unwrap();
+        prop_assert_eq!(tree.output(tree.root()), 0);
+        // Every front is structurally sane: d² = exec + output > 0.
+        for i in tree.nodes() {
+            prop_assert!(tree.exec(i) + tree.output(i) > 0);
+        }
+    }
+
+    /// Permuting by a postorder of the elimination tree preserves the
+    /// factor size (symmetric permutations never change fill of the tree
+    /// they were derived from).
+    #[test]
+    fn postordering_preserves_fill(p in arb_pattern()) {
+        let et = elimination_tree(&p);
+        let before = factor_nnz(&column_counts(&p, &et));
+        let po = etree_postorder(&et);
+        let q = p.permute(&po);
+        let et_q = elimination_tree(&q);
+        let after = factor_nnz(&column_counts(&q, &et_q));
+        prop_assert_eq!(before, after);
+    }
+}

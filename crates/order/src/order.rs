@@ -1,0 +1,179 @@
+//! The [`Order`] type: a validated topological sequence plus rank lookup.
+
+use memtree_tree::{NodeId, TaskTree, TreeError};
+
+/// Identifies which traversal strategy produced an [`Order`].
+///
+/// The names mirror Section 7.3.1 of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OrderKind {
+    /// `memPO`: the peak-memory-minimising postorder (Liu 1986).
+    MemPostorder,
+    /// `OptSeq`: the optimal sequential traversal (Liu 1987).
+    OptSeq,
+    /// `CP`: non-increasing bottom level.
+    CriticalPath,
+    /// `perfPO`: postorder, largest-critical-path subtree first.
+    PerfPostorder,
+    /// Appendix A: the average-memory-minimising postorder.
+    AvgMemPostorder,
+    /// Plain id-ordered postorder (children in id order).
+    NaturalPostorder,
+}
+
+impl OrderKind {
+    /// The label used in the paper's plots.
+    pub fn label(self) -> &'static str {
+        match self {
+            OrderKind::MemPostorder => "memPO",
+            OrderKind::OptSeq => "OptSeq",
+            OrderKind::CriticalPath => "CP",
+            OrderKind::PerfPostorder => "perfPO",
+            OrderKind::AvgMemPostorder => "avgMemPO",
+            OrderKind::NaturalPostorder => "naturalPO",
+        }
+    }
+}
+
+impl std::fmt::Display for OrderKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A topological order of a task tree with O(1) rank lookup.
+///
+/// Used both as an activation order (`AO`, consumed front to back) and as an
+/// execution priority (`EO`, smaller rank = higher priority).
+#[derive(Clone, Debug)]
+pub struct Order {
+    seq: Vec<NodeId>,
+    rank: Vec<u32>,
+    kind: OrderKind,
+}
+
+impl Order {
+    /// Wraps and validates a topological sequence.
+    pub fn new(tree: &TaskTree, seq: Vec<NodeId>, kind: OrderKind) -> Result<Self, TreeError> {
+        tree.check_topological(&seq)?;
+        let mut rank = vec![0u32; seq.len()];
+        for (k, &i) in seq.iter().enumerate() {
+            rank[i.index()] = k as u32;
+        }
+        Ok(Order { seq, rank, kind })
+    }
+
+    /// The sequence, children always before parents.
+    #[inline]
+    pub fn sequence(&self) -> &[NodeId] {
+        &self.seq
+    }
+
+    /// Position of `i` in the sequence (0 = first).
+    #[inline]
+    pub fn rank(&self, i: NodeId) -> u32 {
+        self.rank[i.index()]
+    }
+
+    /// The node at position `k`.
+    #[inline]
+    pub fn at(&self, k: usize) -> NodeId {
+        self.seq[k]
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// Whether the order is empty (never true for built orders).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// Which strategy produced this order.
+    #[inline]
+    pub fn kind(&self) -> OrderKind {
+        self.kind
+    }
+
+    /// `true` if `a` has higher priority (smaller rank) than `b`.
+    #[inline]
+    pub fn before(&self, a: NodeId, b: NodeId) -> bool {
+        self.rank(a) < self.rank(b)
+    }
+
+    /// The peak memory of executing this order sequentially.
+    pub fn sequential_peak(&self, tree: &TaskTree) -> u64 {
+        memtree_tree::memory::sequential_peak(tree, &self.seq)
+            .expect("order was validated at construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtree_tree::{TaskSpec, TaskTree};
+
+    fn tree() -> TaskTree {
+        TaskTree::from_parents(
+            &[None, Some(0), Some(0)],
+            &[
+                TaskSpec::new(0, 1, 1.0),
+                TaskSpec::new(0, 2, 1.0),
+                TaskSpec::new(0, 3, 1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ranks_and_priorities() {
+        let t = tree();
+        let o = Order::new(
+            &t,
+            vec![NodeId(2), NodeId(1), NodeId(0)],
+            OrderKind::NaturalPostorder,
+        )
+        .unwrap();
+        assert_eq!(o.rank(NodeId(2)), 0);
+        assert_eq!(o.rank(NodeId(0)), 2);
+        assert!(o.before(NodeId(2), NodeId(1)));
+        assert_eq!(o.at(1), NodeId(1));
+        assert_eq!(o.len(), 3);
+    }
+
+    #[test]
+    fn rejects_non_topological() {
+        let t = tree();
+        assert!(Order::new(
+            &t,
+            vec![NodeId(0), NodeId(1), NodeId(2)],
+            OrderKind::NaturalPostorder
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn sequential_peak_delegates() {
+        let t = tree();
+        let o = Order::new(
+            &t,
+            vec![NodeId(1), NodeId(2), NodeId(0)],
+            OrderKind::NaturalPostorder,
+        )
+        .unwrap();
+        // 2 live, then 2+3 live, then 2+3+1 during the root.
+        assert_eq!(o.sequential_peak(&t), 6);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(OrderKind::MemPostorder.label(), "memPO");
+        assert_eq!(OrderKind::OptSeq.to_string(), "OptSeq");
+        assert_eq!(OrderKind::CriticalPath.label(), "CP");
+        assert_eq!(OrderKind::PerfPostorder.label(), "perfPO");
+    }
+}

@@ -1,0 +1,116 @@
+//! Oracle tests: the clever traversal algorithms against brute force.
+
+use memtree_order::exhaustive::{min_enumerated_postorder_peak, min_topological_peak};
+use memtree_order::{
+    avg_mem_postorder, cp_order, make_order, mem_postorder, optimal_traversal, perf_postorder,
+    OrderKind,
+};
+use memtree_tree::memory::{sequential_average_memory, sequential_peak};
+use memtree_tree::{TaskSpec, TaskTree};
+use proptest::prelude::*;
+
+/// Random tree of up to `max_n` nodes with small, adversarial data sizes
+/// (zeros included).
+fn arb_tree(max_n: usize) -> impl Strategy<Value = TaskTree> {
+    (1..=max_n)
+        .prop_flat_map(|n| {
+            let parents = (1..n).map(|i| 0..i).collect::<Vec<_>>();
+            let specs = proptest::collection::vec((0u64..12, 0u64..12, 0u32..4), n);
+            (parents, specs)
+        })
+        .prop_map(|(parents, specs)| {
+            let mut full: Vec<Option<usize>> = vec![None];
+            full.extend(parents.into_iter().map(Some));
+            let specs: Vec<TaskSpec> = specs
+                .into_iter()
+                .map(|(e, f, t)| TaskSpec::new(e, f, t as f64))
+                .collect();
+            TaskTree::from_parents(&full, &specs).unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// OptSeq reaches the exact optimum over all topological orders.
+    #[test]
+    fn optseq_is_globally_optimal(tree in arb_tree(10)) {
+        let opt = optimal_traversal(&tree);
+        let oracle = min_topological_peak(&tree);
+        prop_assert_eq!(
+            opt.peak, oracle,
+            "OptSeq peak {} differs from exhaustive optimum {}", opt.peak, oracle
+        );
+    }
+
+    /// memPO reaches the exact optimum over all postorders.
+    #[test]
+    fn mem_postorder_is_postorder_optimal(tree in arb_tree(9)) {
+        let po = mem_postorder(&tree);
+        let got = sequential_peak(&tree, po.sequence()).unwrap();
+        let oracle = min_enumerated_postorder_peak(&tree, 250_000);
+        prop_assert_eq!(
+            got, oracle,
+            "memPO peak {} differs from brute-force postorder optimum {}", got, oracle
+        );
+    }
+
+    /// The Appendix-A order minimises average memory among all postorders.
+    #[test]
+    fn avg_mem_postorder_is_optimal(tree in arb_tree(8)) {
+        // Average memory needs positive times to be meaningful; remap zeros.
+        let tree = tree.map_specs(|_, mut s| { s.time = s.time.max(1.0); s.output = s.output.max(1); s });
+        let best = avg_mem_postorder(&tree);
+        let best_avg = sequential_average_memory(&tree, best.sequence()).unwrap();
+        for po in memtree_order::exhaustive::all_postorders(&tree, 100_000) {
+            let avg = sequential_average_memory(&tree, &po).unwrap();
+            prop_assert!(
+                best_avg <= avg + 1e-9,
+                "avgMemPO {} beaten by {} via {:?}", best_avg, avg, po
+            );
+        }
+    }
+
+    /// Dominance chain: OptSeq ≤ memPO ≤ any natural postorder.
+    #[test]
+    fn peak_dominance_chain(tree in arb_tree(40)) {
+        let opt = optimal_traversal(&tree).peak;
+        let mem = mem_postorder(&tree).sequential_peak(&tree);
+        let natural = sequential_peak(
+            &tree,
+            &memtree_tree::traverse::postorder(&tree),
+        ).unwrap();
+        prop_assert!(opt <= mem);
+        prop_assert!(mem <= natural);
+    }
+
+    /// Every order factory yields a valid topological order and a
+    /// consistent rank table.
+    #[test]
+    fn all_orders_topological(tree in arb_tree(40)) {
+        for kind in [
+            OrderKind::MemPostorder,
+            OrderKind::OptSeq,
+            OrderKind::CriticalPath,
+            OrderKind::PerfPostorder,
+            OrderKind::AvgMemPostorder,
+            OrderKind::NaturalPostorder,
+        ] {
+            let o = make_order(&tree, kind);
+            tree.check_topological(o.sequence()).unwrap();
+            for (k, &i) in o.sequence().iter().enumerate() {
+                prop_assert_eq!(o.rank(i) as usize, k);
+            }
+            prop_assert_eq!(o.kind(), kind);
+        }
+    }
+
+    /// CP and perfPO break ties deterministically: two runs agree.
+    #[test]
+    fn orders_are_deterministic(tree in arb_tree(32)) {
+        let (a, b) = (cp_order(&tree), cp_order(&tree));
+        prop_assert_eq!(a.sequence(), b.sequence());
+        let (a, b) = (perf_postorder(&tree), perf_postorder(&tree));
+        prop_assert_eq!(a.sequence(), b.sequence());
+    }
+}

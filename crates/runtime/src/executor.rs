@@ -1,0 +1,248 @@
+//! The threaded executor.
+
+use crate::ledger::Ledger;
+use crate::workload::Workload;
+use crossbeam::channel;
+use memtree_sim::Scheduler;
+use memtree_tree::{NodeId, TaskTree};
+use std::fmt;
+
+/// Executor configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// Number of worker threads (the model's `p`).
+    pub workers: usize,
+    /// Memory bound `M` (model units).
+    pub memory: u64,
+}
+
+/// Outcome of a threaded execution.
+#[derive(Clone, Debug)]
+pub struct RuntimeReport {
+    /// Wall-clock duration of the whole run.
+    pub wall_seconds: f64,
+    /// Tasks executed (always the full tree on success).
+    pub tasks_run: usize,
+    /// Peak model-level resident memory.
+    pub peak_actual: u64,
+    /// Peak booked memory.
+    pub peak_booked: u64,
+    /// Scheduler events processed on the main thread.
+    pub events: usize,
+    /// Wall-clock seconds spent inside scheduler callbacks.
+    pub scheduling_seconds: f64,
+}
+
+/// Failures of a threaded execution.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// The scheduler stopped issuing work with tasks outstanding.
+    Stalled {
+        /// Completed task count.
+        completed: usize,
+        /// Total task count.
+        total: usize,
+    },
+    /// The memory ledger caught a booking violation.
+    Ledger(String),
+    /// Zero workers or another unusable configuration.
+    BadConfig(String),
+    /// A worker thread panicked.
+    WorkerPanic,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Stalled { completed, total } => {
+                write!(f, "runtime stalled after {completed}/{total} tasks")
+            }
+            RuntimeError::Ledger(msg) => write!(f, "memory ledger violation: {msg}"),
+            RuntimeError::BadConfig(msg) => write!(f, "bad runtime config: {msg}"),
+            RuntimeError::WorkerPanic => write!(f, "a worker thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Executes `tree` with `cfg.workers` real threads under `scheduler`.
+///
+/// The main thread owns the scheduler and the ledger; workers pull tasks
+/// from a crossbeam channel, run `workload` and report completions back.
+/// The scheduler sees completions in real-time order — the dynamic regime
+/// the paper designs for.
+pub fn execute<S: Scheduler>(
+    tree: &TaskTree,
+    cfg: RuntimeConfig,
+    mut scheduler: S,
+    workload: Workload,
+) -> Result<RuntimeReport, RuntimeError> {
+    if cfg.workers == 0 {
+        return Err(RuntimeError::BadConfig("zero workers".into()));
+    }
+    let n = tree.len();
+    let started_at = std::time::Instant::now();
+
+    let (task_tx, task_rx) = channel::unbounded::<NodeId>();
+    let (done_tx, done_rx) = channel::unbounded::<NodeId>();
+
+    let mut ledger = Ledger::new(tree, cfg.memory);
+    let mut completed = 0usize;
+    let mut in_flight = 0usize;
+    let mut events = 0usize;
+    let mut scheduling_seconds = 0f64;
+    let mut result: Result<(), RuntimeError> = Ok(());
+
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.workers {
+            let task_rx = task_rx.clone();
+            let done_tx = done_tx.clone();
+            scope.spawn(move || {
+                while let Ok(task) = task_rx.recv() {
+                    workload.run(tree, task);
+                    if done_tx.send(task).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(task_rx);
+        drop(done_tx);
+
+        let mut finished_batch: Vec<NodeId> = Vec::new();
+        let mut to_start: Vec<NodeId> = Vec::new();
+        loop {
+            let idle = cfg.workers - in_flight;
+            to_start.clear();
+            let t0 = std::time::Instant::now();
+            scheduler.on_event(&finished_batch, idle, &mut to_start);
+            scheduling_seconds += t0.elapsed().as_secs_f64();
+            events += 1;
+
+            for &i in &to_start {
+                ledger.start(i);
+                in_flight += 1;
+                task_tx.send(i).expect("workers alive while main loop runs");
+            }
+            if let Err(msg) = ledger.check(scheduler.booked()) {
+                result = Err(RuntimeError::Ledger(msg));
+                break;
+            }
+            if completed == n {
+                break;
+            }
+            if in_flight == 0 {
+                result = Err(RuntimeError::Stalled { completed, total: n });
+                break;
+            }
+
+            // Block for one completion, then drain whatever else arrived.
+            finished_batch.clear();
+            match done_rx.recv() {
+                Ok(i) => finished_batch.push(i),
+                Err(_) => {
+                    result = Err(RuntimeError::WorkerPanic);
+                    break;
+                }
+            }
+            while let Ok(i) = done_rx.try_recv() {
+                finished_batch.push(i);
+            }
+            finished_batch.sort_unstable();
+            for &i in &finished_batch {
+                ledger.finish(i);
+                in_flight -= 1;
+                completed += 1;
+            }
+        }
+        // Closing the task channel terminates the workers.
+        drop(task_tx);
+        // Drain stragglers so scope join does not block on full channels.
+        while done_rx.try_recv().is_ok() {}
+    });
+
+    result.map(|()| RuntimeReport {
+        wall_seconds: started_at.elapsed().as_secs_f64(),
+        tasks_run: completed,
+        peak_actual: ledger.peak_actual(),
+        peak_booked: ledger.peak_booked(),
+        events,
+        scheduling_seconds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtree_order::mem_postorder;
+    use memtree_sched::{Activation, MemBooking};
+
+    #[test]
+    fn membooking_runs_threaded_at_minimum_memory() {
+        for seed in 0..5 {
+            let tree = memtree_gen::synthetic::paper_tree(200, seed);
+            let ao = mem_postorder(&tree);
+            let m = ao.sequential_peak(&tree);
+            let sched = MemBooking::try_new(&tree, &ao, &ao, m).unwrap();
+            let report = execute(
+                &tree,
+                RuntimeConfig { workers: 4, memory: m },
+                sched,
+                Workload::Noop,
+            )
+            .unwrap();
+            assert_eq!(report.tasks_run, tree.len());
+            assert!(report.peak_booked <= m);
+            assert!(report.peak_actual <= report.peak_booked);
+        }
+    }
+
+    #[test]
+    fn activation_runs_threaded() {
+        let tree = memtree_gen::synthetic::paper_tree(150, 7);
+        let ao = mem_postorder(&tree);
+        let m = ao.sequential_peak(&tree) * 2;
+        let sched = Activation::try_new(&tree, &ao, &ao, m).unwrap();
+        let report = execute(
+            &tree,
+            RuntimeConfig { workers: 3, memory: m },
+            sched,
+            Workload::quick(),
+        )
+        .unwrap();
+        assert_eq!(report.tasks_run, tree.len());
+        // Completions are drained in batches, so events ≤ n + 1, and at
+        // least one event per batch of ≤ `workers` completions.
+        assert!(report.events >= tree.len() / 3);
+        assert!(report.events <= tree.len() + 1);
+    }
+
+    #[test]
+    fn alloc_workload_runs() {
+        let tree = memtree_gen::synthetic::paper_tree(60, 2);
+        let ao = mem_postorder(&tree);
+        let m = ao.sequential_peak(&tree);
+        let sched = MemBooking::try_new(&tree, &ao, &ao, m).unwrap();
+        let report = execute(
+            &tree,
+            RuntimeConfig { workers: 2, memory: m },
+            sched,
+            Workload::AllocTouch { bytes_per_output_unit: 8.0, max_bytes: 1 << 20 },
+        )
+        .unwrap();
+        assert_eq!(report.tasks_run, 60);
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let tree = memtree_gen::synthetic::paper_tree(10, 1);
+        let ao = mem_postorder(&tree);
+        let m = ao.sequential_peak(&tree);
+        let sched = MemBooking::try_new(&tree, &ao, &ao, m).unwrap();
+        assert!(matches!(
+            execute(&tree, RuntimeConfig { workers: 0, memory: m }, sched, Workload::Noop),
+            Err(RuntimeError::BadConfig(_))
+        ));
+    }
+}

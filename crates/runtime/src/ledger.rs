@@ -1,0 +1,77 @@
+//! Main-thread memory ledger for threaded executions.
+
+use memtree_tree::memory::LiveSet;
+use memtree_tree::{NodeId, TaskTree};
+
+/// Tracks the model-level resident memory of a real execution and checks
+/// it against the scheduler's bookings and the global bound.
+pub struct Ledger<'a> {
+    live: LiveSet<'a>,
+    bound: u64,
+    peak_booked: u64,
+}
+
+impl<'a> Ledger<'a> {
+    /// A fresh ledger for `tree` under `bound`.
+    pub fn new(tree: &'a TaskTree, bound: u64) -> Self {
+        Ledger { live: LiveSet::new(tree), bound, peak_booked: 0 }
+    }
+
+    /// Registers a task start.
+    pub fn start(&mut self, i: NodeId) {
+        self.live.start(i);
+    }
+
+    /// Registers a task completion.
+    pub fn finish(&mut self, i: NodeId) {
+        self.live.finish(i);
+    }
+
+    /// Verifies `actual ≤ booked ≤ bound` at this instant.
+    pub fn check(&mut self, booked: u64) -> Result<(), String> {
+        self.peak_booked = self.peak_booked.max(booked);
+        if booked > self.bound {
+            return Err(format!("booked {booked} exceeds bound {}", self.bound));
+        }
+        let actual = self.live.current();
+        if actual > booked {
+            return Err(format!("actual {actual} exceeds booked {booked}"));
+        }
+        Ok(())
+    }
+
+    /// Peak model-level resident memory so far.
+    pub fn peak_actual(&self) -> u64 {
+        self.live.peak()
+    }
+
+    /// Peak booked memory so far.
+    pub fn peak_booked(&self) -> u64 {
+        self.peak_booked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtree_tree::{TaskSpec, TaskTree};
+
+    #[test]
+    fn tracks_and_checks() {
+        let t = TaskTree::from_parents(
+            &[None, Some(0)],
+            &[TaskSpec::new(0, 2, 1.0), TaskSpec::new(0, 3, 1.0)],
+        )
+        .unwrap();
+        let mut l = Ledger::new(&t, 10);
+        l.start(NodeId(1));
+        assert!(l.check(5).is_ok());
+        assert!(l.check(2).is_err(), "actual 3 over booked 2");
+        assert!(l.check(11).is_err(), "booked over bound");
+        l.finish(NodeId(1));
+        l.start(NodeId(0));
+        l.finish(NodeId(0));
+        assert_eq!(l.peak_actual(), 3 + 2);
+        assert_eq!(l.peak_booked(), 11);
+    }
+}

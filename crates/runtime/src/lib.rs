@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+//! Threaded runtime: execute a task tree with real worker threads under a
+//! memory-aware scheduler.
+//!
+//! The paper argues MemBooking's overhead is small enough "to allow its
+//! runtime execution" — this crate closes the loop by driving the very
+//! same [`memtree_sim::Scheduler`] implementations with genuine threads
+//! instead of simulated time. Completion order is whatever the OS makes of
+//! it, exercising the schedulers' dynamic behaviour; a main-thread
+//! [`ledger`] re-asserts `actual ≤ booked ≤ M` at every event, so a
+//! booking bug would abort the run rather than silently overcommit.
+
+pub mod executor;
+pub mod ledger;
+pub mod workload;
+
+pub use executor::{execute, RuntimeConfig, RuntimeError, RuntimeReport};
+pub use workload::Workload;

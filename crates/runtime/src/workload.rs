@@ -1,0 +1,106 @@
+//! Per-task payloads executed by the worker threads.
+
+use memtree_tree::{NodeId, TaskTree};
+
+/// What a worker actually does for a task.
+#[derive(Clone, Copy, Debug)]
+pub enum Workload {
+    /// Do nothing — pure scheduling-overhead measurement.
+    Noop,
+    /// Sleep `nanos_per_time_unit · t_i` nanoseconds (capped at
+    /// `max_nanos`), modelling compute time without burning CPU.
+    Sleep {
+        /// Nanoseconds per model time unit.
+        nanos_per_time_unit: f64,
+        /// Hard cap per task, nanoseconds.
+        max_nanos: u64,
+    },
+    /// Busy-spin for `nanos_per_time_unit · t_i` nanoseconds (capped) —
+    /// keeps workers genuinely busy for contention tests.
+    Spin {
+        /// Nanoseconds per model time unit.
+        nanos_per_time_unit: f64,
+        /// Hard cap per task, nanoseconds.
+        max_nanos: u64,
+    },
+    /// Allocate and touch a buffer of `bytes_per_output_unit · f_i` bytes
+    /// (capped), then free it — exercises the allocator under the
+    /// scheduler's memory envelope.
+    AllocTouch {
+        /// Bytes allocated per output-size unit.
+        bytes_per_output_unit: f64,
+        /// Hard cap per task, bytes.
+        max_bytes: usize,
+    },
+}
+
+impl Workload {
+    /// A fast default for tests: sleep 20 µs per time unit, max 2 ms.
+    pub fn quick() -> Self {
+        Workload::Sleep { nanos_per_time_unit: 20_000.0, max_nanos: 2_000_000 }
+    }
+
+    /// Runs the payload for task `i`.
+    pub fn run(&self, tree: &TaskTree, i: NodeId) {
+        match *self {
+            Workload::Noop => {}
+            Workload::Sleep { nanos_per_time_unit, max_nanos } => {
+                let nanos = ((tree.time(i) * nanos_per_time_unit) as u64).min(max_nanos);
+                if nanos > 0 {
+                    std::thread::sleep(std::time::Duration::from_nanos(nanos));
+                }
+            }
+            Workload::Spin { nanos_per_time_unit, max_nanos } => {
+                let nanos = ((tree.time(i) * nanos_per_time_unit) as u64).min(max_nanos);
+                let deadline = std::time::Instant::now() + std::time::Duration::from_nanos(nanos);
+                while std::time::Instant::now() < deadline {
+                    std::hint::spin_loop();
+                }
+            }
+            Workload::AllocTouch { bytes_per_output_unit, max_bytes } => {
+                let bytes = ((tree.output(i) as f64 * bytes_per_output_unit) as usize)
+                    .clamp(1, max_bytes.max(1));
+                let mut buf = vec![0u8; bytes];
+                // Touch one byte per page so the allocation is real.
+                let mut k = 0;
+                while k < buf.len() {
+                    buf[k] = buf[k].wrapping_add(1);
+                    k += 4096;
+                }
+                std::hint::black_box(&buf);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtree_tree::{TaskSpec, TaskTree};
+
+    fn tree() -> TaskTree {
+        TaskTree::from_parents(&[None], &[TaskSpec::new(0, 100, 2.0)]).unwrap()
+    }
+
+    #[test]
+    fn sleep_respects_cap() {
+        let t = tree();
+        let w = Workload::Sleep { nanos_per_time_unit: 1e12, max_nanos: 1_000_000 };
+        let start = std::time::Instant::now();
+        w.run(&t, memtree_tree::NodeId(0));
+        assert!(start.elapsed() < std::time::Duration::from_millis(100));
+    }
+
+    #[test]
+    fn all_workloads_run() {
+        let t = tree();
+        for w in [
+            Workload::Noop,
+            Workload::quick(),
+            Workload::Spin { nanos_per_time_unit: 10.0, max_nanos: 10_000 },
+            Workload::AllocTouch { bytes_per_output_unit: 16.0, max_bytes: 1 << 16 },
+        ] {
+            w.run(&t, memtree_tree::NodeId(0));
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! The discrete-event engine.
+
+use crate::error::SimError;
+use crate::scheduler::Scheduler;
+use crate::trace::{MemSample, TaskRecord, Trace};
+use memtree_tree::memory::LiveSet;
+use memtree_tree::{NodeId, TaskTree};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Number of processors `p`.
+    pub processors: usize,
+    /// Shared memory bound `M`.
+    pub memory: u64,
+    /// Check `actual ≤ booked ≤ M` at every event. Booking-sound
+    /// schedulers (all of the paper's) must pass; disable only for
+    /// deliberately unsound baselines.
+    pub enforce_booking: bool,
+    /// Record a [`MemSample`] at every event (costs memory on big trees).
+    pub record_profile: bool,
+    /// Measure wall-clock time spent in scheduler callbacks.
+    pub measure_overhead: bool,
+}
+
+impl SimConfig {
+    /// `p` processors, memory `M`, all checks on, no profile.
+    pub fn new(processors: usize, memory: u64) -> Self {
+        SimConfig {
+            processors,
+            memory,
+            enforce_booking: true,
+            record_profile: false,
+            measure_overhead: true,
+        }
+    }
+
+    /// Enables memory-profile recording.
+    pub fn with_profile(mut self) -> Self {
+        self.record_profile = true;
+        self
+    }
+}
+
+/// Totally ordered f64 for the event heap (times are finite by
+/// construction).
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Time(f64);
+
+impl Eq for Time {}
+
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("times are finite")
+    }
+}
+
+/// Runs `scheduler` on `tree` under `cfg` and returns the trace.
+///
+/// The engine is generic over the policy; all of the paper's heuristics
+/// (Activation, MemBooking, MemBookingRedTree) implement [`Scheduler`].
+pub fn simulate<S: Scheduler>(
+    tree: &TaskTree,
+    cfg: SimConfig,
+    mut scheduler: S,
+) -> Result<Trace, SimError> {
+    if cfg.processors == 0 {
+        return Err(SimError::BadConfig("zero processors".into()));
+    }
+    let n = tree.len();
+    let mut records = vec![
+        TaskRecord {
+            start: f64::NAN,
+            finish: f64::NAN,
+            processor: 0,
+            start_epoch: 0,
+            finish_epoch: 0,
+        };
+        n
+    ];
+    let mut started = vec![false; n];
+    let mut finished_flags = vec![false; n];
+
+    // Min-heap of (finish time, node).
+    let mut running: BinaryHeap<Reverse<(Time, NodeId)>> = BinaryHeap::new();
+    let mut free_procs: Vec<u32> = (0..cfg.processors as u32).rev().collect();
+
+    let mut live = LiveSet::new(tree);
+    let mut peak_booked = 0u64;
+    let mut completed = 0usize;
+    let mut events = 0usize;
+    let mut scheduling_seconds = 0f64;
+    let mut profile = Vec::new();
+    let mut to_start: Vec<NodeId> = Vec::new();
+    let mut finished_batch: Vec<NodeId> = Vec::new();
+
+    scheduler.on_begin();
+
+    let mut now = 0f64;
+    loop {
+        // Deliver the event (initial or completions) to the scheduler.
+        to_start.clear();
+        let idle = free_procs.len();
+        let t0 = cfg.measure_overhead.then(std::time::Instant::now);
+        scheduler.on_event(&finished_batch, idle, &mut to_start);
+        if let Some(t0) = t0 {
+            scheduling_seconds += t0.elapsed().as_secs_f64();
+        }
+        events += 1;
+
+        // Start the requested tasks.
+        if to_start.len() > idle {
+            return Err(SimError::TooManyStarts { requested: to_start.len(), idle });
+        }
+        for &i in &to_start {
+            if started[i.index()] {
+                return Err(SimError::DoubleStart { node: i });
+            }
+            if tree.children(i).iter().any(|c| !finished_flags[c.index()]) {
+                return Err(SimError::PrecedenceViolation { node: i });
+            }
+            started[i.index()] = true;
+            let proc = free_procs.pop().expect("count checked above");
+            let finish = now + tree.time(i);
+            records[i.index()] = TaskRecord {
+                start: now,
+                finish,
+                processor: proc,
+                start_epoch: events as u32,
+                finish_epoch: 0,
+            };
+            running.push(Reverse((Time(finish), i)));
+            live.start(i);
+        }
+
+        // Booking invariants at this instant.
+        let booked = scheduler.booked();
+        peak_booked = peak_booked.max(booked);
+        if cfg.enforce_booking {
+            if booked > cfg.memory {
+                return Err(SimError::BookedOverBound { booked, bound: cfg.memory });
+            }
+            if live.current() > booked {
+                return Err(SimError::ActualOverBooked { actual: live.current(), booked });
+            }
+        }
+        if cfg.record_profile {
+            profile.push(MemSample { time: now, actual: live.current(), booked });
+        }
+
+        if completed == n {
+            break;
+        }
+
+        // Advance to the next completion instant.
+        let Some(&Reverse((Time(t), _))) = running.peek() else {
+            return Err(SimError::Stalled { completed, total: n, booked });
+        };
+        now = t;
+        finished_batch.clear();
+        while let Some(&Reverse((Time(ft), i))) = running.peek() {
+            if ft > t {
+                break;
+            }
+            running.pop();
+            finished_batch.push(i);
+            let r = records[i.index()];
+            free_procs.push(r.processor);
+            finished_flags[i.index()] = true;
+            // Completions take effect at the *next* scheduler epoch.
+            records[i.index()].finish_epoch = events as u32 + 1;
+            live.finish(i);
+            completed += 1;
+        }
+        finished_batch.sort_unstable();
+    }
+
+    Ok(Trace {
+        scheduler: scheduler.name().to_string(),
+        processors: cfg.processors,
+        memory: cfg.memory,
+        makespan: now,
+        records,
+        peak_actual: live.peak(),
+        peak_booked,
+        scheduling_seconds,
+        events,
+        profile,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtree_tree::{TaskSpec, TaskTree};
+
+    /// A permissive scheduler used to exercise the engine: books the whole
+    /// memory bound up front and greedily starts any available task in id
+    /// order.
+    struct Greedy<'a> {
+        tree: &'a TaskTree,
+        bound: u64,
+        remaining_children: Vec<usize>,
+        ready: Vec<NodeId>,
+        started: Vec<bool>,
+    }
+
+    impl<'a> Greedy<'a> {
+        fn new(tree: &'a TaskTree, bound: u64) -> Self {
+            let remaining_children: Vec<usize> =
+                tree.nodes().map(|i| tree.degree(i)).collect();
+            let ready = tree.leaves().collect();
+            Greedy {
+                tree,
+                bound,
+                remaining_children,
+                ready,
+                started: vec![false; tree.len()],
+            }
+        }
+    }
+
+    impl Scheduler for Greedy<'_> {
+        fn name(&self) -> &str {
+            "greedy-test"
+        }
+        fn on_event(&mut self, finished: &[NodeId], idle: usize, to_start: &mut Vec<NodeId>) {
+            for &j in finished {
+                if let Some(p) = self.tree.parent(j) {
+                    self.remaining_children[p.index()] -= 1;
+                    if self.remaining_children[p.index()] == 0 {
+                        self.ready.push(p);
+                    }
+                }
+            }
+            self.ready.sort_unstable();
+            let mut k = 0;
+            while k < self.ready.len() && to_start.len() < idle {
+                let i = self.ready[k];
+                if !self.started[i.index()] {
+                    self.started[i.index()] = true;
+                    to_start.push(i);
+                    self.ready.remove(k);
+                } else {
+                    k += 1;
+                }
+            }
+        }
+        fn booked(&self) -> u64 {
+            self.bound
+        }
+    }
+
+    fn fork() -> TaskTree {
+        // Root 0 (t=1); leaves 1 (t=2), 2 (t=3).
+        TaskTree::from_parents(
+            &[None, Some(0), Some(0)],
+            &[
+                TaskSpec::new(0, 1, 1.0),
+                TaskSpec::new(0, 2, 2.0),
+                TaskSpec::new(0, 3, 3.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parallel_fork_runs_leaves_concurrently() {
+        let t = fork();
+        let trace = simulate(&t, SimConfig::new(2, 1000), Greedy::new(&t, 1000)).unwrap();
+        // Leaves in parallel: finish at 2 and 3; root runs 3..4.
+        assert_eq!(trace.makespan, 4.0);
+        assert_eq!(trace.max_concurrency(), 2);
+        assert_eq!(trace.record(NodeId(0)).start, 3.0);
+    }
+
+    #[test]
+    fn single_processor_serialises() {
+        let t = fork();
+        let trace = simulate(&t, SimConfig::new(1, 1000), Greedy::new(&t, 1000)).unwrap();
+        assert_eq!(trace.makespan, t.total_time());
+        assert_eq!(trace.max_concurrency(), 1);
+    }
+
+    #[test]
+    fn actual_memory_tracked() {
+        let t = fork();
+        let trace = simulate(
+            &t,
+            SimConfig::new(2, 1000).with_profile(),
+            Greedy::new(&t, 1000),
+        )
+        .unwrap();
+        // Both leaves running: (0+2) + (0+3) = 5; then root with inputs:
+        // 2 + 3 + 1 = 6.
+        assert_eq!(trace.peak_actual, 6);
+        assert!(!trace.profile.is_empty());
+    }
+
+    #[test]
+    fn booking_enforcement_catches_overbound() {
+        let t = fork();
+        // Scheduler books 1000 but the bound is 10.
+        let err = simulate(&t, SimConfig::new(2, 10), Greedy::new(&t, 1000)).unwrap_err();
+        assert!(matches!(err, SimError::BookedOverBound { .. }));
+    }
+
+    #[test]
+    fn booking_enforcement_catches_underbooking() {
+        let t = fork();
+        // Books 1 — less than the actual resident memory.
+        let err = simulate(&t, SimConfig::new(2, 10), Greedy::new(&t, 1)).unwrap_err();
+        assert!(matches!(err, SimError::ActualOverBooked { .. }));
+    }
+
+    #[test]
+    fn zero_processors_rejected() {
+        let t = fork();
+        let err = simulate(&t, SimConfig::new(0, 10), Greedy::new(&t, 10)).unwrap_err();
+        assert!(matches!(err, SimError::BadConfig(_)));
+    }
+
+    /// A scheduler that never starts anything stalls.
+    struct Lazy;
+    impl Scheduler for Lazy {
+        fn name(&self) -> &str {
+            "lazy"
+        }
+        fn on_event(&mut self, _: &[NodeId], _: usize, _: &mut Vec<NodeId>) {}
+        fn booked(&self) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn stall_detected() {
+        let t = fork();
+        let err = simulate(&t, SimConfig::new(2, 10), Lazy).unwrap_err();
+        assert_eq!(err, SimError::Stalled { completed: 0, total: 3, booked: 0 });
+    }
+
+    /// A scheduler that violates precedence.
+    struct Eager<'a> {
+        tree: &'a TaskTree,
+        fired: bool,
+    }
+    impl Scheduler for Eager<'_> {
+        fn name(&self) -> &str {
+            "eager"
+        }
+        fn on_event(&mut self, _: &[NodeId], _: usize, to_start: &mut Vec<NodeId>) {
+            if !self.fired {
+                self.fired = true;
+                to_start.push(self.tree.root());
+            }
+        }
+        fn booked(&self) -> u64 {
+            u64::MAX
+        }
+    }
+
+    #[test]
+    fn precedence_violation_detected() {
+        let t = fork();
+        let err = simulate(
+            &t,
+            SimConfig {
+                enforce_booking: false,
+                ..SimConfig::new(2, u64::MAX)
+            },
+            Eager { tree: &t, fired: false },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::PrecedenceViolation { .. }));
+    }
+
+    #[test]
+    fn zero_time_tasks_complete_in_one_instant() {
+        let t = TaskTree::from_parents(
+            &[None, Some(0)],
+            &[TaskSpec::new(0, 1, 0.0), TaskSpec::new(0, 1, 0.0)],
+        )
+        .unwrap();
+        let trace = simulate(&t, SimConfig::new(1, 100), Greedy::new(&t, 100)).unwrap();
+        assert_eq!(trace.makespan, 0.0);
+    }
+}

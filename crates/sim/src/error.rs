@@ -1,0 +1,93 @@
+//! Simulator error type.
+
+use memtree_tree::NodeId;
+use std::fmt;
+
+/// Errors surfaced by the simulation engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// No task is running and the scheduler did not start any, but the tree
+    /// is not finished — the policy deadlocked (e.g. insufficient memory
+    /// without a feasibility guarantee).
+    Stalled {
+        /// Tasks completed before the stall.
+        completed: usize,
+        /// Total tasks in the tree.
+        total: usize,
+        /// Booked memory at the stall, for diagnosis.
+        booked: u64,
+    },
+    /// The scheduler started a task whose children were not all finished.
+    PrecedenceViolation {
+        /// The prematurely started task.
+        node: NodeId,
+    },
+    /// The scheduler started a task twice.
+    DoubleStart {
+        /// The doubly started task.
+        node: NodeId,
+    },
+    /// The scheduler returned more tasks than idle processors.
+    TooManyStarts {
+        /// Tasks (or processors, for moldable runs) requested.
+        requested: usize,
+        /// Idle processors available.
+        idle: usize,
+    },
+    /// The scheduler's booked memory exceeded the bound.
+    BookedOverBound {
+        /// Booked memory at the violation.
+        booked: u64,
+        /// The memory bound `M`.
+        bound: u64,
+    },
+    /// Actual resident memory exceeded the scheduler's booking.
+    ActualOverBooked {
+        /// Replayed actual resident memory.
+        actual: u64,
+        /// Booked memory at the same instant.
+        booked: u64,
+    },
+    /// `processors == 0` or an otherwise unusable configuration.
+    BadConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Stalled { completed, total, booked } => write!(
+                f,
+                "scheduler stalled after {completed}/{total} tasks (booked = {booked})"
+            ),
+            SimError::PrecedenceViolation { node } => {
+                write!(f, "task {node:?} started before its children finished")
+            }
+            SimError::DoubleStart { node } => write!(f, "task {node:?} started twice"),
+            SimError::TooManyStarts { requested, idle } => {
+                write!(f, "scheduler started {requested} tasks with only {idle} idle processors")
+            }
+            SimError::BookedOverBound { booked, bound } => {
+                write!(f, "booked memory {booked} exceeds the bound {bound}")
+            }
+            SimError::ActualOverBooked { actual, booked } => {
+                write!(f, "actual memory {actual} exceeds booked memory {booked}")
+            }
+            SimError::BadConfig(msg) => write!(f, "bad simulation config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::Stalled { completed: 3, total: 10, booked: 42 };
+        assert!(e.to_string().contains("3/10"));
+        let e = SimError::TooManyStarts { requested: 5, idle: 2 };
+        assert!(e.to_string().contains('5'));
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! Discrete-event simulator for shared-memory parallel tree scheduling.
+//!
+//! The platform model of the paper: `p` identical processors sharing a
+//! memory of size `M`. A scheduler (the [`Scheduler`] trait) reacts to task
+//! completions — the only events — by starting new tasks on idle
+//! processors. The engine:
+//!
+//! * advances time from completion to completion (plus the initial `t = 0`
+//!   event),
+//! * charges the scheduler's *booked* memory and independently replays the
+//!   **actual** resident memory through [`memtree_tree::memory::LiveSet`],
+//! * asserts at every instant that actual ≤ booked ≤ `M` for
+//!   booking-sound schedulers (configurable),
+//! * measures the wall-clock time spent inside scheduler callbacks — the
+//!   "scheduling time" of Figures 5, 6 and 13,
+//! * produces a full [`Trace`] that [`validate::validate_trace`] re-checks
+//!   from scratch (precedence, concurrency, memory).
+//!
+//! Determinism: simultaneous completions are delivered in ascending node
+//! id, and all scheduler queues are tie-broken explicitly, so a simulation
+//! is a pure function of (tree, config, scheduler).
+
+pub mod engine;
+pub mod error;
+pub mod moldable;
+pub mod scheduler;
+pub mod trace;
+pub mod validate;
+
+pub use engine::{simulate, SimConfig};
+pub use error::SimError;
+pub use moldable::{simulate_moldable, MoldableScheduler, MoldableTrace, SpeedupModel};
+pub use scheduler::Scheduler;
+pub use trace::{TaskRecord, Trace};

@@ -1,0 +1,184 @@
+//! Execution traces produced by the engine.
+
+use memtree_tree::NodeId;
+
+/// Start/finish record of one task.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TaskRecord {
+    /// Simulated start time.
+    pub start: f64,
+    /// Simulated completion time.
+    pub finish: f64,
+    /// Processor that ran the task.
+    pub processor: u32,
+    /// Engine event index at which the task started. Zero-duration tasks
+    /// start and finish at the same simulated time; epochs disambiguate
+    /// the causal order for trace validation.
+    pub start_epoch: u32,
+    /// Engine event index at which the completion took effect.
+    pub finish_epoch: u32,
+}
+
+/// One sampled point of the memory profile (taken at every event).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MemSample {
+    /// Simulated time of the sample.
+    pub time: f64,
+    /// Actual resident memory.
+    pub actual: u64,
+    /// Memory booked by the scheduler.
+    pub booked: u64,
+}
+
+/// The full outcome of a simulation.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Number of processors simulated.
+    pub processors: usize,
+    /// Memory bound.
+    pub memory: u64,
+    /// Per-task records, indexed by node id.
+    pub records: Vec<TaskRecord>,
+    /// Total completion time.
+    pub makespan: f64,
+    /// Peak of the actual resident memory.
+    pub peak_actual: u64,
+    /// Peak of the scheduler's booked memory.
+    pub peak_booked: u64,
+    /// Wall-clock seconds spent inside scheduler callbacks — the paper's
+    /// "scheduling time".
+    pub scheduling_seconds: f64,
+    /// Number of events processed (task completions + the initial event).
+    pub events: usize,
+    /// Memory profile sampled at each event (empty unless requested).
+    pub profile: Vec<MemSample>,
+}
+
+impl Trace {
+    /// The record of node `i`.
+    #[inline]
+    pub fn record(&self, i: NodeId) -> TaskRecord {
+        self.records[i.index()]
+    }
+
+    /// Fraction of the memory bound actually used at peak
+    /// (`peak_actual / M`) — the quantity of Figures 4 and 12.
+    pub fn memory_fraction_used(&self) -> f64 {
+        if self.memory == 0 {
+            return 0.0;
+        }
+        self.peak_actual as f64 / self.memory as f64
+    }
+
+    /// Fraction of the memory bound booked at peak.
+    pub fn booked_fraction(&self) -> f64 {
+        if self.memory == 0 {
+            return 0.0;
+        }
+        self.peak_booked as f64 / self.memory as f64
+    }
+
+    /// Average scheduling time per node, in seconds (Figure 6's y-axis).
+    pub fn scheduling_seconds_per_node(&self) -> f64 {
+        self.scheduling_seconds / self.records.len() as f64
+    }
+
+    /// Maximum number of tasks running simultaneously, recomputed from the
+    /// records by a sweep.
+    pub fn max_concurrency(&self) -> usize {
+        let mut points: Vec<(f64, i32)> = Vec::with_capacity(self.records.len() * 2);
+        for r in &self.records {
+            points.push((r.start, 1));
+            points.push((r.finish, -1));
+        }
+        // Process finishes before starts at equal times: a processor freed
+        // at t can be reused at t.
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        let mut cur = 0i32;
+        let mut max = 0i32;
+        for (_, d) in points {
+            cur += d;
+            max = max.max(cur);
+        }
+        max as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(start: f64, finish: f64, processor: u32) -> TaskRecord {
+        TaskRecord { start, finish, processor, start_epoch: 0, finish_epoch: 1 }
+    }
+
+    fn trace(records: Vec<TaskRecord>) -> Trace {
+        Trace {
+            scheduler: "test".into(),
+            processors: 2,
+            memory: 100,
+            makespan: records.iter().map(|r| r.finish).fold(0.0, f64::max),
+            records,
+            peak_actual: 60,
+            peak_booked: 80,
+            scheduling_seconds: 1e-3,
+            events: 3,
+            profile: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn fractions() {
+        let t = trace(vec![rec(0.0, 1.0, 0)]);
+        assert_eq!(t.memory_fraction_used(), 0.6);
+        assert_eq!(t.booked_fraction(), 0.8);
+        assert_eq!(t.scheduling_seconds_per_node(), 1e-3);
+    }
+
+    #[test]
+    fn concurrency_sweep() {
+        let t = trace(vec![rec(0.0, 2.0, 0), rec(1.0, 3.0, 1), rec(2.0, 4.0, 0)]);
+        assert_eq!(t.max_concurrency(), 2);
+    }
+
+    #[test]
+    fn back_to_back_tasks_do_not_overlap() {
+        let t = trace(vec![rec(0.0, 1.0, 0), rec(1.0, 2.0, 0)]);
+        assert_eq!(t.max_concurrency(), 1);
+    }
+}
+
+impl Trace {
+    /// Serialises the per-task records as CSV
+    /// (`task,start,finish,processor`), ordered by start time — ready for
+    /// Gantt plotting.
+    pub fn records_to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut rows: Vec<(usize, &TaskRecord)> = self.records.iter().enumerate().collect();
+        rows.sort_by(|a, b| {
+            a.1.start
+                .partial_cmp(&b.1.start)
+                .unwrap()
+                .then(a.0.cmp(&b.0))
+        });
+        let mut out = String::from("task,start,finish,processor\n");
+        for (id, r) in rows {
+            let _ = writeln!(out, "{id},{},{},{}", r.start, r.finish, r.processor);
+        }
+        out
+    }
+
+    /// Serialises the memory profile as CSV (`time,actual,booked`);
+    /// empty unless the simulation recorded a profile
+    /// ([`crate::SimConfig::with_profile`]).
+    pub fn profile_to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("time,actual,booked\n");
+        for s in &self.profile {
+            let _ = writeln!(out, "{},{},{}", s.time, s.actual, s.booked);
+        }
+        out
+    }
+}

@@ -1,0 +1,247 @@
+//! Independent re-validation of traces.
+//!
+//! [`validate_trace`] recomputes everything from the per-task records
+//! without trusting the engine's incremental bookkeeping: it is the final
+//! arbiter used by integration tests and the experiment harness.
+
+use crate::trace::Trace;
+use memtree_tree::memory::LiveSet;
+use memtree_tree::{NodeId, TaskTree};
+
+/// Checks `trace` against `tree` and the platform limits it claims.
+///
+/// Verifies:
+/// 1. every task ran exactly once, with `finish = start + t_i`;
+/// 2. precedence: every child finished no later than its parent started;
+/// 3. at most `processors` tasks overlap, and no two tasks overlap on the
+///    same processor;
+/// 4. replayed actual memory stays within `memory` at all times;
+/// 5. the recorded makespan is the latest finish time.
+pub fn validate_trace(tree: &TaskTree, trace: &Trace) -> Result<(), String> {
+    let n = tree.len();
+    if trace.records.len() != n {
+        return Err(format!("{} records for {n} tasks", trace.records.len()));
+    }
+
+    // (1) Sane records.
+    for i in tree.nodes() {
+        let r = trace.record(i);
+        if !r.start.is_finite() || !r.finish.is_finite() {
+            return Err(format!("task {i:?} never ran"));
+        }
+        let expected = r.start + tree.time(i);
+        if (r.finish - expected).abs() > 1e-9 * expected.abs().max(1.0) {
+            return Err(format!(
+                "task {i:?} duration mismatch: {} -> {} with t = {}",
+                r.start,
+                r.finish,
+                tree.time(i)
+            ));
+        }
+        if (r.processor as usize) >= trace.processors {
+            return Err(format!("task {i:?} ran on ghost processor {}", r.processor));
+        }
+    }
+
+    // (2) Precedence.
+    for i in tree.nodes() {
+        let r = trace.record(i);
+        for &c in tree.children(i) {
+            let rc = trace.record(c);
+            if rc.finish > r.start + 1e-9 {
+                return Err(format!(
+                    "child {c:?} finishes at {} after parent {i:?} starts at {}",
+                    rc.finish, r.start
+                ));
+            }
+        }
+    }
+
+    // (3) Concurrency and per-processor exclusivity; (4) memory replay.
+    // Sweep events in causal order: by time, then by engine epoch, with
+    // completions before starts inside one epoch. Epochs disambiguate
+    // zero-duration tasks that start and finish at the same instant.
+    #[derive(Clone, Copy)]
+    enum Ev {
+        Finish(NodeId),
+        Start(NodeId),
+    }
+    let mut events: Vec<(f64, u32, u8, Ev)> = Vec::with_capacity(2 * n);
+    for i in tree.nodes() {
+        let r = trace.record(i);
+        if r.finish_epoch <= r.start_epoch {
+            return Err(format!("task {i:?} finish epoch not after its start epoch"));
+        }
+        events.push((r.finish, r.finish_epoch, 0, Ev::Finish(i)));
+        events.push((r.start, r.start_epoch, 1, Ev::Start(i)));
+    }
+    events.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap()
+            .then(a.1.cmp(&b.1))
+            .then(a.2.cmp(&b.2))
+            .then_with(|| {
+                let id = |e: &Ev| match e {
+                    Ev::Finish(i) | Ev::Start(i) => i.index(),
+                };
+                id(&a.3).cmp(&id(&b.3))
+            })
+    });
+
+    let mut live = LiveSet::new(tree);
+    let mut busy: Vec<Option<NodeId>> = vec![None; trace.processors];
+    let mut running = 0usize;
+    for (_, _, _, ev) in events {
+        match ev {
+            Ev::Start(i) => {
+                let p = trace.record(i).processor as usize;
+                if let Some(other) = busy[p] {
+                    return Err(format!(
+                        "tasks {other:?} and {i:?} overlap on processor {p}"
+                    ));
+                }
+                busy[p] = Some(i);
+                running += 1;
+                if running > trace.processors {
+                    return Err(format!(
+                        "{running} tasks running with {} processors",
+                        trace.processors
+                    ));
+                }
+                live.start(i);
+                if live.current() > trace.memory {
+                    return Err(format!(
+                        "resident memory {} exceeds bound {} when {i:?} starts",
+                        live.current(),
+                        trace.memory
+                    ));
+                }
+            }
+            Ev::Finish(i) => {
+                let p = trace.record(i).processor as usize;
+                if busy[p] != Some(i) {
+                    return Err(format!("task {i:?} finished on processor {p} it did not hold"));
+                }
+                busy[p] = None;
+                running -= 1;
+                live.finish(i);
+            }
+        }
+    }
+
+    // (5) Makespan.
+    let last = trace
+        .records
+        .iter()
+        .map(|r| r.finish)
+        .fold(f64::NEG_INFINITY, f64::max);
+    if (last - trace.makespan).abs() > 1e-9 * last.abs().max(1.0) {
+        return Err(format!("makespan {} but last finish {}", trace.makespan, last));
+    }
+
+    // Peak cross-check: replayed peak must equal the engine's.
+    if live.peak() != trace.peak_actual {
+        return Err(format!(
+            "replayed peak {} differs from recorded {}",
+            live.peak(),
+            trace.peak_actual
+        ));
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate, SimConfig};
+    use crate::scheduler::Scheduler;
+    use memtree_tree::{TaskSpec, TaskTree};
+
+    struct Serial<'a> {
+        order: Vec<NodeId>,
+        next: usize,
+        bound: u64,
+        _tree: &'a TaskTree,
+    }
+
+    impl Scheduler for Serial<'_> {
+        fn name(&self) -> &str {
+            "serial-test"
+        }
+        fn on_event(&mut self, _: &[NodeId], idle: usize, to_start: &mut Vec<NodeId>) {
+            if idle > 0 && self.next < self.order.len() {
+                to_start.push(self.order[self.next]);
+                self.next += 1;
+            }
+        }
+        fn booked(&self) -> u64 {
+            self.bound
+        }
+    }
+
+    #[test]
+    fn serial_trace_validates() {
+        let t = TaskTree::from_parents(
+            &[None, Some(0), Some(0), Some(1)],
+            &[
+                TaskSpec::new(0, 1, 1.0),
+                TaskSpec::new(1, 2, 2.0),
+                TaskSpec::new(2, 3, 3.0),
+                TaskSpec::new(3, 4, 4.0),
+            ],
+        )
+        .unwrap();
+        let order = memtree_tree::traverse::postorder(&t);
+        let trace = simulate(
+            &t,
+            SimConfig::new(1, 1000),
+            Serial { order, next: 0, bound: 1000, _tree: &t },
+        )
+        .unwrap();
+        validate_trace(&t, &trace).unwrap();
+        assert_eq!(trace.makespan, 10.0);
+    }
+
+    #[test]
+    fn tampered_trace_rejected() {
+        let t = TaskTree::from_parents(
+            &[None, Some(0)],
+            &[TaskSpec::new(0, 1, 1.0), TaskSpec::new(0, 1, 1.0)],
+        )
+        .unwrap();
+        let order = memtree_tree::traverse::postorder(&t);
+        let mut trace = simulate(
+            &t,
+            SimConfig::new(1, 100),
+            Serial { order, next: 0, bound: 100, _tree: &t },
+        )
+        .unwrap();
+        validate_trace(&t, &trace).unwrap();
+
+        // Break precedence: make the root start before the leaf ends.
+        trace.records[0].start = 0.0;
+        trace.records[0].finish = 1.0;
+        assert!(validate_trace(&t, &trace).is_err());
+    }
+
+    #[test]
+    fn memory_bound_violation_rejected() {
+        let t = TaskTree::from_parents(
+            &[None, Some(0)],
+            &[TaskSpec::new(0, 50, 1.0), TaskSpec::new(0, 60, 1.0)],
+        )
+        .unwrap();
+        let order = memtree_tree::traverse::postorder(&t);
+        let mut trace = simulate(
+            &t,
+            SimConfig::new(1, 1000),
+            Serial { order, next: 0, bound: 1000, _tree: &t },
+        )
+        .unwrap();
+        // Claim a tighter bound than the replayed peak (60 + 50 + 50 = 110
+        // during the root).
+        trace.memory = 100;
+        assert!(validate_trace(&t, &trace).unwrap_err().contains("exceeds bound"));
+    }
+}

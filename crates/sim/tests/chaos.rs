@@ -1,0 +1,151 @@
+//! Chaos testing: drive the engine with a randomized-but-legal scheduler
+//! and check that the engine's incremental bookkeeping always agrees with
+//! the independent trace validator.
+
+use memtree_sim::{simulate, validate::validate_trace, Scheduler, SimConfig};
+use memtree_tree::{NodeId, TaskSpec, TaskTree};
+use proptest::prelude::*;
+
+/// A scheduler that books the whole bound and starts a pseudo-random legal
+/// subset of the available tasks at every event — sometimes nothing at all
+/// (as long as something is running), sometimes everything.
+struct Chaos<'a> {
+    tree: &'a TaskTree,
+    bound: u64,
+    rng_state: u64,
+    ready: Vec<NodeId>,
+    remaining_children: Vec<usize>,
+    running: usize,
+}
+
+impl<'a> Chaos<'a> {
+    fn new(tree: &'a TaskTree, bound: u64, seed: u64) -> Self {
+        Chaos {
+            tree,
+            bound,
+            rng_state: seed | 1,
+            ready: tree.leaves().collect(),
+            remaining_children: tree.nodes().map(|i| tree.degree(i)).collect(),
+            running: 0,
+        }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64*.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+impl Scheduler for Chaos<'_> {
+    fn name(&self) -> &str {
+        "chaos"
+    }
+
+    fn on_event(&mut self, finished: &[NodeId], idle: usize, to_start: &mut Vec<NodeId>) {
+        self.running -= finished.len();
+        for &j in finished {
+            if let Some(p) = self.tree.parent(j) {
+                self.remaining_children[p.index()] -= 1;
+                if self.remaining_children[p.index()] == 0 {
+                    self.ready.push(p);
+                }
+            }
+        }
+        // Shuffle-ish: rotate the ready list by a random amount.
+        if !self.ready.is_empty() {
+            let k = (self.next_rand() as usize) % self.ready.len();
+            self.ready.rotate_left(k);
+        }
+        let mut budget = idle;
+        while budget > 0 && !self.ready.is_empty() {
+            // Randomly stop early — but never leave the machine idle with
+            // nothing running (that would be a stall, not a bug).
+            if self.running + to_start.len() > 0 && self.next_rand() % 3 == 0 {
+                break;
+            }
+            let i = self.ready.pop().expect("nonempty");
+            to_start.push(i);
+            budget -= 1;
+        }
+        self.running += to_start.len();
+    }
+
+    fn booked(&self) -> u64 {
+        self.bound
+    }
+}
+
+fn arb_tree(max_n: usize) -> impl Strategy<Value = TaskTree> {
+    (1..=max_n)
+        .prop_flat_map(|n| {
+            let parents = (1..n).map(|i| 0..i).collect::<Vec<_>>();
+            let specs = proptest::collection::vec((0u64..20, 0u64..20, 0u32..5), n);
+            (parents, specs)
+        })
+        .prop_map(|(parents, specs)| {
+            let mut full: Vec<Option<usize>> = vec![None];
+            full.extend(parents.into_iter().map(Some));
+            let specs: Vec<TaskSpec> = specs
+                .into_iter()
+                .map(|(e, f, t)| TaskSpec::new(e, f, t as f64))
+                .collect();
+            TaskTree::from_parents(&full, &specs).unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Whatever legal order the chaos policy produces, the engine's trace
+    /// passes full independent validation and the invariant quantities
+    /// agree.
+    #[test]
+    fn chaos_traces_always_validate(tree in arb_tree(60), seed in 1u64..500, p in 1usize..6) {
+        // Bound big enough that actual memory always fits: Σ everything.
+        let bound: u64 = tree
+            .nodes()
+            .map(|i| tree.exec(i) + tree.output(i))
+            .sum::<u64>()
+            .max(1);
+        let trace = simulate(
+            &tree,
+            SimConfig::new(p, bound).with_profile(),
+            Chaos::new(&tree, bound, seed),
+        )
+        .unwrap();
+        validate_trace(&tree, &trace).unwrap();
+        prop_assert_eq!(trace.records.len(), tree.len());
+        prop_assert!(trace.max_concurrency() <= p);
+        // The recorded profile's maximum equals the recorded peak.
+        let prof_max = trace.profile.iter().map(|s| s.actual).max().unwrap_or(0);
+        prop_assert_eq!(prof_max, trace.peak_actual);
+        // CSV exports are well-formed.
+        let csv = trace.records_to_csv();
+        prop_assert_eq!(csv.lines().count(), tree.len() + 1);
+        let pcsv = trace.profile_to_csv();
+        prop_assert!(pcsv.starts_with("time,actual,booked"));
+    }
+
+    /// Chaos scheduling never beats the list-scheduling bound from below:
+    /// makespan is at least the critical path and at least total/p.
+    #[test]
+    fn chaos_makespan_respects_classical_bounds(tree in arb_tree(50), seed in 1u64..200) {
+        let p = 3;
+        let bound: u64 = tree
+            .nodes()
+            .map(|i| tree.exec(i) + tree.output(i))
+            .sum::<u64>()
+            .max(1);
+        let trace = simulate(&tree, SimConfig::new(p, bound), Chaos::new(&tree, bound, seed))
+            .unwrap();
+        let stats = memtree_tree::TreeStats::compute(&tree);
+        prop_assert!(trace.makespan >= stats.critical_path(&tree) - 1e-9);
+        prop_assert!(trace.makespan >= tree.total_time() / p as f64 - 1e-9);
+        prop_assert!(trace.makespan <= tree.total_time() + 1e-9);
+    }
+}

@@ -1,0 +1,250 @@
+//! Plain-text serialisation of task trees.
+//!
+//! The format is deliberately trivial so corpora can be inspected, diffed
+//! and regenerated without extra dependencies:
+//!
+//! ```text
+//! # memtree v1          (comment lines start with '#')
+//! 5                      (node count)
+//! -1 0 5 1.0             (per node: parent exec output time; -1 = root)
+//! 0 1 6 1.0
+//! ...
+//! ```
+//!
+//! Nodes appear in id order; the `i`-th data line describes node `i`.
+
+use crate::error::TreeError;
+use crate::node::TaskSpec;
+use crate::tree::TaskTree;
+use crate::Result;
+use std::io::{BufRead, Write};
+
+/// Magic header written at the top of every file.
+pub const HEADER: &str = "# memtree v1";
+
+/// Serialises `tree` to `w` in the v1 text format.
+pub fn write_tree<W: Write>(tree: &TaskTree, w: &mut W) -> Result<()> {
+    writeln!(w, "{HEADER}")?;
+    writeln!(w, "{}", tree.len())?;
+    for i in tree.nodes() {
+        let p = tree.parent(i).map_or(-1i64, |p| p.index() as i64);
+        let s = tree.spec(i);
+        writeln!(w, "{} {} {} {}", p, s.exec, s.output, s.time)?;
+    }
+    Ok(())
+}
+
+/// Serialises `tree` to an in-memory string.
+pub fn tree_to_string(tree: &TaskTree) -> String {
+    let mut buf = Vec::new();
+    write_tree(tree, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("format is ASCII")
+}
+
+/// Parses a tree from `r` in the v1 text format.
+pub fn read_tree<R: BufRead>(r: &mut R) -> Result<TaskTree> {
+    let mut lines = r.lines().enumerate();
+
+    let next_data_line = |lines: &mut dyn Iterator<Item = (usize, std::io::Result<String>)>|
+     -> Result<Option<(usize, String)>> {
+        for (no, line) in lines {
+            let line = line?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            return Ok(Some((no + 1, trimmed.to_string())));
+        }
+        Ok(None)
+    };
+
+    let (no, count_line) = next_data_line(&mut lines)?.ok_or(TreeError::Parse {
+        line: 0,
+        msg: "missing node count".into(),
+    })?;
+    let n: usize = count_line.parse().map_err(|_| TreeError::Parse {
+        line: no,
+        msg: format!("bad node count {count_line:?}"),
+    })?;
+
+    let mut builder = crate::builder::TreeBuilder::with_capacity(n);
+    for _ in 0..n {
+        let (no, line) = next_data_line(&mut lines)?.ok_or(TreeError::Parse {
+            line: 0,
+            msg: format!("expected {n} node lines"),
+        })?;
+        let mut fields = line.split_whitespace();
+        let mut field = |name: &str| {
+            fields.next().ok_or(TreeError::Parse {
+                line: no,
+                msg: format!("missing field {name}"),
+            })
+        };
+        let parent: i64 = field("parent")?.parse().map_err(|_| TreeError::Parse {
+            line: no,
+            msg: "bad parent".into(),
+        })?;
+        let exec: u64 = field("exec")?.parse().map_err(|_| TreeError::Parse {
+            line: no,
+            msg: "bad exec size".into(),
+        })?;
+        let output: u64 = field("output")?.parse().map_err(|_| TreeError::Parse {
+            line: no,
+            msg: "bad output size".into(),
+        })?;
+        let time: f64 = field("time")?.parse().map_err(|_| TreeError::Parse {
+            line: no,
+            msg: "bad time".into(),
+        })?;
+        let parent = if parent < 0 { None } else { Some(parent as usize) };
+        builder.push_with_parent_index(parent, TaskSpec { exec, output, time });
+    }
+    builder.build()
+}
+
+/// Parses a tree from a string in the v1 text format.
+pub fn tree_from_str(s: &str) -> Result<TaskTree> {
+    read_tree(&mut s.as_bytes())
+}
+
+/// Writes `tree` to the file at `path`.
+pub fn save_tree(tree: &TaskTree, path: &std::path::Path) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    write_tree(tree, &mut w)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a tree from the file at `path`.
+pub fn load_tree(path: &std::path::Path) -> Result<TaskTree> {
+    let file = std::fs::File::open(path)?;
+    read_tree(&mut std::io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{NodeId, TaskSpec};
+
+    fn sample() -> TaskTree {
+        TaskTree::from_parents(
+            &[None, Some(0), Some(0), Some(1)],
+            &[
+                TaskSpec::new(1, 5, 1.5),
+                TaskSpec::new(2, 6, 2.0),
+                TaskSpec::new(3, 7, 0.25),
+                TaskSpec::new(4, 8, 10.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = sample();
+        let s = tree_to_string(&t);
+        assert!(s.starts_with(HEADER));
+        let t2 = tree_from_str(&s).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# a comment\n2\n\n# another\n-1 0 3 1\n0 0 4 2\n";
+        let t = tree_from_str(text).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.output(NodeId(1)), 4);
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(matches!(tree_from_str(""), Err(TreeError::Parse { .. })));
+        assert!(matches!(tree_from_str("abc"), Err(TreeError::Parse { .. })));
+        assert!(matches!(tree_from_str("2\n-1 0 3 1\n"), Err(TreeError::Parse { .. })));
+        assert!(matches!(
+            tree_from_str("1\n-1 0 3\n"),
+            Err(TreeError::Parse { .. })
+        ));
+        assert!(matches!(
+            tree_from_str("1\n-1 x 3 1\n"),
+            Err(TreeError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn structural_errors_surface() {
+        // Two roots.
+        let text = "2\n-1 0 3 1\n-1 0 4 2\n";
+        assert!(matches!(tree_from_str(text), Err(TreeError::MultipleRoots(..))));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = sample();
+        let dir = std::env::temp_dir().join("memtree-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.tree");
+        save_tree(&t, &path).unwrap();
+        let t2 = load_tree(&path).unwrap();
+        assert_eq!(t, t2);
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// Renders `tree` in Graphviz DOT format, one node per task labelled with
+/// its sizes, edges from child to parent (the data-flow direction).
+///
+/// Node fill encodes relative output size so memory hot-spots stand out
+/// when rendered with `dot -Tsvg`.
+pub fn tree_to_dot(tree: &TaskTree) -> String {
+    use std::fmt::Write as _;
+    let max_f = tree.nodes().map(|i| tree.output(i)).max().unwrap_or(1).max(1);
+    let mut out = String::with_capacity(tree.len() * 64);
+    out.push_str("digraph memtree {\n  rankdir=BT;\n  node [shape=box, style=filled];\n");
+    for i in tree.nodes() {
+        let s = tree.spec(i);
+        // Grey level by output share: big outputs are darker.
+        let level = 95 - (55 * tree.output(i) / max_f) as u8;
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\\nn={} f={} t={}\", fillcolor=\"gray{}\"];",
+            i, i, s.exec, s.output, s.time, level
+        );
+    }
+    for i in tree.nodes() {
+        if let Some(p) = tree.parent(i) {
+            let _ = writeln!(out, "  n{i} -> n{p};");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use super::*;
+    use crate::node::TaskSpec;
+
+    #[test]
+    fn dot_output_structure() {
+        let t = TaskTree::from_parents(
+            &[None, Some(0), Some(0)],
+            &[
+                TaskSpec::new(0, 1, 1.0),
+                TaskSpec::new(2, 9, 1.0),
+                TaskSpec::new(0, 3, 1.0),
+            ],
+        )
+        .unwrap();
+        let dot = tree_to_dot(&t);
+        assert!(dot.starts_with("digraph memtree {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // One node statement per task, one edge per non-root.
+        assert_eq!(dot.matches("label=").count(), 3);
+        assert_eq!(dot.matches("->").count(), 2);
+        assert!(dot.contains("n1 -> n0;"));
+        // The biggest output is the darkest node (gray40).
+        assert!(dot.contains("fillcolor=\"gray40\""));
+    }
+}

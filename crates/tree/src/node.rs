@@ -1,0 +1,113 @@
+//! Node identifiers and per-task descriptions.
+
+use std::fmt;
+
+/// Identifier of a task in a [`crate::TaskTree`].
+///
+/// Node ids are dense indices `0..n` assigned in insertion order by the
+/// [`crate::TreeBuilder`]. They are stored as `u32` — task trees from sparse
+/// factorizations stay well below 2³² nodes while the narrower index keeps
+/// the hot scheduler arrays compact.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize`, for indexing per-node arrays.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a dense array index.
+    #[inline(always)]
+    pub fn from_index(ix: usize) -> Self {
+        debug_assert!(ix <= u32::MAX as usize, "node index overflows u32");
+        NodeId(ix as u32)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<NodeId> for usize {
+    #[inline]
+    fn from(id: NodeId) -> usize {
+        id.index()
+    }
+}
+
+/// The data sizes and processing time of one task.
+///
+/// * `exec` — `n_i`, execution data, allocated only while the task runs;
+/// * `output` — `f_i`, output data, allocated from the task's completion to
+///   its parent's completion;
+/// * `time` — `t_i`, processing time (arbitrary unit; must be finite and
+///   non-negative).
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TaskSpec {
+    /// Execution data size `n_i`.
+    pub exec: u64,
+    /// Output data size `f_i`.
+    pub output: u64,
+    /// Processing time `t_i`.
+    pub time: f64,
+}
+
+impl TaskSpec {
+    /// A task with the given sizes and time.
+    pub fn new(exec: u64, output: u64, time: f64) -> Self {
+        TaskSpec { exec, output, time }
+    }
+
+    /// A task that only produces output data (`n_i = 0`), as in reduction
+    /// trees.
+    pub fn reduction(output: u64, time: f64) -> Self {
+        TaskSpec { exec: 0, output, time }
+    }
+}
+
+impl Default for TaskSpec {
+    fn default() -> Self {
+        TaskSpec { exec: 0, output: 1, time: 1.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(usize::from(id), 42);
+        assert_eq!(format!("{id}"), "42");
+        assert_eq!(format!("{id:?}"), "n42");
+    }
+
+    #[test]
+    fn node_id_ordering_follows_index() {
+        assert!(NodeId(3) < NodeId(5));
+        assert_eq!(NodeId(7), NodeId(7));
+    }
+
+    #[test]
+    fn task_spec_constructors() {
+        let t = TaskSpec::new(3, 4, 1.5);
+        assert_eq!((t.exec, t.output), (3, 4));
+        let r = TaskSpec::reduction(9, 2.0);
+        assert_eq!(r.exec, 0);
+        assert_eq!(r.output, 9);
+    }
+}

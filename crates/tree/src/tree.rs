@@ -1,0 +1,360 @@
+//! The immutable CSR task-tree representation.
+
+use crate::error::TreeError;
+use crate::node::{NodeId, TaskSpec};
+use crate::Result;
+
+/// Sentinel parent value meaning "no parent" (the root).
+pub(crate) const NO_PARENT: u32 = u32::MAX;
+
+/// A rooted in-tree of sequential tasks.
+///
+/// Dependencies point toward the root: a task may start only once all of its
+/// children have completed, and its children's outputs stay in memory until
+/// it completes.
+///
+/// The structure is stored in compressed form: a parent array plus a CSR
+/// (offsets + flat array) adjacency of children, with per-node data-size and
+/// time arrays. All accessors are `O(1)`; children of a node are a
+/// contiguous, id-sorted slice.
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TaskTree {
+    /// `parent[i]` is the parent of node `i`, `NO_PARENT` for the root.
+    pub(crate) parent: Vec<u32>,
+    /// CSR offsets into `children`; length `n + 1`.
+    pub(crate) child_ptr: Vec<u32>,
+    /// Flattened children lists, grouped per node, each group sorted by id.
+    pub(crate) children: Vec<NodeId>,
+    /// Execution data sizes `n_i`.
+    pub(crate) exec: Vec<u64>,
+    /// Output data sizes `f_i`.
+    pub(crate) output: Vec<u64>,
+    /// Processing times `t_i`.
+    pub(crate) time: Vec<f64>,
+    /// The unique root.
+    pub(crate) root: NodeId,
+}
+
+impl TaskTree {
+    /// Builds a tree from a parent array (`None` marks the root) and task
+    /// descriptions. `parents.len()` must equal `specs.len()`.
+    pub fn from_parents(parents: &[Option<usize>], specs: &[TaskSpec]) -> Result<Self> {
+        assert_eq!(
+            parents.len(),
+            specs.len(),
+            "parents and specs must have the same length"
+        );
+        let mut b = crate::builder::TreeBuilder::with_capacity(parents.len());
+        for (ix, (&p, &s)) in parents.iter().zip(specs).enumerate() {
+            let got = b.push(p.map(NodeId::from_index), s);
+            debug_assert_eq!(got.index(), ix);
+        }
+        b.build()
+    }
+
+    /// Number of tasks in the tree.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the tree is empty. Built trees never are — this exists for
+    /// API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The unique root of the tree.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The parent of `i`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, i: NodeId) -> Option<NodeId> {
+        let p = self.parent[i.index()];
+        (p != NO_PARENT).then_some(NodeId(p))
+    }
+
+    /// The children of `i`, sorted by id.
+    #[inline]
+    pub fn children(&self, i: NodeId) -> &[NodeId] {
+        let lo = self.child_ptr[i.index()] as usize;
+        let hi = self.child_ptr[i.index() + 1] as usize;
+        &self.children[lo..hi]
+    }
+
+    /// Number of children of `i`.
+    #[inline]
+    pub fn degree(&self, i: NodeId) -> usize {
+        (self.child_ptr[i.index() + 1] - self.child_ptr[i.index()]) as usize
+    }
+
+    /// Whether `i` is a leaf.
+    #[inline]
+    pub fn is_leaf(&self, i: NodeId) -> bool {
+        self.degree(i) == 0
+    }
+
+    /// Execution data size `n_i`.
+    #[inline]
+    pub fn exec(&self, i: NodeId) -> u64 {
+        self.exec[i.index()]
+    }
+
+    /// Output data size `f_i`.
+    #[inline]
+    pub fn output(&self, i: NodeId) -> u64 {
+        self.output[i.index()]
+    }
+
+    /// Processing time `t_i`.
+    #[inline]
+    pub fn time(&self, i: NodeId) -> f64 {
+        self.time[i.index()]
+    }
+
+    /// The full task description of `i`.
+    #[inline]
+    pub fn spec(&self, i: NodeId) -> TaskSpec {
+        TaskSpec {
+            exec: self.exec(i),
+            output: self.output(i),
+            time: self.time(i),
+        }
+    }
+
+    /// Memory needed to process `i` (Equation (1) of the paper):
+    /// `Σ_{j ∈ children(i)} f_j + n_i + f_i`.
+    pub fn mem_needed(&self, i: NodeId) -> u64 {
+        let inputs: u64 = self.children(i).iter().map(|&c| self.output(c)).sum();
+        inputs + self.exec(i) + self.output(i)
+    }
+
+    /// Sum of the children's output sizes (the input data of `i`).
+    pub fn input_size(&self, i: NodeId) -> u64 {
+        self.children(i).iter().map(|&c| self.output(c)).sum()
+    }
+
+    /// Total processing time `Σ t_i`.
+    pub fn total_time(&self) -> f64 {
+        self.time.iter().sum()
+    }
+
+    /// Iterator over all node ids in index order.
+    pub fn nodes(&self) -> impl DoubleEndedIterator<Item = NodeId> + ExactSizeIterator + '_ {
+        (0..self.len() as u32).map(NodeId)
+    }
+
+    /// Iterator over the leaves in index order.
+    pub fn leaves(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes().filter(|&i| self.is_leaf(i))
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.leaves().count()
+    }
+
+    /// Walks from `i` up to the root (inclusive on both ends).
+    pub fn ancestors(&self, i: NodeId) -> AncestorIter<'_> {
+        AncestorIter { tree: self, cur: Some(i) }
+    }
+
+    /// Whether `a` is an ancestor of `b` (a node is not its own ancestor).
+    pub fn is_ancestor(&self, a: NodeId, b: NodeId) -> bool {
+        let mut cur = self.parent(b);
+        while let Some(p) = cur {
+            if p == a {
+                return true;
+            }
+            cur = self.parent(p);
+        }
+        false
+    }
+
+    /// Checks an order is a topological order (children before parents) and
+    /// a permutation of the nodes.
+    pub fn check_topological(&self, order: &[NodeId]) -> Result<()> {
+        if order.len() != self.len() {
+            return Err(TreeError::BadPermutation {
+                expected: self.len(),
+                got: order.len(),
+            });
+        }
+        let mut seen = vec![false; self.len()];
+        for &i in order {
+            if i.index() >= self.len() || seen[i.index()] {
+                return Err(TreeError::BadPermutation {
+                    expected: self.len(),
+                    got: order.len(),
+                });
+            }
+            seen[i.index()] = true;
+            for &c in self.children(i) {
+                if !seen[c.index()] {
+                    return Err(TreeError::NotTopological { parent: i, child: c });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Replaces every task description through `f(id, old) -> new`,
+    /// preserving the structure. Useful to rescale corpora.
+    pub fn map_specs(&self, mut f: impl FnMut(NodeId, TaskSpec) -> TaskSpec) -> TaskTree {
+        let mut out = self.clone();
+        for i in 0..self.len() {
+            let id = NodeId::from_index(i);
+            let s = f(id, self.spec(id));
+            out.exec[i] = s.exec;
+            out.output[i] = s.output;
+            out.time[i] = s.time;
+        }
+        out
+    }
+}
+
+/// Iterator over a node and its ancestors up to the root.
+pub struct AncestorIter<'a> {
+    tree: &'a TaskTree,
+    cur: Option<NodeId>,
+}
+
+impl Iterator for AncestorIter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.cur?;
+        self.cur = self.tree.parent(cur);
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TreeBuilder;
+
+    /// The three-node chain `0 <- 1 <- 2` (2 is the leaf, 0 the root).
+    fn chain3() -> TaskTree {
+        let mut b = TreeBuilder::new();
+        let r = b.push(None, TaskSpec::new(1, 10, 1.0));
+        let m = b.push(Some(r), TaskSpec::new(2, 20, 2.0));
+        let _l = b.push(Some(m), TaskSpec::new(3, 30, 3.0));
+        b.build().unwrap()
+    }
+
+    /// Root 0 with children 1, 2; node 1 has children 3, 4.
+    fn bushy() -> TaskTree {
+        TaskTree::from_parents(
+            &[None, Some(0), Some(0), Some(1), Some(1)],
+            &[
+                TaskSpec::new(0, 5, 1.0),
+                TaskSpec::new(1, 6, 1.0),
+                TaskSpec::new(2, 7, 1.0),
+                TaskSpec::new(3, 8, 1.0),
+                TaskSpec::new(4, 9, 1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let t = chain3();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.root(), NodeId(0));
+        assert_eq!(t.parent(NodeId(0)), None);
+        assert_eq!(t.parent(NodeId(2)), Some(NodeId(1)));
+        assert_eq!(t.children(NodeId(0)), &[NodeId(1)]);
+        assert!(t.is_leaf(NodeId(2)));
+        assert!(!t.is_leaf(NodeId(1)));
+        assert_eq!(t.exec(NodeId(1)), 2);
+        assert_eq!(t.output(NodeId(2)), 30);
+        assert_eq!(t.time(NodeId(0)), 1.0);
+        assert_eq!(t.total_time(), 6.0);
+    }
+
+    #[test]
+    fn mem_needed_matches_equation_1() {
+        let t = bushy();
+        // Node 1: children 3 (f=8) and 4 (f=9), n=1, f=6.
+        assert_eq!(t.mem_needed(NodeId(1)), 8 + 9 + 1 + 6);
+        // Leaf 3: n=3, f=8.
+        assert_eq!(t.mem_needed(NodeId(3)), 3 + 8);
+        // Root: children 1 (f=6) and 2 (f=7), n=0, f=5.
+        assert_eq!(t.mem_needed(NodeId(0)), 6 + 7 + 5);
+        assert_eq!(t.input_size(NodeId(0)), 13);
+    }
+
+    #[test]
+    fn leaves_and_degrees() {
+        let t = bushy();
+        let leaves: Vec<_> = t.leaves().collect();
+        assert_eq!(leaves, vec![NodeId(2), NodeId(3), NodeId(4)]);
+        assert_eq!(t.leaf_count(), 3);
+        assert_eq!(t.degree(NodeId(0)), 2);
+        assert_eq!(t.degree(NodeId(1)), 2);
+    }
+
+    #[test]
+    fn ancestors_walk_to_root() {
+        let t = bushy();
+        let anc: Vec<_> = t.ancestors(NodeId(4)).collect();
+        assert_eq!(anc, vec![NodeId(4), NodeId(1), NodeId(0)]);
+        assert!(t.is_ancestor(NodeId(0), NodeId(4)));
+        assert!(t.is_ancestor(NodeId(1), NodeId(3)));
+        assert!(!t.is_ancestor(NodeId(4), NodeId(1)));
+        assert!(!t.is_ancestor(NodeId(4), NodeId(4)), "a node is not its own ancestor");
+    }
+
+    #[test]
+    fn topological_check_accepts_postorder_rejects_reverse() {
+        let t = bushy();
+        let ok = [NodeId(3), NodeId(4), NodeId(1), NodeId(2), NodeId(0)];
+        t.check_topological(&ok).unwrap();
+        let bad = [NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)];
+        assert!(matches!(
+            t.check_topological(&bad),
+            Err(TreeError::NotTopological { .. })
+        ));
+        let short = [NodeId(0)];
+        assert!(matches!(
+            t.check_topological(&short),
+            Err(TreeError::BadPermutation { .. })
+        ));
+        let dup = [NodeId(3), NodeId(3), NodeId(1), NodeId(2), NodeId(0)];
+        assert!(t.check_topological(&dup).is_err());
+    }
+
+    #[test]
+    fn map_specs_rescales() {
+        let t = chain3();
+        let t2 = t.map_specs(|_, mut s| {
+            s.output *= 2;
+            s
+        });
+        assert_eq!(t2.output(NodeId(2)), 60);
+        assert_eq!(t2.exec(NodeId(2)), 3);
+        assert_eq!(t2.parent(NodeId(2)), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn from_parents_matches_builder() {
+        let a = chain3();
+        let b = TaskTree::from_parents(
+            &[None, Some(0), Some(1)],
+            &[
+                TaskSpec::new(1, 10, 1.0),
+                TaskSpec::new(2, 20, 2.0),
+                TaskSpec::new(3, 30, 3.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of the tree substrate.
+
+use memtree_tree::io::{tree_from_str, tree_to_string};
+use memtree_tree::memory::{sequential_peak, LiveSet};
+use memtree_tree::traverse::{postorder, postorder_with_child_order};
+use memtree_tree::validate::check_consistency;
+use memtree_tree::{NodeId, TaskSpec, TaskTree, TreeStats};
+use proptest::prelude::*;
+
+/// Strategy: a random tree of `1..=max_n` nodes where node `i`'s parent is a
+/// uniformly random earlier node — the classic random recursive tree.
+fn arb_tree(max_n: usize) -> impl Strategy<Value = TaskTree> {
+    (1..=max_n)
+        .prop_flat_map(|n| {
+            let parents = (1..n)
+                .map(|i| 0..i)
+                .collect::<Vec<_>>()
+                .prop_map(move |ps| ps);
+            let specs = proptest::collection::vec(
+                (0u64..64, 0u64..64, 0u32..8),
+                n,
+            );
+            (parents, specs)
+        })
+        .prop_map(|(parents, specs)| {
+            let mut full_parents: Vec<Option<usize>> = vec![None];
+            full_parents.extend(parents.into_iter().map(Some));
+            let specs: Vec<TaskSpec> = specs
+                .into_iter()
+                .map(|(e, f, t)| TaskSpec::new(e, f, t as f64))
+                .collect();
+            TaskTree::from_parents(&full_parents, &specs).expect("generated tree is valid")
+        })
+}
+
+proptest! {
+    #[test]
+    fn generated_trees_are_consistent(tree in arb_tree(64)) {
+        check_consistency(&tree).unwrap();
+    }
+
+    #[test]
+    fn postorder_is_topological_and_complete(tree in arb_tree(64)) {
+        let po = postorder(&tree);
+        tree.check_topological(&po).unwrap();
+        prop_assert_eq!(po.len(), tree.len());
+    }
+
+    #[test]
+    fn any_child_order_gives_valid_postorder(tree in arb_tree(48), seed in 0u64..1000) {
+        // Pseudo-random child ranks derived from the seed.
+        let rank: Vec<u64> = (0..tree.len() as u64)
+            .map(|i| (i.wrapping_mul(seed.wrapping_add(0x9E3779B97F4A7C15))) ^ seed)
+            .collect();
+        let po = postorder_with_child_order(&tree, &rank);
+        tree.check_topological(&po).unwrap();
+    }
+
+    #[test]
+    fn io_roundtrip(tree in arb_tree(48)) {
+        let text = tree_to_string(&tree);
+        let back = tree_from_str(&text).unwrap();
+        prop_assert_eq!(tree, back);
+    }
+
+    #[test]
+    fn sequential_peak_bounded(tree in arb_tree(48)) {
+        // The sequential peak of any postorder is at least the largest
+        // MemNeeded and at most the total data footprint.
+        let po = postorder(&tree);
+        let peak = sequential_peak(&tree, &po).unwrap();
+        let max_needed = tree.nodes().map(|i| tree.mem_needed(i)).max().unwrap();
+        let everything: u64 = tree
+            .nodes()
+            .map(|i| tree.exec(i) + tree.output(i))
+            .sum();
+        prop_assert!(peak >= max_needed);
+        prop_assert!(peak <= everything.max(max_needed));
+    }
+
+    #[test]
+    fn live_set_matches_profile(tree in arb_tree(48)) {
+        // Driving the LiveSet in postorder, current() right after start(i)
+        // must equal the step's `during` from the profile.
+        let po = postorder(&tree);
+        let profile = memtree_tree::memory::sequential_profile(&tree, &po).unwrap();
+        let mut ls = LiveSet::new(&tree);
+        for step in &profile.steps {
+            ls.start(step.node);
+            prop_assert_eq!(ls.current(), step.during);
+            ls.finish(step.node);
+            prop_assert_eq!(ls.current(), step.after);
+        }
+        prop_assert_eq!(ls.peak(), profile.peak);
+    }
+
+    #[test]
+    fn stats_are_internally_consistent(tree in arb_tree(64)) {
+        let s = TreeStats::compute(&tree);
+        let root = tree.root().index();
+        prop_assert_eq!(s.subtree_size[root] as usize, tree.len());
+        prop_assert!((s.subtree_time[root] - tree.total_time()).abs() < 1e-9);
+        // Critical path ≤ total time; bottom level of any node ≤ critical path.
+        let cp = s.critical_path(&tree);
+        prop_assert!(cp <= tree.total_time() + 1e-9);
+        for i in tree.nodes() {
+            prop_assert!(s.bottom_level[i.index()] <= cp + 1e-9);
+        }
+        // Height equals max depth.
+        let maxd = s.depth.iter().copied().max().unwrap();
+        prop_assert_eq!(s.height, maxd);
+    }
+
+    #[test]
+    fn ancestor_relation_matches_depth(tree in arb_tree(48)) {
+        let s = TreeStats::compute(&tree);
+        for i in tree.nodes() {
+            if let Some(p) = tree.parent(i) {
+                prop_assert!(tree.is_ancestor(p, i));
+                prop_assert_eq!(s.depth[i.index()], s.depth[p.index()] + 1);
+            }
+        }
+    }
+}
+
+#[test]
+fn node_id_is_small() {
+    // The schedulers keep several per-node arrays of NodeId; 4 bytes each.
+    assert_eq!(std::mem::size_of::<NodeId>(), 4);
+}

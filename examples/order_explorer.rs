@@ -1,0 +1,46 @@
+//! Compare the sequential traversals on one tree: peak memory of memPO vs
+//! OptSeq vs naive postorder, average memory of the Appendix-A order, and
+//! what each choice does to the parallel schedule.
+//!
+//! Run with `cargo run --release --example order_explorer`.
+
+use memtree::gen::synthetic::paper_tree;
+use memtree::order::{make_order, OrderKind};
+use memtree::sched::MemBooking;
+use memtree::sim::{simulate, SimConfig};
+use memtree::tree::memory::sequential_average_memory;
+
+fn main() {
+    let tree = paper_tree(5_000, 99);
+    println!("tree: {} tasks", tree.len());
+
+    let kinds = [
+        OrderKind::NaturalPostorder,
+        OrderKind::MemPostorder,
+        OrderKind::OptSeq,
+        OrderKind::AvgMemPostorder,
+        OrderKind::PerfPostorder,
+        OrderKind::CriticalPath,
+    ];
+
+    println!("\nsequential traversals:");
+    println!("{:<12} {:>14} {:>16}", "order", "peak memory", "average memory");
+    for kind in kinds {
+        let o = make_order(&tree, kind);
+        let peak = o.sequential_peak(&tree);
+        let avg = sequential_average_memory(&tree, o.sequence()).unwrap();
+        println!("{:<12} {:>14} {:>16.1}", kind.label(), peak, avg);
+    }
+
+    // Parallel effect: AO fixed to memPO, EO varied.
+    let ao = make_order(&tree, OrderKind::MemPostorder);
+    let min_memory = ao.sequential_peak(&tree);
+    let memory = min_memory * 2;
+    println!("\nparallel makespan on 8 processors at 2x minimum memory (AO = memPO):");
+    for eo_kind in [OrderKind::MemPostorder, OrderKind::CriticalPath, OrderKind::PerfPostorder] {
+        let eo = make_order(&tree, eo_kind);
+        let s = MemBooking::try_new(&tree, &ao, &eo, memory).expect("feasible");
+        let trace = simulate(&tree, SimConfig::new(8, memory), s).expect("completes");
+        println!("  EO = {:<10} makespan {:.1}", eo_kind.label(), trace.makespan);
+    }
+}

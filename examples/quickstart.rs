@@ -1,0 +1,68 @@
+//! Quickstart: build a task tree, pick orders, schedule it with MemBooking
+//! under a tight memory bound, and inspect the outcome.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use memtree::order::{cp_order, mem_postorder};
+use memtree::sched::{Activation, LowerBounds, MemBooking};
+use memtree::sim::{simulate, SimConfig};
+use memtree::tree::{TaskSpec, TreeBuilder};
+
+fn main() {
+    // A small out-of-core-style tree: a root assembling three branches,
+    // one of which is deep. Sizes are arbitrary memory units, times are
+    // arbitrary time units.
+    let mut b = TreeBuilder::new();
+    let root = b.push(None, TaskSpec::new(4, 2, 3.0));
+    for _ in 0..2 {
+        let mid = b.push(Some(root), TaskSpec::new(2, 8, 2.0));
+        for _ in 0..3 {
+            b.push(Some(mid), TaskSpec::new(1, 6, 1.5));
+        }
+    }
+    let deep_top = b.push(Some(root), TaskSpec::new(2, 10, 1.0));
+    let mut prev = deep_top;
+    for _ in 0..4 {
+        prev = b.push(Some(prev), TaskSpec::new(3, 12, 2.0));
+    }
+    let tree = b.build().expect("hand-built tree is valid");
+    println!("tree: {} tasks, root {:?}", tree.len(), tree.root());
+
+    // The activation order is the peak-minimising postorder; execution
+    // priority is the critical path (the paper's best combination).
+    let ao = mem_postorder(&tree);
+    let eo = cp_order(&tree);
+    let min_memory = ao.sequential_peak(&tree);
+    println!("minimum feasible memory (sequential postorder peak): {min_memory}");
+
+    // Schedule on 3 processors with only 30% slack over the minimum.
+    let memory = min_memory + min_memory * 3 / 10;
+    let processors = 3;
+    let lb = LowerBounds::compute(&tree, processors, memory);
+    println!(
+        "lower bounds: work {:.2}, critical path {:.2}, memory-aware {:.2}",
+        lb.work, lb.critical_path, lb.memory_aware
+    );
+
+    for name in ["MemBooking", "Activation"] {
+        let trace = match name {
+            "MemBooking" => {
+                let s = MemBooking::try_new(&tree, &ao, &eo, memory).expect("feasible");
+                simulate(&tree, SimConfig::new(processors, memory), s).expect("completes")
+            }
+            _ => {
+                let s = Activation::try_new(&tree, &ao, &eo, memory).expect("feasible");
+                simulate(&tree, SimConfig::new(processors, memory), s).expect("completes")
+            }
+        };
+        memtree::sim::validate::validate_trace(&tree, &trace).expect("trace is valid");
+        println!(
+            "{name:12} makespan {:7.2}  (x{:.3} of best bound)  peak mem {}/{} ({:.0}%)",
+            trace.makespan,
+            trace.makespan / lb.best(),
+            trace.peak_actual,
+            memory,
+            100.0 * trace.memory_fraction_used()
+        );
+    }
+}

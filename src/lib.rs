@@ -1,0 +1,9 @@
+#![warn(missing_docs)]
+//! Facade crate re-exporting the memtree workspace API.
+pub use memtree_gen as gen;
+pub use memtree_multifrontal as multifrontal;
+pub use memtree_order as order;
+pub use memtree_runtime as runtime;
+pub use memtree_sched as sched;
+pub use memtree_sim as sim;
+pub use memtree_tree as tree;

@@ -1,0 +1,69 @@
+//! Cross-crate integration: the full pipeline from sparse matrix to
+//! validated parallel schedule, through the facade crate.
+
+use memtree::multifrontal::{assembly_corpus, CorpusSpec};
+use memtree::order::{make_order, OrderKind};
+use memtree::sched::{build_scheduler, HeuristicKind, LowerBounds};
+use memtree::sim::{simulate, validate::validate_trace, SimConfig};
+
+#[test]
+fn matrix_to_schedule_end_to_end() {
+    for (name, tree) in assembly_corpus(&CorpusSpec::small()) {
+        let ao = make_order(&tree, OrderKind::MemPostorder);
+        let eo = make_order(&tree, OrderKind::CriticalPath);
+        let min_m = ao.sequential_peak(&tree);
+        for factor in [1u64, 2, 4] {
+            let m = min_m * factor;
+            for kind in [HeuristicKind::MemBooking, HeuristicKind::Activation] {
+                let s = build_scheduler(kind, &tree, &ao, &eo, m)
+                    .unwrap_or_else(|e| panic!("{name} {kind} factor {factor}: {e}"));
+                let trace = simulate(&tree, SimConfig::new(8, m), s)
+                    .unwrap_or_else(|e| panic!("{name} {kind} factor {factor}: {e}"));
+                validate_trace(&tree, &trace)
+                    .unwrap_or_else(|e| panic!("{name} {kind} factor {factor}: {e}"));
+                let lb = LowerBounds::compute(&tree, 8, m);
+                assert!(
+                    trace.makespan >= lb.best() - 1e-6,
+                    "{name} {kind}: makespan {} below bound {}",
+                    trace.makespan,
+                    lb.best()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn membooking_beats_activation_on_the_corpus_under_pressure() {
+    // The headline claim, at corpus level: tight memory, 8 processors.
+    let corpus = assembly_corpus(&CorpusSpec::small());
+    let mut mb_total = 0.0;
+    let mut ac_total = 0.0;
+    for (_, tree) in &corpus {
+        let ao = make_order(tree, OrderKind::MemPostorder);
+        let m = ao.sequential_peak(tree) * 2;
+        for (kind, total) in [
+            (HeuristicKind::MemBooking, &mut mb_total),
+            (HeuristicKind::Activation, &mut ac_total),
+        ] {
+            let s = build_scheduler(kind, tree, &ao, &ao, m).unwrap();
+            *total += simulate(tree, SimConfig::new(8, m), s).unwrap().makespan;
+        }
+    }
+    assert!(
+        mb_total <= ac_total,
+        "MemBooking total {mb_total} should not exceed Activation total {ac_total}"
+    );
+}
+
+#[test]
+fn facade_reexports_work() {
+    // Each sub-crate is reachable through the facade.
+    let tree = memtree::gen::shapes::chain(5, memtree::tree::TaskSpec::new(1, 2, 1.0));
+    let _stats = memtree::tree::TreeStats::compute(&tree);
+    let order = memtree::order::mem_postorder(&tree);
+    assert_eq!(order.len(), 5);
+    let text = memtree::tree::io::tree_to_string(&tree);
+    let back = memtree::tree::io::tree_from_str(&text).unwrap();
+    assert_eq!(tree, back);
+}

@@ -1,0 +1,96 @@
+//! Cross-validation between the discrete-event simulator and the real
+//! threaded runtime, plus moldable-engine integration.
+
+use memtree::gen::synthetic::paper_tree;
+use memtree::order::{cp_order, mem_postorder};
+use memtree::runtime::{execute, RuntimeConfig, Workload};
+use memtree::sched::{AllotmentCaps, MemBooking, MoldableMemBooking};
+use memtree::sim::moldable::{simulate_moldable, SpeedupModel};
+use memtree::sim::{simulate, SimConfig};
+
+/// Both execution vehicles must run the full tree under the same memory
+/// bound; the threaded run obeys the same booking invariants the simulator
+/// enforces (its ledger aborts otherwise).
+#[test]
+fn threaded_and_simulated_agree_on_feasibility() {
+    for seed in 0..4 {
+        let tree = paper_tree(300, 500 + seed);
+        let ao = mem_postorder(&tree);
+        let eo = cp_order(&tree);
+        let m = ao.sequential_peak(&tree);
+
+        let sim_trace = simulate(
+            &tree,
+            SimConfig::new(4, m),
+            MemBooking::try_new(&tree, &ao, &eo, m).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(sim_trace.records.len(), tree.len());
+
+        let report = execute(
+            &tree,
+            RuntimeConfig { workers: 4, memory: m },
+            MemBooking::try_new(&tree, &ao, &eo, m).unwrap(),
+            Workload::Noop,
+        )
+        .unwrap();
+        assert_eq!(report.tasks_run, tree.len());
+        // The simulator's booking peak is a valid upper bound domain for
+        // the threaded run too: both ≤ M.
+        assert!(sim_trace.peak_booked <= m);
+        assert!(report.peak_booked <= m);
+    }
+}
+
+/// The moldable engine degenerates to the sequential-task engine when
+/// every cap is 1: identical makespans.
+#[test]
+fn moldable_with_unit_caps_equals_sequential_tasks() {
+    for seed in 0..4 {
+        let tree = paper_tree(250, 900 + seed);
+        let ao = mem_postorder(&tree);
+        let m = ao.sequential_peak(&tree) * 2;
+        let p = 6;
+
+        let seq = simulate(
+            &tree,
+            SimConfig::new(p, m),
+            MemBooking::try_new(&tree, &ao, &ao, m).unwrap(),
+        )
+        .unwrap();
+
+        let caps = AllotmentCaps::uniform(&tree, 1);
+        let mold = MoldableMemBooking::try_new(&tree, &ao, &ao, m, caps).unwrap();
+        let trace = simulate_moldable(&tree, p, m, SpeedupModel::Linear, mold).unwrap();
+        trace.validate(&tree, SpeedupModel::Linear).unwrap();
+        assert!(
+            (trace.makespan - seq.makespan).abs() < 1e-9,
+            "seed {seed}: moldable/unit {} vs sequential {}",
+            trace.makespan,
+            seq.makespan
+        );
+    }
+}
+
+/// Amdahl speedup interpolates between unit caps and linear scaling.
+#[test]
+fn amdahl_between_serial_and_linear() {
+    let tree = paper_tree(250, 1234);
+    let ao = mem_postorder(&tree);
+    let m = ao.sequential_peak(&tree) * 2;
+    let p = 8;
+    let run = |model: SpeedupModel| {
+        let caps = AllotmentCaps::uniform(&tree, p as u32);
+        let s = MoldableMemBooking::try_new(&tree, &ao, &ao, m, caps).unwrap();
+        simulate_moldable(&tree, p, m, model, s).unwrap().makespan
+    };
+    let linear = run(SpeedupModel::Linear);
+    let amdahl = run(SpeedupModel::Amdahl { serial_fraction: 0.3 });
+    let serial_caps = {
+        let caps = AllotmentCaps::uniform(&tree, 1);
+        let s = MoldableMemBooking::try_new(&tree, &ao, &ao, m, caps).unwrap();
+        simulate_moldable(&tree, p, m, SpeedupModel::Linear, s).unwrap().makespan
+    };
+    assert!(linear <= amdahl + 1e-9, "linear {linear} vs amdahl {amdahl}");
+    assert!(amdahl <= serial_caps + 1e-9, "amdahl {amdahl} vs unit-cap {serial_caps}");
+}
