@@ -27,7 +27,10 @@ fn bench_heuristics_by_size(c: &mut Criterion) {
         let tree = synthetic(n, 42);
         let ao = mem_postorder(&tree);
         let m = ao.sequential_peak(&tree) * 2;
-        let cfg = SimConfig { measure_overhead: false, ..SimConfig::new(8, m) };
+        let cfg = SimConfig {
+            measure_overhead: false,
+            ..SimConfig::new(8, m)
+        };
         group.bench_with_input(BenchmarkId::new("MemBooking", n), &n, |b, _| {
             b.iter(|| {
                 let s = MemBooking::try_new(&tree, &ao, &ao, m).unwrap();
@@ -51,7 +54,10 @@ fn bench_deep_trees(c: &mut Criterion) {
         let tree = deep_chain(n);
         let ao = mem_postorder(&tree);
         let m = ao.sequential_peak(&tree) * 2;
-        let cfg = SimConfig { measure_overhead: false, ..SimConfig::new(8, m) };
+        let cfg = SimConfig {
+            measure_overhead: false,
+            ..SimConfig::new(8, m)
+        };
         group.bench_with_input(BenchmarkId::new("MemBooking", n), &n, |b, _| {
             b.iter(|| {
                 let s = MemBooking::try_new(&tree, &ao, &ao, m).unwrap();
@@ -70,7 +76,10 @@ fn bench_optimized_vs_reference(c: &mut Criterion) {
     let tree = synthetic(n, 7);
     let ao = mem_postorder(&tree);
     let m = ao.sequential_peak(&tree) * 2;
-    let cfg = SimConfig { measure_overhead: false, ..SimConfig::new(8, m) };
+    let cfg = SimConfig {
+        measure_overhead: false,
+        ..SimConfig::new(8, m)
+    };
     group.bench_function("optimized", |b| {
         b.iter(|| {
             let s = MemBooking::try_new(&tree, &ao, &ao, m).unwrap();
@@ -91,7 +100,9 @@ fn bench_order_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("order_construction");
     let tree = synthetic(10_000, 3);
     group.bench_function("memPO", |b| b.iter(|| memtree_order::mem_postorder(&tree)));
-    group.bench_function("OptSeq", |b| b.iter(|| memtree_order::optimal_traversal(&tree)));
+    group.bench_function("OptSeq", |b| {
+        b.iter(|| memtree_order::optimal_traversal(&tree))
+    });
     group.bench_function("CP", |b| b.iter(|| memtree_order::cp_order(&tree)));
     group.finish();
 }

@@ -9,13 +9,24 @@ use memtree_tree::TaskSpec;
 fn main() {
     let p = 8;
     let cases = vec![
-        TreeCase::new("chain-2000", memtree_gen::shapes::chain(2000, TaskSpec::new(1, 4, 2.0))),
+        TreeCase::new(
+            "chain-2000",
+            memtree_gen::shapes::chain(2000, TaskSpec::new(1, 4, 2.0)),
+        ),
         TreeCase::new(
             "caterpillar",
-            memtree_gen::shapes::caterpillar(300, 3, TaskSpec::new(1, 6, 2.0), TaskSpec::new(0, 2, 1.0)),
+            memtree_gen::shapes::caterpillar(
+                300,
+                3,
+                TaskSpec::new(1, 6, 2.0),
+                TaskSpec::new(0, 2, 1.0),
+            ),
         ),
         TreeCase::new("synthetic-5k", memtree_gen::synthetic::paper_tree(5000, 77)),
-        TreeCase::new("spindle-8x50", memtree_gen::shapes::spindle(8, 50, TaskSpec::new(0, 3, 1.0))),
+        TreeCase::new(
+            "spindle-8x50",
+            memtree_gen::shapes::spindle(8, 50, TaskSpec::new(0, 3, 1.0)),
+        ),
     ];
     println!("tree,model,seq_makespan,moldable_makespan,gain");
     for c in &cases {
@@ -30,14 +41,26 @@ fn main() {
         .makespan;
         for (label, model) in [
             ("linear", SpeedupModel::Linear),
-            ("amdahl10", SpeedupModel::Amdahl { serial_fraction: 0.1 }),
+            (
+                "amdahl10",
+                SpeedupModel::Amdahl {
+                    serial_fraction: 0.1,
+                },
+            ),
         ] {
             let caps = AllotmentCaps::uniform(&c.tree, p as u32);
             let sched = MoldableMemBooking::try_new(&c.tree, &ao, &ao, m, caps).unwrap();
             let t = simulate_moldable(&c.tree, p, m, model, sched).unwrap();
             t.validate(&c.tree, model).unwrap();
-            println!("{},{label},{seq:.1},{:.1},{:.2}", c.name, t.makespan, seq / t.makespan);
+            println!(
+                "{},{label},{seq:.1},{:.1},{:.2}",
+                c.name,
+                t.makespan,
+                seq / t.makespan
+            );
         }
     }
-    println!("# moldability helps most where tree parallelism is scarce (chains), least on wide trees");
+    println!(
+        "# moldability helps most where tree parallelism is scarce (chains), least on wide trees"
+    );
 }

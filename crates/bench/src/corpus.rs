@@ -57,8 +57,7 @@ pub fn memory_factors(scale: Scale, max: f64) -> Vec<f64> {
     let base: Vec<f64> = match scale {
         Scale::Quick => vec![1.0, 1.2, 1.5, 2.0, 3.0, 5.0, 10.0, 15.0, 20.0],
         Scale::Full => vec![
-            1.0, 1.1, 1.2, 1.4, 1.6, 1.8, 2.0, 2.5, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0,
-            15.0, 20.0,
+            1.0, 1.1, 1.2, 1.4, 1.6, 1.8, 2.0, 2.5, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0, 15.0, 20.0,
         ],
     };
     base.into_iter().filter(|&f| f <= max).collect()

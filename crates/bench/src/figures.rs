@@ -2,9 +2,14 @@
 //!
 //! Each function returns a [`FigureOutput`]; binaries print it. The
 //! `notes` field carries the shape summary recorded in EXPERIMENTS.md.
+//!
+//! Every simulator-backed figure runs its scenario grid through
+//! [`Sweep`], so the (tree × policy × p × memory) cells fan out across
+//! all cores; the aggregation below is pure bookkeeping over the cells.
 
 use crate::aggregate::Summary;
-use crate::runner::{run_heuristic, run_redtree, OrderPair, TreeCase};
+use crate::runner::{OrderPair, TreeCase};
+use crate::sweep::{Sweep, SweepReport};
 use memtree_sched::HeuristicKind;
 
 /// CSV payload plus human-readable findings.
@@ -28,51 +33,46 @@ impl FigureOutput {
 }
 
 /// The three heuristics of the headline comparison.
-fn main_heuristics() -> Vec<(&'static str, Policy)> {
+fn main_heuristics() -> Vec<HeuristicKind> {
     vec![
-        ("Activation", Policy::Builtin(HeuristicKind::Activation)),
-        ("MemBookingRedTree", Policy::RedTree),
-        ("MemBooking", Policy::Builtin(HeuristicKind::MemBooking)),
+        HeuristicKind::Activation,
+        HeuristicKind::MemBookingRedTree,
+        HeuristicKind::MemBooking,
     ]
 }
 
-#[derive(Clone, Copy)]
-enum Policy {
-    Builtin(HeuristicKind),
-    RedTree,
-}
-
-fn run_policy(
-    case: &TreeCase,
-    policy: Policy,
-    orders: OrderPair,
+/// Normalized makespans of the scheduled cells in a series.
+fn scheduled_normalized(
+    report: &SweepReport,
+    kind: HeuristicKind,
+    pair: OrderPair,
     p: usize,
     factor: f64,
-) -> crate::runner::RunOutcome {
-    match policy {
-        Policy::Builtin(kind) => run_heuristic(case, kind, orders, p, factor),
-        Policy::RedTree => run_redtree(case, p, factor),
-    }
+) -> Vec<f64> {
+    report
+        .series(kind, pair, p, factor)
+        .filter(|c| c.outcome.scheduled)
+        .map(|c| c.outcome.normalized)
+        .collect()
 }
 
 /// Figures 2 and 10: normalized makespan vs normalized memory bound for
 /// the three heuristics.
 pub fn fig_makespan(cases: &[TreeCase], p: usize, factors: &[f64]) -> FigureOutput {
+    let report = Sweep::new(cases)
+        .kinds(main_heuristics())
+        .processors(vec![p])
+        .factors(factors.to_vec())
+        .run();
     let mut rows = Vec::new();
     let mut notes = Vec::new();
     let mut mb_at_2 = f64::NAN;
     let mut ac_at_2 = f64::NAN;
     for &factor in factors {
-        for (label, policy) in main_heuristics() {
-            let outs: Vec<_> = cases
-                .iter()
-                .map(|c| run_policy(c, policy, OrderPair::default_pair(), p, factor))
-                .collect();
-            let scheduled: Vec<f64> = outs
-                .iter()
-                .filter(|o| o.scheduled)
-                .map(|o| o.normalized)
-                .collect();
+        for kind in main_heuristics() {
+            let label = kind.label();
+            let scheduled =
+                scheduled_normalized(&report, kind, OrderPair::default_pair(), p, factor);
             let coverage = scheduled.len() as f64 / cases.len() as f64;
             if let Some(s) = Summary::of(&scheduled) {
                 rows.push(format!(
@@ -80,10 +80,10 @@ pub fn fig_makespan(cases: &[TreeCase], p: usize, factors: &[f64]) -> FigureOutp
                     s.mean, s.median, coverage
                 ));
                 if (factor - 2.0).abs() < 1e-9 {
-                    if label == "MemBooking" {
+                    if kind == HeuristicKind::MemBooking {
                         mb_at_2 = s.mean;
                     }
-                    if label == "Activation" {
+                    if kind == HeuristicKind::Activation {
                         ac_at_2 = s.mean;
                     }
                 }
@@ -98,28 +98,47 @@ pub fn fig_makespan(cases: &[TreeCase], p: usize, factors: &[f64]) -> FigureOutp
             ac_at_2 / mb_at_2
         ));
     }
-    notes.push(format!("corpus size: {} trees, p = {p}", cases.len()));
+    notes.push(format!(
+        "corpus size: {} trees, p = {p}; {} sweep cells on {} threads",
+        cases.len(),
+        report.cells.len(),
+        report.threads_used
+    ));
     FigureOutput {
-        header: "memory_factor,heuristic,mean_normalized_makespan,median_normalized_makespan,coverage".into(),
+        header:
+            "memory_factor,heuristic,mean_normalized_makespan,median_normalized_makespan,coverage"
+                .into(),
         rows,
         notes,
     }
 }
 
+/// Per-factor speedups of MemBooking over Activation (cells paired by
+/// tree; only trees both policies scheduled count).
+fn speedups_at(report: &SweepReport, cases: &[TreeCase], p: usize, factor: f64) -> Vec<f64> {
+    let pair = OrderPair::default_pair();
+    (0..cases.len())
+        .filter_map(|ci| {
+            let mb = report.cell(ci, HeuristicKind::MemBooking, pair, p, factor)?;
+            let ac = report.cell(ci, HeuristicKind::Activation, pair, p, factor)?;
+            (mb.outcome.scheduled && ac.outcome.scheduled && mb.outcome.makespan > 0.0)
+                .then(|| ac.outcome.makespan / mb.outcome.makespan)
+        })
+        .collect()
+}
+
 /// Figures 3 and 11: the speedup distribution of MemBooking over
 /// Activation per memory factor.
 pub fn fig_speedup(cases: &[TreeCase], p: usize, factors: &[f64]) -> FigureOutput {
+    let report = Sweep::new(cases)
+        .kinds(vec![HeuristicKind::MemBooking, HeuristicKind::Activation])
+        .processors(vec![p])
+        .factors(factors.to_vec())
+        .run();
     let mut rows = Vec::new();
     let mut notes = Vec::new();
     for &factor in factors {
-        let mut speedups = Vec::new();
-        for c in cases {
-            let mb = run_heuristic(c, HeuristicKind::MemBooking, OrderPair::default_pair(), p, factor);
-            let ac = run_heuristic(c, HeuristicKind::Activation, OrderPair::default_pair(), p, factor);
-            if mb.scheduled && ac.scheduled && mb.makespan > 0.0 {
-                speedups.push(ac.makespan / mb.makespan);
-            }
-        }
+        let speedups = speedups_at(&report, cases, p, factor);
         if let Some(s) = Summary::of(&speedups) {
             rows.push(format!(
                 "{factor},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
@@ -142,19 +161,28 @@ pub fn fig_speedup(cases: &[TreeCase], p: usize, factors: &[f64]) -> FigureOutpu
 
 /// Figures 4 and 12: fraction of the memory bound actually used.
 pub fn fig_memfrac(cases: &[TreeCase], p: usize, factors: &[f64]) -> FigureOutput {
+    let report = Sweep::new(cases)
+        .kinds(main_heuristics())
+        .processors(vec![p])
+        .factors(factors.to_vec())
+        .run();
     let mut rows = Vec::new();
     let mut notes = Vec::new();
     for &factor in factors {
-        for (label, policy) in main_heuristics() {
-            let fr: Vec<f64> = cases
-                .iter()
-                .map(|c| run_policy(c, policy, OrderPair::default_pair(), p, factor))
-                .filter(|o| o.scheduled)
-                .map(|o| o.memory_fraction)
+        for kind in main_heuristics() {
+            let fr: Vec<f64> = report
+                .series(kind, OrderPair::default_pair(), p, factor)
+                .filter(|c| c.outcome.scheduled)
+                .map(|c| c.outcome.memory_fraction)
                 .collect();
             if let Some(s) = Summary::of(&fr) {
-                rows.push(format!("{factor},{label},{:.4},{:.4}", s.mean, s.median));
-                if (factor - 2.0).abs() < 1e-9 && label == "MemBooking" {
+                rows.push(format!(
+                    "{factor},{},{:.4},{:.4}",
+                    kind.label(),
+                    s.mean,
+                    s.median
+                ));
+                if (factor - 2.0).abs() < 1e-9 && kind == HeuristicKind::MemBooking {
                     notes.push(format!(
                         "MemBooking uses {:.0}% of the bound at factor 2 — the competitors are more conservative",
                         100.0 * s.mean
@@ -172,23 +200,31 @@ pub fn fig_memfrac(cases: &[TreeCase], p: usize, factors: &[f64]) -> FigureOutpu
 
 /// Figures 5, 6 and 13: scheduling time against tree size and height.
 pub fn fig_schedtime(cases: &[TreeCase], p: usize, factor: f64) -> FigureOutput {
+    let report = Sweep::new(cases)
+        .kinds(main_heuristics())
+        .processors(vec![p])
+        .factors(vec![factor])
+        .run();
     let mut rows = Vec::new();
     let mut notes = Vec::new();
     let mut worst_per_node = 0f64;
-    for c in cases {
-        for (label, policy) in main_heuristics() {
-            let o = run_policy(c, policy, OrderPair::default_pair(), p, factor);
-            if !o.scheduled {
+    for (ci, c) in cases.iter().enumerate() {
+        for kind in main_heuristics() {
+            let Some(cell) = report.cell(ci, kind, OrderPair::default_pair(), p, factor) else {
+                continue;
+            };
+            if !cell.outcome.scheduled {
                 continue;
             }
-            let per_node = o.scheduling_seconds / c.len() as f64;
+            let per_node = cell.outcome.scheduling_seconds / c.len() as f64;
             worst_per_node = worst_per_node.max(per_node);
             rows.push(format!(
-                "{},{},{},{label},{:.6e},{:.6e}",
+                "{},{},{},{},{:.6e},{:.6e}",
                 c.name,
                 c.len(),
                 c.stats.height,
-                o.scheduling_seconds,
+                kind.label(),
+                cell.outcome.scheduling_seconds,
                 per_node
             ));
         }
@@ -206,15 +242,31 @@ pub fn fig_schedtime(cases: &[TreeCase], p: usize, factor: f64) -> FigureOutput 
 /// Figure 7: speedup of MemBooking over Activation against tree height at
 /// a fixed memory factor.
 pub fn fig_speedup_height(cases: &[TreeCase], p: usize, factor: f64) -> FigureOutput {
+    let report = Sweep::new(cases)
+        .kinds(vec![HeuristicKind::MemBooking, HeuristicKind::Activation])
+        .processors(vec![p])
+        .factors(vec![factor])
+        .run();
+    let pair = OrderPair::default_pair();
     let mut rows = Vec::new();
     let mut shallow = Vec::new();
     let mut deep = Vec::new();
-    for c in cases {
-        let mb = run_heuristic(c, HeuristicKind::MemBooking, OrderPair::default_pair(), p, factor);
-        let ac = run_heuristic(c, HeuristicKind::Activation, OrderPair::default_pair(), p, factor);
-        if mb.scheduled && ac.scheduled && mb.makespan > 0.0 {
-            let s = ac.makespan / mb.makespan;
-            rows.push(format!("{},{},{},{:.4}", c.name, c.len(), c.stats.height, s));
+    for (ci, c) in cases.iter().enumerate() {
+        let (Some(mb), Some(ac)) = (
+            report.cell(ci, HeuristicKind::MemBooking, pair, p, factor),
+            report.cell(ci, HeuristicKind::Activation, pair, p, factor),
+        ) else {
+            continue;
+        };
+        if mb.outcome.scheduled && ac.outcome.scheduled && mb.outcome.makespan > 0.0 {
+            let s = ac.outcome.makespan / mb.outcome.makespan;
+            rows.push(format!(
+                "{},{},{},{:.4}",
+                c.name,
+                c.len(),
+                c.stats.height,
+                s
+            ));
             if (c.stats.height as usize) * 4 > c.len() {
                 deep.push(s);
             } else {
@@ -238,18 +290,28 @@ pub fn fig_speedup_height(cases: &[TreeCase], p: usize, factor: f64) -> FigureOu
 
 /// Figures 8 and 14: MemBooking under the six AO/EO combinations.
 pub fn fig_orders(cases: &[TreeCase], p: usize, factors: &[f64]) -> FigureOutput {
+    let report = Sweep::new(cases)
+        .kinds(vec![HeuristicKind::MemBooking])
+        .pairs(OrderPair::paper_combinations())
+        .processors(vec![p])
+        .factors(factors.to_vec())
+        .run();
     let mut rows = Vec::new();
     let mut best_at_2: Option<(String, f64)> = None;
     for &factor in factors {
         for pair in OrderPair::paper_combinations() {
-            let vals: Vec<f64> = cases
-                .iter()
-                .map(|c| run_heuristic(c, HeuristicKind::MemBooking, pair, p, factor))
-                .filter(|o| o.scheduled)
-                .map(|o| o.normalized)
+            let vals: Vec<f64> = report
+                .series(HeuristicKind::MemBooking, pair, p, factor)
+                .filter(|c| c.outcome.scheduled)
+                .map(|c| c.outcome.normalized)
                 .collect();
             if let Some(s) = Summary::of(&vals) {
-                rows.push(format!("{factor},{},{:.4},{:.4}", pair.label(), s.mean, s.median));
+                rows.push(format!(
+                    "{factor},{},{:.4},{:.4}",
+                    pair.label(),
+                    s.mean,
+                    s.median
+                ));
                 if (factor - 2.0).abs() < 1e-9
                     && best_at_2.as_ref().is_none_or(|(_, m)| s.mean < *m)
                 {
@@ -272,30 +334,30 @@ pub fn fig_orders(cases: &[TreeCase], p: usize, factors: &[f64]) -> FigureOutput
 }
 
 /// Figures 9 and 15: the heuristics across processor counts.
-pub fn fig_processors(
-    cases: &[TreeCase],
-    processors: &[usize],
-    factors: &[f64],
-) -> FigureOutput {
+pub fn fig_processors(cases: &[TreeCase], processors: &[usize], factors: &[f64]) -> FigureOutput {
+    let report = Sweep::new(cases)
+        .kinds(main_heuristics())
+        .processors(processors.to_vec())
+        .factors(factors.to_vec())
+        .run();
     let mut rows = Vec::new();
     let mut gaps: Vec<(usize, f64)> = Vec::new();
     for &p in processors {
         let mut mb2 = f64::NAN;
         let mut ac2 = f64::NAN;
         for &factor in factors {
-            for (label, policy) in main_heuristics() {
-                let vals: Vec<f64> = cases
-                    .iter()
-                    .map(|c| run_policy(c, policy, OrderPair::default_pair(), p, factor))
-                    .filter(|o| o.scheduled)
-                    .map(|o| o.normalized)
+            for kind in main_heuristics() {
+                let vals: Vec<f64> = report
+                    .series(kind, OrderPair::default_pair(), p, factor)
+                    .filter(|c| c.outcome.scheduled)
+                    .map(|c| c.outcome.normalized)
                     .collect();
                 if let Some(s) = Summary::of(&vals) {
-                    rows.push(format!("{p},{factor},{label},{:.4}", s.mean));
+                    rows.push(format!("{p},{factor},{},{:.4}", kind.label(), s.mean));
                     if (factor - 2.0).abs() < 1e-9 {
-                        match label {
-                            "MemBooking" => mb2 = s.mean,
-                            "Activation" => ac2 = s.mean,
+                        match kind {
+                            HeuristicKind::MemBooking => mb2 = s.mean,
+                            HeuristicKind::Activation => ac2 = s.mean,
                             _ => {}
                         }
                     }
@@ -379,8 +441,16 @@ pub fn table_redtree_failures(cases: &[TreeCase], factors: &[f64]) -> FigureOutp
             );
         }
     }
-    let notes = if note_at_14.is_empty() { vec![] } else { vec![note_at_14] };
-    FigureOutput { header: "memory_factor,fraction_unschedulable".into(), rows, notes }
+    let notes = if note_at_14.is_empty() {
+        vec![]
+    } else {
+        vec![note_at_14]
+    };
+    FigureOutput {
+        header: "memory_factor,fraction_unschedulable".into(),
+        rows,
+        notes,
+    }
 }
 
 /// The Section 7.1 degree table, measured from the generator.
@@ -406,7 +476,9 @@ pub fn table_degree_distribution(samples: usize, seed: u64) -> FigureOutput {
     FigureOutput {
         header: "degree,measured_probability,specified_probability".into(),
         rows,
-        notes: vec![format!("{samples} samples; spec normalised (paper's table sums to 0.99)")],
+        notes: vec![format!(
+            "{samples} samples; spec normalised (paper's table sums to 0.99)"
+        )],
     }
 }
 
@@ -441,7 +513,10 @@ mod tests {
         let out = fig_speedup(&cases, 4, &[2.0]);
         assert_eq!(out.rows.len(), 1);
         let mean: f64 = out.rows[0].split(',').nth(1).unwrap().parse().unwrap();
-        assert!(mean >= 0.95, "MemBooking should not lose on average: {mean}");
+        assert!(
+            mean >= 0.95,
+            "MemBooking should not lose on average: {mean}"
+        );
     }
 
     #[test]

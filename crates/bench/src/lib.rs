@@ -16,10 +16,12 @@ pub mod aggregate;
 pub mod corpus;
 pub mod figures;
 pub mod runner;
+pub mod sweep;
 
 pub use aggregate::Summary;
 pub use corpus::{assembly_cases, synthetic_cases, Scale};
-pub use runner::{run_heuristic, run_redtree, OrderPair, RunOutcome, TreeCase};
+pub use runner::{run_heuristic, run_on_platform, OrderPair, RunOutcome, TreeCase};
+pub use sweep::{Sweep, SweepCell, SweepReport};
 
 /// Parses the scale from CLI args / environment.
 pub fn scale_from_env() -> Scale {

@@ -1,12 +1,41 @@
 //! Per-tree experiment execution.
+//!
+//! A [`TreeCase`] is a corpus tree with its precomputed analysis plus
+//! thread-safe caches of orders and of the reduction-tree transform, so a
+//! parallel sweep ([`crate::sweep::Sweep`]) can fan cells out across cores
+//! while sharing the expensive per-tree preprocessing.
 
 use memtree_order::{make_order, Order, OrderKind};
-use memtree_sched::{
-    build_scheduler, to_reduction_tree, HeuristicKind, LowerBounds, RedTreeBooking,
-};
-use memtree_sim::{simulate, SimConfig};
+use memtree_runtime::{Platform, PlatformError, SimPlatform};
+use memtree_sched::to_reduction_tree;
+use memtree_sched::{HeuristicKind, LowerBounds, PolicyInstance, RedTreeBooking};
 use memtree_tree::{TaskTree, TreeStats};
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A thread-safe, compute-once cache of orders for one tree.
+#[derive(Default)]
+struct OrderCache {
+    orders: Mutex<HashMap<OrderKind, Arc<Order>>>,
+}
+
+impl OrderCache {
+    fn get(&self, tree: &TaskTree, kind: OrderKind) -> Arc<Order> {
+        if let Some(o) = self.orders.lock().expect("order cache poisoned").get(&kind) {
+            return o.clone();
+        }
+        // Computed outside the lock: order construction is the expensive
+        // part and must not serialise the sweep. A racing thread may
+        // compute the same order; first insert wins.
+        let fresh = Arc::new(make_order(tree, kind));
+        self.orders
+            .lock()
+            .expect("order cache poisoned")
+            .entry(kind)
+            .or_insert(fresh)
+            .clone()
+    }
+}
 
 /// A corpus tree with its precomputed analysis.
 pub struct TreeCase {
@@ -19,13 +48,13 @@ pub struct TreeCase {
     /// Minimum memory: the peak of the peak-minimising postorder — the
     /// unit of the "normalized memory bound" axis.
     pub min_memory: u64,
-    orders: std::cell::RefCell<HashMap<OrderKind, std::rc::Rc<Order>>>,
-    redtree: std::cell::OnceCell<RedCase>,
+    orders: OrderCache,
+    redtree: OnceLock<RedCase>,
 }
 
 struct RedCase {
-    tree: TaskTree,
-    ao: Order,
+    tree: Arc<TaskTree>,
+    orders: OrderCache,
     min_memory: u64,
 }
 
@@ -41,19 +70,40 @@ pub struct OrderPair {
 impl OrderPair {
     /// The paper's default: memPO for both.
     pub fn default_pair() -> Self {
-        OrderPair { ao: OrderKind::MemPostorder, eo: OrderKind::MemPostorder }
+        OrderPair {
+            ao: OrderKind::MemPostorder,
+            eo: OrderKind::MemPostorder,
+        }
     }
 
     /// The six combinations of Figures 8 and 14.
     pub fn paper_combinations() -> Vec<OrderPair> {
         use OrderKind::*;
         vec![
-            OrderPair { ao: MemPostorder, eo: MemPostorder },
-            OrderPair { ao: MemPostorder, eo: CriticalPath },
-            OrderPair { ao: OptSeq, eo: CriticalPath },
-            OrderPair { ao: OptSeq, eo: OptSeq },
-            OrderPair { ao: PerfPostorder, eo: CriticalPath },
-            OrderPair { ao: PerfPostorder, eo: PerfPostorder },
+            OrderPair {
+                ao: MemPostorder,
+                eo: MemPostorder,
+            },
+            OrderPair {
+                ao: MemPostorder,
+                eo: CriticalPath,
+            },
+            OrderPair {
+                ao: OptSeq,
+                eo: CriticalPath,
+            },
+            OrderPair {
+                ao: OptSeq,
+                eo: OptSeq,
+            },
+            OrderPair {
+                ao: PerfPostorder,
+                eo: CriticalPath,
+            },
+            OrderPair {
+                ao: PerfPostorder,
+                eo: PerfPostorder,
+            },
         ]
     }
 
@@ -102,12 +152,14 @@ impl TreeCase {
             tree,
             stats,
             min_memory,
-            orders: std::cell::RefCell::new(HashMap::new()),
-            redtree: std::cell::OnceCell::new(),
+            orders: OrderCache::default(),
+            redtree: OnceLock::new(),
         };
         case.orders
-            .borrow_mut()
-            .insert(OrderKind::MemPostorder, std::rc::Rc::new(mem_po));
+            .orders
+            .lock()
+            .expect("order cache poisoned")
+            .insert(OrderKind::MemPostorder, Arc::new(mem_po));
         case
     }
 
@@ -121,14 +173,9 @@ impl TreeCase {
         self.tree.is_empty()
     }
 
-    /// The order of `kind`, computed once and cached.
-    pub fn order(&self, kind: OrderKind) -> std::rc::Rc<Order> {
-        if let Some(o) = self.orders.borrow().get(&kind) {
-            return o.clone();
-        }
-        let o = std::rc::Rc::new(make_order(&self.tree, kind));
-        self.orders.borrow_mut().insert(kind, o.clone());
-        o
+    /// The order of `kind`, computed once and cached (thread-safe).
+    pub fn order(&self, kind: OrderKind) -> Arc<Order> {
+        self.orders.get(&self.tree, kind)
     }
 
     /// The memory bound for a normalized factor.
@@ -138,20 +185,21 @@ impl TreeCase {
 
     /// Lower bounds at `(p, factor)`.
     pub fn lower_bounds(&self, processors: usize, factor: f64) -> LowerBounds {
-        LowerBounds::compute_with_stats(
-            &self.tree,
-            &self.stats,
-            processors,
-            self.memory_at(factor),
-        )
+        LowerBounds::compute_with_stats(&self.tree, &self.stats, processors, self.memory_at(factor))
     }
 
     fn red_case(&self) -> &RedCase {
         self.redtree.get_or_init(|| {
             let tr = to_reduction_tree(&self.tree);
-            let ao = memtree_order::mem_postorder(&tr.tree);
-            let min_memory = RedTreeBooking::min_memory(&tr.tree, &ao);
-            RedCase { tree: tr.tree, ao, min_memory }
+            let tree = Arc::new(tr.tree);
+            let orders = OrderCache::default();
+            let ao = orders.get(&tree, OrderKind::MemPostorder);
+            let min_memory = RedTreeBooking::min_memory(&tree, &ao);
+            RedCase {
+                tree,
+                orders,
+                min_memory,
+            }
         })
     }
 
@@ -160,13 +208,38 @@ impl TreeCase {
     pub fn redtree_min_memory(&self) -> u64 {
         self.red_case().min_memory
     }
+
+    /// A [`PolicyInstance`] for `kind` over this tree, built from the
+    /// case's caches (shared orders, shared transformed tree) — the
+    /// fast path that lets sweeps run thousands of cells without
+    /// recomputing per-tree preprocessing.
+    pub fn instance(&self, kind: HeuristicKind, orders: OrderPair, memory: u64) -> PolicyInstance {
+        let (transformed, ao, eo) = match kind {
+            HeuristicKind::MemBookingRedTree => {
+                let red = self.red_case();
+                (
+                    Some(red.tree.clone()),
+                    red.orders.get(&red.tree, orders.ao),
+                    red.orders.get(&red.tree, orders.eo),
+                )
+            }
+            _ => (None, self.order(orders.ao), self.order(orders.eo)),
+        };
+        PolicyInstance::from_parts(kind, memory, transformed, ao, eo, None)
+            .expect("cache-built parts are consistent")
+    }
 }
 
-/// Runs `kind` on `case` and reports the outcome.
+/// Runs `kind` on `case` at `(orders, p, factor)` on the simulator and
+/// reports the outcome.
 ///
-/// Infeasible memory (construction refusal) yields
-/// `RunOutcome::scheduled == false`, matching the paper's "unable to
-/// schedule within the bound" accounting.
+/// Every [`HeuristicKind`] is runnable here — `MemBookingRedTree`
+/// schedules its transformed tree behind the same call. Infeasible memory
+/// (construction refusal) yields `RunOutcome::scheduled == false`,
+/// matching the paper's "unable to schedule within the bound" accounting;
+/// RedTree's normalized makespan is measured against the *original* tree's
+/// lower bounds (fictitious tasks take zero time, so makespans are
+/// comparable).
 pub fn run_heuristic(
     case: &TreeCase,
     kind: HeuristicKind,
@@ -175,44 +248,37 @@ pub fn run_heuristic(
     factor: f64,
 ) -> RunOutcome {
     let memory = case.memory_at(factor);
-    let ao = case.order(orders.ao);
-    let eo = case.order(orders.eo);
-    let Ok(scheduler) = build_scheduler(kind, &case.tree, &ao, &eo, memory) else {
-        return RunOutcome::unscheduled();
+    let instance = case.instance(kind, orders, memory);
+    let report = match SimPlatform::new(processors).run_instance(&case.tree, &instance) {
+        Ok(report) => report,
+        Err(e) if e.is_infeasible() => return RunOutcome::unscheduled(),
+        Err(e) => panic!("{}: {kind} must not fail mid-run: {e}", case.name),
     };
-    let trace = simulate(&case.tree, SimConfig::new(processors, memory), scheduler)
-        .unwrap_or_else(|e| panic!("{}: {kind} must not fail mid-run: {e}", case.name));
-    debug_assert!(memtree_sim::validate::validate_trace(&case.tree, &trace).is_ok());
     let lb = case.lower_bounds(processors, factor);
     RunOutcome {
         scheduled: true,
-        makespan: trace.makespan,
-        normalized: trace.makespan / lb.best(),
-        memory_fraction: trace.memory_fraction_used(),
-        scheduling_seconds: trace.scheduling_seconds,
+        makespan: report.makespan,
+        normalized: report.makespan / lb.best(),
+        memory_fraction: if memory == 0 {
+            0.0
+        } else {
+            report.peak_actual as f64 / memory as f64
+        },
+        scheduling_seconds: report.scheduling_seconds,
     }
 }
 
-/// Runs the MemBookingRedTree baseline: schedules the *transformed* tree
-/// under the same absolute memory bound, normalising against the original
-/// tree's lower bounds (fictitious tasks take zero time, so makespans are
-/// comparable).
-pub fn run_redtree(case: &TreeCase, processors: usize, factor: f64) -> RunOutcome {
-    let memory = case.memory_at(factor);
-    let red = case.red_case();
-    let Ok(scheduler) = RedTreeBooking::try_new(&red.tree, &red.ao, &red.ao, memory) else {
-        return RunOutcome::unscheduled();
-    };
-    let trace = simulate(&red.tree, SimConfig::new(processors, memory), scheduler)
-        .unwrap_or_else(|e| panic!("{}: RedTree must not fail mid-run: {e}", case.name));
-    let lb = case.lower_bounds(processors, factor);
-    RunOutcome {
-        scheduled: true,
-        makespan: trace.makespan,
-        normalized: trace.makespan / lb.best(),
-        memory_fraction: trace.memory_fraction_used(),
-        scheduling_seconds: trace.scheduling_seconds,
-    }
+/// Convenience wrapper: runs `kind` on any [`Platform`] (not just the
+/// simulator), using the case's caches.
+pub fn run_on_platform(
+    case: &TreeCase,
+    platform: &dyn Platform,
+    kind: HeuristicKind,
+    orders: OrderPair,
+    factor: f64,
+) -> Result<memtree_runtime::RunReport, PlatformError> {
+    let instance = case.instance(kind, orders, case.memory_at(factor));
+    platform.run_instance(&case.tree, &instance)
 }
 
 #[cfg(test)]
@@ -227,8 +293,20 @@ mod tests {
     fn membooking_dominates_activation_under_pressure() {
         let c = case();
         let p = 8;
-        let mb = run_heuristic(&c, HeuristicKind::MemBooking, OrderPair::default_pair(), p, 1.5);
-        let ac = run_heuristic(&c, HeuristicKind::Activation, OrderPair::default_pair(), p, 1.5);
+        let mb = run_heuristic(
+            &c,
+            HeuristicKind::MemBooking,
+            OrderPair::default_pair(),
+            p,
+            1.5,
+        );
+        let ac = run_heuristic(
+            &c,
+            HeuristicKind::Activation,
+            OrderPair::default_pair(),
+            p,
+            1.5,
+        );
         assert!(mb.scheduled && ac.scheduled);
         assert!(
             mb.makespan <= ac.makespan * 1.02,
@@ -255,8 +333,9 @@ mod tests {
     #[test]
     fn redtree_runs_or_reports_infeasible() {
         let c = case();
-        let tight = run_redtree(&c, 4, 1.0);
-        let roomy = run_redtree(&c, 4, 20.0);
+        let pair = OrderPair::default_pair();
+        let tight = run_heuristic(&c, HeuristicKind::MemBookingRedTree, pair, 4, 1.0);
+        let roomy = run_heuristic(&c, HeuristicKind::MemBookingRedTree, pair, 4, 20.0);
         // Under a huge bound it must schedule; under factor 1 it usually
         // cannot (transform inflation).
         assert!(roomy.scheduled);
@@ -270,6 +349,26 @@ mod tests {
         let c = case();
         let a = c.order(OrderKind::CriticalPath);
         let b = c.order(OrderKind::CriticalPath);
-        assert!(std::rc::Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn tree_case_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<TreeCase>();
+    }
+
+    #[test]
+    fn threaded_platform_runs_a_case() {
+        let c = case();
+        let report = run_on_platform(
+            &c,
+            &memtree_runtime::ThreadedPlatform::new(2),
+            HeuristicKind::MemBooking,
+            OrderPair::default_pair(),
+            1.0,
+        )
+        .unwrap();
+        assert_eq!(report.tasks_run, c.len());
     }
 }

@@ -1,0 +1,339 @@
+//! **`Sweep`** — declarative scenario grids fanned out over all cores
+//! (DESIGN.md §6.4).
+//!
+//! A sweep is the cartesian product (trees × policies × order pairs ×
+//! processor counts × memory factors); every figure in the paper is an
+//! aggregation over such a grid. [`Sweep::run`] executes the cells with
+//! `rayon`, one simulator run per cell, sharing each [`TreeCase`]'s cached
+//! orders and reduction-tree transform across cells. Cells come back in
+//! deterministic grid order regardless of which thread ran them, so
+//! downstream CSV output is reproducible.
+
+use crate::runner::{run_heuristic, OrderPair, RunOutcome, TreeCase};
+use memtree_sched::HeuristicKind;
+use rayon::prelude::*;
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+/// One point of the scenario grid with its outcome.
+#[derive(Clone, Debug)]
+pub struct SweepCell {
+    /// Index of the tree in the sweep's case slice.
+    pub case_index: usize,
+    /// The tree's name (CSV key).
+    pub tree: String,
+    /// Policy run in this cell.
+    pub kind: HeuristicKind,
+    /// Order pair used.
+    pub pair: OrderPair,
+    /// Processor count.
+    pub processors: usize,
+    /// Normalized memory factor.
+    pub factor: f64,
+    /// What happened.
+    pub outcome: RunOutcome,
+}
+
+/// Result of a sweep: the cells in grid order plus execution metadata.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// All cells, ordered (case, kind, pair, processors, factor) —
+    /// innermost index varies fastest.
+    pub cells: Vec<SweepCell>,
+    /// Distinct worker threads that executed cells (≥ 2 on multicore
+    /// machines for non-trivial grids).
+    pub threads_used: usize,
+    // The grid axes, kept so lookups are index arithmetic instead of
+    // scans.
+    kinds: Vec<HeuristicKind>,
+    pairs: Vec<OrderPair>,
+    processors: Vec<usize>,
+    factors: Vec<f64>,
+}
+
+impl SweepReport {
+    /// Number of trees the sweep covered.
+    pub fn case_count(&self) -> usize {
+        let per_case =
+            self.kinds.len() * self.pairs.len() * self.processors.len() * self.factors.len();
+        self.cells.len().checked_div(per_case).unwrap_or(0)
+    }
+
+    /// The cell for an exact grid point, if that point was on the grid.
+    /// O(axis lengths): computes the position from the grid order.
+    pub fn cell(
+        &self,
+        case_index: usize,
+        kind: HeuristicKind,
+        pair: OrderPair,
+        processors: usize,
+        factor: f64,
+    ) -> Option<&SweepCell> {
+        let k = self.kinds.iter().position(|&x| x == kind)?;
+        let o = self.pairs.iter().position(|&x| x == pair)?;
+        let p = self.processors.iter().position(|&x| x == processors)?;
+        let f = self.factors.iter().position(|&x| x == factor)?;
+        let idx = (((case_index * self.kinds.len() + k) * self.pairs.len() + o)
+            * self.processors.len()
+            + p)
+            * self.factors.len()
+            + f;
+        let cell = self.cells.get(idx)?;
+        debug_assert!(
+            cell.case_index == case_index
+                && cell.kind == kind
+                && cell.pair == pair
+                && cell.processors == processors
+                && cell.factor == factor
+        );
+        Some(cell)
+    }
+
+    /// The cells of one full series — a fixed `(kind, pair, processors,
+    /// factor)` point across every tree, in tree order. All four axes are
+    /// explicit so multi-axis sweeps cannot silently merge series.
+    pub fn series(
+        &self,
+        kind: HeuristicKind,
+        pair: OrderPair,
+        processors: usize,
+        factor: f64,
+    ) -> impl Iterator<Item = &SweepCell> + '_ {
+        (0..self.case_count()).filter_map(move |ci| self.cell(ci, kind, pair, processors, factor))
+    }
+}
+
+/// A declarative scenario grid over a set of [`TreeCase`]s.
+///
+/// ```
+/// use memtree_bench::{Sweep, TreeCase};
+/// use memtree_sched::HeuristicKind;
+///
+/// let cases: Vec<TreeCase> = (0..2)
+///     .map(|s| TreeCase::new(format!("t{s}"), memtree_gen::synthetic::paper_tree(120, s)))
+///     .collect();
+/// let report = Sweep::new(&cases)
+///     .kinds(vec![HeuristicKind::MemBooking, HeuristicKind::Activation])
+///     .factors(vec![1.0, 2.0])
+///     .processors(vec![4])
+///     .run();
+/// assert_eq!(report.cells.len(), 2 * 2 * 2);
+/// ```
+pub struct Sweep<'a> {
+    cases: &'a [TreeCase],
+    kinds: Vec<HeuristicKind>,
+    pairs: Vec<OrderPair>,
+    processors: Vec<usize>,
+    factors: Vec<f64>,
+}
+
+impl<'a> Sweep<'a> {
+    /// A sweep over `cases` with the paper's defaults: MemBooking,
+    /// memPO/memPO, 8 processors, memory factor 2.
+    pub fn new(cases: &'a [TreeCase]) -> Self {
+        Sweep {
+            cases,
+            kinds: vec![HeuristicKind::MemBooking],
+            pairs: vec![OrderPair::default_pair()],
+            processors: vec![8],
+            factors: vec![2.0],
+        }
+    }
+
+    /// Sets the policies axis.
+    pub fn kinds(mut self, kinds: Vec<HeuristicKind>) -> Self {
+        self.kinds = kinds;
+        self
+    }
+
+    /// Sets the order-pair axis.
+    pub fn pairs(mut self, pairs: Vec<OrderPair>) -> Self {
+        self.pairs = pairs;
+        self
+    }
+
+    /// Sets the processor-count axis.
+    pub fn processors(mut self, processors: Vec<usize>) -> Self {
+        self.processors = processors;
+        self
+    }
+
+    /// Sets the memory-factor axis.
+    pub fn factors(mut self, factors: Vec<f64>) -> Self {
+        self.factors = factors;
+        self
+    }
+
+    /// Number of grid cells this sweep will run.
+    pub fn cell_count(&self) -> usize {
+        self.cases.len()
+            * self.kinds.len()
+            * self.pairs.len()
+            * self.processors.len()
+            * self.factors.len()
+    }
+
+    /// Runs every cell, fanned out with rayon; cells return in grid order.
+    pub fn run(&self) -> SweepReport {
+        let mut grid: Vec<(usize, HeuristicKind, OrderPair, usize, f64)> =
+            Vec::with_capacity(self.cell_count());
+        for (case_index, _) in self.cases.iter().enumerate() {
+            for &kind in &self.kinds {
+                for &pair in &self.pairs {
+                    for &p in &self.processors {
+                        for &factor in &self.factors {
+                            grid.push((case_index, kind, pair, p, factor));
+                        }
+                    }
+                }
+            }
+        }
+        let threads: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let cells: Vec<SweepCell> = grid
+            .into_par_iter()
+            .map(|(case_index, kind, pair, p, factor)| {
+                threads
+                    .lock()
+                    .expect("thread-set lock poisoned")
+                    .insert(std::thread::current().id());
+                let case = &self.cases[case_index];
+                SweepCell {
+                    case_index,
+                    tree: case.name.clone(),
+                    kind,
+                    pair,
+                    processors: p,
+                    factor,
+                    outcome: run_heuristic(case, kind, pair, p, factor),
+                }
+            })
+            .collect();
+        let threads_used = threads.lock().expect("thread-set lock poisoned").len();
+        SweepReport {
+            cells,
+            threads_used,
+            kinds: self.kinds.clone(),
+            pairs: self.pairs.clone(),
+            processors: self.processors.clone(),
+            factors: self.factors.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cases(n: usize) -> Vec<TreeCase> {
+        (0..n)
+            .map(|s| {
+                TreeCase::new(
+                    format!("sweep-{s}"),
+                    memtree_gen::synthetic::paper_tree(200, 60 + s as u64),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn grid_is_complete_and_ordered() {
+        let cs = cases(2);
+        let report = Sweep::new(&cs)
+            .kinds(vec![HeuristicKind::MemBooking, HeuristicKind::Activation])
+            .factors(vec![1.0, 3.0])
+            .processors(vec![4])
+            .run();
+        assert_eq!(report.cells.len(), 2 * 2 * 2);
+        // Grid order: case-major, factor innermost.
+        assert_eq!(report.cells[0].case_index, 0);
+        assert_eq!(report.cells[0].factor, 1.0);
+        assert_eq!(report.cells[1].factor, 3.0);
+        assert_eq!(report.cells[4].case_index, 1);
+        // Feasible policies at these factors all schedule.
+        assert!(report.cells.iter().all(|c| c.outcome.scheduled));
+    }
+
+    #[test]
+    fn acceptance_grid_runs_multithreaded() {
+        // The acceptance scenario: ≥ 2 trees × 4 policies × 2 memory
+        // factors, all policy kinds first-class (including RedTree).
+        let cs = cases(2);
+        let report = Sweep::new(&cs)
+            .kinds(vec![
+                HeuristicKind::Activation,
+                HeuristicKind::MemBooking,
+                HeuristicKind::MemBookingRef,
+                HeuristicKind::MemBookingRedTree,
+            ])
+            .factors(vec![2.0, 30.0])
+            .processors(vec![4])
+            .run();
+        assert_eq!(report.cells.len(), 2 * 4 * 2);
+        // Every policy schedules at the roomy factor (30× minimum).
+        for cell in report.cells.iter().filter(|c| c.factor == 30.0) {
+            assert!(cell.outcome.scheduled, "{} at 30x", cell.kind);
+        }
+        if rayon::current_num_threads() > 1 {
+            assert!(
+                report.threads_used > 1,
+                "sweep should use multiple threads, used {}",
+                report.threads_used
+            );
+        }
+    }
+
+    #[test]
+    fn series_and_cell_lookups() {
+        let cs = cases(2);
+        let report = Sweep::new(&cs).factors(vec![1.5]).processors(vec![2]).run();
+        let pair = OrderPair::default_pair();
+        assert_eq!(report.case_count(), 2);
+        assert_eq!(
+            report
+                .series(HeuristicKind::MemBooking, pair, 2, 1.5)
+                .count(),
+            2
+        );
+        let cell = report
+            .cell(1, HeuristicKind::MemBooking, pair, 2, 1.5)
+            .expect("cell exists");
+        assert_eq!(cell.tree, "sweep-1");
+        // Off-grid points are None, not a wrong cell.
+        assert!(report
+            .cell(1, HeuristicKind::Sequential, pair, 2, 1.5)
+            .is_none());
+        assert!(report
+            .cell(1, HeuristicKind::MemBooking, pair, 8, 1.5)
+            .is_none());
+        assert!(report
+            .cell(5, HeuristicKind::MemBooking, pair, 2, 1.5)
+            .is_none());
+    }
+
+    #[test]
+    fn multi_axis_grids_keep_series_separate() {
+        let cs = cases(2);
+        let pairs = vec![
+            OrderPair::default_pair(),
+            OrderPair {
+                ao: memtree_order::OrderKind::MemPostorder,
+                eo: memtree_order::OrderKind::CriticalPath,
+            },
+        ];
+        let report = Sweep::new(&cs)
+            .pairs(pairs.clone())
+            .processors(vec![2, 4])
+            .factors(vec![2.0])
+            .run();
+        // Each (pair, p) series sees exactly one cell per tree.
+        for &pair in &pairs {
+            for &p in &[2usize, 4] {
+                let cells: Vec<_> = report
+                    .series(HeuristicKind::MemBooking, pair, p, 2.0)
+                    .collect();
+                assert_eq!(cells.len(), 2);
+                assert!(cells.iter().all(|c| c.pair == pair && c.processors == p));
+            }
+        }
+    }
+}

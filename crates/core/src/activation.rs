@@ -48,7 +48,10 @@ impl<'a> Activation<'a> {
         check_orders(tree, ao, eo)?;
         let required = ao.sequential_peak(tree);
         if required > memory {
-            return Err(SchedError::InfeasibleMemory { required, available: memory });
+            return Err(SchedError::InfeasibleMemory {
+                required,
+                available: memory,
+            });
         }
         Ok(Activation {
             tree,
@@ -102,7 +105,9 @@ impl Scheduler for Activation<'_> {
         self.activate_while_possible();
 
         while to_start.len() < idle {
-            let Some(Reverse((_, i))) = self.ready.pop() else { break };
+            let Some(Reverse((_, i))) = self.ready.pop() else {
+                break;
+            };
             to_start.push(i);
         }
     }
@@ -113,14 +118,13 @@ impl Scheduler for Activation<'_> {
 }
 
 /// Shared order sanity check.
-pub(crate) fn check_orders(
-    tree: &TaskTree,
-    ao: &Order,
-    eo: &Order,
-) -> Result<(), SchedError> {
+pub(crate) fn check_orders(tree: &TaskTree, ao: &Order, eo: &Order) -> Result<(), SchedError> {
     for o in [ao, eo] {
         if o.len() != tree.len() {
-            return Err(SchedError::OrderMismatch { tree_len: tree.len(), order_len: o.len() });
+            return Err(SchedError::OrderMismatch {
+                tree_len: tree.len(),
+                order_len: o.len(),
+            });
         }
     }
     Ok(())
@@ -185,12 +189,20 @@ mod tests {
         let t = memtree_gen::shapes::spindle(4, 10, TaskSpec::new(0, 1, 1.0));
         let o = orders(&t);
         let m = 10_000;
-        let t1 = simulate(&t, SimConfig::new(1, m), Activation::try_new(&t, &o, &o, m).unwrap())
-            .unwrap()
-            .makespan;
-        let t4 = simulate(&t, SimConfig::new(4, m), Activation::try_new(&t, &o, &o, m).unwrap())
-            .unwrap()
-            .makespan;
+        let t1 = simulate(
+            &t,
+            SimConfig::new(1, m),
+            Activation::try_new(&t, &o, &o, m).unwrap(),
+        )
+        .unwrap()
+        .makespan;
+        let t4 = simulate(
+            &t,
+            SimConfig::new(4, m),
+            Activation::try_new(&t, &o, &o, m).unwrap(),
+        )
+        .unwrap()
+        .makespan;
         assert!(t4 < t1 / 2.0, "spindle should parallelise: {t4} vs {t1}");
     }
 

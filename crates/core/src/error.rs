@@ -15,10 +15,6 @@ pub enum SchedError {
         /// Memory bound requested.
         available: u64,
     },
-    /// `MemBookingRedTree` must be constructed through
-    /// [`crate::redtree::RedTreeBooking::try_new`] because it schedules a
-    /// transformed tree.
-    NeedsTransformedTree,
     /// The orders passed do not belong to the tree (wrong length).
     OrderMismatch {
         /// Nodes in the tree.
@@ -26,21 +22,32 @@ pub enum SchedError {
         /// Nodes in the offending order.
         order_len: usize,
     },
+    /// The policy-spec combination is invalid (e.g. moldable allotment
+    /// caps on a policy other than MemBooking, or a transformed tree
+    /// supplied for a non-transforming kind).
+    InvalidSpec(String),
 }
 
 impl fmt::Display for SchedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SchedError::InfeasibleMemory { required, available } => write!(
+            SchedError::InfeasibleMemory {
+                required,
+                available,
+            } => write!(
                 f,
                 "memory bound {available} below the sequential activation peak {required}"
             ),
-            SchedError::NeedsTransformedTree => {
-                write!(f, "MemBookingRedTree requires the reduction-tree transform; use RedTreeBooking::try_new")
+            SchedError::OrderMismatch {
+                tree_len,
+                order_len,
+            } => {
+                write!(
+                    f,
+                    "order covers {order_len} nodes but the tree has {tree_len}"
+                )
             }
-            SchedError::OrderMismatch { tree_len, order_len } => {
-                write!(f, "order covers {order_len} nodes but the tree has {tree_len}")
-            }
+            SchedError::InvalidSpec(msg) => write!(f, "invalid policy spec: {msg}"),
         }
     }
 }
@@ -53,7 +60,10 @@ mod tests {
 
     #[test]
     fn messages() {
-        let e = SchedError::InfeasibleMemory { required: 100, available: 50 };
+        let e = SchedError::InfeasibleMemory {
+            required: 100,
+            available: 50,
+        };
         assert!(e.to_string().contains("100"));
         assert!(e.to_string().contains("50"));
     }

@@ -22,6 +22,12 @@
 //! All policies guarantee completion when the memory bound admits their
 //! sequential activation order; [`SchedError::InfeasibleMemory`] is
 //! returned up front otherwise.
+//!
+//! Construction goes through [`spec::PolicySpec`] — a declarative value
+//! (kind + order pair + memory bound + optional moldable caps) whose
+//! [`spec::PolicySpec::instantiate`] owns any tree transformation, so
+//! every kind, including the reduction-tree baseline, builds through one
+//! entry point and runs on any `Platform` (see DESIGN.md §6).
 
 pub mod activation;
 pub mod error;
@@ -30,6 +36,7 @@ pub mod membooking;
 pub mod moldable;
 pub mod redtree;
 pub mod seq;
+pub mod spec;
 
 pub use activation::Activation;
 pub use error::SchedError;
@@ -38,9 +45,7 @@ pub use membooking::{MemBooking, MemBookingRef};
 pub use moldable::{AllotmentCaps, MoldableMemBooking};
 pub use redtree::{to_reduction_tree, RedTreeBooking, ReductionTransform};
 pub use seq::Sequential;
-
-use memtree_order::Order;
-use memtree_tree::TaskTree;
+pub use spec::{PolicyInstance, PolicySpec};
 
 /// Which heuristic to instantiate — the legend of Figures 2/9/10/15.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -51,14 +56,27 @@ pub enum HeuristicKind {
     MemBooking,
     /// The reference (unoptimised) MemBooking — same schedule, slower.
     MemBookingRef,
-    /// The reduction-tree booking baseline. Note: this policy runs on the
-    /// *transformed* tree; use [`redtree::RedTreeBooking`] directly.
+    /// The reduction-tree booking baseline. [`PolicySpec::instantiate`]
+    /// applies the reduction-tree transform, so this kind constructs like
+    /// any other; the policy schedules the transformed tree
+    /// ([`PolicyInstance::exec_tree`]).
     MemBookingRedTree,
     /// Sequential execution of the activation order.
     Sequential,
 }
 
 impl HeuristicKind {
+    /// All five policies, in legend order.
+    pub fn all() -> [HeuristicKind; 5] {
+        [
+            HeuristicKind::Activation,
+            HeuristicKind::MemBooking,
+            HeuristicKind::MemBookingRef,
+            HeuristicKind::MemBookingRedTree,
+            HeuristicKind::Sequential,
+        ]
+    }
+
     /// Label used in CSV output, matching the paper's plot legends.
     pub fn label(self) -> &'static str {
         match self {
@@ -75,30 +93,4 @@ impl std::fmt::Display for HeuristicKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
     }
-}
-
-/// Builds the scheduler of the given kind over `tree` with activation order
-/// `ao`, execution order `eo` and memory bound `memory`.
-///
-/// [`HeuristicKind::MemBookingRedTree`] is not constructible here because
-/// it schedules a *different* (transformed) tree; the experiment harness
-/// calls [`redtree::RedTreeBooking::try_new`] directly.
-pub fn build_scheduler<'a>(
-    kind: HeuristicKind,
-    tree: &'a TaskTree,
-    ao: &'a Order,
-    eo: &'a Order,
-    memory: u64,
-) -> Result<Box<dyn memtree_sim::Scheduler + 'a>, SchedError> {
-    Ok(match kind {
-        HeuristicKind::Activation => Box::new(Activation::try_new(tree, ao, eo, memory)?),
-        HeuristicKind::MemBooking => Box::new(MemBooking::try_new(tree, ao, eo, memory)?),
-        HeuristicKind::MemBookingRef => {
-            Box::new(MemBookingRef::try_new(tree, ao, eo, memory)?)
-        }
-        HeuristicKind::Sequential => Box::new(Sequential::try_new(tree, ao, memory)?),
-        HeuristicKind::MemBookingRedTree => {
-            return Err(SchedError::NeedsTransformedTree);
-        }
-    })
 }

@@ -44,7 +44,11 @@ impl LowerBounds {
             .map(|i| tree.mem_needed(i) as f64 * tree.time(i))
             .sum::<f64>()
             / memory as f64;
-        LowerBounds { work, critical_path, memory_aware }
+        LowerBounds {
+            work,
+            critical_path,
+            memory_aware,
+        }
     }
 
     /// The classical bound: `max(work, critical_path)`.

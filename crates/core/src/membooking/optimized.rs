@@ -46,7 +46,10 @@ impl<'a> MemBooking<'a> {
         check_orders(tree, ao, eo)?;
         let required = ao.sequential_peak(tree);
         if required > memory {
-            return Err(SchedError::InfeasibleMemory { required, available: memory });
+            return Err(SchedError::InfeasibleMemory {
+                required,
+                available: memory,
+            });
         }
         let n = tree.len();
         let mut cand = BinaryHeap::with_capacity(tree.leaf_count());
@@ -111,7 +114,10 @@ impl<'a> MemBooking<'a> {
                 break;
             }
             let ix = i.index();
-            debug_assert!(self.bbs[ix] >= b, "subtree booking must include the in-flight B");
+            debug_assert!(
+                self.bbs[ix] >= b,
+                "subtree booking must include the in-flight B"
+            );
             let shortfall = self.mem_needed[ix].saturating_sub(self.bbs[ix] - b);
             let c = b.min(shortfall);
             self.booked[ix] += c;
@@ -185,7 +191,9 @@ impl Scheduler for MemBooking<'_> {
         }
         self.update_cand_act();
         while to_start.len() < idle {
-            let Some(Reverse((_, i))) = self.actf.pop() else { break };
+            let Some(Reverse((_, i))) = self.actf.pop() else {
+                break;
+            };
             debug_assert_eq!(
                 self.booked[i.index()],
                 self.mem_needed[i.index()],

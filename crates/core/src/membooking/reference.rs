@@ -53,12 +53,21 @@ impl<'a> MemBookingRef<'a> {
         check_orders(tree, ao, eo)?;
         let required = ao.sequential_peak(tree);
         if required > memory {
-            return Err(SchedError::InfeasibleMemory { required, available: memory });
+            return Err(SchedError::InfeasibleMemory {
+                required,
+                available: memory,
+            });
         }
         let n = tree.len();
         let state = tree
             .nodes()
-            .map(|i| if tree.is_leaf(i) { State::Cand } else { State::Un })
+            .map(|i| {
+                if tree.is_leaf(i) {
+                    State::Cand
+                } else {
+                    State::Un
+                }
+            })
             .collect();
         Ok(MemBookingRef {
             tree,

@@ -32,7 +32,9 @@ impl AllotmentCaps {
     /// Uniform cap for every task.
     pub fn uniform(tree: &TaskTree, cap: u32) -> Self {
         assert!(cap >= 1);
-        AllotmentCaps { caps: vec![cap; tree.len()] }
+        AllotmentCaps {
+            caps: vec![cap; tree.len()],
+        }
     }
 
     /// Caps proportional to the square root of each task's sequential
@@ -75,7 +77,10 @@ impl<'a> MoldableMemBooking<'a> {
         caps: AllotmentCaps,
     ) -> Result<Self, SchedError> {
         assert_eq!(caps.caps.len(), tree.len(), "one cap per task required");
-        Ok(MoldableMemBooking { inner: MemBooking::try_new(tree, ao, eo, memory)?, caps })
+        Ok(MoldableMemBooking {
+            inner: MemBooking::try_new(tree, ao, eo, memory)?,
+            caps,
+        })
     }
 }
 
@@ -84,12 +89,7 @@ impl MoldableScheduler for MoldableMemBooking<'_> {
         "MoldableMemBooking"
     }
 
-    fn on_event(
-        &mut self,
-        finished: &[NodeId],
-        idle: usize,
-        to_start: &mut Vec<(NodeId, usize)>,
-    ) {
+    fn on_event(&mut self, finished: &[NodeId], idle: usize, to_start: &mut Vec<(NodeId, usize)>) {
         // Let the sequential policy pick which tasks may start: tree
         // parallelism first.
         let mut picks = Vec::new();
@@ -104,8 +104,9 @@ impl MoldableScheduler for MoldableMemBooking<'_> {
         let mut spare = 0usize;
         let mut allotments: Vec<usize> = Vec::with_capacity(picks.len());
         for &i in &picks {
-            let mut q = base + usize::from(extra > 0);
+            let mut q = base;
             if extra > 0 {
+                q += 1;
                 extra -= 1;
             }
             let cap = self.caps.cap(i) as usize;
@@ -159,8 +160,7 @@ mod tests {
 
             let caps = AllotmentCaps::uniform(&tree, p as u32);
             let mold = MoldableMemBooking::try_new(&tree, &ao, &ao, m, caps).unwrap();
-            let mold_trace =
-                simulate_moldable(&tree, p, m, SpeedupModel::Linear, mold).unwrap();
+            let mold_trace = simulate_moldable(&tree, p, m, SpeedupModel::Linear, mold).unwrap();
             mold_trace.validate(&tree, SpeedupModel::Linear).unwrap();
             assert!(
                 mold_trace.makespan <= seq_trace.makespan + 1e-9,
@@ -192,7 +192,9 @@ mod tests {
         let ao = mem_postorder(&tree);
         let m = ao.sequential_peak(&tree);
         let p = 8;
-        let model = SpeedupModel::Amdahl { serial_fraction: 0.5 };
+        let model = SpeedupModel::Amdahl {
+            serial_fraction: 0.5,
+        };
         let caps = AllotmentCaps::uniform(&tree, p as u32);
         let mold = MoldableMemBooking::try_new(&tree, &ao, &ao, m, caps).unwrap();
         let trace = simulate_moldable(&tree, p, m, model, mold).unwrap();

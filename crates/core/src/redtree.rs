@@ -78,10 +78,14 @@ pub fn to_reduction_tree(tree: &TaskTree) -> ReductionTransform {
         }
     }
     let out = b.build().expect("transform preserves tree structure");
-    debug_assert!(out.nodes().all(|i| {
-        out.exec(i) == 0 && (out.is_leaf(i) || out.output(i) <= out.input_size(i))
-    }));
-    ReductionTransform { tree: out, original: n, fictitious_of }
+    debug_assert!(out
+        .nodes()
+        .all(|i| { out.exec(i) == 0 && (out.is_leaf(i) || out.output(i) <= out.input_size(i)) }));
+    ReductionTransform {
+        tree: out,
+        original: n,
+        fictitious_of,
+    }
 }
 
 /// The static escrow bookings of a tree (usually a transformed one).
@@ -101,11 +105,7 @@ fn compute_escrow(tree: &TaskTree, ao: &Order) -> Escrow {
     for &i in ao.sequence() {
         let ix = i.index();
         let needed = tree.mem_needed(i);
-        let avail: u64 = tree
-            .children(i)
-            .iter()
-            .map(|c| transmit[c.index()])
-            .sum();
+        let avail: u64 = tree.children(i).iter().map(|c| transmit[c.index()]).sum();
         delta[ix] = needed.saturating_sub(avail);
         transmit[ix] = (avail + delta[ix]) - (tree.input_size(i) + tree.exec(i));
         debug_assert!(transmit[ix] >= tree.output(i));
@@ -212,7 +212,9 @@ impl Scheduler for RedTreeBooking<'_> {
         }
 
         while to_start.len() < idle {
-            let Some(Reverse((_, i))) = self.ready.pop() else { break };
+            let Some(Reverse((_, i))) = self.ready.pop() else {
+                break;
+            };
             to_start.push(i);
         }
     }
@@ -267,7 +269,10 @@ mod tests {
         let f0 = tr.fictitious_of[0].unwrap();
         assert_eq!(tr.tree.output(f0), 4);
         // MemNeeded(0) in T': inputs (10 + 4) + 0 + 3 = 17 vs original 10+4+3.
-        assert_eq!(tr.tree.mem_needed(memtree_tree::NodeId(0)), t.mem_needed(memtree_tree::NodeId(0)));
+        assert_eq!(
+            tr.tree.mem_needed(memtree_tree::NodeId(0)),
+            t.mem_needed(memtree_tree::NodeId(0))
+        );
     }
 
     #[test]
@@ -285,7 +290,10 @@ mod tests {
                 inflated += 1;
             }
         }
-        assert!(inflated > 5, "inflation should be common on synthetic trees");
+        assert!(
+            inflated > 5,
+            "inflation should be common on synthetic trees"
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ impl<'a> Sequential<'a> {
         check_orders(tree, ao, ao)?;
         let required = ao.sequential_peak(tree);
         if required > memory {
-            return Err(SchedError::InfeasibleMemory { required, available: memory });
+            return Err(SchedError::InfeasibleMemory {
+                required,
+                available: memory,
+            });
         }
         Ok(Sequential {
             tree,

@@ -1,0 +1,355 @@
+//! **`PolicySpec`** — the single, declarative entry point for constructing
+//! any of the paper's scheduling policies (DESIGN.md §6.2).
+//!
+//! A spec is a plain value: policy kind, activation/execution order kinds,
+//! memory bound, optional moldable allotment caps. [`PolicySpec::instantiate`]
+//! turns it into a [`PolicyInstance`] against a concrete tree, **owning any
+//! tree transformation the policy needs**. That absorbs the old
+//! `MemBookingRedTree` special case — the reduction-tree transform
+//! (Section 3.2) happens inside `instantiate`, so the red-tree baseline is
+//! constructible through exactly the same call as every other policy and
+//! the old `SchedError::NeedsTransformedTree` escape hatch is gone.
+//!
+//! A [`PolicyInstance`] is cheap to clone (`Arc`-shared tree and orders)
+//! and can mint any number of independent scheduler states via
+//! [`PolicyInstance::scheduler`] — one per run, so the same instance can be
+//! executed on a simulator, on real threads, or fanned out across a
+//! parallel sweep.
+
+use crate::error::SchedError;
+use crate::moldable::{AllotmentCaps, MoldableMemBooking};
+use crate::redtree::to_reduction_tree;
+use crate::{Activation, HeuristicKind, MemBooking, MemBookingRef, RedTreeBooking, Sequential};
+use memtree_order::{make_order, Order, OrderKind};
+use memtree_sim::Scheduler;
+use memtree_tree::TaskTree;
+use std::sync::Arc;
+
+/// A declarative description of a scheduling policy: everything needed to
+/// construct it against any tree.
+#[derive(Clone, Debug)]
+pub struct PolicySpec {
+    /// Which heuristic to run.
+    pub kind: HeuristicKind,
+    /// Activation-order strategy (`AO`).
+    pub ao: OrderKind,
+    /// Execution-priority strategy (`EO`).
+    pub eo: OrderKind,
+    /// Memory bound `M` (model units).
+    pub memory: u64,
+    /// Optional moldable-task allotment caps; only meaningful for
+    /// [`HeuristicKind::MemBooking`] (the moldable adaptation wraps it).
+    pub caps: Option<AllotmentCaps>,
+}
+
+impl PolicySpec {
+    /// A spec with the paper's default orders (memPO for both).
+    pub fn new(kind: HeuristicKind, memory: u64) -> Self {
+        PolicySpec {
+            kind,
+            ao: OrderKind::MemPostorder,
+            eo: OrderKind::MemPostorder,
+            memory,
+            caps: None,
+        }
+    }
+
+    /// Overrides the order pair.
+    pub fn with_orders(mut self, ao: OrderKind, eo: OrderKind) -> Self {
+        self.ao = ao;
+        self.eo = eo;
+        self
+    }
+
+    /// Overrides the memory bound (e.g. per sweep cell).
+    pub fn with_memory(mut self, memory: u64) -> Self {
+        self.memory = memory;
+        self
+    }
+
+    /// Adds moldable allotment caps (MemBooking only).
+    pub fn with_caps(mut self, caps: AllotmentCaps) -> Self {
+        self.caps = Some(caps);
+        self
+    }
+
+    /// Resolves the spec against `tree`: applies any tree transformation
+    /// the policy needs and computes its orders on the tree the policy
+    /// will actually schedule.
+    ///
+    /// Feasibility (`M ≥` the policy's sequential booking peak) is checked
+    /// when a scheduler state is minted, not here — an instance is pure
+    /// preprocessed data.
+    pub fn instantiate(&self, tree: &TaskTree) -> Result<PolicyInstance, SchedError> {
+        let transformed = match self.kind {
+            HeuristicKind::MemBookingRedTree => Some(Arc::new(to_reduction_tree(tree).tree)),
+            _ => None,
+        };
+        let exec = transformed.as_deref().unwrap_or(tree);
+        let ao = Arc::new(make_order(exec, self.ao));
+        let eo = if self.eo == self.ao {
+            ao.clone()
+        } else {
+            Arc::new(make_order(exec, self.eo))
+        };
+        PolicyInstance::from_parts(
+            self.kind,
+            self.memory,
+            transformed,
+            ao,
+            eo,
+            self.caps.clone(),
+        )
+    }
+}
+
+/// A [`PolicySpec`] resolved against a concrete tree: the (possibly
+/// transformed) tree the policy schedules plus its precomputed orders.
+///
+/// Cheap to clone; mint fresh scheduler state per run with
+/// [`PolicyInstance::scheduler`].
+#[derive(Clone, Debug)]
+pub struct PolicyInstance {
+    kind: HeuristicKind,
+    memory: u64,
+    /// `Some` when the policy schedules a transformed tree (RedTree).
+    transformed: Option<Arc<TaskTree>>,
+    ao: Arc<Order>,
+    eo: Arc<Order>,
+    caps: Option<AllotmentCaps>,
+}
+
+impl PolicyInstance {
+    /// Assembles an instance from preprocessed parts — the cache-friendly
+    /// construction path used by sweep harnesses that share orders and
+    /// transformed trees across many cells.
+    ///
+    /// `transformed` must be `Some` exactly for
+    /// [`HeuristicKind::MemBookingRedTree`], and `ao`/`eo` must be orders
+    /// *of the tree the policy schedules* (the transformed tree for
+    /// RedTree, the original otherwise).
+    pub fn from_parts(
+        kind: HeuristicKind,
+        memory: u64,
+        transformed: Option<Arc<TaskTree>>,
+        ao: Arc<Order>,
+        eo: Arc<Order>,
+        caps: Option<AllotmentCaps>,
+    ) -> Result<Self, SchedError> {
+        if transformed.is_some() != (kind == HeuristicKind::MemBookingRedTree) {
+            return Err(SchedError::InvalidSpec(format!(
+                "a transformed tree is required exactly for MemBookingRedTree, not {kind}"
+            )));
+        }
+        if caps.is_some() && kind != HeuristicKind::MemBooking {
+            return Err(SchedError::InvalidSpec(format!(
+                "moldable allotment caps only apply to MemBooking, not {kind}"
+            )));
+        }
+        Ok(PolicyInstance {
+            kind,
+            memory,
+            transformed,
+            ao,
+            eo,
+            caps,
+        })
+    }
+
+    /// Which heuristic this instance runs.
+    pub fn kind(&self) -> HeuristicKind {
+        self.kind
+    }
+
+    /// The memory bound `M`.
+    pub fn memory(&self) -> u64 {
+        self.memory
+    }
+
+    /// Whether this instance carries moldable allotment caps.
+    pub fn is_moldable(&self) -> bool {
+        self.caps.is_some()
+    }
+
+    /// The activation order (on [`PolicyInstance::exec_tree`]).
+    pub fn ao(&self) -> &Order {
+        &self.ao
+    }
+
+    /// The execution priority (on [`PolicyInstance::exec_tree`]).
+    pub fn eo(&self) -> &Order {
+        &self.eo
+    }
+
+    /// The tree the policy actually schedules: the reduction-tree
+    /// transform for RedTree, `original` otherwise.
+    ///
+    /// Platforms must simulate/execute *this* tree, not `original`.
+    pub fn exec_tree<'t>(&'t self, original: &'t TaskTree) -> &'t TaskTree {
+        self.transformed.as_deref().unwrap_or(original)
+    }
+
+    /// Mints a fresh scheduler state for one run over `original`.
+    ///
+    /// Fails with [`SchedError::InfeasibleMemory`] when the bound is below
+    /// the policy's sequential booking peak (Theorem 1's feasibility
+    /// condition), and [`SchedError::OrderMismatch`] when the instance's
+    /// orders do not belong to the tree.
+    pub fn scheduler<'t>(
+        &'t self,
+        original: &'t TaskTree,
+    ) -> Result<Box<dyn Scheduler + 't>, SchedError> {
+        let tree = self.exec_tree(original);
+        let (ao, eo, m) = (&*self.ao, &*self.eo, self.memory);
+        Ok(match self.kind {
+            HeuristicKind::Activation => Box::new(Activation::try_new(tree, ao, eo, m)?),
+            HeuristicKind::MemBooking => Box::new(MemBooking::try_new(tree, ao, eo, m)?),
+            HeuristicKind::MemBookingRef => Box::new(MemBookingRef::try_new(tree, ao, eo, m)?),
+            HeuristicKind::MemBookingRedTree => Box::new(RedTreeBooking::try_new(tree, ao, eo, m)?),
+            HeuristicKind::Sequential => Box::new(Sequential::try_new(tree, ao, m)?),
+        })
+    }
+
+    /// Mints a fresh *moldable* scheduler state (requires caps; MemBooking
+    /// only). Drive it with `memtree_sim::simulate_moldable`.
+    pub fn moldable<'t>(
+        &'t self,
+        original: &'t TaskTree,
+    ) -> Result<MoldableMemBooking<'t>, SchedError> {
+        let caps = self.caps.clone().ok_or_else(|| {
+            SchedError::InvalidSpec("moldable() requires a spec with allotment caps".into())
+        })?;
+        MoldableMemBooking::try_new(
+            self.exec_tree(original),
+            &self.ao,
+            &self.eo,
+            self.memory,
+            caps,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtree_sim::{simulate, SimConfig};
+
+    #[test]
+    fn every_kind_instantiates_and_runs() {
+        let tree = memtree_gen::synthetic::paper_tree(150, 11);
+        let ao = memtree_order::mem_postorder(&tree);
+        let m = ao.sequential_peak(&tree) * 30; // roomy: RedTree needs slack
+        for kind in [
+            HeuristicKind::Activation,
+            HeuristicKind::MemBooking,
+            HeuristicKind::MemBookingRef,
+            HeuristicKind::MemBookingRedTree,
+            HeuristicKind::Sequential,
+        ] {
+            let inst = PolicySpec::new(kind, m).instantiate(&tree).unwrap();
+            let sched = inst
+                .scheduler(&tree)
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            let exec = inst.exec_tree(&tree);
+            let trace = simulate(exec, SimConfig::new(4, m), sched)
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert_eq!(trace.records.len(), exec.len(), "{kind}");
+            memtree_sim::validate::validate_trace(exec, &trace).unwrap();
+        }
+    }
+
+    #[test]
+    fn redtree_instance_schedules_the_transformed_tree() {
+        let tree = memtree_gen::synthetic::paper_tree(80, 3);
+        let inst = PolicySpec::new(HeuristicKind::MemBookingRedTree, u64::MAX / 4)
+            .instantiate(&tree)
+            .unwrap();
+        let exec = inst.exec_tree(&tree);
+        assert!(exec.len() > tree.len(), "transform adds fictitious leaves");
+        assert!(exec.nodes().all(|i| exec.exec(i) == 0));
+        // Non-transforming kinds pass the original through.
+        let plain = PolicySpec::new(HeuristicKind::MemBooking, 100)
+            .instantiate(&tree)
+            .unwrap();
+        assert!(std::ptr::eq(plain.exec_tree(&tree), &tree));
+    }
+
+    #[test]
+    fn infeasible_memory_surfaces_at_scheduler_minting() {
+        let tree = memtree_gen::synthetic::paper_tree(60, 9);
+        let ao = memtree_order::mem_postorder(&tree);
+        let min = ao.sequential_peak(&tree);
+        let inst = PolicySpec::new(HeuristicKind::MemBooking, min - 1)
+            .instantiate(&tree)
+            .unwrap();
+        assert!(matches!(
+            inst.scheduler(&tree),
+            Err(SchedError::InfeasibleMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn one_instance_mints_many_independent_schedulers() {
+        let tree = memtree_gen::synthetic::paper_tree(100, 21);
+        let ao = memtree_order::mem_postorder(&tree);
+        let m = ao.sequential_peak(&tree);
+        let inst = PolicySpec::new(HeuristicKind::MemBooking, m)
+            .instantiate(&tree)
+            .unwrap();
+        let a = simulate(&tree, SimConfig::new(4, m), inst.scheduler(&tree).unwrap()).unwrap();
+        let b = simulate(&tree, SimConfig::new(4, m), inst.scheduler(&tree).unwrap()).unwrap();
+        assert_eq!(
+            a.makespan, b.makespan,
+            "runs are independent and deterministic"
+        );
+    }
+
+    #[test]
+    fn moldable_spec_builds() {
+        let tree = memtree_gen::synthetic::paper_tree(60, 5);
+        let ao = memtree_order::mem_postorder(&tree);
+        let m = ao.sequential_peak(&tree);
+        let caps = AllotmentCaps::uniform(&tree, 4);
+        let spec = PolicySpec::new(HeuristicKind::MemBooking, m).with_caps(caps);
+        let inst = spec.instantiate(&tree).unwrap();
+        assert!(inst.is_moldable());
+        let sched = inst.moldable(&tree).unwrap();
+        let trace =
+            memtree_sim::simulate_moldable(&tree, 4, m, memtree_sim::SpeedupModel::Linear, sched)
+                .unwrap();
+        trace
+            .validate(&tree, memtree_sim::SpeedupModel::Linear)
+            .unwrap();
+    }
+
+    #[test]
+    fn invalid_spec_combinations_error_instead_of_panicking() {
+        let tree = memtree_gen::synthetic::paper_tree(40, 1);
+        let caps = AllotmentCaps::uniform(&tree, 2);
+        // Caps on a non-MemBooking kind: a clean error through the
+        // fallible path, not an abort.
+        let err = PolicySpec::new(HeuristicKind::Activation, 1_000)
+            .with_caps(caps)
+            .instantiate(&tree)
+            .unwrap_err();
+        assert!(matches!(err, SchedError::InvalidSpec(_)), "got {err}");
+        // moldable() without caps errors likewise.
+        let inst = PolicySpec::new(HeuristicKind::MemBooking, 1_000)
+            .instantiate(&tree)
+            .unwrap();
+        assert!(matches!(
+            inst.moldable(&tree),
+            Err(SchedError::InvalidSpec(_))
+        ));
+    }
+
+    #[test]
+    fn order_kinds_are_respected() {
+        let tree = memtree_gen::synthetic::paper_tree(90, 8);
+        let spec = PolicySpec::new(HeuristicKind::MemBooking, u64::MAX / 4)
+            .with_orders(OrderKind::OptSeq, OrderKind::CriticalPath);
+        let inst = spec.instantiate(&tree).unwrap();
+        assert_eq!(inst.ao().kind(), OrderKind::OptSeq);
+        assert_eq!(inst.eo().kind(), OrderKind::CriticalPath);
+    }
+}

@@ -144,7 +144,10 @@ fn infeasible_error_carries_requirements() {
     let ao = mem_postorder(&tree);
     let need = ao.sequential_peak(&tree);
     match MemBooking::try_new(&tree, &ao, &ao, need - 1).err() {
-        Some(SchedError::InfeasibleMemory { required, available }) => {
+        Some(SchedError::InfeasibleMemory {
+            required,
+            available,
+        }) => {
             assert_eq!(required, need);
             assert_eq!(available, need - 1);
         }
@@ -155,7 +158,11 @@ fn infeasible_error_carries_requirements() {
 #[test]
 fn order_kinds_all_work_as_ao_eo() {
     let tree = memtree_gen::synthetic::paper_tree(80, 9);
-    for ao_kind in [OrderKind::MemPostorder, OrderKind::OptSeq, OrderKind::PerfPostorder] {
+    for ao_kind in [
+        OrderKind::MemPostorder,
+        OrderKind::OptSeq,
+        OrderKind::PerfPostorder,
+    ] {
         for eo_kind in [OrderKind::CriticalPath, OrderKind::MemPostorder] {
             let ao = memtree_order::make_order(&tree, ao_kind);
             let eo = memtree_order::make_order(&tree, eo_kind);

@@ -27,7 +27,12 @@ pub struct TruncatedExp {
 impl TruncatedExp {
     /// The paper's edge-weight distribution.
     pub fn paper_edge_weights() -> Self {
-        TruncatedExp { rate: 1.0, scale: 100.0, lo: 10.0, hi: 10_000.0 }
+        TruncatedExp {
+            rate: 1.0,
+            scale: 100.0,
+            lo: 10.0,
+            hi: 10_000.0,
+        }
     }
 
     /// Draws one sample.

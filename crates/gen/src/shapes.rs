@@ -47,7 +47,12 @@ pub fn complete_kary(k: usize, depth: usize, spec: TaskSpec) -> TaskTree {
 
 /// A caterpillar: a spine chain of `spine` nodes, each spine node carrying
 /// `legs` leaf children. Spine nodes get `spine_spec`, legs `leg_spec`.
-pub fn caterpillar(spine: usize, legs: usize, spine_spec: TaskSpec, leg_spec: TaskSpec) -> TaskTree {
+pub fn caterpillar(
+    spine: usize,
+    legs: usize,
+    spine_spec: TaskSpec,
+    leg_spec: TaskSpec,
+) -> TaskTree {
     assert!(spine > 0);
     let mut b = TreeBuilder::new();
     let mut prev = b.push(None, spine_spec);
@@ -259,11 +264,7 @@ mod tests {
         let t = caterpillar(3, 1, spec(), spec());
         let l = deepest_leaf(&t);
         let s = TreeStats::compute(&t);
-        let maxd = t
-            .leaves()
-            .map(|x| s.depth[x.index()])
-            .max()
-            .unwrap();
+        let maxd = t.leaves().map(|x| s.depth[x.index()]).max().unwrap();
         assert_eq!(s.depth[l.index()], maxd);
     }
 }

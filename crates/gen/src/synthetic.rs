@@ -148,9 +148,7 @@ impl SyntheticConfig {
             let exec = (self.exec_fraction * f).round() as u64;
             let time = match self.time_mode {
                 TimeMode::ProportionalToOutput => self.time_factor * f,
-                TimeMode::ProportionalToDegree => {
-                    self.time_factor * (child_count[i].max(1) as f64)
-                }
+                TimeMode::ProportionalToDegree => self.time_factor * (child_count[i].max(1) as f64),
                 TimeMode::Unit => self.time_factor,
             };
             b.push_with_parent_index(p, TaskSpec::new(exec, f as u64, time));
@@ -229,9 +227,18 @@ mod tests {
         let lifo = mk(FrontierDiscipline::Lifo);
         let random = mk(FrontierDiscipline::Random);
         let biased = mk(FrontierDiscipline::BiasedNewest { q: PAPER_Q });
-        assert!(fifo < random, "fifo {fifo} should be shallower than random {random}");
-        assert!(random < biased, "random {random} should be shallower than biased {biased}");
-        assert!(biased < lifo, "biased {biased} should be shallower than lifo {lifo}");
+        assert!(
+            fifo < random,
+            "fifo {fifo} should be shallower than random {random}"
+        );
+        assert!(
+            random < biased,
+            "random {random} should be shallower than biased {biased}"
+        );
+        assert!(
+            biased < lifo,
+            "biased {biased} should be shallower than lifo {lifo}"
+        );
     }
 
     #[test]

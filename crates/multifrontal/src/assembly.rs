@@ -28,7 +28,10 @@ pub struct AssemblyParams {
 
 impl Default for AssemblyParams {
     fn default() -> Self {
-        AssemblyParams { entry_size: 1, time_scale: 1e-6 }
+        AssemblyParams {
+            entry_size: 1,
+            time_scale: 1e-6,
+        }
     }
 }
 
@@ -65,7 +68,8 @@ pub fn assembly_tree(
         let time = partial_factorization_flops(d, w) * params.time_scale;
         b.push_with_parent_index(sn_parent[s], TaskSpec::new(exec, output, time));
     }
-    b.build().expect("supernode forest with one root is a valid tree")
+    b.build()
+        .expect("supernode forest with one root is a valid tree")
 }
 
 #[cfg(test)]
@@ -98,10 +102,7 @@ mod tests {
 
     #[test]
     fn dense_matrix_is_single_task() {
-        let p = SparsePattern::from_edges(
-            4,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
-        );
+        let p = SparsePattern::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
         let t = pipeline(&p);
         assert_eq!(t.len(), 1);
         let root = t.root();

@@ -78,10 +78,7 @@ mod tests {
     #[test]
     fn dense_counts() {
         // Fully dense 4×4: cc = 4, 3, 2, 1.
-        let p = SparsePattern::from_edges(
-            4,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
-        );
+        let p = SparsePattern::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
         let et = elimination_tree(&p);
         assert_eq!(column_counts(&p, &et), vec![4, 3, 2, 1]);
     }
@@ -99,7 +96,11 @@ mod tests {
         for seed in 0..15 {
             let p = SparsePattern::random_connected(35, 50, seed);
             let et = elimination_tree(&p);
-            assert_eq!(column_counts(&p, &et), brute_force_counts(&p), "seed {seed}");
+            assert_eq!(
+                column_counts(&p, &et),
+                brute_force_counts(&p),
+                "seed {seed}"
+            );
         }
     }
 

@@ -111,7 +111,10 @@ impl CorpusSpec {
         for &(n, extra, seed) in &self.randoms {
             let p = SparsePattern::random_connected(n, extra, seed);
             let perm = ordering::minimum_degree(&p);
-            out.push((format!("random-{n}-{extra}-{seed}"), self.analyze(&p, &perm)));
+            out.push((
+                format!("random-{n}-{extra}-{seed}"),
+                self.analyze(&p, &perm),
+            ));
         }
         out
     }
@@ -136,7 +139,11 @@ mod tests {
             check_consistency(tree).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert!(tree.len() > 1, "{name} degenerate");
             let root = tree.root();
-            assert_eq!(tree.output(root), 0, "{name}: root has a contribution block");
+            assert_eq!(
+                tree.output(root),
+                0,
+                "{name}: root has a contribution block"
+            );
         }
     }
 
@@ -148,13 +155,19 @@ mod tests {
             .map(|(n, t)| (n.clone(), TreeStats::compute(t).height, t.len()))
             .collect();
         // Band trees must be the extreme-aspect ones.
-        let band = stats.iter().find(|(n, _, _)| n.starts_with("band-300")).unwrap();
+        let band = stats
+            .iter()
+            .find(|(n, _, _)| n.starts_with("band-300"))
+            .unwrap();
         assert!(
             band.1 as usize >= band.2 - 2,
             "band tree should be a chain: {band:?}"
         );
         // Grid trees must be much shallower than their size.
-        let grid = stats.iter().find(|(n, _, _)| n.starts_with("grid2d-16")).unwrap();
+        let grid = stats
+            .iter()
+            .find(|(n, _, _)| n.starts_with("grid2d-16"))
+            .unwrap();
         assert!(
             (grid.1 as usize) < grid.2 / 2,
             "ND tree should be shallow: {grid:?}"

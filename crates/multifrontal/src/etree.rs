@@ -107,7 +107,18 @@ mod tests {
         // verify against a brute-force symbolic factorization.
         let p = SparsePattern::from_edges(
             8,
-            &[(0, 3), (0, 5), (1, 4), (1, 7), (2, 3), (2, 6), (3, 7), (4, 6), (5, 6), (6, 7)],
+            &[
+                (0, 3),
+                (0, 5),
+                (1, 4),
+                (1, 7),
+                (2, 3),
+                (2, 6),
+                (3, 7),
+                (4, 6),
+                (5, 6),
+                (6, 7),
+            ],
         );
         let fast = elimination_tree(&p);
         let slow = brute_force_etree(&p);

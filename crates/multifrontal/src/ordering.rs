@@ -208,7 +208,10 @@ mod tests {
     #[test]
     fn nd2d_is_a_permutation() {
         for k in [2usize, 3, 5, 8, 13] {
-            assert!(is_permutation(&nested_dissection_grid2d(k), k * k), "k = {k}");
+            assert!(
+                is_permutation(&nested_dissection_grid2d(k), k * k),
+                "k = {k}"
+            );
         }
     }
 

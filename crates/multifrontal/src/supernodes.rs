@@ -40,10 +40,8 @@ pub fn fundamental_supernodes(parent: &[Option<usize>], cc: &[u64]) -> Vec<Super
     let mut out = Vec::new();
     let mut start = 0usize;
     for j in 1..=n {
-        let extends = j < n
-            && parent[j - 1] == Some(j)
-            && n_children[j] == 1
-            && cc[j] + 1 == cc[j - 1];
+        let extends =
+            j < n && parent[j - 1] == Some(j) && n_children[j] == 1 && cc[j] + 1 == cc[j - 1];
         if !extends {
             out.push(Supernode {
                 first: start,
@@ -58,10 +56,7 @@ pub fn fundamental_supernodes(parent: &[Option<usize>], cc: &[u64]) -> Vec<Super
 
 /// Parent supernode of each supernode (`None` for roots): the supernode
 /// containing the elimination-tree parent of the supernode's last column.
-pub fn supernode_parents(
-    snodes: &[Supernode],
-    parent: &[Option<usize>],
-) -> Vec<Option<usize>> {
+pub fn supernode_parents(snodes: &[Supernode], parent: &[Option<usize>]) -> Vec<Option<usize>> {
     let n = parent.len();
     // Column -> supernode index.
     let mut of_col = vec![usize::MAX; n];
@@ -123,7 +118,11 @@ pub fn amalgamate(
     for s in 0..m {
         if find(s, &absorbed_into) == s {
             new_index[s] = out.len();
-            out.push(Supernode { first: snodes[s].first, width: width[s], front: front[s] });
+            out.push(Supernode {
+                first: snodes[s].first,
+                width: width[s],
+                front: front[s],
+            });
         }
     }
     let mut parents = Vec::with_capacity(out.len());
@@ -145,14 +144,18 @@ mod tests {
 
     #[test]
     fn dense_matrix_is_one_supernode() {
-        let p = SparsePattern::from_edges(
-            4,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
-        );
+        let p = SparsePattern::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
         let et = elimination_tree(&p);
         let cc = column_counts(&p, &et);
         let sn = fundamental_supernodes(&et, &cc);
-        assert_eq!(sn, vec![Supernode { first: 0, width: 4, front: 4 }]);
+        assert_eq!(
+            sn,
+            vec![Supernode {
+                first: 0,
+                width: 4,
+                front: 4
+            }]
+        );
         assert_eq!(sn[0].cb_rows(), 0);
     }
 
@@ -166,7 +169,14 @@ mod tests {
         let cc = column_counts(&p, &et);
         let sn = fundamental_supernodes(&et, &cc);
         assert_eq!(sn.len(), 4);
-        assert_eq!(sn[3], Supernode { first: 3, width: 2, front: 2 });
+        assert_eq!(
+            sn[3],
+            Supernode {
+                first: 3,
+                width: 2,
+                front: 2
+            }
+        );
     }
 
     #[test]

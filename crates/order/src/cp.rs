@@ -64,15 +64,11 @@ mod tests {
     #[test]
     fn random_trees_topological() {
         for seed in 0..10 {
-            let t = memtree_gen::shapes::random_recursive(
-                64,
-                TaskSpec::new(1, 2, 1.0),
-                seed,
-            )
-            .map_specs(|i, mut s| {
-                s.time = ((i.index() * 17) % 4) as f64; // include zeros
-                s
-            });
+            let t = memtree_gen::shapes::random_recursive(64, TaskSpec::new(1, 2, 1.0), seed)
+                .map_specs(|i, mut s| {
+                    s.time = ((i.index() * 17) % 4) as f64; // include zeros
+                    s
+                });
             let o = cp_order(&t);
             t.check_topological(o.sequence()).unwrap();
         }

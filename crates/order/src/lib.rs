@@ -49,9 +49,11 @@ pub fn make_order(tree: &TaskTree, kind: OrderKind) -> Order {
         OrderKind::CriticalPath => cp_order(tree),
         OrderKind::PerfPostorder => perf_postorder(tree),
         OrderKind::AvgMemPostorder => avg_mem_postorder(tree),
-        OrderKind::NaturalPostorder => {
-            Order::new(tree, memtree_tree::traverse::postorder(tree), OrderKind::NaturalPostorder)
-                .expect("natural postorder is topological")
-        }
+        OrderKind::NaturalPostorder => Order::new(
+            tree,
+            memtree_tree::traverse::postorder(tree),
+            OrderKind::NaturalPostorder,
+        )
+        .expect("natural postorder is topological"),
     }
 }

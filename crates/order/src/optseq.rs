@@ -104,7 +104,11 @@ pub fn optimal_traversal(tree: &TaskTree) -> OptimalTraversal {
                 rel.push((p.hill - prev_valley, p.valley - prev_valley, p.nodes));
                 prev_valley = p.valley;
             }
-            debug_assert_eq!(prev_valley, tree.output(c), "subtree must end with f_c resident");
+            debug_assert_eq!(
+                prev_valley,
+                tree.output(c),
+                "subtree must end with f_c resident"
+            );
             input_total += tree.output(c);
         }
         // Non-increasing key; stable, so each child's strictly-decreasing
@@ -115,7 +119,11 @@ pub fn optimal_traversal(tree: &TaskTree) -> OptimalTraversal {
         let mut combined: Vec<Piece> = Vec::with_capacity(rel.len() + 1);
         let mut base = 0u64;
         for (dh, dv, nodes) in rel {
-            let piece = Piece { hill: base + dh, valley: base + dv, nodes };
+            let piece = Piece {
+                hill: base + dh,
+                valley: base + dv,
+                nodes,
+            };
             base = piece.valley;
             push_canonical(&mut combined, piece);
         }
@@ -139,8 +147,8 @@ pub fn optimal_traversal(tree: &TaskTree) -> OptimalTraversal {
     for p in root_pieces {
         seq.extend(p.nodes);
     }
-    let order = Order::new(tree, seq, OrderKind::OptSeq)
-        .expect("optimal traversal must be topological");
+    let order =
+        Order::new(tree, seq, OrderKind::OptSeq).expect("optimal traversal must be topological");
     debug_assert_eq!(order.sequential_peak(tree), peak);
     OptimalTraversal { order, peak }
 }
@@ -173,12 +181,13 @@ mod tests {
     #[test]
     fn never_worse_than_best_postorder() {
         for seed in 0..40 {
-            let t = memtree_gen::shapes::random_recursive(40, TaskSpec::default(), seed)
-                .map_specs(|i, mut s| {
+            let t = memtree_gen::shapes::random_recursive(40, TaskSpec::default(), seed).map_specs(
+                |i, mut s| {
                     s.exec = (i.index() as u64 * 7) % 10;
                     s.output = 1 + (i.index() as u64 * 13) % 20;
                     s
-                });
+                },
+            );
             let opt = optimal_peak(&t);
             let po = min_postorder_peak(&t);
             assert!(opt <= po, "seed {seed}: OptSeq {opt} worse than memPO {po}");
@@ -202,12 +211,12 @@ mod tests {
         let t = TaskTree::from_parents(
             &[None, Some(0), Some(0), Some(1), Some(1), Some(2), Some(2)],
             &[
-                TaskSpec::new(0, 1, 1.0),       // root
-                TaskSpec::new(0, 1, 1.0),       // child A: reduces to 1
-                TaskSpec::new(0, 1, 1.0),       // child B: reduces to 1
-                TaskSpec::new(0, big, 1.0),     // A's leaves: 100 + 100
+                TaskSpec::new(0, 1, 1.0),   // root
+                TaskSpec::new(0, 1, 1.0),   // child A: reduces to 1
+                TaskSpec::new(0, 1, 1.0),   // child B: reduces to 1
+                TaskSpec::new(0, big, 1.0), // A's leaves: 100 + 100
                 TaskSpec::new(0, big, 1.0),
-                TaskSpec::new(0, big, 1.0),     // B's leaves
+                TaskSpec::new(0, big, 1.0), // B's leaves
                 TaskSpec::new(0, big, 1.0),
             ],
         )
@@ -264,12 +273,13 @@ mod tests {
     #[test]
     fn reported_peak_matches_replayed_order() {
         for seed in 0..30 {
-            let t = memtree_gen::shapes::random_recursive(50, TaskSpec::default(), seed)
-                .map_specs(|i, mut s| {
+            let t = memtree_gen::shapes::random_recursive(50, TaskSpec::default(), seed).map_specs(
+                |i, mut s| {
                     s.exec = (i.index() as u64 * 3) % 8;
                     s.output = 1 + (i.index() as u64 * 5) % 12;
                     s
-                });
+                },
+            );
             let o = optimal_traversal(&t);
             assert_eq!(
                 o.peak,
@@ -318,11 +328,8 @@ mod scale_tests {
 
     #[test]
     fn wide_star_runs_fast() {
-        let t = memtree_gen::shapes::star(
-            50_000,
-            TaskSpec::new(0, 1, 1.0),
-            TaskSpec::new(3, 2, 1.0),
-        );
+        let t =
+            memtree_gen::shapes::star(50_000, TaskSpec::new(0, 1, 1.0), TaskSpec::new(3, 2, 1.0));
         let o = optimal_traversal(&t);
         assert_eq!(o.order.len(), 50_000);
         // Star peak: all leaf outputs + the widest leaf in flight + root.

@@ -55,11 +55,7 @@ mod tests {
         assert_eq!(o.sequence(), &[NodeId(1), NodeId(2), NodeId(0)]);
         // And it indeed has lower average memory than the reverse.
         let fwd = sequential_average_memory(&t, o.sequence()).unwrap();
-        let rev = sequential_average_memory(
-            &t,
-            &[NodeId(2), NodeId(1), NodeId(0)],
-        )
-        .unwrap();
+        let rev = sequential_average_memory(&t, &[NodeId(2), NodeId(1), NodeId(0)]).unwrap();
         assert!(fwd < rev, "Smith order {fwd} should beat reverse {rev}");
     }
 

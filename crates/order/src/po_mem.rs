@@ -105,19 +105,27 @@ mod tests {
             &[None, Some(0), Some(0)],
             &[
                 TaskSpec::new(0, 1, 1.0),
-                TaskSpec::new(99, 1, 1.0),  // P = 100, f = 1
-                TaskSpec::new(0, 10, 1.0),  // P = 10, f = 10
+                TaskSpec::new(99, 1, 1.0), // P = 100, f = 1
+                TaskSpec::new(0, 10, 1.0), // P = 10, f = 10
             ],
         )
         .unwrap();
         assert_eq!(min_postorder_peak(&t), 100);
         let order = mem_postorder(&t);
-        assert_eq!(order.sequence()[0], memtree_tree::NodeId(1), "big-peak child first");
+        assert_eq!(
+            order.sequence()[0],
+            memtree_tree::NodeId(1),
+            "big-peak child first"
+        );
         assert_eq!(order.sequential_peak(&t), 100);
         // The reverse order would peak at 10 + 100 = 110.
         let rev = crate::order::Order::new(
             &t,
-            vec![memtree_tree::NodeId(2), memtree_tree::NodeId(1), memtree_tree::NodeId(0)],
+            vec![
+                memtree_tree::NodeId(2),
+                memtree_tree::NodeId(1),
+                memtree_tree::NodeId(0),
+            ],
             OrderKind::NaturalPostorder,
         )
         .unwrap();
@@ -129,17 +137,13 @@ mod tests {
         // The analytic P(root) must equal the replayed peak of the
         // constructed order.
         for seed in 0..20 {
-            let t = memtree_gen::shapes::random_recursive(
-                60,
-                TaskSpec::new(2, 5, 1.0),
-                seed,
-            )
-            .map_specs(|i, mut s| {
-                // Vary sizes deterministically per node.
-                s.exec = (i.index() as u64 * 7) % 13;
-                s.output = 1 + (i.index() as u64 * 11) % 17;
-                s
-            });
+            let t = memtree_gen::shapes::random_recursive(60, TaskSpec::new(2, 5, 1.0), seed)
+                .map_specs(|i, mut s| {
+                    // Vary sizes deterministically per node.
+                    s.exec = (i.index() as u64 * 7) % 13;
+                    s.output = 1 + (i.index() as u64 * 11) % 17;
+                    s
+                });
             let order = mem_postorder(&t);
             assert_eq!(
                 min_postorder_peak(&t),

@@ -1,8 +1,16 @@
-//! The threaded executor.
+//! The threaded executor: real worker threads as a [`Backend`] under the
+//! shared `memtree_sim::driver` loop.
+//!
+//! The main thread owns the scheduler and runs [`memtree_sim::drive`];
+//! workers pull tasks from an MPMC channel, run the [`Workload`] payload
+//! and report completions back. The scheduler sees completions in
+//! real-time order — the dynamic regime the paper designs for — while the
+//! driver re-asserts `actual ≤ booked ≤ M` at every event, so a booking
+//! bug aborts the run rather than silently overcommitting.
 
-use crate::ledger::Ledger;
 use crate::workload::Workload;
 use crossbeam::channel;
+use memtree_sim::driver::{drive, Backend, DriveConfig, DriveError};
 use memtree_sim::Scheduler;
 use memtree_tree::{NodeId, TaskTree};
 use std::fmt;
@@ -43,8 +51,12 @@ pub enum RuntimeError {
         /// Total task count.
         total: usize,
     },
-    /// The memory ledger caught a booking violation.
+    /// The memory ledger caught a booking violation
+    /// (`booked > M` or `actual > booked`).
     Ledger(String),
+    /// The scheduler broke the start protocol (double start, precedence
+    /// violation, or more starts than idle workers).
+    Protocol(String),
     /// Zero workers or another unusable configuration.
     BadConfig(String),
     /// A worker thread panicked.
@@ -58,6 +70,7 @@ impl fmt::Display for RuntimeError {
                 write!(f, "runtime stalled after {completed}/{total} tasks")
             }
             RuntimeError::Ledger(msg) => write!(f, "memory ledger violation: {msg}"),
+            RuntimeError::Protocol(msg) => write!(f, "scheduler protocol violation: {msg}"),
             RuntimeError::BadConfig(msg) => write!(f, "bad runtime config: {msg}"),
             RuntimeError::WorkerPanic => write!(f, "a worker thread panicked"),
         }
@@ -66,35 +79,65 @@ impl fmt::Display for RuntimeError {
 
 impl std::error::Error for RuntimeError {}
 
+fn to_runtime_error(e: DriveError) -> RuntimeError {
+    match e {
+        DriveError::Stalled {
+            completed, total, ..
+        } => RuntimeError::Stalled { completed, total },
+        DriveError::BookedOverBound { .. } | DriveError::ActualOverBooked { .. } => {
+            RuntimeError::Ledger(e.to_string())
+        }
+        DriveError::TooManyStarts { .. }
+        | DriveError::DoubleStart { .. }
+        | DriveError::PrecedenceViolation { .. } => RuntimeError::Protocol(e.to_string()),
+        DriveError::BadConfig(msg) => RuntimeError::BadConfig(msg),
+        DriveError::Backend(_) => RuntimeError::WorkerPanic,
+    }
+}
+
+/// The worker-thread backend: launching sends the task to the channel,
+/// awaiting blocks on the completion channel and drains stragglers.
+struct ThreadedBackend {
+    task_tx: channel::Sender<NodeId>,
+    done_rx: channel::Receiver<NodeId>,
+}
+
+impl Backend for ThreadedBackend {
+    fn launch(&mut self, i: NodeId, _epoch: u32) -> Result<(), DriveError> {
+        self.task_tx
+            .send(i)
+            .map_err(|_| DriveError::Backend("workers exited early".into()))
+    }
+
+    fn await_batch(&mut self, _epoch: u32, batch: &mut Vec<NodeId>) -> Result<(), DriveError> {
+        // Block for one completion, then drain whatever else arrived.
+        match self.done_rx.recv() {
+            Ok(i) => batch.push(i),
+            Err(_) => return Err(DriveError::Backend("a worker thread panicked".into())),
+        }
+        while let Ok(i) = self.done_rx.try_recv() {
+            batch.push(i);
+        }
+        Ok(())
+    }
+}
+
 /// Executes `tree` with `cfg.workers` real threads under `scheduler`.
-///
-/// The main thread owns the scheduler and the ledger; workers pull tasks
-/// from a crossbeam channel, run `workload` and report completions back.
-/// The scheduler sees completions in real-time order — the dynamic regime
-/// the paper designs for.
 pub fn execute<S: Scheduler>(
     tree: &TaskTree,
     cfg: RuntimeConfig,
-    mut scheduler: S,
+    scheduler: S,
     workload: Workload,
 ) -> Result<RuntimeReport, RuntimeError> {
     if cfg.workers == 0 {
         return Err(RuntimeError::BadConfig("zero workers".into()));
     }
-    let n = tree.len();
     let started_at = std::time::Instant::now();
 
     let (task_tx, task_rx) = channel::unbounded::<NodeId>();
     let (done_tx, done_rx) = channel::unbounded::<NodeId>();
 
-    let mut ledger = Ledger::new(tree, cfg.memory);
-    let mut completed = 0usize;
-    let mut in_flight = 0usize;
-    let mut events = 0usize;
-    let mut scheduling_seconds = 0f64;
-    let mut result: Result<(), RuntimeError> = Ok(());
-
-    std::thread::scope(|scope| {
+    let stats = std::thread::scope(|scope| {
         for _ in 0..cfg.workers {
             let task_rx = task_rx.clone();
             let done_tx = done_tx.clone();
@@ -110,65 +153,29 @@ pub fn execute<S: Scheduler>(
         drop(task_rx);
         drop(done_tx);
 
-        let mut finished_batch: Vec<NodeId> = Vec::new();
-        let mut to_start: Vec<NodeId> = Vec::new();
-        loop {
-            let idle = cfg.workers - in_flight;
-            to_start.clear();
-            let t0 = std::time::Instant::now();
-            scheduler.on_event(&finished_batch, idle, &mut to_start);
-            scheduling_seconds += t0.elapsed().as_secs_f64();
-            events += 1;
-
-            for &i in &to_start {
-                ledger.start(i);
-                in_flight += 1;
-                task_tx.send(i).expect("workers alive while main loop runs");
-            }
-            if let Err(msg) = ledger.check(scheduler.booked()) {
-                result = Err(RuntimeError::Ledger(msg));
-                break;
-            }
-            if completed == n {
-                break;
-            }
-            if in_flight == 0 {
-                result = Err(RuntimeError::Stalled { completed, total: n });
-                break;
-            }
-
-            // Block for one completion, then drain whatever else arrived.
-            finished_batch.clear();
-            match done_rx.recv() {
-                Ok(i) => finished_batch.push(i),
-                Err(_) => {
-                    result = Err(RuntimeError::WorkerPanic);
-                    break;
-                }
-            }
-            while let Ok(i) = done_rx.try_recv() {
-                finished_batch.push(i);
-            }
-            finished_batch.sort_unstable();
-            for &i in &finished_batch {
-                ledger.finish(i);
-                in_flight -= 1;
-                completed += 1;
-            }
-        }
-        // Closing the task channel terminates the workers.
+        let mut backend = ThreadedBackend { task_tx, done_rx };
+        let result = drive(
+            tree,
+            DriveConfig::new(cfg.workers, cfg.memory),
+            scheduler,
+            &mut backend,
+        );
+        // Closing the task channel terminates the workers; drain stragglers
+        // so the scope join does not race a worker mid-send.
+        let ThreadedBackend { task_tx, done_rx } = backend;
         drop(task_tx);
-        // Drain stragglers so scope join does not block on full channels.
         while done_rx.try_recv().is_ok() {}
+        result
     });
 
-    result.map(|()| RuntimeReport {
+    let stats = stats.map_err(to_runtime_error)?;
+    Ok(RuntimeReport {
         wall_seconds: started_at.elapsed().as_secs_f64(),
-        tasks_run: completed,
-        peak_actual: ledger.peak_actual(),
-        peak_booked: ledger.peak_booked(),
-        events,
-        scheduling_seconds,
+        tasks_run: stats.completed,
+        peak_actual: stats.peak_actual,
+        peak_booked: stats.peak_booked,
+        events: stats.events,
+        scheduling_seconds: stats.scheduling_seconds,
     })
 }
 
@@ -187,7 +194,10 @@ mod tests {
             let sched = MemBooking::try_new(&tree, &ao, &ao, m).unwrap();
             let report = execute(
                 &tree,
-                RuntimeConfig { workers: 4, memory: m },
+                RuntimeConfig {
+                    workers: 4,
+                    memory: m,
+                },
                 sched,
                 Workload::Noop,
             )
@@ -206,7 +216,10 @@ mod tests {
         let sched = Activation::try_new(&tree, &ao, &ao, m).unwrap();
         let report = execute(
             &tree,
-            RuntimeConfig { workers: 3, memory: m },
+            RuntimeConfig {
+                workers: 3,
+                memory: m,
+            },
             sched,
             Workload::quick(),
         )
@@ -226,9 +239,15 @@ mod tests {
         let sched = MemBooking::try_new(&tree, &ao, &ao, m).unwrap();
         let report = execute(
             &tree,
-            RuntimeConfig { workers: 2, memory: m },
+            RuntimeConfig {
+                workers: 2,
+                memory: m,
+            },
             sched,
-            Workload::AllocTouch { bytes_per_output_unit: 8.0, max_bytes: 1 << 20 },
+            Workload::AllocTouch {
+                bytes_per_output_unit: 8.0,
+                max_bytes: 1 << 20,
+            },
         )
         .unwrap();
         assert_eq!(report.tasks_run, 60);
@@ -241,8 +260,166 @@ mod tests {
         let m = ao.sequential_peak(&tree);
         let sched = MemBooking::try_new(&tree, &ao, &ao, m).unwrap();
         assert!(matches!(
-            execute(&tree, RuntimeConfig { workers: 0, memory: m }, sched, Workload::Noop),
+            execute(
+                &tree,
+                RuntimeConfig {
+                    workers: 0,
+                    memory: m
+                },
+                sched,
+                Workload::Noop
+            ),
             Err(RuntimeError::BadConfig(_))
         ));
+    }
+
+    /// A policy that books correctly but stops issuing work after the
+    /// first task: the driver must detect the stall, not hang.
+    struct GivesUp<'a> {
+        tree: &'a TaskTree,
+        issued: bool,
+    }
+
+    impl memtree_sim::Scheduler for GivesUp<'_> {
+        fn name(&self) -> &str {
+            "gives-up"
+        }
+        fn on_event(
+            &mut self,
+            _: &[memtree_tree::NodeId],
+            _: usize,
+            to_start: &mut Vec<memtree_tree::NodeId>,
+        ) {
+            if !self.issued {
+                self.issued = true;
+                // Issue exactly one leaf, then go silent forever.
+                to_start.push(self.tree.leaves().next().expect("tree has a leaf"));
+            }
+        }
+        fn booked(&self) -> u64 {
+            u64::MAX / 2
+        }
+    }
+
+    #[test]
+    fn stalled_policy_detected() {
+        let tree = memtree_gen::synthetic::paper_tree(40, 3);
+        let err = execute(
+            &tree,
+            RuntimeConfig {
+                workers: 2,
+                memory: u64::MAX / 2,
+            },
+            GivesUp {
+                tree: &tree,
+                issued: false,
+            },
+            Workload::Noop,
+        )
+        .unwrap_err();
+        match err {
+            RuntimeError::Stalled { completed, total } => {
+                assert_eq!(completed, 1);
+                assert_eq!(total, tree.len());
+            }
+            other => panic!("expected Stalled, got {other}"),
+        }
+    }
+
+    /// A policy whose `booked()` under-reports (books nothing while tasks
+    /// hold memory): the ledger check must abort the run.
+    struct UnderBooker {
+        ready: Vec<memtree_tree::NodeId>,
+    }
+
+    impl memtree_sim::Scheduler for UnderBooker {
+        fn name(&self) -> &str {
+            "under-booker"
+        }
+        fn on_event(
+            &mut self,
+            finished: &[memtree_tree::NodeId],
+            idle: usize,
+            to_start: &mut Vec<memtree_tree::NodeId>,
+        ) {
+            let _ = finished;
+            while to_start.len() < idle {
+                let Some(i) = self.ready.pop() else { break };
+                to_start.push(i);
+            }
+        }
+        fn booked(&self) -> u64 {
+            0 // lies: running tasks hold actual memory
+        }
+    }
+
+    #[test]
+    fn underbooking_policy_aborts_with_ledger_error() {
+        let tree = memtree_gen::synthetic::paper_tree(40, 4);
+        let ready: Vec<_> = tree.leaves().collect();
+        let err = execute(
+            &tree,
+            RuntimeConfig {
+                workers: 2,
+                memory: u64::MAX / 2,
+            },
+            UnderBooker { ready },
+            Workload::Noop,
+        )
+        .unwrap_err();
+        match err {
+            RuntimeError::Ledger(msg) => {
+                assert!(msg.contains("exceeds booked"), "unexpected message: {msg}")
+            }
+            other => panic!("expected Ledger, got {other}"),
+        }
+        // The tree itself is fine: leaves exist and hold output memory.
+        assert!(tree.leaves().next().is_some());
+    }
+
+    /// A policy that books over the bound must abort with a ledger error
+    /// too (the `booked ≤ M` half of the invariant).
+    struct OverBooker<'a> {
+        tree: &'a TaskTree,
+        started: bool,
+    }
+
+    impl memtree_sim::Scheduler for OverBooker<'_> {
+        fn name(&self) -> &str {
+            "over-booker"
+        }
+        fn on_event(
+            &mut self,
+            _: &[memtree_tree::NodeId],
+            _: usize,
+            to_start: &mut Vec<memtree_tree::NodeId>,
+        ) {
+            if !self.started {
+                self.started = true;
+                to_start.push(self.tree.leaves().next().expect("tree has a leaf"));
+            }
+        }
+        fn booked(&self) -> u64 {
+            u64::MAX // far over any bound
+        }
+    }
+
+    #[test]
+    fn overbooking_policy_aborts_with_ledger_error() {
+        let tree = memtree_gen::synthetic::paper_tree(30, 5);
+        let err = execute(
+            &tree,
+            RuntimeConfig {
+                workers: 2,
+                memory: 1_000,
+            },
+            OverBooker {
+                tree: &tree,
+                started: false,
+            },
+            Workload::Noop,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RuntimeError::Ledger(_)), "got {err}");
     }
 }

@@ -1,18 +1,25 @@
 #![warn(missing_docs)]
 //! Threaded runtime: execute a task tree with real worker threads under a
-//! memory-aware scheduler.
+//! memory-aware scheduler, and the unified [`platform`] API.
 //!
 //! The paper argues MemBooking's overhead is small enough "to allow its
 //! runtime execution" — this crate closes the loop by driving the very
 //! same [`memtree_sim::Scheduler`] implementations with genuine threads
 //! instead of simulated time. Completion order is whatever the OS makes of
-//! it, exercising the schedulers' dynamic behaviour; a main-thread
-//! [`ledger`] re-asserts `actual ≤ booked ≤ M` at every event, so a
-//! booking bug would abort the run rather than silently overcommit.
+//! it, exercising the schedulers' dynamic behaviour; the shared
+//! `memtree_sim::driver` loop re-asserts `actual ≤ booked ≤ M` at every
+//! event, so a booking bug aborts the run rather than silently
+//! overcommitting.
+//!
+//! The [`platform`] module is the one entry point for running a
+//! `memtree_sched::PolicySpec` in either regime — [`SimPlatform`] (virtual
+//! time) or [`ThreadedPlatform`] (real threads) — behind the common
+//! [`Platform`] trait returning a common [`RunReport`].
 
 pub mod executor;
-pub mod ledger;
+pub mod platform;
 pub mod workload;
 
 pub use executor::{execute, RuntimeConfig, RuntimeError, RuntimeReport};
+pub use platform::{Platform, PlatformError, RunReport, SimPlatform, ThreadedPlatform};
 pub use workload::Workload;

@@ -1,0 +1,349 @@
+//! **`Platform`** — one way to run a [`PolicySpec`] anywhere
+//! (DESIGN.md §6.3).
+//!
+//! The paper evaluates the same event-driven booking policies in two
+//! execution regimes: discrete-event simulation (fast, deterministic,
+//! virtual time) and a real threaded runtime (OS-ordered completions,
+//! wall-clock time). A [`Platform`] abstracts the regime: hand it a spec
+//! and a tree, get back a common [`RunReport`]. Both implementations share
+//! the `memtree_sim::driver` event loop, so the scheduler contract —
+//! precedence, capacity, `actual ≤ booked ≤ M` — is enforced identically
+//! on both.
+//!
+//! ```
+//! use memtree_runtime::platform::{Platform, SimPlatform, ThreadedPlatform};
+//! use memtree_sched::{HeuristicKind, PolicySpec};
+//!
+//! let tree = memtree_gen::synthetic::paper_tree(100, 1);
+//! let ao = memtree_order::mem_postorder(&tree);
+//! let spec = PolicySpec::new(HeuristicKind::MemBooking, ao.sequential_peak(&tree));
+//!
+//! let sim = SimPlatform::new(4).run(&tree, &spec).unwrap();
+//! let real = ThreadedPlatform::new(4).run(&tree, &spec).unwrap();
+//! assert_eq!(sim.tasks_run, real.tasks_run);
+//! ```
+
+use crate::executor::{execute, RuntimeConfig, RuntimeError};
+use crate::workload::Workload;
+use memtree_sched::{PolicyInstance, PolicySpec, SchedError};
+use memtree_sim::{simulate, SimConfig, SimError, SpeedupModel};
+use memtree_tree::TaskTree;
+use std::fmt;
+
+/// The common outcome of running a policy on any platform.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Platform name (`"sim"` or `"threaded"`).
+    pub platform: &'static str,
+    /// Scheduler name as reported by the policy.
+    pub policy: String,
+    /// Completion time in the platform's own clock: virtual time on the
+    /// simulator, wall-clock seconds on the threaded runtime.
+    pub makespan: f64,
+    /// Wall-clock duration of the run (== `makespan` on the threaded
+    /// runtime).
+    pub wall_seconds: f64,
+    /// Peak memory booked by the policy.
+    pub peak_booked: u64,
+    /// Peak model-level resident memory.
+    pub peak_actual: u64,
+    /// Scheduler events processed.
+    pub events: usize,
+    /// Wall-clock seconds spent inside scheduler callbacks.
+    pub scheduling_seconds: f64,
+    /// Tasks executed — the node count of the policy's
+    /// [`PolicyInstance::exec_tree`] on success (larger than the original
+    /// tree for RedTree, whose transform adds fictitious leaves).
+    pub tasks_run: usize,
+}
+
+/// Failures of a platform run.
+#[derive(Debug)]
+pub enum PlatformError {
+    /// The policy could not be constructed (infeasible memory, order
+    /// mismatch).
+    Sched(SchedError),
+    /// The simulator rejected the run.
+    Sim(SimError),
+    /// The threaded runtime rejected the run.
+    Runtime(RuntimeError),
+    /// The platform cannot run this spec (e.g. moldable caps on the
+    /// threaded runtime).
+    Unsupported(String),
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::Sched(e) => write!(f, "policy construction failed: {e}"),
+            PlatformError::Sim(e) => write!(f, "simulation failed: {e}"),
+            PlatformError::Runtime(e) => write!(f, "threaded execution failed: {e}"),
+            PlatformError::Unsupported(msg) => write!(f, "unsupported on this platform: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+impl From<SchedError> for PlatformError {
+    fn from(e: SchedError) -> Self {
+        PlatformError::Sched(e)
+    }
+}
+
+impl From<SimError> for PlatformError {
+    fn from(e: SimError) -> Self {
+        PlatformError::Sim(e)
+    }
+}
+
+impl From<RuntimeError> for PlatformError {
+    fn from(e: RuntimeError) -> Self {
+        PlatformError::Runtime(e)
+    }
+}
+
+impl PlatformError {
+    /// True when the failure is the policy's feasibility refusal — the
+    /// "unable to schedule within the bound" outcome experiment harnesses
+    /// count rather than propagate.
+    pub fn is_infeasible(&self) -> bool {
+        matches!(
+            self,
+            PlatformError::Sched(SchedError::InfeasibleMemory { .. })
+        )
+    }
+}
+
+/// An execution regime for scheduling policies.
+pub trait Platform {
+    /// Platform name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Runs an already-instantiated policy over `tree`.
+    fn run_instance(
+        &self,
+        tree: &TaskTree,
+        instance: &PolicyInstance,
+    ) -> Result<RunReport, PlatformError>;
+
+    /// Instantiates `spec` against `tree` (applying any tree transform)
+    /// and runs it.
+    fn run(&self, tree: &TaskTree, spec: &PolicySpec) -> Result<RunReport, PlatformError> {
+        let instance = spec.instantiate(tree)?;
+        self.run_instance(tree, &instance)
+    }
+}
+
+/// The discrete-event simulator as a platform.
+#[derive(Clone, Copy, Debug)]
+pub struct SimPlatform {
+    /// Simulated processor count `p`.
+    pub processors: usize,
+    /// Speedup model used when the spec carries moldable caps.
+    pub speedup: SpeedupModel,
+}
+
+impl SimPlatform {
+    /// `p` simulated processors, linear moldable speedup.
+    pub fn new(processors: usize) -> Self {
+        SimPlatform {
+            processors,
+            speedup: SpeedupModel::Linear,
+        }
+    }
+
+    /// Overrides the moldable speedup model.
+    pub fn with_speedup(mut self, speedup: SpeedupModel) -> Self {
+        self.speedup = speedup;
+        self
+    }
+}
+
+impl Platform for SimPlatform {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn run_instance(
+        &self,
+        tree: &TaskTree,
+        instance: &PolicyInstance,
+    ) -> Result<RunReport, PlatformError> {
+        let exec = instance.exec_tree(tree);
+        let started_at = std::time::Instant::now();
+        if instance.is_moldable() {
+            let sched = instance.moldable(tree)?;
+            let trace = memtree_sim::simulate_moldable(
+                exec,
+                self.processors,
+                instance.memory(),
+                self.speedup,
+                sched,
+            )?;
+            debug_assert!(trace.validate(exec, self.speedup).is_ok());
+            return Ok(RunReport {
+                platform: self.name(),
+                policy: trace.scheduler.clone(),
+                makespan: trace.makespan,
+                wall_seconds: started_at.elapsed().as_secs_f64(),
+                peak_booked: trace.peak_booked,
+                peak_actual: trace.peak_actual,
+                events: trace.events,
+                scheduling_seconds: trace.scheduling_seconds,
+                tasks_run: trace.records.len(),
+            });
+        }
+        let sched = instance.scheduler(tree)?;
+        let trace = simulate(
+            exec,
+            SimConfig::new(self.processors, instance.memory()),
+            sched,
+        )?;
+        debug_assert!(memtree_sim::validate::validate_trace(exec, &trace).is_ok());
+        Ok(RunReport {
+            platform: self.name(),
+            policy: trace.scheduler.clone(),
+            makespan: trace.makespan,
+            wall_seconds: started_at.elapsed().as_secs_f64(),
+            peak_booked: trace.peak_booked,
+            peak_actual: trace.peak_actual,
+            events: trace.events,
+            scheduling_seconds: trace.scheduling_seconds,
+            tasks_run: trace.records.len(),
+        })
+    }
+}
+
+/// The real threaded runtime as a platform.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadedPlatform {
+    /// Worker-thread count.
+    pub workers: usize,
+    /// Per-task payload executed by the workers.
+    pub workload: Workload,
+}
+
+impl ThreadedPlatform {
+    /// `workers` threads running the no-op payload (pure scheduling
+    /// overhead).
+    pub fn new(workers: usize) -> Self {
+        ThreadedPlatform {
+            workers,
+            workload: Workload::Noop,
+        }
+    }
+
+    /// Overrides the per-task payload.
+    pub fn with_workload(mut self, workload: Workload) -> Self {
+        self.workload = workload;
+        self
+    }
+}
+
+impl Platform for ThreadedPlatform {
+    fn name(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn run_instance(
+        &self,
+        tree: &TaskTree,
+        instance: &PolicyInstance,
+    ) -> Result<RunReport, PlatformError> {
+        if instance.is_moldable() {
+            return Err(PlatformError::Unsupported(
+                "moldable allotments need the simulator (workers are single-threaded)".into(),
+            ));
+        }
+        let exec = instance.exec_tree(tree);
+        let sched = instance.scheduler(tree)?;
+        let policy = sched.name().to_string();
+        let report = execute(
+            exec,
+            RuntimeConfig {
+                workers: self.workers,
+                memory: instance.memory(),
+            },
+            sched,
+            self.workload,
+        )?;
+        Ok(RunReport {
+            platform: self.name(),
+            policy,
+            makespan: report.wall_seconds,
+            wall_seconds: report.wall_seconds,
+            peak_booked: report.peak_booked,
+            peak_actual: report.peak_actual,
+            events: report.events,
+            scheduling_seconds: report.scheduling_seconds,
+            tasks_run: report.tasks_run,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtree_sched::HeuristicKind;
+
+    fn min_memory(tree: &TaskTree) -> u64 {
+        memtree_order::mem_postorder(tree).sequential_peak(tree)
+    }
+
+    #[test]
+    fn every_kind_runs_on_both_platforms() {
+        let tree = memtree_gen::synthetic::paper_tree(120, 17);
+        let m = min_memory(&tree) * 30; // roomy so RedTree is feasible
+        let platforms: [&dyn Platform; 2] = [&SimPlatform::new(4), &ThreadedPlatform::new(4)];
+        for kind in HeuristicKind::all() {
+            let spec = PolicySpec::new(kind, m);
+            for p in platforms {
+                let report = p
+                    .run(&tree, &spec)
+                    .unwrap_or_else(|e| panic!("{kind} on {}: {e}", p.name()));
+                assert!(report.tasks_run >= tree.len(), "{kind} on {}", p.name());
+                assert!(report.peak_booked <= m);
+                assert!(report.peak_actual <= report.peak_booked);
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_memory_is_distinguishable() {
+        let tree = memtree_gen::synthetic::paper_tree(60, 2);
+        let spec = PolicySpec::new(HeuristicKind::MemBooking, min_memory(&tree) - 1);
+        let err = SimPlatform::new(4).run(&tree, &spec).unwrap_err();
+        assert!(err.is_infeasible(), "got {err}");
+        let err = ThreadedPlatform::new(4).run(&tree, &spec).unwrap_err();
+        assert!(err.is_infeasible(), "got {err}");
+    }
+
+    #[test]
+    fn moldable_runs_on_sim_only() {
+        let tree = memtree_gen::synthetic::paper_tree(60, 6);
+        let m = min_memory(&tree);
+        let caps = memtree_sched::AllotmentCaps::uniform(&tree, 4);
+        let spec = PolicySpec::new(HeuristicKind::MemBooking, m).with_caps(caps);
+        let report = SimPlatform::new(4).run(&tree, &spec).unwrap();
+        assert_eq!(report.tasks_run, tree.len());
+        let err = ThreadedPlatform::new(4).run(&tree, &spec).unwrap_err();
+        assert!(matches!(err, PlatformError::Unsupported(_)));
+    }
+
+    #[test]
+    fn redtree_spec_runs_end_to_end_on_both_platforms() {
+        // The acceptance scenario: MemBookingRedTree is a first-class
+        // PolicySpec kind on sim AND threads.
+        let tree = memtree_gen::synthetic::paper_tree(100, 23);
+        let m = min_memory(&tree) * 40;
+        let spec = PolicySpec::new(HeuristicKind::MemBookingRedTree, m);
+        let sim = SimPlatform::new(4).run(&tree, &spec).unwrap();
+        let thr = ThreadedPlatform::new(4).run(&tree, &spec).unwrap();
+        assert_eq!(sim.tasks_run, thr.tasks_run);
+        assert!(
+            sim.tasks_run > tree.len(),
+            "transform adds fictitious tasks"
+        );
+    }
+}

@@ -37,27 +37,39 @@ pub enum Workload {
 impl Workload {
     /// A fast default for tests: sleep 20 µs per time unit, max 2 ms.
     pub fn quick() -> Self {
-        Workload::Sleep { nanos_per_time_unit: 20_000.0, max_nanos: 2_000_000 }
+        Workload::Sleep {
+            nanos_per_time_unit: 20_000.0,
+            max_nanos: 2_000_000,
+        }
     }
 
     /// Runs the payload for task `i`.
     pub fn run(&self, tree: &TaskTree, i: NodeId) {
         match *self {
             Workload::Noop => {}
-            Workload::Sleep { nanos_per_time_unit, max_nanos } => {
+            Workload::Sleep {
+                nanos_per_time_unit,
+                max_nanos,
+            } => {
                 let nanos = ((tree.time(i) * nanos_per_time_unit) as u64).min(max_nanos);
                 if nanos > 0 {
                     std::thread::sleep(std::time::Duration::from_nanos(nanos));
                 }
             }
-            Workload::Spin { nanos_per_time_unit, max_nanos } => {
+            Workload::Spin {
+                nanos_per_time_unit,
+                max_nanos,
+            } => {
                 let nanos = ((tree.time(i) * nanos_per_time_unit) as u64).min(max_nanos);
                 let deadline = std::time::Instant::now() + std::time::Duration::from_nanos(nanos);
                 while std::time::Instant::now() < deadline {
                     std::hint::spin_loop();
                 }
             }
-            Workload::AllocTouch { bytes_per_output_unit, max_bytes } => {
+            Workload::AllocTouch {
+                bytes_per_output_unit,
+                max_bytes,
+            } => {
                 let bytes = ((tree.output(i) as f64 * bytes_per_output_unit) as usize)
                     .clamp(1, max_bytes.max(1));
                 let mut buf = vec![0u8; bytes];
@@ -85,7 +97,10 @@ mod tests {
     #[test]
     fn sleep_respects_cap() {
         let t = tree();
-        let w = Workload::Sleep { nanos_per_time_unit: 1e12, max_nanos: 1_000_000 };
+        let w = Workload::Sleep {
+            nanos_per_time_unit: 1e12,
+            max_nanos: 1_000_000,
+        };
         let start = std::time::Instant::now();
         w.run(&t, memtree_tree::NodeId(0));
         assert!(start.elapsed() < std::time::Duration::from_millis(100));
@@ -97,8 +112,14 @@ mod tests {
         for w in [
             Workload::Noop,
             Workload::quick(),
-            Workload::Spin { nanos_per_time_unit: 10.0, max_nanos: 10_000 },
-            Workload::AllocTouch { bytes_per_output_unit: 16.0, max_bytes: 1 << 16 },
+            Workload::Spin {
+                nanos_per_time_unit: 10.0,
+                max_nanos: 10_000,
+            },
+            Workload::AllocTouch {
+                bytes_per_output_unit: 16.0,
+                max_bytes: 1 << 16,
+            },
         ] {
             w.run(&t, memtree_tree::NodeId(0));
         }

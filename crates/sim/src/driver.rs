@@ -1,0 +1,498 @@
+//! The shared event-loop driver behind every execution platform.
+//!
+//! The discrete-event engine ([`crate::simulate`]) and the threaded runtime
+//! (`memtree_runtime::execute`) used to each hand-roll the same loop:
+//! deliver a completion batch to the scheduler, start the requested tasks,
+//! re-check the booking invariants, drain the next batch. The only genuine
+//! difference between them is *where completions come from* — a virtual
+//! clock or real worker threads. [`drive`] owns the loop once; a
+//! [`Backend`] supplies the completions.
+//!
+//! The driver enforces the full scheduler contract on every platform:
+//!
+//! * precedence — a started task has all children finished;
+//! * single start — no task starts twice;
+//! * capacity — at most `idle` starts per event;
+//! * booking — `actual ≤ booked ≤ M` at every event (configurable);
+//! * progress — no event may leave zero tasks in flight while the tree is
+//!   unfinished (the stall/deadlock check).
+//!
+//! This is strictly stronger than the old threaded executor, which only
+//! checked the booking ledger.
+
+use crate::scheduler::Scheduler;
+use memtree_tree::memory::LiveSet;
+use memtree_tree::{NodeId, TaskTree};
+
+/// Driver configuration shared by all platforms.
+#[derive(Clone, Copy, Debug)]
+pub struct DriveConfig {
+    /// Number of processors / worker threads (the model's `p`).
+    pub workers: usize,
+    /// Shared memory bound `M` (model units).
+    pub memory: u64,
+    /// Check `actual ≤ booked ≤ M` at every event. Booking-sound
+    /// schedulers (all of the paper's) must pass; disable only for
+    /// deliberately unsound baselines.
+    pub enforce_booking: bool,
+    /// Measure wall-clock time spent inside scheduler callbacks.
+    pub measure_overhead: bool,
+}
+
+impl DriveConfig {
+    /// `workers` processors and memory `M`, all checks on.
+    pub fn new(workers: usize, memory: u64) -> Self {
+        DriveConfig {
+            workers,
+            memory,
+            enforce_booking: true,
+            measure_overhead: true,
+        }
+    }
+}
+
+/// What the driver learned from a completed run.
+#[derive(Clone, Copy, Debug)]
+pub struct DriveStats {
+    /// Events processed (task-completion batches + the initial event).
+    pub events: usize,
+    /// Wall-clock seconds spent inside scheduler callbacks.
+    pub scheduling_seconds: f64,
+    /// Peak memory booked by the policy.
+    pub peak_booked: u64,
+    /// Peak model-level resident memory (replayed by the driver).
+    pub peak_actual: u64,
+    /// Tasks completed (the full tree on success).
+    pub completed: usize,
+}
+
+/// Errors raised by [`drive`]; the platforms map these onto their public
+/// error types.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DriveError {
+    /// The scheduler requested more starts than idle workers.
+    TooManyStarts {
+        /// Starts requested.
+        requested: usize,
+        /// Idle workers available.
+        idle: usize,
+    },
+    /// The scheduler started a task twice.
+    DoubleStart {
+        /// The doubly started task.
+        node: NodeId,
+    },
+    /// The scheduler started a task whose children were not all finished.
+    PrecedenceViolation {
+        /// The prematurely started task.
+        node: NodeId,
+    },
+    /// The scheduler's booked memory exceeded the bound.
+    BookedOverBound {
+        /// Booked memory at the violation.
+        booked: u64,
+        /// The memory bound `M`.
+        bound: u64,
+    },
+    /// Actual resident memory exceeded the scheduler's booking.
+    ActualOverBooked {
+        /// Replayed actual resident memory.
+        actual: u64,
+        /// Booked memory at the same instant.
+        booked: u64,
+    },
+    /// No task is in flight, the scheduler started none, and the tree is
+    /// unfinished — the policy deadlocked.
+    Stalled {
+        /// Tasks completed before the stall.
+        completed: usize,
+        /// Total tasks in the tree.
+        total: usize,
+        /// Booked memory at the stall, for diagnosis.
+        booked: u64,
+    },
+    /// Zero workers or an otherwise unusable configuration.
+    BadConfig(String),
+    /// The backend lost its ability to complete tasks (e.g. a worker
+    /// thread panicked).
+    Backend(String),
+}
+
+impl std::fmt::Display for DriveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriveError::TooManyStarts { requested, idle } => {
+                write!(
+                    f,
+                    "scheduler started {requested} tasks with only {idle} idle workers"
+                )
+            }
+            DriveError::DoubleStart { node } => write!(f, "task {node:?} started twice"),
+            DriveError::PrecedenceViolation { node } => {
+                write!(f, "task {node:?} started before its children finished")
+            }
+            DriveError::BookedOverBound { booked, bound } => {
+                write!(f, "booked memory {booked} exceeds the bound {bound}")
+            }
+            DriveError::ActualOverBooked { actual, booked } => {
+                write!(f, "actual memory {actual} exceeds booked memory {booked}")
+            }
+            DriveError::Stalled {
+                completed,
+                total,
+                booked,
+            } => write!(
+                f,
+                "scheduler stalled after {completed}/{total} tasks (booked = {booked})"
+            ),
+            DriveError::BadConfig(msg) => write!(f, "bad driver config: {msg}"),
+            DriveError::Backend(msg) => write!(f, "execution backend failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DriveError {}
+
+/// An execution vehicle under the shared driver loop.
+///
+/// The driver owns scheduler interaction and every invariant check; the
+/// backend owns task execution: [`Backend::launch`] makes a task run,
+/// [`Backend::await_batch`] blocks until at least one task completes.
+pub trait Backend {
+    /// Starts task `i` at the current instant. `epoch` is the driver's
+    /// event index (useful for trace records). The driver guarantees a
+    /// worker is idle.
+    fn launch(&mut self, i: NodeId, epoch: u32) -> Result<(), DriveError>;
+
+    /// Observation hook, called once per event after the booking checks
+    /// with the current memory state (used for memory profiles).
+    fn observe(&mut self, actual: u64, booked: u64) {
+        let _ = (actual, booked);
+    }
+
+    /// Blocks until at least one launched task completes and pushes the
+    /// completions into `batch` (driver sorts them). `epoch` is the event
+    /// index the completions will take effect at, minus one. The driver
+    /// guarantees at least one task is in flight.
+    fn await_batch(&mut self, epoch: u32, batch: &mut Vec<NodeId>) -> Result<(), DriveError>;
+}
+
+/// Runs `scheduler` over `tree` on `backend` until the whole tree has
+/// completed or an invariant breaks.
+pub fn drive<S: Scheduler, B: Backend>(
+    tree: &TaskTree,
+    cfg: DriveConfig,
+    mut scheduler: S,
+    backend: &mut B,
+) -> Result<DriveStats, DriveError> {
+    if cfg.workers == 0 {
+        return Err(DriveError::BadConfig("zero workers".into()));
+    }
+    let n = tree.len();
+    let mut started = vec![false; n];
+    let mut finished = vec![false; n];
+    let mut live = LiveSet::new(tree);
+    let mut peak_booked = 0u64;
+    let mut completed = 0usize;
+    let mut in_flight = 0usize;
+    let mut events = 0usize;
+    let mut scheduling_seconds = 0f64;
+    let mut to_start: Vec<NodeId> = Vec::new();
+    let mut finished_batch: Vec<NodeId> = Vec::new();
+
+    scheduler.on_begin();
+
+    loop {
+        // Deliver the event (initial or completions) to the scheduler.
+        to_start.clear();
+        let idle = cfg.workers - in_flight;
+        let t0 = cfg.measure_overhead.then(std::time::Instant::now);
+        scheduler.on_event(&finished_batch, idle, &mut to_start);
+        if let Some(t0) = t0 {
+            scheduling_seconds += t0.elapsed().as_secs_f64();
+        }
+        events += 1;
+
+        // Start the requested tasks.
+        if to_start.len() > idle {
+            return Err(DriveError::TooManyStarts {
+                requested: to_start.len(),
+                idle,
+            });
+        }
+        for &i in &to_start {
+            if started[i.index()] {
+                return Err(DriveError::DoubleStart { node: i });
+            }
+            if tree.children(i).iter().any(|c| !finished[c.index()]) {
+                return Err(DriveError::PrecedenceViolation { node: i });
+            }
+            started[i.index()] = true;
+            backend.launch(i, events as u32)?;
+            live.start(i);
+            in_flight += 1;
+        }
+
+        // Booking invariants at this instant.
+        let booked = scheduler.booked();
+        peak_booked = peak_booked.max(booked);
+        if cfg.enforce_booking {
+            if booked > cfg.memory {
+                return Err(DriveError::BookedOverBound {
+                    booked,
+                    bound: cfg.memory,
+                });
+            }
+            if live.current() > booked {
+                return Err(DriveError::ActualOverBooked {
+                    actual: live.current(),
+                    booked,
+                });
+            }
+        }
+        backend.observe(live.current(), booked);
+
+        if completed == n {
+            break;
+        }
+        if in_flight == 0 {
+            return Err(DriveError::Stalled {
+                completed,
+                total: n,
+                booked,
+            });
+        }
+
+        // Block until the next completion batch.
+        finished_batch.clear();
+        backend.await_batch(events as u32, &mut finished_batch)?;
+        finished_batch.sort_unstable();
+        for &i in &finished_batch {
+            debug_assert!(started[i.index()] && !finished[i.index()]);
+            finished[i.index()] = true;
+            live.finish(i);
+            completed += 1;
+            in_flight -= 1;
+        }
+    }
+
+    Ok(DriveStats {
+        events,
+        scheduling_seconds,
+        peak_booked,
+        peak_actual: live.peak(),
+        completed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial backend: tasks complete immediately, one batch per event,
+    /// in launch order.
+    struct Immediate {
+        pending: Vec<NodeId>,
+    }
+
+    impl Backend for Immediate {
+        fn launch(&mut self, i: NodeId, _epoch: u32) -> Result<(), DriveError> {
+            self.pending.push(i);
+            Ok(())
+        }
+        fn await_batch(&mut self, _epoch: u32, batch: &mut Vec<NodeId>) -> Result<(), DriveError> {
+            batch.append(&mut self.pending);
+            Ok(())
+        }
+    }
+
+    /// Greedy test scheduler: books the whole bound, starts any available
+    /// task.
+    struct Greedy<'a> {
+        tree: &'a TaskTree,
+        bound: u64,
+        remaining: Vec<usize>,
+        ready: Vec<NodeId>,
+    }
+
+    impl<'a> Greedy<'a> {
+        fn new(tree: &'a TaskTree, bound: u64) -> Self {
+            Greedy {
+                tree,
+                bound,
+                remaining: tree.nodes().map(|i| tree.degree(i)).collect(),
+                ready: tree.leaves().collect(),
+            }
+        }
+    }
+
+    impl Scheduler for Greedy<'_> {
+        fn name(&self) -> &str {
+            "greedy-driver-test"
+        }
+        fn on_event(&mut self, finished: &[NodeId], idle: usize, to_start: &mut Vec<NodeId>) {
+            for &j in finished {
+                if let Some(p) = self.tree.parent(j) {
+                    self.remaining[p.index()] -= 1;
+                    if self.remaining[p.index()] == 0 {
+                        self.ready.push(p);
+                    }
+                }
+            }
+            self.ready.sort_unstable();
+            while to_start.len() < idle {
+                let Some(i) = self.ready.pop() else { break };
+                to_start.push(i);
+            }
+        }
+        fn booked(&self) -> u64 {
+            self.bound
+        }
+    }
+
+    fn fork() -> TaskTree {
+        use memtree_tree::TaskSpec;
+        TaskTree::from_parents(
+            &[None, Some(0), Some(0)],
+            &[
+                TaskSpec::new(0, 1, 1.0),
+                TaskSpec::new(0, 2, 2.0),
+                TaskSpec::new(0, 3, 3.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn drives_to_completion() {
+        let t = fork();
+        let mut backend = Immediate {
+            pending: Vec::new(),
+        };
+        let stats = drive(
+            &t,
+            DriveConfig::new(2, 1000),
+            Greedy::new(&t, 1000),
+            &mut backend,
+        )
+        .unwrap();
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.peak_booked, 1000);
+        // Leaves in one batch, root in the next, plus the final event.
+        assert_eq!(stats.events, 3);
+        assert_eq!(stats.peak_actual, 6);
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let t = fork();
+        let mut backend = Immediate {
+            pending: Vec::new(),
+        };
+        assert!(matches!(
+            drive(
+                &t,
+                DriveConfig::new(0, 10),
+                Greedy::new(&t, 10),
+                &mut backend
+            ),
+            Err(DriveError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn stall_detected_with_booked_memory() {
+        struct Lazy;
+        impl Scheduler for Lazy {
+            fn name(&self) -> &str {
+                "lazy"
+            }
+            fn on_event(&mut self, _: &[NodeId], _: usize, _: &mut Vec<NodeId>) {}
+            fn booked(&self) -> u64 {
+                7
+            }
+        }
+        let t = fork();
+        let mut backend = Immediate {
+            pending: Vec::new(),
+        };
+        let err = drive(&t, DriveConfig::new(2, 10), Lazy, &mut backend).unwrap_err();
+        assert_eq!(
+            err,
+            DriveError::Stalled {
+                completed: 0,
+                total: 3,
+                booked: 7
+            }
+        );
+    }
+
+    #[test]
+    fn booking_violations_detected() {
+        let t = fork();
+        let mut backend = Immediate {
+            pending: Vec::new(),
+        };
+        let err = drive(
+            &t,
+            DriveConfig::new(2, 10),
+            Greedy::new(&t, 1000),
+            &mut backend,
+        )
+        .unwrap_err();
+        assert!(matches!(err, DriveError::BookedOverBound { .. }));
+
+        let mut backend = Immediate {
+            pending: Vec::new(),
+        };
+        let err = drive(
+            &t,
+            DriveConfig::new(2, 10),
+            Greedy::new(&t, 1),
+            &mut backend,
+        )
+        .unwrap_err();
+        assert!(matches!(err, DriveError::ActualOverBooked { .. }));
+    }
+
+    #[test]
+    fn precedence_enforced() {
+        struct Eager<'a> {
+            tree: &'a TaskTree,
+            fired: bool,
+        }
+        impl Scheduler for Eager<'_> {
+            fn name(&self) -> &str {
+                "eager"
+            }
+            fn on_event(&mut self, _: &[NodeId], _: usize, to_start: &mut Vec<NodeId>) {
+                if !self.fired {
+                    self.fired = true;
+                    to_start.push(self.tree.root());
+                }
+            }
+            fn booked(&self) -> u64 {
+                u64::MAX
+            }
+        }
+        let t = fork();
+        let mut backend = Immediate {
+            pending: Vec::new(),
+        };
+        let cfg = DriveConfig {
+            enforce_booking: false,
+            ..DriveConfig::new(2, u64::MAX)
+        };
+        let err = drive(
+            &t,
+            cfg,
+            Eager {
+                tree: &t,
+                fired: false,
+            },
+            &mut backend,
+        )
+        .unwrap_err();
+        assert!(matches!(err, DriveError::PrecedenceViolation { .. }));
+    }
+}

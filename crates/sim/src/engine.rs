@@ -1,9 +1,10 @@
-//! The discrete-event engine.
+//! The discrete-event engine: a virtual-clock [`Backend`] under the shared
+//! [`crate::driver`] loop.
 
+use crate::driver::{drive, Backend, DriveConfig, DriveError};
 use crate::error::SimError;
 use crate::scheduler::Scheduler;
 use crate::trace::{MemSample, TaskRecord, Trace};
-use memtree_tree::memory::LiveSet;
 use memtree_tree::{NodeId, TaskTree};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -63,6 +64,115 @@ impl Ord for Time {
     }
 }
 
+/// The virtual-clock backend: tasks "run" on a completion-time heap, and a
+/// batch is everything finishing at the next instant.
+struct SimBackend<'t> {
+    tree: &'t TaskTree,
+    now: f64,
+    running: BinaryHeap<Reverse<(Time, NodeId)>>,
+    free_procs: Vec<u32>,
+    records: Vec<TaskRecord>,
+    record_profile: bool,
+    profile: Vec<MemSample>,
+}
+
+impl<'t> SimBackend<'t> {
+    fn new(tree: &'t TaskTree, processors: usize, record_profile: bool) -> Self {
+        SimBackend {
+            tree,
+            now: 0.0,
+            running: BinaryHeap::new(),
+            free_procs: (0..processors as u32).rev().collect(),
+            records: vec![
+                TaskRecord {
+                    start: f64::NAN,
+                    finish: f64::NAN,
+                    processor: 0,
+                    start_epoch: 0,
+                    finish_epoch: 0,
+                };
+                tree.len()
+            ],
+            record_profile,
+            profile: Vec::new(),
+        }
+    }
+}
+
+impl Backend for SimBackend<'_> {
+    fn launch(&mut self, i: NodeId, epoch: u32) -> Result<(), DriveError> {
+        let proc = self
+            .free_procs
+            .pop()
+            .expect("driver enforces the idle limit");
+        let finish = self.now + self.tree.time(i);
+        self.records[i.index()] = TaskRecord {
+            start: self.now,
+            finish,
+            processor: proc,
+            start_epoch: epoch,
+            finish_epoch: 0,
+        };
+        self.running.push(Reverse((Time(finish), i)));
+        Ok(())
+    }
+
+    fn observe(&mut self, actual: u64, booked: u64) {
+        if self.record_profile {
+            self.profile.push(MemSample {
+                time: self.now,
+                actual,
+                booked,
+            });
+        }
+    }
+
+    fn await_batch(&mut self, epoch: u32, batch: &mut Vec<NodeId>) -> Result<(), DriveError> {
+        let Some(&Reverse((Time(t), _))) = self.running.peek() else {
+            // Unreachable through `drive` (it checks in-flight > 0 first).
+            return Err(DriveError::Backend("no task is running".into()));
+        };
+        self.now = t;
+        while let Some(&Reverse((Time(ft), i))) = self.running.peek() {
+            if ft > t {
+                break;
+            }
+            self.running.pop();
+            batch.push(i);
+            self.free_procs.push(self.records[i.index()].processor);
+            // Completions take effect at the *next* scheduler epoch.
+            self.records[i.index()].finish_epoch = epoch + 1;
+        }
+        Ok(())
+    }
+}
+
+fn to_sim_error(e: DriveError) -> SimError {
+    match e {
+        DriveError::TooManyStarts { requested, idle } => {
+            SimError::TooManyStarts { requested, idle }
+        }
+        DriveError::DoubleStart { node } => SimError::DoubleStart { node },
+        DriveError::PrecedenceViolation { node } => SimError::PrecedenceViolation { node },
+        DriveError::BookedOverBound { booked, bound } => {
+            SimError::BookedOverBound { booked, bound }
+        }
+        DriveError::ActualOverBooked { actual, booked } => {
+            SimError::ActualOverBooked { actual, booked }
+        }
+        DriveError::Stalled {
+            completed,
+            total,
+            booked,
+        } => SimError::Stalled {
+            completed,
+            total,
+            booked,
+        },
+        DriveError::BadConfig(msg) | DriveError::Backend(msg) => SimError::BadConfig(msg),
+    }
+}
+
 /// Runs `scheduler` on `tree` under `cfg` and returns the trace.
 ///
 /// The engine is generic over the policy; all of the paper's heuristics
@@ -70,130 +180,28 @@ impl Ord for Time {
 pub fn simulate<S: Scheduler>(
     tree: &TaskTree,
     cfg: SimConfig,
-    mut scheduler: S,
+    scheduler: S,
 ) -> Result<Trace, SimError> {
-    if cfg.processors == 0 {
-        return Err(SimError::BadConfig("zero processors".into()));
-    }
-    let n = tree.len();
-    let mut records = vec![
-        TaskRecord {
-            start: f64::NAN,
-            finish: f64::NAN,
-            processor: 0,
-            start_epoch: 0,
-            finish_epoch: 0,
-        };
-        n
-    ];
-    let mut started = vec![false; n];
-    let mut finished_flags = vec![false; n];
-
-    // Min-heap of (finish time, node).
-    let mut running: BinaryHeap<Reverse<(Time, NodeId)>> = BinaryHeap::new();
-    let mut free_procs: Vec<u32> = (0..cfg.processors as u32).rev().collect();
-
-    let mut live = LiveSet::new(tree);
-    let mut peak_booked = 0u64;
-    let mut completed = 0usize;
-    let mut events = 0usize;
-    let mut scheduling_seconds = 0f64;
-    let mut profile = Vec::new();
-    let mut to_start: Vec<NodeId> = Vec::new();
-    let mut finished_batch: Vec<NodeId> = Vec::new();
-
-    scheduler.on_begin();
-
-    let mut now = 0f64;
-    loop {
-        // Deliver the event (initial or completions) to the scheduler.
-        to_start.clear();
-        let idle = free_procs.len();
-        let t0 = cfg.measure_overhead.then(std::time::Instant::now);
-        scheduler.on_event(&finished_batch, idle, &mut to_start);
-        if let Some(t0) = t0 {
-            scheduling_seconds += t0.elapsed().as_secs_f64();
-        }
-        events += 1;
-
-        // Start the requested tasks.
-        if to_start.len() > idle {
-            return Err(SimError::TooManyStarts { requested: to_start.len(), idle });
-        }
-        for &i in &to_start {
-            if started[i.index()] {
-                return Err(SimError::DoubleStart { node: i });
-            }
-            if tree.children(i).iter().any(|c| !finished_flags[c.index()]) {
-                return Err(SimError::PrecedenceViolation { node: i });
-            }
-            started[i.index()] = true;
-            let proc = free_procs.pop().expect("count checked above");
-            let finish = now + tree.time(i);
-            records[i.index()] = TaskRecord {
-                start: now,
-                finish,
-                processor: proc,
-                start_epoch: events as u32,
-                finish_epoch: 0,
-            };
-            running.push(Reverse((Time(finish), i)));
-            live.start(i);
-        }
-
-        // Booking invariants at this instant.
-        let booked = scheduler.booked();
-        peak_booked = peak_booked.max(booked);
-        if cfg.enforce_booking {
-            if booked > cfg.memory {
-                return Err(SimError::BookedOverBound { booked, bound: cfg.memory });
-            }
-            if live.current() > booked {
-                return Err(SimError::ActualOverBooked { actual: live.current(), booked });
-            }
-        }
-        if cfg.record_profile {
-            profile.push(MemSample { time: now, actual: live.current(), booked });
-        }
-
-        if completed == n {
-            break;
-        }
-
-        // Advance to the next completion instant.
-        let Some(&Reverse((Time(t), _))) = running.peek() else {
-            return Err(SimError::Stalled { completed, total: n, booked });
-        };
-        now = t;
-        finished_batch.clear();
-        while let Some(&Reverse((Time(ft), i))) = running.peek() {
-            if ft > t {
-                break;
-            }
-            running.pop();
-            finished_batch.push(i);
-            let r = records[i.index()];
-            free_procs.push(r.processor);
-            finished_flags[i.index()] = true;
-            // Completions take effect at the *next* scheduler epoch.
-            records[i.index()].finish_epoch = events as u32 + 1;
-            live.finish(i);
-            completed += 1;
-        }
-        finished_batch.sort_unstable();
-    }
-
+    let name = scheduler.name().to_string();
+    let mut backend = SimBackend::new(tree, cfg.processors, cfg.record_profile);
+    let drive_cfg = DriveConfig {
+        workers: cfg.processors,
+        memory: cfg.memory,
+        enforce_booking: cfg.enforce_booking,
+        measure_overhead: cfg.measure_overhead,
+    };
+    let stats = drive(tree, drive_cfg, scheduler, &mut backend).map_err(to_sim_error)?;
     Ok(Trace {
-        scheduler: scheduler.name().to_string(),
+        scheduler: name,
         processors: cfg.processors,
         memory: cfg.memory,
-        makespan: now,
-        records,
-        peak_actual: live.peak(),
-        peak_booked,
-        scheduling_seconds,
-        events,
-        profile,
+        makespan: backend.now,
+        records: backend.records,
+        peak_actual: stats.peak_actual,
+        peak_booked: stats.peak_booked,
+        scheduling_seconds: stats.scheduling_seconds,
+        events: stats.events,
+        profile: backend.profile,
     })
 }
 
@@ -215,8 +223,7 @@ mod tests {
 
     impl<'a> Greedy<'a> {
         fn new(tree: &'a TaskTree, bound: u64) -> Self {
-            let remaining_children: Vec<usize> =
-                tree.nodes().map(|i| tree.degree(i)).collect();
+            let remaining_children: Vec<usize> = tree.nodes().map(|i| tree.degree(i)).collect();
             let ready = tree.leaves().collect();
             Greedy {
                 tree,
@@ -344,7 +351,14 @@ mod tests {
     fn stall_detected() {
         let t = fork();
         let err = simulate(&t, SimConfig::new(2, 10), Lazy).unwrap_err();
-        assert_eq!(err, SimError::Stalled { completed: 0, total: 3, booked: 0 });
+        assert_eq!(
+            err,
+            SimError::Stalled {
+                completed: 0,
+                total: 3,
+                booked: 0
+            }
+        );
     }
 
     /// A scheduler that violates precedence.
@@ -376,7 +390,10 @@ mod tests {
                 enforce_booking: false,
                 ..SimConfig::new(2, u64::MAX)
             },
-            Eager { tree: &t, fired: false },
+            Eager {
+                tree: &t,
+                fired: false,
+            },
         )
         .unwrap_err();
         assert!(matches!(err, SimError::PrecedenceViolation { .. }));

@@ -55,7 +55,11 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::Stalled { completed, total, booked } => write!(
+            SimError::Stalled {
+                completed,
+                total,
+                booked,
+            } => write!(
                 f,
                 "scheduler stalled after {completed}/{total} tasks (booked = {booked})"
             ),
@@ -64,7 +68,10 @@ impl fmt::Display for SimError {
             }
             SimError::DoubleStart { node } => write!(f, "task {node:?} started twice"),
             SimError::TooManyStarts { requested, idle } => {
-                write!(f, "scheduler started {requested} tasks with only {idle} idle processors")
+                write!(
+                    f,
+                    "scheduler started {requested} tasks with only {idle} idle processors"
+                )
             }
             SimError::BookedOverBound { booked, bound } => {
                 write!(f, "booked memory {booked} exceeds the bound {bound}")
@@ -85,9 +92,16 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = SimError::Stalled { completed: 3, total: 10, booked: 42 };
+        let e = SimError::Stalled {
+            completed: 3,
+            total: 10,
+            booked: 42,
+        };
         assert!(e.to_string().contains("3/10"));
-        let e = SimError::TooManyStarts { requested: 5, idle: 2 };
+        let e = SimError::TooManyStarts {
+            requested: 5,
+            idle: 2,
+        };
         assert!(e.to_string().contains('5'));
     }
 }

@@ -21,6 +21,7 @@
 //! id, and all scheduler queues are tie-broken explicitly, so a simulation
 //! is a pure function of (tree, config, scheduler).
 
+pub mod driver;
 pub mod engine;
 pub mod error;
 pub mod moldable;
@@ -28,6 +29,7 @@ pub mod scheduler;
 pub mod trace;
 pub mod validate;
 
+pub use driver::{drive, Backend, DriveConfig, DriveError, DriveStats};
 pub use engine::{simulate, SimConfig};
 pub use error::SimError;
 pub use moldable::{simulate_moldable, MoldableScheduler, MoldableTrace, SpeedupModel};

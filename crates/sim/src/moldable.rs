@@ -52,12 +52,7 @@ pub trait MoldableScheduler {
     fn name(&self) -> &str;
     /// React to completions; push `(task, processors)` pairs whose
     /// allotments must sum to at most `idle`.
-    fn on_event(
-        &mut self,
-        finished: &[NodeId],
-        idle: usize,
-        to_start: &mut Vec<(NodeId, usize)>,
-    );
+    fn on_event(&mut self, finished: &[NodeId], idle: usize, to_start: &mut Vec<(NodeId, usize)>);
     /// Memory currently booked.
     fn booked(&self) -> u64;
 }
@@ -90,6 +85,11 @@ pub struct MoldableTrace {
     pub peak_actual: u64,
     /// Peak booked memory.
     pub peak_booked: u64,
+    /// Scheduler events processed (completion batches + the initial
+    /// event).
+    pub events: usize,
+    /// Wall-clock seconds spent inside scheduler callbacks.
+    pub scheduling_seconds: f64,
     /// Memory profile (always recorded; moldable runs are small).
     pub profile: Vec<MemSample>,
 }
@@ -147,8 +147,14 @@ pub fn simulate_moldable<S: MoldableScheduler>(
         return Err(SimError::BadConfig("zero processors".into()));
     }
     let n = tree.len();
-    let mut records =
-        vec![MoldableRecord { start: f64::NAN, finish: f64::NAN, procs: 0 }; n];
+    let mut records = vec![
+        MoldableRecord {
+            start: f64::NAN,
+            finish: f64::NAN,
+            procs: 0
+        };
+        n
+    ];
     let mut started = vec![false; n];
     let mut finished_flags = vec![false; n];
     let mut running: BinaryHeap<Reverse<(OrderedTime, NodeId)>> = BinaryHeap::new();
@@ -156,6 +162,8 @@ pub fn simulate_moldable<S: MoldableScheduler>(
     let mut live = LiveSet::new(tree);
     let mut peak_booked = 0u64;
     let mut completed = 0usize;
+    let mut events = 0usize;
+    let mut scheduling_seconds = 0f64;
     let mut profile = Vec::new();
     let mut finished_batch: Vec<NodeId> = Vec::new();
     let mut to_start: Vec<(NodeId, usize)> = Vec::new();
@@ -163,7 +171,10 @@ pub fn simulate_moldable<S: MoldableScheduler>(
 
     loop {
         to_start.clear();
+        let t0 = std::time::Instant::now();
         scheduler.on_event(&finished_batch, idle, &mut to_start);
+        scheduling_seconds += t0.elapsed().as_secs_f64();
+        events += 1;
         let requested: usize = to_start.iter().map(|&(_, q)| q).sum();
         if requested > idle {
             return Err(SimError::TooManyStarts { requested, idle });
@@ -181,25 +192,43 @@ pub fn simulate_moldable<S: MoldableScheduler>(
             started[i.index()] = true;
             idle -= q;
             let finish = now + model.time(tree.time(i), q);
-            records[i.index()] = MoldableRecord { start: now, finish, procs: q as u32 };
+            records[i.index()] = MoldableRecord {
+                start: now,
+                finish,
+                procs: q as u32,
+            };
             running.push(Reverse((OrderedTime(finish), i)));
             live.start(i);
         }
         let booked = scheduler.booked();
         peak_booked = peak_booked.max(booked);
         if booked > memory {
-            return Err(SimError::BookedOverBound { booked, bound: memory });
+            return Err(SimError::BookedOverBound {
+                booked,
+                bound: memory,
+            });
         }
         if live.current() > booked {
-            return Err(SimError::ActualOverBooked { actual: live.current(), booked });
+            return Err(SimError::ActualOverBooked {
+                actual: live.current(),
+                booked,
+            });
         }
-        profile.push(MemSample { time: now, actual: live.current(), booked });
+        profile.push(MemSample {
+            time: now,
+            actual: live.current(),
+            booked,
+        });
 
         if completed == n {
             break;
         }
         let Some(&Reverse((OrderedTime(t), _))) = running.peek() else {
-            return Err(SimError::Stalled { completed, total: n, booked });
+            return Err(SimError::Stalled {
+                completed,
+                total: n,
+                booked,
+            });
         };
         now = t;
         finished_batch.clear();
@@ -225,6 +254,8 @@ pub fn simulate_moldable<S: MoldableScheduler>(
         makespan: now,
         peak_actual: live.peak(),
         peak_booked,
+        events,
+        scheduling_seconds,
         profile,
     })
 }
@@ -254,7 +285,9 @@ mod tests {
     #[test]
     fn speedup_models() {
         assert_eq!(SpeedupModel::Linear.time(8.0, 4), 2.0);
-        let a = SpeedupModel::Amdahl { serial_fraction: 0.5 };
+        let a = SpeedupModel::Amdahl {
+            serial_fraction: 0.5,
+        };
         assert_eq!(a.time(8.0, 1), 8.0);
         assert_eq!(a.time(8.0, 4), 8.0 * (0.5 + 0.125));
         // Monotone non-increasing in q.
@@ -303,7 +336,12 @@ mod tests {
             4,
             1_000,
             SpeedupModel::Linear,
-            AllProcsChain { tree: &tree, order, next: 0, bound: 1_000 },
+            AllProcsChain {
+                tree: &tree,
+                order,
+                next: 0,
+                bound: 1_000,
+            },
         )
         .unwrap();
         trace.validate(&tree, SpeedupModel::Linear).unwrap();

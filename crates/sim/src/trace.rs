@@ -104,6 +104,37 @@ impl Trace {
         }
         max as usize
     }
+
+    /// Serialises the per-task records as CSV
+    /// (`task,start,finish,processor`), ordered by start time — ready for
+    /// Gantt plotting.
+    pub fn records_to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut rows: Vec<(usize, &TaskRecord)> = self.records.iter().enumerate().collect();
+        rows.sort_by(|a, b| {
+            a.1.start
+                .partial_cmp(&b.1.start)
+                .unwrap()
+                .then(a.0.cmp(&b.0))
+        });
+        let mut out = String::from("task,start,finish,processor\n");
+        for (id, r) in rows {
+            let _ = writeln!(out, "{id},{},{},{}", r.start, r.finish, r.processor);
+        }
+        out
+    }
+
+    /// Serialises the memory profile as CSV (`time,actual,booked`);
+    /// empty unless the simulation recorded a profile
+    /// ([`crate::SimConfig::with_profile`]).
+    pub fn profile_to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("time,actual,booked\n");
+        for s in &self.profile {
+            let _ = writeln!(out, "{},{},{}", s.time, s.actual, s.booked);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -111,7 +142,13 @@ mod tests {
     use super::*;
 
     fn rec(start: f64, finish: f64, processor: u32) -> TaskRecord {
-        TaskRecord { start, finish, processor, start_epoch: 0, finish_epoch: 1 }
+        TaskRecord {
+            start,
+            finish,
+            processor,
+            start_epoch: 0,
+            finish_epoch: 1,
+        }
     }
 
     fn trace(records: Vec<TaskRecord>) -> Trace {
@@ -147,38 +184,5 @@ mod tests {
     fn back_to_back_tasks_do_not_overlap() {
         let t = trace(vec![rec(0.0, 1.0, 0), rec(1.0, 2.0, 0)]);
         assert_eq!(t.max_concurrency(), 1);
-    }
-}
-
-impl Trace {
-    /// Serialises the per-task records as CSV
-    /// (`task,start,finish,processor`), ordered by start time — ready for
-    /// Gantt plotting.
-    pub fn records_to_csv(&self) -> String {
-        use std::fmt::Write as _;
-        let mut rows: Vec<(usize, &TaskRecord)> = self.records.iter().enumerate().collect();
-        rows.sort_by(|a, b| {
-            a.1.start
-                .partial_cmp(&b.1.start)
-                .unwrap()
-                .then(a.0.cmp(&b.0))
-        });
-        let mut out = String::from("task,start,finish,processor\n");
-        for (id, r) in rows {
-            let _ = writeln!(out, "{id},{},{},{}", r.start, r.finish, r.processor);
-        }
-        out
-    }
-
-    /// Serialises the memory profile as CSV (`time,actual,booked`);
-    /// empty unless the simulation recorded a profile
-    /// ([`crate::SimConfig::with_profile`]).
-    pub fn profile_to_csv(&self) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::from("time,actual,booked\n");
-        for s in &self.profile {
-            let _ = writeln!(out, "{},{},{}", s.time, s.actual, s.booked);
-        }
-        out
     }
 }

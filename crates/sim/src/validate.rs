@@ -120,7 +120,9 @@ pub fn validate_trace(tree: &TaskTree, trace: &Trace) -> Result<(), String> {
             Ev::Finish(i) => {
                 let p = trace.record(i).processor as usize;
                 if busy[p] != Some(i) {
-                    return Err(format!("task {i:?} finished on processor {p} it did not hold"));
+                    return Err(format!(
+                        "task {i:?} finished on processor {p} it did not hold"
+                    ));
                 }
                 busy[p] = None;
                 running -= 1;
@@ -136,7 +138,10 @@ pub fn validate_trace(tree: &TaskTree, trace: &Trace) -> Result<(), String> {
         .map(|r| r.finish)
         .fold(f64::NEG_INFINITY, f64::max);
     if (last - trace.makespan).abs() > 1e-9 * last.abs().max(1.0) {
-        return Err(format!("makespan {} but last finish {}", trace.makespan, last));
+        return Err(format!(
+            "makespan {} but last finish {}",
+            trace.makespan, last
+        ));
     }
 
     // Peak cross-check: replayed peak must equal the engine's.
@@ -196,7 +201,12 @@ mod tests {
         let trace = simulate(
             &t,
             SimConfig::new(1, 1000),
-            Serial { order, next: 0, bound: 1000, _tree: &t },
+            Serial {
+                order,
+                next: 0,
+                bound: 1000,
+                _tree: &t,
+            },
         )
         .unwrap();
         validate_trace(&t, &trace).unwrap();
@@ -214,7 +224,12 @@ mod tests {
         let mut trace = simulate(
             &t,
             SimConfig::new(1, 100),
-            Serial { order, next: 0, bound: 100, _tree: &t },
+            Serial {
+                order,
+                next: 0,
+                bound: 100,
+                _tree: &t,
+            },
         )
         .unwrap();
         validate_trace(&t, &trace).unwrap();
@@ -236,12 +251,19 @@ mod tests {
         let mut trace = simulate(
             &t,
             SimConfig::new(1, 1000),
-            Serial { order, next: 0, bound: 1000, _tree: &t },
+            Serial {
+                order,
+                next: 0,
+                bound: 1000,
+                _tree: &t,
+            },
         )
         .unwrap();
         // Claim a tighter bound than the replayed peak (60 + 50 + 50 = 110
         // during the root).
         trace.memory = 100;
-        assert!(validate_trace(&t, &trace).unwrap_err().contains("exceeds bound"));
+        assert!(validate_trace(&t, &trace)
+            .unwrap_err()
+            .contains("exceeds bound"));
     }
 }

@@ -65,7 +65,7 @@ impl Scheduler for Chaos<'_> {
         while budget > 0 && !self.ready.is_empty() {
             // Randomly stop early — but never leave the machine idle with
             // nothing running (that would be a stall, not a bug).
-            if self.running + to_start.len() > 0 && self.next_rand() % 3 == 0 {
+            if self.running + to_start.len() > 0 && self.next_rand().is_multiple_of(3) {
                 break;
             }
             let i = self.ready.pop().expect("nonempty");

@@ -92,7 +92,10 @@ impl TreeBuilder {
                 }
                 root = Some(id);
             } else if p as usize >= n {
-                return Err(TreeError::ParentOutOfRange { node: id, parent: p });
+                return Err(TreeError::ParentOutOfRange {
+                    node: id,
+                    parent: p,
+                });
             } else if p as usize == ix {
                 return Err(TreeError::Cycle(id));
             }
@@ -239,7 +242,10 @@ mod tests {
         for bad in [f64::NAN, f64::INFINITY, -1.0] {
             let mut b = TreeBuilder::new();
             b.push(None, TaskSpec::new(0, 1, bad));
-            assert!(matches!(b.build(), Err(TreeError::BadTime(_))), "time {bad} accepted");
+            assert!(
+                matches!(b.build(), Err(TreeError::BadTime(_))),
+                "time {bad} accepted"
+            );
         }
     }
 

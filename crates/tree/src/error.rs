@@ -65,10 +65,16 @@ impl fmt::Display for TreeError {
             TreeError::Cycle(n) => write!(f, "node {n:?} is its own ancestor"),
             TreeError::DuplicateNode(n) => write!(f, "node {n:?} defined twice"),
             TreeError::BadPermutation { expected, got } => {
-                write!(f, "order must be a permutation of {expected} nodes, got {got}")
+                write!(
+                    f,
+                    "order must be a permutation of {expected} nodes, got {got}"
+                )
             }
             TreeError::NotTopological { parent, child } => {
-                write!(f, "order is not topological: {parent:?} precedes its child {child:?}")
+                write!(
+                    f,
+                    "order is not topological: {parent:?} precedes its child {child:?}"
+                )
             }
             TreeError::BadTime(n) => {
                 write!(f, "node {n:?} has a negative or non-finite processing time")
@@ -96,7 +102,10 @@ mod tests {
         let e = TreeError::MultipleRoots(NodeId(0), NodeId(3));
         assert!(e.to_string().contains("n0"));
         assert!(e.to_string().contains("n3"));
-        let e = TreeError::Parse { line: 7, msg: "bad field".into() };
+        let e = TreeError::Parse {
+            line: 7,
+            msg: "bad field".into(),
+        };
         assert!(e.to_string().contains("line 7"));
     }
 

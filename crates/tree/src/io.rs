@@ -96,7 +96,11 @@ pub fn read_tree<R: BufRead>(r: &mut R) -> Result<TaskTree> {
             line: no,
             msg: "bad time".into(),
         })?;
-        let parent = if parent < 0 { None } else { Some(parent as usize) };
+        let parent = if parent < 0 {
+            None
+        } else {
+            Some(parent as usize)
+        };
         builder.push_with_parent_index(parent, TaskSpec { exec, output, time });
     }
     builder.build()
@@ -161,7 +165,10 @@ mod tests {
     fn malformed_inputs_rejected() {
         assert!(matches!(tree_from_str(""), Err(TreeError::Parse { .. })));
         assert!(matches!(tree_from_str("abc"), Err(TreeError::Parse { .. })));
-        assert!(matches!(tree_from_str("2\n-1 0 3 1\n"), Err(TreeError::Parse { .. })));
+        assert!(matches!(
+            tree_from_str("2\n-1 0 3 1\n"),
+            Err(TreeError::Parse { .. })
+        ));
         assert!(matches!(
             tree_from_str("1\n-1 0 3\n"),
             Err(TreeError::Parse { .. })
@@ -176,7 +183,10 @@ mod tests {
     fn structural_errors_surface() {
         // Two roots.
         let text = "2\n-1 0 3 1\n-1 0 4 2\n";
-        assert!(matches!(tree_from_str(text), Err(TreeError::MultipleRoots(..))));
+        assert!(matches!(
+            tree_from_str(text),
+            Err(TreeError::MultipleRoots(..))
+        ));
     }
 
     #[test]
@@ -199,7 +209,12 @@ mod tests {
 /// when rendered with `dot -Tsvg`.
 pub fn tree_to_dot(tree: &TaskTree) -> String {
     use std::fmt::Write as _;
-    let max_f = tree.nodes().map(|i| tree.output(i)).max().unwrap_or(1).max(1);
+    let max_f = tree
+        .nodes()
+        .map(|i| tree.output(i))
+        .max()
+        .unwrap_or(1)
+        .max(1);
     let mut out = String::with_capacity(tree.len() * 64);
     out.push_str("digraph memtree {\n  rankdir=BT;\n  node [shape=box, style=filled];\n");
     for i in tree.nodes() {

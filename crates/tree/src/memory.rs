@@ -129,9 +129,16 @@ pub fn sequential_profile(tree: &TaskTree, order: &[NodeId]) -> Result<Sequentia
         live.start(i);
         let during = live.current();
         live.finish(i);
-        steps.push(ProfileStep { node: i, during, after: live.current() });
+        steps.push(ProfileStep {
+            node: i,
+            during,
+            after: live.current(),
+        });
     }
-    Ok(SequentialProfile { steps, peak: live.peak() })
+    Ok(SequentialProfile {
+        steps,
+        peak: live.peak(),
+    })
 }
 
 /// Peak memory of executing `order` sequentially.
@@ -186,11 +193,32 @@ mod tests {
         let order = [NodeId(2), NodeId(1), NodeId(0)];
         let p = sequential_profile(&t, &order).unwrap();
         // Leaf 2: during = n + f = 33, after = 30.
-        assert_eq!(p.steps[0], ProfileStep { node: NodeId(2), during: 33, after: 30 });
+        assert_eq!(
+            p.steps[0],
+            ProfileStep {
+                node: NodeId(2),
+                during: 33,
+                after: 30
+            }
+        );
         // Node 1: during = 30 (input) + 2 + 20 = 52, after = 20.
-        assert_eq!(p.steps[1], ProfileStep { node: NodeId(1), during: 52, after: 20 });
+        assert_eq!(
+            p.steps[1],
+            ProfileStep {
+                node: NodeId(1),
+                during: 52,
+                after: 20
+            }
+        );
         // Root: during = 20 + 1 + 10 = 31, after = 10 (root output stays).
-        assert_eq!(p.steps[2], ProfileStep { node: NodeId(0), during: 31, after: 10 });
+        assert_eq!(
+            p.steps[2],
+            ProfileStep {
+                node: NodeId(0),
+                during: 31,
+                after: 10
+            }
+        );
         assert_eq!(p.peak, 52);
         assert_eq!(p.final_memory(), 10);
         assert_eq!(sequential_peak(&t, &order).unwrap(), 52);

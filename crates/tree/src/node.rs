@@ -73,13 +73,21 @@ impl TaskSpec {
     /// A task that only produces output data (`n_i = 0`), as in reduction
     /// trees.
     pub fn reduction(output: u64, time: f64) -> Self {
-        TaskSpec { exec: 0, output, time }
+        TaskSpec {
+            exec: 0,
+            output,
+            time,
+        }
     }
 }
 
 impl Default for TaskSpec {
     fn default() -> Self {
-        TaskSpec { exec: 0, output: 1, time: 1.0 }
+        TaskSpec {
+            exec: 0,
+            output: 1,
+            time: 1.0,
+        }
     }
 }
 

@@ -38,7 +38,11 @@ impl TreeStats {
         let n = tree.len();
         let depth = depths(tree);
         let height = depth.iter().copied().max().unwrap_or(0);
-        let max_degree = tree.nodes().map(|i| tree.degree(i) as u32).max().unwrap_or(0);
+        let max_degree = tree
+            .nodes()
+            .map(|i| tree.degree(i) as u32)
+            .max()
+            .unwrap_or(0);
 
         let mut subtree_size = vec![1u32; n];
         let mut subtree_time = vec![0f64; n];

@@ -24,7 +24,10 @@ impl<'a> PostorderIter<'a> {
 
     /// Postorder over the subtree rooted at `root`.
     pub fn rooted(tree: &'a TaskTree, root: NodeId) -> Self {
-        PostorderIter { tree, stack: vec![(root, 0)] }
+        PostorderIter {
+            tree,
+            stack: vec![(root, 0)],
+        }
     }
 }
 
@@ -142,7 +145,14 @@ mod tests {
         assert_eq!(*po.last().unwrap(), t.root());
         assert_eq!(
             po,
-            vec![NodeId(3), NodeId(4), NodeId(1), NodeId(5), NodeId(2), NodeId(0)]
+            vec![
+                NodeId(3),
+                NodeId(4),
+                NodeId(1),
+                NodeId(5),
+                NodeId(2),
+                NodeId(0)
+            ]
         );
     }
 
@@ -159,8 +169,9 @@ mod tests {
             p
         };
         for i in t.nodes() {
-            let sub: Vec<usize> =
-                PostorderIter::rooted(&t, i).map(|n| pos[n.index()]).collect();
+            let sub: Vec<usize> = PostorderIter::rooted(&t, i)
+                .map(|n| pos[n.index()])
+                .collect();
             let min = *sub.iter().min().unwrap();
             let max = *sub.iter().max().unwrap();
             assert_eq!(max - min + 1, sub.len(), "subtree of {i:?} not contiguous");
@@ -173,7 +184,14 @@ mod tests {
         let bfs: Vec<_> = BfsIter::new(&t).collect();
         assert_eq!(
             bfs,
-            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4), NodeId(5)]
+            vec![
+                NodeId(0),
+                NodeId(1),
+                NodeId(2),
+                NodeId(3),
+                NodeId(4),
+                NodeId(5)
+            ]
         );
     }
 
@@ -188,7 +206,14 @@ mod tests {
         t.check_topological(&po).unwrap();
         assert_eq!(
             po,
-            vec![NodeId(5), NodeId(2), NodeId(3), NodeId(4), NodeId(1), NodeId(0)]
+            vec![
+                NodeId(5),
+                NodeId(2),
+                NodeId(3),
+                NodeId(4),
+                NodeId(1),
+                NodeId(0)
+            ]
         );
     }
 

@@ -161,7 +161,10 @@ impl TaskTree {
 
     /// Walks from `i` up to the root (inclusive on both ends).
     pub fn ancestors(&self, i: NodeId) -> AncestorIter<'_> {
-        AncestorIter { tree: self, cur: Some(i) }
+        AncestorIter {
+            tree: self,
+            cur: Some(i),
+        }
     }
 
     /// Whether `a` is an ancestor of `b` (a node is not its own ancestor).
@@ -196,7 +199,10 @@ impl TaskTree {
             seen[i.index()] = true;
             for &c in self.children(i) {
                 if !seen[c.index()] {
-                    return Err(TreeError::NotTopological { parent: i, child: c });
+                    return Err(TreeError::NotTopological {
+                        parent: i,
+                        child: c,
+                    });
                 }
             }
         }
@@ -309,7 +315,10 @@ mod tests {
         assert!(t.is_ancestor(NodeId(0), NodeId(4)));
         assert!(t.is_ancestor(NodeId(1), NodeId(3)));
         assert!(!t.is_ancestor(NodeId(4), NodeId(1)));
-        assert!(!t.is_ancestor(NodeId(4), NodeId(4)), "a node is not its own ancestor");
+        assert!(
+            !t.is_ancestor(NodeId(4), NodeId(4)),
+            "a node is not its own ancestor"
+        );
     }
 
     #[test]

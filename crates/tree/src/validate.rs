@@ -62,10 +62,7 @@ pub fn check_consistency(tree: &TaskTree) -> Result<(), String> {
 /// Checks that `order` is a permutation of the nodes in which every node
 /// appears after all of its children, and returns the position (rank) of
 /// each node.
-pub fn ranks_of_topological_order(
-    tree: &TaskTree,
-    order: &[NodeId],
-) -> Result<Vec<u32>, String> {
+pub fn ranks_of_topological_order(tree: &TaskTree, order: &[NodeId]) -> Result<Vec<u32>, String> {
     tree.check_topological(order).map_err(|e| e.to_string())?;
     let mut rank = vec![0u32; tree.len()];
     for (k, &i) in order.iter().enumerate() {

@@ -16,10 +16,7 @@ fn arb_tree(max_n: usize) -> impl Strategy<Value = TaskTree> {
                 .map(|i| 0..i)
                 .collect::<Vec<_>>()
                 .prop_map(move |ps| ps);
-            let specs = proptest::collection::vec(
-                (0u64..64, 0u64..64, 0u32..8),
-                n,
-            );
+            let specs = proptest::collection::vec((0u64..64, 0u64..64, 0u32..8), n);
             (parents, specs)
         })
         .prop_map(|(parents, specs)| {

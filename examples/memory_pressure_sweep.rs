@@ -1,55 +1,52 @@
 //! Sweep the memory bound from the bare minimum to 20x and watch the three
 //! heuristics trade memory for parallelism — a single-tree rendition of
-//! the paper's Figure 2.
+//! the paper's Figure 2, written against the unified `PolicySpec` /
+//! `Platform` API: every policy, including the reduction-tree baseline
+//! (which schedules a transformed tree), builds through the same call.
 //!
 //! Run with `cargo run --release --example memory_pressure_sweep`.
 
 use memtree::gen::synthetic::paper_tree;
 use memtree::order::mem_postorder;
-use memtree::sched::{to_reduction_tree, Activation, LowerBounds, MemBooking, RedTreeBooking};
-use memtree::sim::{simulate, SimConfig};
+use memtree::runtime::{Platform, SimPlatform};
+use memtree::sched::{HeuristicKind, LowerBounds, PolicySpec};
 
 fn main() {
     let tree = paper_tree(8_000, 7);
     let ao = mem_postorder(&tree);
     let min_memory = ao.sequential_peak(&tree);
     let p = 8;
+    let platform = SimPlatform::new(p);
 
-    // The RedTree baseline schedules a transformed tree.
-    let transform = to_reduction_tree(&tree);
-    let red_ao = mem_postorder(&transform.tree);
-
-    println!("tree: {} tasks, minimum memory {min_memory}, p = {p}", tree.len());
+    println!(
+        "tree: {} tasks, minimum memory {min_memory}, p = {p}",
+        tree.len()
+    );
     println!(
         "{:>7} {:>12} {:>12} {:>12}",
         "factor", "MemBooking", "Activation", "RedTree"
     );
 
+    let kinds = [
+        HeuristicKind::MemBooking,
+        HeuristicKind::Activation,
+        HeuristicKind::MemBookingRedTree,
+    ];
     for factor in [1.0f64, 1.1, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0, 20.0] {
         let memory = ((min_memory as f64) * factor).ceil() as u64;
         let lb = LowerBounds::compute(&tree, p, memory);
-        let norm = |makespan: f64| makespan / lb.best();
 
-        let mb = MemBooking::try_new(&tree, &ao, &ao, memory)
-            .ok()
-            .map(|s| simulate(&tree, SimConfig::new(p, memory), s).expect("completes"));
-        let ac = Activation::try_new(&tree, &ao, &ao, memory)
-            .ok()
-            .map(|s| simulate(&tree, SimConfig::new(p, memory), s).expect("completes"));
-        let rt = RedTreeBooking::try_new(&transform.tree, &red_ao, &red_ao, memory)
-            .ok()
-            .map(|s| simulate(&transform.tree, SimConfig::new(p, memory), s).expect("completes"));
-
-        let fmt = |t: Option<f64>| match t {
-            Some(x) => format!("{x:12.3}"),
-            None => format!("{:>12}", "infeasible"),
-        };
-        println!(
-            "{factor:>7.2} {} {} {}",
-            fmt(mb.map(|t| norm(t.makespan))),
-            fmt(ac.map(|t| norm(t.makespan))),
-            fmt(rt.map(|t| norm(t.makespan))),
-        );
+        let cells: Vec<String> = kinds
+            .iter()
+            .map(
+                |&kind| match platform.run(&tree, &PolicySpec::new(kind, memory)) {
+                    Ok(report) => format!("{:12.3}", report.makespan / lb.best()),
+                    Err(e) if e.is_infeasible() => format!("{:>12}", "infeasible"),
+                    Err(e) => panic!("{kind} must not fail mid-run: {e}"),
+                },
+            )
+            .collect();
+        println!("{factor:>7.2} {} {} {}", cells[0], cells[1], cells[2]);
     }
     println!("(normalized makespan: 1.0 = the best known lower bound)");
 }

@@ -18,7 +18,10 @@ fn main() {
     // Rescale flops so times are readable (entry = 1 KiB, µs per flop).
     let pattern = memtree::multifrontal::SparsePattern::band(3000, 2);
     let mut spec = memtree::multifrontal::CorpusSpec::small();
-    spec.params = memtree::multifrontal::AssemblyParams { entry_size: 8, time_scale: 1.0 };
+    spec.params = memtree::multifrontal::AssemblyParams {
+        entry_size: 8,
+        time_scale: 1.0,
+    };
     let tree = spec.analyze(&pattern, &(0..3000).collect::<Vec<_>>());
     let stats = memtree::tree::TreeStats::compute(&tree);
     println!(
@@ -42,8 +45,18 @@ fn main() {
     // Moldable tasks under three speedup models.
     for (label, model) in [
         ("linear speedup  ", SpeedupModel::Linear),
-        ("Amdahl f = 0.10 ", SpeedupModel::Amdahl { serial_fraction: 0.10 }),
-        ("Amdahl f = 0.50 ", SpeedupModel::Amdahl { serial_fraction: 0.50 }),
+        (
+            "Amdahl f = 0.10 ",
+            SpeedupModel::Amdahl {
+                serial_fraction: 0.10,
+            },
+        ),
+        (
+            "Amdahl f = 0.50 ",
+            SpeedupModel::Amdahl {
+                serial_fraction: 0.50,
+            },
+        ),
     ] {
         // Fronts are dense kernels: let any of them use every core.
         let caps = AllotmentCaps::uniform(&tree, p as u32);

@@ -24,7 +24,10 @@ fn main() {
     ];
 
     println!("\nsequential traversals:");
-    println!("{:<12} {:>14} {:>16}", "order", "peak memory", "average memory");
+    println!(
+        "{:<12} {:>14} {:>16}",
+        "order", "peak memory", "average memory"
+    );
     for kind in kinds {
         let o = make_order(&tree, kind);
         let peak = o.sequential_peak(&tree);
@@ -37,10 +40,18 @@ fn main() {
     let min_memory = ao.sequential_peak(&tree);
     let memory = min_memory * 2;
     println!("\nparallel makespan on 8 processors at 2x minimum memory (AO = memPO):");
-    for eo_kind in [OrderKind::MemPostorder, OrderKind::CriticalPath, OrderKind::PerfPostorder] {
+    for eo_kind in [
+        OrderKind::MemPostorder,
+        OrderKind::CriticalPath,
+        OrderKind::PerfPostorder,
+    ] {
         let eo = make_order(&tree, eo_kind);
         let s = MemBooking::try_new(&tree, &ao, &eo, memory).expect("feasible");
         let trace = simulate(&tree, SimConfig::new(8, memory), s).expect("completes");
-        println!("  EO = {:<10} makespan {:.1}", eo_kind.label(), trace.makespan);
+        println!(
+            "  EO = {:<10} makespan {:.1}",
+            eo_kind.label(),
+            trace.makespan
+        );
     }
 }

@@ -2,20 +2,21 @@
 //! the "runtime execution" the paper's complexity analysis argues for.
 //!
 //! Completion order here is decided by the OS scheduler, not by a
-//! simulator: the policy must react dynamically, and a memory ledger
-//! aborts the run if bookings are ever exceeded.
+//! simulator: the policy must react dynamically, and the shared driver
+//! aborts the run if bookings are ever exceeded. The same `PolicySpec`
+//! also runs unchanged on the simulator — swap the platform, keep the
+//! policy.
 //!
 //! Run with `cargo run --release --example threaded_runtime`.
 
 use memtree::gen::synthetic::paper_tree;
-use memtree::order::{cp_order, mem_postorder};
-use memtree::runtime::{execute, RuntimeConfig, Workload};
-use memtree::sched::MemBooking;
+use memtree::order::{mem_postorder, OrderKind};
+use memtree::runtime::{Platform, SimPlatform, ThreadedPlatform, Workload};
+use memtree::sched::{HeuristicKind, PolicySpec};
 
 fn main() {
     let tree = paper_tree(3_000, 2024);
     let ao = mem_postorder(&tree);
-    let eo = cp_order(&tree);
     let min_memory = ao.sequential_peak(&tree);
     let memory = min_memory * 2;
 
@@ -24,16 +25,23 @@ fn main() {
         tree.len()
     );
 
+    let spec = PolicySpec::new(HeuristicKind::MemBooking, memory)
+        .with_orders(OrderKind::MemPostorder, OrderKind::CriticalPath);
+
+    // Reference point: the same spec on the simulator (virtual time).
+    let sim = SimPlatform::new(8).run(&tree, &spec).expect("simulates");
+    println!(
+        "simulator (p=8): makespan {:.1} model units, peak booked {}/{}",
+        sim.makespan, sim.peak_booked, memory
+    );
+
     for workers in [1usize, 2, 4, 8] {
-        let sched = MemBooking::try_new(&tree, &ao, &eo, memory).expect("feasible");
-        let report = execute(
-            &tree,
-            RuntimeConfig { workers, memory },
-            sched,
-            // ~5 µs of sleep per model time unit, capped per task.
-            Workload::Sleep { nanos_per_time_unit: 5.0, max_nanos: 3_000_000 },
-        )
-        .expect("threaded run completes");
+        // ~5 µs of sleep per model time unit, capped per task.
+        let platform = ThreadedPlatform::new(workers).with_workload(Workload::Sleep {
+            nanos_per_time_unit: 5.0,
+            max_nanos: 3_000_000,
+        });
+        let report = platform.run(&tree, &spec).expect("threaded run completes");
         println!(
             "{workers} workers: {:.3}s wall, {} events, scheduler cost {:.1} µs/task, \
              peak booked {}/{} ({:.0}%)",
@@ -45,5 +53,5 @@ fn main() {
             100.0 * report.peak_booked as f64 / memory as f64
         );
     }
-    println!("ledger held: actual ≤ booked ≤ bound at every event");
+    println!("driver held: actual ≤ booked ≤ bound at every event, on both platforms");
 }

@@ -11,14 +11,17 @@ use memtree::sim::{simulate, SimConfig};
 fn theorem1_termination_at_minimum_memory() {
     for seed in 0..6 {
         let tree = paper_tree(400, seed);
-        for ao_kind in [OrderKind::MemPostorder, OrderKind::OptSeq, OrderKind::PerfPostorder] {
+        for ao_kind in [
+            OrderKind::MemPostorder,
+            OrderKind::OptSeq,
+            OrderKind::PerfPostorder,
+        ] {
             let ao = make_order(&tree, ao_kind);
             let m = ao.sequential_peak(&tree);
             for p in [1, 2, 8, 32] {
                 let s = MemBooking::try_new(&tree, &ao, &ao, m).unwrap();
-                let trace = simulate(&tree, SimConfig::new(p, m), s).unwrap_or_else(|e| {
-                    panic!("seed {seed} {ao_kind:?} p={p}: {e}")
-                });
+                let trace = simulate(&tree, SimConfig::new(p, m), s)
+                    .unwrap_or_else(|e| panic!("seed {seed} {ao_kind:?} p={p}: {e}"));
                 assert_eq!(trace.records.len(), tree.len());
             }
         }
@@ -80,7 +83,10 @@ fn redtree_requires_more_memory() {
             worse += 1;
         }
     }
-    assert!(worse >= 8, "RedTree should need more memory on most trees: {worse}/{total}");
+    assert!(
+        worse >= 8,
+        "RedTree should need more memory on most trees: {worse}/{total}"
+    );
 }
 
 /// Section 7.2 setup: OptSeq's peak is a valid, sometimes smaller,

@@ -1,21 +1,28 @@
 //! Cross-crate integration: the full pipeline from sparse matrix to
-//! validated parallel schedule, through the facade crate.
+//! validated parallel schedule, through the facade crate and the unified
+//! `PolicySpec` construction path.
 
 use memtree::multifrontal::{assembly_corpus, CorpusSpec};
 use memtree::order::{make_order, OrderKind};
-use memtree::sched::{build_scheduler, HeuristicKind, LowerBounds};
+use memtree::runtime::{Platform, SimPlatform};
+use memtree::sched::{HeuristicKind, LowerBounds, PolicySpec};
 use memtree::sim::{simulate, validate::validate_trace, SimConfig};
 
 #[test]
 fn matrix_to_schedule_end_to_end() {
     for (name, tree) in assembly_corpus(&CorpusSpec::small()) {
         let ao = make_order(&tree, OrderKind::MemPostorder);
-        let eo = make_order(&tree, OrderKind::CriticalPath);
         let min_m = ao.sequential_peak(&tree);
         for factor in [1u64, 2, 4] {
             let m = min_m * factor;
             for kind in [HeuristicKind::MemBooking, HeuristicKind::Activation] {
-                let s = build_scheduler(kind, &tree, &ao, &eo, m)
+                let spec = PolicySpec::new(kind, m)
+                    .with_orders(OrderKind::MemPostorder, OrderKind::CriticalPath);
+                let inst = spec
+                    .instantiate(&tree)
+                    .unwrap_or_else(|e| panic!("{name} {kind} factor {factor}: {e}"));
+                let s = inst
+                    .scheduler(&tree)
                     .unwrap_or_else(|e| panic!("{name} {kind} factor {factor}: {e}"));
                 let trace = simulate(&tree, SimConfig::new(8, m), s)
                     .unwrap_or_else(|e| panic!("{name} {kind} factor {factor}: {e}"));
@@ -35,8 +42,10 @@ fn matrix_to_schedule_end_to_end() {
 
 #[test]
 fn membooking_beats_activation_on_the_corpus_under_pressure() {
-    // The headline claim, at corpus level: tight memory, 8 processors.
+    // The headline claim, at corpus level: tight memory, 8 processors,
+    // both policies through the one platform entry point.
     let corpus = assembly_corpus(&CorpusSpec::small());
+    let platform = SimPlatform::new(8);
     let mut mb_total = 0.0;
     let mut ac_total = 0.0;
     for (_, tree) in &corpus {
@@ -46,14 +55,28 @@ fn membooking_beats_activation_on_the_corpus_under_pressure() {
             (HeuristicKind::MemBooking, &mut mb_total),
             (HeuristicKind::Activation, &mut ac_total),
         ] {
-            let s = build_scheduler(kind, tree, &ao, &ao, m).unwrap();
-            *total += simulate(tree, SimConfig::new(8, m), s).unwrap().makespan;
+            let report = platform.run(tree, &PolicySpec::new(kind, m)).unwrap();
+            *total += report.makespan;
         }
     }
     assert!(
         mb_total <= ac_total,
         "MemBooking total {mb_total} should not exceed Activation total {ac_total}"
     );
+}
+
+#[test]
+fn redtree_is_first_class_in_the_pipeline() {
+    // The old API refused to build MemBookingRedTree without a manual
+    // transform; the spec path owns it.
+    let (name, tree) = assembly_corpus(&CorpusSpec::small()).swap_remove(0);
+    let ao = make_order(&tree, OrderKind::MemPostorder);
+    let m = ao.sequential_peak(&tree) * 50;
+    let report = SimPlatform::new(8)
+        .run(&tree, &PolicySpec::new(HeuristicKind::MemBookingRedTree, m))
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    assert!(report.tasks_run >= tree.len());
+    assert!(report.peak_booked <= m);
 }
 
 #[test]

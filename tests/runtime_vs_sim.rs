@@ -2,9 +2,9 @@
 //! threaded runtime, plus moldable-engine integration.
 
 use memtree::gen::synthetic::paper_tree;
-use memtree::order::{cp_order, mem_postorder};
-use memtree::runtime::{execute, RuntimeConfig, Workload};
-use memtree::sched::{AllotmentCaps, MemBooking, MoldableMemBooking};
+use memtree::order::{cp_order, mem_postorder, OrderKind};
+use memtree::runtime::{execute, Platform, RuntimeConfig, SimPlatform, ThreadedPlatform, Workload};
+use memtree::sched::{AllotmentCaps, HeuristicKind, MemBooking, MoldableMemBooking, PolicySpec};
 use memtree::sim::moldable::{simulate_moldable, SpeedupModel};
 use memtree::sim::{simulate, SimConfig};
 
@@ -29,7 +29,10 @@ fn threaded_and_simulated_agree_on_feasibility() {
 
         let report = execute(
             &tree,
-            RuntimeConfig { workers: 4, memory: m },
+            RuntimeConfig {
+                workers: 4,
+                memory: m,
+            },
             MemBooking::try_new(&tree, &ao, &eo, m).unwrap(),
             Workload::Noop,
         )
@@ -40,6 +43,61 @@ fn threaded_and_simulated_agree_on_feasibility() {
         assert!(sim_trace.peak_booked <= m);
         assert!(report.peak_booked <= m);
     }
+}
+
+/// The unified Platform API: the same `PolicySpec` runs on the simulator
+/// and on real threads, completes the same task set, and — with one
+/// worker, where the completion order is forced — books identical peak
+/// memory under `Workload::Noop`.
+#[test]
+fn same_spec_on_both_platforms_agrees() {
+    for seed in 0..4 {
+        let tree = paper_tree(250, 700 + seed);
+        let ao = mem_postorder(&tree);
+        let m = ao.sequential_peak(&tree);
+        for kind in [
+            HeuristicKind::MemBooking,
+            HeuristicKind::Activation,
+            HeuristicKind::Sequential,
+        ] {
+            let spec = PolicySpec::new(kind, m)
+                .with_orders(OrderKind::MemPostorder, OrderKind::CriticalPath);
+            // One worker: the event sequence is identical on both
+            // platforms, so the booking trajectory is too.
+            let sim = SimPlatform::new(1).run(&tree, &spec).unwrap();
+            let thr = ThreadedPlatform::new(1).run(&tree, &spec).unwrap();
+            assert_eq!(sim.tasks_run, thr.tasks_run, "seed {seed} {kind}");
+            assert_eq!(
+                sim.peak_booked, thr.peak_booked,
+                "seed {seed} {kind}: single-worker peak booked must match"
+            );
+            // Many workers: completion order is up to the OS, but both
+            // platforms must finish the tree inside the same envelope.
+            let sim4 = SimPlatform::new(4).run(&tree, &spec).unwrap();
+            let thr4 = ThreadedPlatform::new(4).run(&tree, &spec).unwrap();
+            assert_eq!(sim4.tasks_run, thr4.tasks_run, "seed {seed} {kind}");
+            assert!(sim4.peak_booked <= m && thr4.peak_booked <= m);
+            assert!(thr4.peak_actual <= thr4.peak_booked);
+        }
+    }
+}
+
+/// The reduction-tree baseline is a first-class spec on both platforms:
+/// the transform happens inside `instantiate`, once, identically.
+#[test]
+fn redtree_spec_runs_on_both_platforms() {
+    let tree = paper_tree(200, 31);
+    let ao = mem_postorder(&tree);
+    let m = ao.sequential_peak(&tree) * 40;
+    let spec = PolicySpec::new(HeuristicKind::MemBookingRedTree, m);
+    let sim = SimPlatform::new(1).run(&tree, &spec).unwrap();
+    let thr = ThreadedPlatform::new(1).run(&tree, &spec).unwrap();
+    assert_eq!(sim.tasks_run, thr.tasks_run);
+    assert!(sim.tasks_run > tree.len(), "fictitious leaves run too");
+    assert_eq!(
+        sim.peak_booked, thr.peak_booked,
+        "single-worker determinism"
+    );
 }
 
 /// The moldable engine degenerates to the sequential-task engine when
@@ -85,12 +143,22 @@ fn amdahl_between_serial_and_linear() {
         simulate_moldable(&tree, p, m, model, s).unwrap().makespan
     };
     let linear = run(SpeedupModel::Linear);
-    let amdahl = run(SpeedupModel::Amdahl { serial_fraction: 0.3 });
+    let amdahl = run(SpeedupModel::Amdahl {
+        serial_fraction: 0.3,
+    });
     let serial_caps = {
         let caps = AllotmentCaps::uniform(&tree, 1);
         let s = MoldableMemBooking::try_new(&tree, &ao, &ao, m, caps).unwrap();
-        simulate_moldable(&tree, p, m, SpeedupModel::Linear, s).unwrap().makespan
+        simulate_moldable(&tree, p, m, SpeedupModel::Linear, s)
+            .unwrap()
+            .makespan
     };
-    assert!(linear <= amdahl + 1e-9, "linear {linear} vs amdahl {amdahl}");
-    assert!(amdahl <= serial_caps + 1e-9, "amdahl {amdahl} vs unit-cap {serial_caps}");
+    assert!(
+        linear <= amdahl + 1e-9,
+        "linear {linear} vs amdahl {amdahl}"
+    );
+    assert!(
+        amdahl <= serial_caps + 1e-9,
+        "amdahl {amdahl} vs unit-cap {serial_caps}"
+    );
 }

@@ -1,0 +1,204 @@
+#![warn(missing_docs)]
+//! Minimal offline stand-in for the crates.io `criterion` crate.
+//!
+//! Provides the harness subset this workspace's benches use —
+//! [`Criterion`], benchmark groups, [`BenchmarkId`], [`Bencher::iter`] and
+//! the [`criterion_group!`]/[`criterion_main!`] macros. Measurement is a
+//! plain warm-up-then-sample loop reporting min/mean per iteration; no
+//! statistics beyond that, no plots, no CLI filtering.
+//!
+//! Replace this path dependency with the real crate when a registry is
+//! reachable; no call sites need to change.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level harness configuration and entry point.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 1);
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        run_bench(name, self.sample_size, &mut f);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` with a display label derived from `id`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_bench(
+            &label,
+            self.criterion.sample_size,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+    }
+
+    /// Benchmarks `f` under `name` within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let label = format!("{}/{name}", self.name);
+        run_bench(&label, self.criterion.sample_size, &mut f);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterised benchmark.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function/parameter` id.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// Drives the closure under measurement.
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-sample durations (seconds), filled by [`Bencher::iter`].
+    results: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f`: one untimed warm-up call, then `samples` timed calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std_black_box(f());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std_black_box(f());
+            self.results.push(t0.elapsed().as_secs_f64());
+        }
+    }
+}
+
+fn run_bench(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        results: Vec::with_capacity(samples),
+    };
+    f(&mut b);
+    if b.results.is_empty() {
+        println!("  {label}: no samples (Bencher::iter never called)");
+        return;
+    }
+    let n = b.results.len() as f64;
+    let mean = b.results.iter().sum::<f64>() / n;
+    let min = b.results.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "  {label}: mean {:.3} ms, min {:.3} ms over {} samples",
+        mean * 1e3,
+        min * 1e3,
+        b.results.len()
+    );
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                let mut criterion = $config;
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.bench_with_input(BenchmarkId::new("square", 12), &12u64, |b, &x| {
+            b.iter(|| x * x)
+        });
+        group.bench_function("noop", |b| b.iter(|| ()));
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default().sample_size(3);
+        quick_bench(&mut c);
+        c.bench_function("free", |b| b.iter(|| 1 + 1));
+    }
+
+    criterion_group!(simple_group, quick_bench);
+    criterion_group! {
+        name = configured_group;
+        config = Criterion::default().sample_size(2);
+        targets = quick_bench
+    }
+
+    #[test]
+    fn group_macros_expand() {
+        simple_group();
+        configured_group();
+    }
+}

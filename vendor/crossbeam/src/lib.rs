@@ -1,0 +1,238 @@
+#![warn(missing_docs)]
+//! Minimal offline stand-in for the crates.io `crossbeam` crate (0.8 API).
+//!
+//! Only the `channel::unbounded` MPMC channel is provided — the one piece
+//! of crossbeam this workspace uses (the threaded executor's task and
+//! completion queues). The implementation is a mutex-protected `VecDeque`
+//! with a condvar; correctness over raw throughput, which is fine because
+//! the executor sends one message per *task*, not per memory operation.
+//!
+//! Replace this path dependency with the real crate when a registry is
+//! reachable; no call sites need to change.
+
+/// Multi-producer multi-consumer FIFO channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone;
+    /// carries the unsent message.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty but senders remain.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// The sending half; clonable across threads.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; clonable across threads (MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `msg`; fails only when every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut st = self.shared.state.lock().expect("channel lock poisoned");
+            if st.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            st.queue.push_back(msg);
+            drop(st);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .state
+                .lock()
+                .expect("channel lock poisoned")
+                .senders += 1;
+            Sender {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().expect("channel lock poisoned");
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                // Wake blocked receivers so they observe the disconnect.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.state.lock().expect("channel lock poisoned");
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.shared.ready.wait(st).expect("channel lock poisoned");
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.shared.state.lock().expect("channel lock poisoned");
+            match st.queue.pop_front() {
+                Some(msg) => Ok(msg),
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .state
+                .lock()
+                .expect("channel lock poisoned")
+                .receivers += 1;
+            Receiver {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared
+                .state
+                .lock()
+                .expect("channel lock poisoned")
+                .receivers -= 1;
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_within_a_single_consumer() {
+            let (tx, rx) = unbounded();
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+            for i in 0..10 {
+                assert_eq!(rx.recv(), Ok(i));
+            }
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn disconnect_is_observed() {
+            let (tx, rx) = unbounded::<u32>();
+            tx.send(1).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Err(RecvError));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn send_fails_without_receivers() {
+            let (tx, rx) = unbounded::<u32>();
+            drop(rx);
+            assert_eq!(tx.send(9), Err(SendError(9)));
+        }
+
+        #[test]
+        fn mpmc_under_contention_delivers_every_message() {
+            let (tx, rx) = unbounded::<usize>();
+            let n = 1_000;
+            let consumers = 4;
+            let total: usize = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..consumers)
+                    .map(|_| {
+                        let rx = rx.clone();
+                        scope.spawn(move || {
+                            let mut got = 0;
+                            while rx.recv().is_ok() {
+                                got += 1;
+                            }
+                            got
+                        })
+                    })
+                    .collect();
+                drop(rx);
+                for i in 0..n {
+                    tx.send(i).unwrap();
+                }
+                drop(tx);
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            });
+            assert_eq!(total, n);
+        }
+    }
+}

@@ -1,0 +1,389 @@
+#![warn(missing_docs)]
+//! Minimal offline stand-in for the crates.io `proptest` crate.
+//!
+//! Implements the subset of the proptest 1.x API this workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map`/`prop_flat_map`,
+//! strategies for integer/float ranges, tuples and vectors,
+//! [`collection::vec`], [`ProptestConfig`], and the [`proptest!`],
+//! [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`] macros.
+//!
+//! Differences from the real crate, by design of a small stand-in:
+//!
+//! * **No shrinking.** A failing case panics with the ordinary assert
+//!   message. Runs are fully deterministic (the RNG is seeded from the
+//!   test's name), so a failure reproduces exactly under
+//!   `cargo test <name>`.
+//! * Fewer strategies; add impls here as tests need them.
+//!
+//! Replace this path dependency with the real crate when a registry is
+//! reachable; no call sites need to change.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub use rand::SeedableRng as _SeedableForMacros;
+
+/// The RNG handed to strategies by the [`proptest!`] runner.
+pub type TestRng = StdRng;
+
+/// How a single generated test case ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TestOutcome {
+    /// The body ran to completion.
+    Pass,
+    /// A [`prop_assume!`] rejected the inputs; the case is not counted.
+    Skip,
+}
+
+/// Runner configuration (`#![proptest_config(..)]`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of (non-skipped) cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// FNV-1a over a string — used to derive a per-test RNG seed from the test
+/// function's name, so different tests explore different inputs while each
+/// stays deterministic.
+pub fn seed_of(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy it selects.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// The result of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.random_range(self.start..self.end)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                if hi < <$t>::MAX {
+                    rng.random_range(lo..hi + 1)
+                } else {
+                    rng.random::<u64>() as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(usize, u64, u32, u16, u8);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.random::<f64>() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
+
+/// A strategy that always yields clones of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// A strategy for vectors of `len` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// The result of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (0..self.len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a test file conventionally glob-imports.
+pub mod prelude {
+    pub use crate::Just;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Rejects the current case without failing the test.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return $crate::TestOutcome::Skip;
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = $cfg:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng: $crate::TestRng =
+                    $crate::_SeedableForMacros::seed_from_u64($crate::seed_of(stringify!($name)));
+                let mut passed = 0u32;
+                let mut attempts = 0u32;
+                while passed < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= config.cases.saturating_mul(20).max(100),
+                        "too many prop_assume rejections in {}",
+                        stringify!($name)
+                    );
+                    let outcome = {
+                        $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                        let case = move || -> $crate::TestOutcome {
+                            $body
+                            $crate::TestOutcome::Pass
+                        };
+                        case()
+                    };
+                    if outcome == $crate::TestOutcome::Pass {
+                        passed += 1;
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::{seed_of, Strategy, TestRng};
+
+    fn rng() -> TestRng {
+        crate::_SeedableForMacros::seed_from_u64(42)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..1_000 {
+            let v = (3usize..17).generate(&mut r);
+            assert!((3..17).contains(&v));
+            let w = (1usize..=4).generate(&mut r);
+            assert!((1..=4).contains(&w));
+            let x = (0.5f64..2.5).generate(&mut r);
+            assert!((0.5..2.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut r = rng();
+        let s = (1usize..=8)
+            .prop_flat_map(|n| crate::collection::vec(0u64..10, n))
+            .prop_map(|v| v.len());
+        for _ in 0..100 {
+            let n = s.generate(&mut r);
+            assert!((1..=8).contains(&n));
+        }
+    }
+
+    #[test]
+    fn vec_of_strategies_generates_elementwise() {
+        let mut r = rng();
+        let s: Vec<std::ops::Range<usize>> = (1..5).map(|i| 0..i).collect();
+        let v = s.generate(&mut r);
+        assert_eq!(v.len(), 4);
+        for (k, &x) in v.iter().enumerate() {
+            assert!(x < k + 1);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_by_name() {
+        assert_ne!(seed_of("a"), seed_of("b"));
+        assert_eq!(seed_of("a"), seed_of("a"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_runs_and_assumes(x in 0u32..100, y in 0u32..100) {
+            prop_assume!(x != y);
+            prop_assert!(x < 100 && y < 100);
+            prop_assert_eq!(x + y, y + x);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+#![warn(missing_docs)]
+//! Minimal offline stand-in for the crates.io `rayon` crate.
+//!
+//! Implements the parallel-iterator subset this workspace uses —
+//! `into_par_iter().map(..).collect::<Vec<_>>()` plus
+//! [`current_num_threads`] — on top of `std::thread::scope` with an atomic
+//! work index. Items are claimed one at a time (dynamic scheduling), so
+//! unevenly sized scenario cells still balance across cores, and results
+//! come back in input order exactly like real rayon's indexed collect.
+//!
+//! Replace this path dependency with the real crate when a registry is
+//! reachable; no call sites need to change.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads a parallel iterator will use: the
+/// `RAYON_NUM_THREADS` environment variable if set (like real rayon's
+/// default pool), otherwise the available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The traits a `use rayon::prelude::*` is expected to bring in scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Conversion into a parallel iterator (rayon's entry point).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Concrete iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+/// A parallel iterator: a source of `Send` items that can be mapped and
+/// collected in parallel.
+pub trait ParallelIterator: Sized + Send {
+    /// Element type.
+    type Item: Send;
+
+    /// Materialises the items, running any pending stages in parallel,
+    /// preserving input order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Maps each item through `f` (executed in parallel at collect time).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Send + Sync,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Collects the items, preserving input order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.drive().into_iter().collect()
+    }
+}
+
+/// Parallel iterator over an owned `Vec`.
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// A mapped parallel iterator (the result of [`ParallelIterator::map`]).
+pub struct Map<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Send + Sync,
+{
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        let items = self.inner.drive();
+        parallel_map(items, &self.f)
+    }
+}
+
+/// Order-preserving parallel map with dynamic (one-item-at-a-time) load
+/// balancing.
+fn parallel_map<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Vec<R> {
+    let n = items.len();
+    let workers = current_num_threads().min(n.max(1));
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= n {
+                    break;
+                }
+                let item = slots[k]
+                    .lock()
+                    .expect("input slot poisoned")
+                    .take()
+                    .expect("each slot is claimed exactly once");
+                let out = f(item);
+                *results[k].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot was filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1_000).collect();
+        let out: Vec<usize> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chained_maps_compose() {
+        let v: Vec<u64> = (0..100).collect();
+        let out: Vec<String> = v
+            .into_par_iter()
+            .map(|x| x + 1)
+            .map(|x| x.to_string())
+            .collect();
+        assert_eq!(out[0], "1");
+        assert_eq!(out[99], "100");
+    }
+
+    #[test]
+    fn work_actually_spreads_over_threads() {
+        if super::current_num_threads() < 2 {
+            return; // single-core environment: nothing to assert
+        }
+        let v: Vec<usize> = (0..256).collect();
+        let ids: Vec<std::thread::ThreadId> = v
+            .into_par_iter()
+            .map(|_| {
+                // Enough work that one thread cannot drain the queue alone.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                std::thread::current().id()
+            })
+            .collect();
+        let distinct: std::collections::HashSet<_> = ids.into_iter().collect();
+        assert!(distinct.len() > 1, "expected multiple worker threads");
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u8> = Vec::new();
+        let out: Vec<u8> = v.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}
