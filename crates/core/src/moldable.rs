@@ -58,6 +58,12 @@ impl AllotmentCaps {
     pub fn cap(&self, i: NodeId) -> u32 {
         self.caps[i.index()]
     }
+
+    /// The largest cap of any task — the minimum worker count a platform
+    /// needs for every gang to be schedulable at its full allotment.
+    pub fn max_cap(&self) -> u32 {
+        self.caps.iter().copied().max().unwrap_or(1)
+    }
 }
 
 /// MemBooking for moldable tasks: identical booking, even-split allotment.

@@ -211,7 +211,9 @@ impl PolicyInstance {
     }
 
     /// Mints a fresh *moldable* scheduler state (requires caps; MemBooking
-    /// only). Drive it with `memtree_sim::simulate_moldable`.
+    /// only). Drive it with `memtree_sim::simulate_moldable` (virtual
+    /// time) or `memtree_runtime::execute_moldable` (gang-scheduled real
+    /// threads).
     pub fn moldable<'t>(
         &'t self,
         original: &'t TaskTree,

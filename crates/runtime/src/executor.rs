@@ -1,19 +1,34 @@
-//! The threaded executor: real worker threads as a [`Backend`] under the
-//! shared `memtree_sim::driver` loop.
+//! The threaded executor: real worker threads as a
+//! [`GangBackend`](memtree_sim::GangBackend) under the shared
+//! `memtree_sim::driver` gang loop.
 //!
-//! The main thread owns the scheduler and runs [`memtree_sim::drive`];
-//! workers pull tasks from an MPMC channel, run the [`Workload`] payload
-//! and report completions back. The scheduler sees completions in
-//! real-time order — the dynamic regime the paper designs for — while the
-//! driver re-asserts `actual ≤ booked ≤ M` at every event, so a booking
-//! bug aborts the run rather than silently overcommitting.
+//! The main thread owns the scheduler and runs
+//! [`memtree_sim::drive_gang`]; workers pull **gang-member** messages from
+//! an MPMC channel, run their shard of the [`Workload`] payload and report
+//! completions back. A moldable task with allotment `q` is launched as `q`
+//! member messages sharing one [`GangState`]: the driver only launches
+//! when `q` workers are idle, so all members are picked up without any
+//! hold-and-wait — no partial gangs, no deadlock. Members claim payload
+//! shards from a shared atomic index (the same dynamic-scheduling idiom as
+//! the vendored rayon stand-in), so a member delayed by the OS donates its
+//! shards to its gang mates, and the last member out reports the single
+//! completion that releases the whole gang.
+//!
+//! Sequential policies ride the very same pool through unit allotments
+//! ([`memtree_sim::UnitAllotments`]): every task is a gang of one. The
+//! scheduler sees completions in real-time order — the dynamic regime the
+//! paper designs for — while the driver re-asserts `actual ≤ booked ≤ M`
+//! at every event, so a booking bug aborts the run rather than silently
+//! overcommitting.
 
 use crate::workload::Workload;
 use crossbeam::channel;
-use memtree_sim::driver::{drive, Backend, DriveConfig, DriveError};
-use memtree_sim::Scheduler;
+use memtree_sim::driver::{drive_gang, DriveConfig, DriveError, GangBackend, UnitAllotments};
+use memtree_sim::{MoldableScheduler, Scheduler};
 use memtree_tree::{NodeId, TaskTree};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Executor configuration.
 #[derive(Clone, Copy, Debug)]
@@ -22,6 +37,32 @@ pub struct RuntimeConfig {
     pub workers: usize,
     /// Memory bound `M` (model units).
     pub memory: u64,
+}
+
+impl RuntimeConfig {
+    /// Worker counts a cross-platform test sweep should cover: the
+    /// comma-separated `MEMTREE_TEST_WORKERS` environment variable when
+    /// set (the CI matrix pins one count per job), `default` otherwise.
+    ///
+    /// # Panics
+    /// When `MEMTREE_TEST_WORKERS` is set but contains no count ≥ 1.
+    pub fn worker_counts_from_env(default: &[usize]) -> Vec<usize> {
+        match std::env::var("MEMTREE_TEST_WORKERS") {
+            Ok(v) => {
+                let counts: Vec<usize> = v
+                    .split(',')
+                    .filter_map(|s| s.trim().parse().ok())
+                    .filter(|&p| p >= 1)
+                    .collect();
+                assert!(
+                    !counts.is_empty(),
+                    "MEMTREE_TEST_WORKERS has no counts: {v}"
+                );
+                counts
+            }
+            Err(_) => default.to_vec(),
+        }
+    }
 }
 
 /// Outcome of a threaded execution.
@@ -39,6 +80,11 @@ pub struct RuntimeReport {
     pub events: usize,
     /// Wall-clock seconds spent inside scheduler callbacks.
     pub scheduling_seconds: f64,
+    /// Peak number of worker threads concurrently inside a payload,
+    /// measured by the workers themselves (not the driver's ledger). Never
+    /// exceeds the configured worker count — the observable half of the
+    /// gang-pool capacity invariant.
+    pub peak_busy: usize,
 }
 
 /// Failures of a threaded execution.
@@ -89,24 +135,57 @@ fn to_runtime_error(e: DriveError) -> RuntimeError {
         }
         DriveError::TooManyStarts { .. }
         | DriveError::DoubleStart { .. }
+        | DriveError::ZeroAllotment { .. }
         | DriveError::PrecedenceViolation { .. } => RuntimeError::Protocol(e.to_string()),
         DriveError::BadConfig(msg) => RuntimeError::BadConfig(msg),
         DriveError::Backend(_) => RuntimeError::WorkerPanic,
     }
 }
 
-/// The worker-thread backend: launching sends the task to the channel,
-/// awaiting blocks on the completion channel and drains stragglers.
-struct ThreadedBackend {
-    task_tx: channel::Sender<NodeId>,
+/// Shared state of one gang: the payload shards its members claim and the
+/// member countdown that decides who reports the completion.
+struct GangState {
+    /// Gang size `q` — also the shard count.
+    size: u32,
+    /// Next unclaimed payload shard (rayon-style dynamic claiming: a
+    /// member delayed by the OS donates its shards to its gang mates).
+    next_shard: AtomicUsize,
+    /// Members that have not finished yet; the last one out sends the
+    /// completion, releasing the whole gang at once.
+    remaining: AtomicUsize,
+}
+
+/// One worker's membership in a gang-scheduled task.
+struct GangMember {
+    task: NodeId,
+    gang: Arc<GangState>,
+}
+
+/// The worker-thread gang backend: launching a task with allotment `q`
+/// sends `q` member messages to the channel (the driver guarantees `q`
+/// idle workers, so the claim is effectively atomic); awaiting blocks on
+/// the completion channel and drains stragglers.
+struct GangThreadedBackend {
+    task_tx: channel::Sender<GangMember>,
     done_rx: channel::Receiver<NodeId>,
 }
 
-impl Backend for ThreadedBackend {
-    fn launch(&mut self, i: NodeId, _epoch: u32) -> Result<(), DriveError> {
-        self.task_tx
-            .send(i)
-            .map_err(|_| DriveError::Backend("workers exited early".into()))
+impl GangBackend for GangThreadedBackend {
+    fn launch(&mut self, i: NodeId, procs: usize, _epoch: u32) -> Result<(), DriveError> {
+        let gang = Arc::new(GangState {
+            size: procs as u32,
+            next_shard: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(procs),
+        });
+        for _ in 0..procs {
+            self.task_tx
+                .send(GangMember {
+                    task: i,
+                    gang: gang.clone(),
+                })
+                .map_err(|_| DriveError::Backend("workers exited early".into()))?;
+        }
+        Ok(())
     }
 
     fn await_batch(&mut self, _epoch: u32, batch: &mut Vec<NodeId>) -> Result<(), DriveError> {
@@ -122,8 +201,23 @@ impl Backend for ThreadedBackend {
     }
 }
 
-/// Executes `tree` with `cfg.workers` real threads under `scheduler`.
+/// Executes `tree` with `cfg.workers` real threads under a sequential
+/// `scheduler` — every task a gang of one, via the same pool as
+/// [`execute_moldable`].
 pub fn execute<S: Scheduler>(
+    tree: &TaskTree,
+    cfg: RuntimeConfig,
+    scheduler: S,
+    workload: Workload,
+) -> Result<RuntimeReport, RuntimeError> {
+    execute_moldable(tree, cfg, UnitAllotments::new(scheduler), workload)
+}
+
+/// Executes `tree` with `cfg.workers` real threads under a moldable
+/// `scheduler`: each started task claims its allotment of workers as a
+/// gang and runs its payload `q`-way parallel (one shard per gang member,
+/// dynamically claimed).
+pub fn execute_moldable<S: MoldableScheduler>(
     tree: &TaskTree,
     cfg: RuntimeConfig,
     scheduler: S,
@@ -134,17 +228,36 @@ pub fn execute<S: Scheduler>(
     }
     let started_at = std::time::Instant::now();
 
-    let (task_tx, task_rx) = channel::unbounded::<NodeId>();
+    let (task_tx, task_rx) = channel::unbounded::<GangMember>();
     let (done_tx, done_rx) = channel::unbounded::<NodeId>();
+    // Worker-side occupancy measurement, independent of the driver's
+    // processor ledger.
+    let busy = AtomicUsize::new(0);
+    let peak_busy = AtomicUsize::new(0);
 
     let stats = std::thread::scope(|scope| {
         for _ in 0..cfg.workers {
             let task_rx = task_rx.clone();
             let done_tx = done_tx.clone();
+            let (busy, peak_busy) = (&busy, &peak_busy);
             scope.spawn(move || {
-                while let Ok(task) = task_rx.recv() {
-                    workload.run(tree, task);
-                    if done_tx.send(task).is_err() {
+                while let Ok(member) = task_rx.recv() {
+                    let size = member.gang.size;
+                    let now_busy = busy.fetch_add(1, Ordering::AcqRel) + 1;
+                    peak_busy.fetch_max(now_busy, Ordering::AcqRel);
+                    loop {
+                        let shard = member.gang.next_shard.fetch_add(1, Ordering::Relaxed);
+                        if shard >= size as usize {
+                            break;
+                        }
+                        workload.run_shard(tree, member.task, shard as u32, size);
+                    }
+                    busy.fetch_sub(1, Ordering::AcqRel);
+                    // The member countdown only reaches zero once every
+                    // claimed shard has finished executing.
+                    if member.gang.remaining.fetch_sub(1, Ordering::AcqRel) == 1
+                        && done_tx.send(member.task).is_err()
+                    {
                         return;
                     }
                 }
@@ -153,8 +266,8 @@ pub fn execute<S: Scheduler>(
         drop(task_rx);
         drop(done_tx);
 
-        let mut backend = ThreadedBackend { task_tx, done_rx };
-        let result = drive(
+        let mut backend = GangThreadedBackend { task_tx, done_rx };
+        let result = drive_gang(
             tree,
             DriveConfig::new(cfg.workers, cfg.memory),
             scheduler,
@@ -162,11 +275,16 @@ pub fn execute<S: Scheduler>(
         );
         // Closing the task channel terminates the workers; drain stragglers
         // so the scope join does not race a worker mid-send.
-        let ThreadedBackend { task_tx, done_rx } = backend;
+        let GangThreadedBackend { task_tx, done_rx } = backend;
         drop(task_tx);
         while done_rx.try_recv().is_ok() {}
         result
     });
+    debug_assert_eq!(
+        busy.load(Ordering::Acquire),
+        0,
+        "every gang member left its payload before the pool shut down"
+    );
 
     let stats = stats.map_err(to_runtime_error)?;
     Ok(RuntimeReport {
@@ -176,6 +294,7 @@ pub fn execute<S: Scheduler>(
         peak_booked: stats.peak_booked,
         events: stats.events,
         scheduling_seconds: stats.scheduling_seconds,
+        peak_busy: peak_busy.load(Ordering::Acquire),
     })
 }
 
@@ -271,6 +390,124 @@ mod tests {
             ),
             Err(RuntimeError::BadConfig(_))
         ));
+    }
+
+    #[test]
+    fn moldable_membooking_runs_threaded() {
+        use memtree_sched::{AllotmentCaps, MoldableMemBooking};
+        for seed in 0..4 {
+            let tree = memtree_gen::synthetic::paper_tree(150, 40 + seed);
+            let ao = mem_postorder(&tree);
+            let m = ao.sequential_peak(&tree);
+            let caps = AllotmentCaps::uniform(&tree, 4);
+            let sched = MoldableMemBooking::try_new(&tree, &ao, &ao, m, caps).unwrap();
+            let report = execute_moldable(
+                &tree,
+                RuntimeConfig {
+                    workers: 4,
+                    memory: m,
+                },
+                sched,
+                Workload::Noop,
+            )
+            .unwrap();
+            assert_eq!(report.tasks_run, tree.len());
+            assert!(report.peak_booked <= m);
+            assert!(report.peak_actual <= report.peak_booked);
+            assert!(report.peak_busy <= 4, "gang pool oversubscribed");
+        }
+    }
+
+    /// A full-machine gang on a chain: every task runs as one gang of `p`
+    /// members, and the measured occupancy actually reaches `p` (the gang
+    /// really fans out over the workers).
+    struct WholeMachineChain {
+        order: Vec<NodeId>,
+        next: usize,
+        procs: usize,
+    }
+
+    impl memtree_sim::MoldableScheduler for WholeMachineChain {
+        fn name(&self) -> &str {
+            "whole-machine-chain"
+        }
+        fn on_event(&mut self, _: &[NodeId], idle: usize, to_start: &mut Vec<(NodeId, usize)>) {
+            if idle >= self.procs && self.next < self.order.len() {
+                to_start.push((self.order[self.next], self.procs));
+                self.next += 1;
+            }
+        }
+        fn booked(&self) -> u64 {
+            u64::MAX / 2
+        }
+    }
+
+    #[test]
+    fn gangs_fan_out_over_the_workers() {
+        let p = 4;
+        let tree = memtree_gen::shapes::chain(20, memtree_tree::TaskSpec::new(1, 2, 4.0));
+        let order = memtree_tree::traverse::postorder(&tree);
+        let report = execute_moldable(
+            &tree,
+            RuntimeConfig {
+                workers: p,
+                memory: u64::MAX / 2,
+            },
+            WholeMachineChain {
+                order,
+                next: 0,
+                procs: p,
+            },
+            // Long enough shards (1 ms each) that gang members overlap
+            // rather than one member draining the shard index alone.
+            Workload::Spin {
+                nanos_per_time_unit: 1_000_000.0,
+                max_nanos: 4_000_000,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.tasks_run, tree.len());
+        assert!(report.peak_busy <= p);
+        assert!(
+            report.peak_busy >= 2,
+            "a whole-machine gang must occupy several workers, got {}",
+            report.peak_busy
+        );
+    }
+
+    /// A moldable policy that over-claims processors must abort with a
+    /// protocol error, and one that issues empty gangs likewise.
+    struct OverClaimer {
+        leaf: NodeId,
+        procs: usize,
+    }
+
+    impl memtree_sim::MoldableScheduler for OverClaimer {
+        fn name(&self) -> &str {
+            "over-claimer"
+        }
+        fn on_event(&mut self, _: &[NodeId], _: usize, to_start: &mut Vec<(NodeId, usize)>) {
+            to_start.push((self.leaf, self.procs));
+        }
+        fn booked(&self) -> u64 {
+            u64::MAX / 2
+        }
+    }
+
+    #[test]
+    fn gang_overclaim_and_zero_allotment_rejected() {
+        let tree = memtree_gen::synthetic::paper_tree(20, 9);
+        let leaf = tree.leaves().next().unwrap();
+        let cfg = RuntimeConfig {
+            workers: 2,
+            memory: u64::MAX / 2,
+        };
+        let err = execute_moldable(&tree, cfg, OverClaimer { leaf, procs: 3 }, Workload::Noop)
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Protocol(_)), "got {err}");
+        let err = execute_moldable(&tree, cfg, OverClaimer { leaf, procs: 0 }, Workload::Noop)
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Protocol(_)), "got {err}");
     }
 
     /// A policy that books correctly but stops issuing work after the

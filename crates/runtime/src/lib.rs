@@ -4,9 +4,10 @@
 //!
 //! The paper argues MemBooking's overhead is small enough "to allow its
 //! runtime execution" — this crate closes the loop by driving the very
-//! same [`memtree_sim::Scheduler`] implementations with genuine threads
-//! instead of simulated time. Completion order is whatever the OS makes of
-//! it, exercising the schedulers' dynamic behaviour; the shared
+//! same [`memtree_sim::Scheduler`] (and, gang-scheduled,
+//! [`memtree_sim::MoldableScheduler`]) implementations with genuine
+//! threads instead of simulated time. Completion order is whatever the OS
+//! makes of it, exercising the schedulers' dynamic behaviour; the shared
 //! `memtree_sim::driver` loop re-asserts `actual ≤ booked ≤ M` at every
 //! event, so a booking bug aborts the run rather than silently
 //! overcommitting.
@@ -20,6 +21,6 @@ pub mod executor;
 pub mod platform;
 pub mod workload;
 
-pub use executor::{execute, RuntimeConfig, RuntimeError, RuntimeReport};
+pub use executor::{execute, execute_moldable, RuntimeConfig, RuntimeError, RuntimeReport};
 pub use platform::{Platform, PlatformError, RunReport, SimPlatform, ThreadedPlatform};
 pub use workload::Workload;

@@ -8,7 +8,10 @@
 //! and a tree, get back a common [`RunReport`]. Both implementations share
 //! the `memtree_sim::driver` event loop, so the scheduler contract —
 //! precedence, capacity, `actual ≤ booked ≤ M` — is enforced identically
-//! on both.
+//! on both. **Every** spec runs on every platform, moldable ones
+//! included: on the simulator a moldable task's duration shrinks by the
+//! configured [`SpeedupModel`], on the threaded runtime it gang-schedules
+//! its allotment of real workers.
 //!
 //! ```
 //! use memtree_runtime::platform::{Platform, SimPlatform, ThreadedPlatform};
@@ -23,10 +26,10 @@
 //! assert_eq!(sim.tasks_run, real.tasks_run);
 //! ```
 
-use crate::executor::{execute, RuntimeConfig, RuntimeError};
+use crate::executor::{execute, execute_moldable, RuntimeConfig, RuntimeError};
 use crate::workload::Workload;
 use memtree_sched::{PolicyInstance, PolicySpec, SchedError};
-use memtree_sim::{simulate, SimConfig, SimError, SpeedupModel};
+use memtree_sim::{simulate, MoldableScheduler, SimConfig, SimError, SpeedupModel};
 use memtree_tree::TaskTree;
 use std::fmt;
 
@@ -67,9 +70,6 @@ pub enum PlatformError {
     Sim(SimError),
     /// The threaded runtime rejected the run.
     Runtime(RuntimeError),
-    /// The platform cannot run this spec (e.g. moldable caps on the
-    /// threaded runtime).
-    Unsupported(String),
 }
 
 impl fmt::Display for PlatformError {
@@ -78,7 +78,6 @@ impl fmt::Display for PlatformError {
             PlatformError::Sched(e) => write!(f, "policy construction failed: {e}"),
             PlatformError::Sim(e) => write!(f, "simulation failed: {e}"),
             PlatformError::Runtime(e) => write!(f, "threaded execution failed: {e}"),
-            PlatformError::Unsupported(msg) => write!(f, "unsupported on this platform: {msg}"),
         }
     }
 }
@@ -251,23 +250,24 @@ impl Platform for ThreadedPlatform {
         tree: &TaskTree,
         instance: &PolicyInstance,
     ) -> Result<RunReport, PlatformError> {
-        if instance.is_moldable() {
-            return Err(PlatformError::Unsupported(
-                "moldable allotments need the simulator (workers are single-threaded)".into(),
-            ));
-        }
         let exec = instance.exec_tree(tree);
-        let sched = instance.scheduler(tree)?;
-        let policy = sched.name().to_string();
-        let report = execute(
-            exec,
-            RuntimeConfig {
-                workers: self.workers,
-                memory: instance.memory(),
-            },
-            sched,
-            self.workload,
-        )?;
+        let cfg = RuntimeConfig {
+            workers: self.workers,
+            memory: instance.memory(),
+        };
+        let report;
+        let policy;
+        if instance.is_moldable() {
+            // Moldable specs gang-schedule: each task claims its allotment
+            // of workers and runs its payload shard-parallel.
+            let sched = instance.moldable(tree)?;
+            policy = MoldableScheduler::name(&sched).to_string();
+            report = execute_moldable(exec, cfg, sched, self.workload)?;
+        } else {
+            let sched = instance.scheduler(tree)?;
+            policy = sched.name().to_string();
+            report = execute(exec, cfg, sched, self.workload)?;
+        }
         Ok(RunReport {
             platform: self.name(),
             policy,
@@ -320,15 +320,20 @@ mod tests {
     }
 
     #[test]
-    fn moldable_runs_on_sim_only() {
+    fn moldable_runs_on_both_platforms() {
+        // The capability this module used to lack: a moldable spec is a
+        // first-class citizen of the threaded runtime too.
         let tree = memtree_gen::synthetic::paper_tree(60, 6);
         let m = min_memory(&tree);
         let caps = memtree_sched::AllotmentCaps::uniform(&tree, 4);
         let spec = PolicySpec::new(HeuristicKind::MemBooking, m).with_caps(caps);
-        let report = SimPlatform::new(4).run(&tree, &spec).unwrap();
-        assert_eq!(report.tasks_run, tree.len());
-        let err = ThreadedPlatform::new(4).run(&tree, &spec).unwrap_err();
-        assert!(matches!(err, PlatformError::Unsupported(_)));
+        let sim = SimPlatform::new(4).run(&tree, &spec).unwrap();
+        assert_eq!(sim.tasks_run, tree.len());
+        let thr = ThreadedPlatform::new(4).run(&tree, &spec).unwrap();
+        assert_eq!(thr.tasks_run, tree.len());
+        assert_eq!(sim.policy, thr.policy);
+        assert!(thr.peak_booked <= m);
+        assert!(thr.peak_actual <= thr.peak_booked);
     }
 
     #[test]

@@ -43,15 +43,26 @@ impl Workload {
         }
     }
 
-    /// Runs the payload for task `i`.
+    /// Runs the payload for task `i` on a single processor.
     pub fn run(&self, tree: &TaskTree, i: NodeId) {
+        self.run_shard(tree, i, 0, 1);
+    }
+
+    /// Runs shard `shard` of task `i`'s payload split `of` ways — the
+    /// intra-task parallelism unit executed by one gang member. Shards
+    /// partition the payload evenly (each is a `1/of` slice of the sleep /
+    /// spin duration or the touched buffer), so a full gang of `of`
+    /// members realises the linear speedup the moldable engine predicts.
+    pub fn run_shard(&self, tree: &TaskTree, i: NodeId, shard: u32, of: u32) {
+        debug_assert!(shard < of, "shard index out of range");
+        let of64 = of as u64;
         match *self {
             Workload::Noop => {}
             Workload::Sleep {
                 nanos_per_time_unit,
                 max_nanos,
             } => {
-                let nanos = ((tree.time(i) * nanos_per_time_unit) as u64).min(max_nanos);
+                let nanos = ((tree.time(i) * nanos_per_time_unit) as u64).min(max_nanos) / of64;
                 if nanos > 0 {
                     std::thread::sleep(std::time::Duration::from_nanos(nanos));
                 }
@@ -60,7 +71,7 @@ impl Workload {
                 nanos_per_time_unit,
                 max_nanos,
             } => {
-                let nanos = ((tree.time(i) * nanos_per_time_unit) as u64).min(max_nanos);
+                let nanos = ((tree.time(i) * nanos_per_time_unit) as u64).min(max_nanos) / of64;
                 let deadline = std::time::Instant::now() + std::time::Duration::from_nanos(nanos);
                 while std::time::Instant::now() < deadline {
                     std::hint::spin_loop();
@@ -72,6 +83,8 @@ impl Workload {
             } => {
                 let bytes = ((tree.output(i) as f64 * bytes_per_output_unit) as usize)
                     .clamp(1, max_bytes.max(1));
+                // Each shard allocates and touches its slice of the buffer.
+                let bytes = (bytes / of as usize).max(1);
                 let mut buf = vec![0u8; bytes];
                 // Touch one byte per page so the allocation is real.
                 let mut k = 0;
@@ -122,6 +135,23 @@ mod tests {
             },
         ] {
             w.run(&t, memtree_tree::NodeId(0));
+            for shard in 0..4 {
+                w.run_shard(&t, memtree_tree::NodeId(0), shard, 4);
+            }
         }
+    }
+
+    #[test]
+    fn shards_split_the_sleep_evenly() {
+        let t = tree();
+        let w = Workload::Sleep {
+            nanos_per_time_unit: 1e12,
+            max_nanos: 8_000_000,
+        };
+        // One shard of 8 sleeps ~1 ms, not the full 8 ms.
+        let start = std::time::Instant::now();
+        w.run_shard(&t, memtree_tree::NodeId(0), 0, 8);
+        let one = start.elapsed();
+        assert!(one < std::time::Duration::from_millis(6), "got {one:?}");
     }
 }

@@ -1,0 +1,209 @@
+//! Property tests for the gang pool: whatever legal gang pattern a
+//! moldable policy produces on whatever tree, the threaded executor
+//! (a) never runs more concurrent gang members than it has workers —
+//! the sum of live allotments stays within `p`, measured by the workers
+//! themselves, not the driver's ledger; (b) releases every launched gang —
+//! the run finishes the whole tree instead of deadlocking whenever the
+//! largest allotment fits the machine; and (c) matches the paper policy's
+//! booking envelope when the policy is MoldableMemBooking.
+
+use memtree_order::mem_postorder;
+use memtree_runtime::{execute_moldable, RuntimeConfig, Workload};
+use memtree_sched::{AllotmentCaps, MoldableMemBooking};
+use memtree_sim::MoldableScheduler;
+use memtree_tree::{NodeId, TaskSpec, TaskTree};
+use proptest::prelude::*;
+
+/// Worker counts the properties draw from; the CI matrix narrows this to
+/// one count per job via `MEMTREE_TEST_WORKERS`.
+fn worker_pool() -> Vec<usize> {
+    RuntimeConfig::worker_counts_from_env(&[1, 2, 3, 4])
+}
+
+fn arb_workers() -> impl Strategy<Value = usize> {
+    (0usize..worker_pool().len()).prop_map(|k| worker_pool()[k])
+}
+
+fn arb_tree(max_n: usize) -> impl Strategy<Value = TaskTree> {
+    (1..=max_n)
+        .prop_flat_map(|n| {
+            let parents = (1..n).map(|i| 0..i).collect::<Vec<_>>();
+            let specs = proptest::collection::vec((0u64..20, 0u64..20, 0u32..5), n);
+            (parents, specs)
+        })
+        .prop_map(|(parents, specs)| {
+            let mut full: Vec<Option<usize>> = vec![None];
+            full.extend(parents.into_iter().map(Some));
+            let specs: Vec<TaskSpec> = specs
+                .into_iter()
+                .map(|(e, f, t)| TaskSpec::new(e, f, t as f64))
+                .collect();
+            TaskTree::from_parents(&full, &specs).unwrap()
+        })
+}
+
+/// A randomized-but-legal moldable policy: books the whole bound, starts a
+/// pseudo-random subset of the available tasks with pseudo-random
+/// allotments in `1..=cap` (never claiming more than the idle budget, and
+/// never stalling with nothing running).
+struct ChaosGang<'a> {
+    tree: &'a TaskTree,
+    bound: u64,
+    cap: usize,
+    rng_state: u64,
+    ready: Vec<NodeId>,
+    remaining_children: Vec<usize>,
+    running: usize,
+}
+
+impl<'a> ChaosGang<'a> {
+    fn new(tree: &'a TaskTree, bound: u64, cap: usize, seed: u64) -> Self {
+        ChaosGang {
+            tree,
+            bound,
+            cap: cap.max(1),
+            rng_state: seed | 1,
+            ready: tree.leaves().collect(),
+            remaining_children: tree.nodes().map(|i| tree.degree(i)).collect(),
+            running: 0,
+        }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64*.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+impl MoldableScheduler for ChaosGang<'_> {
+    fn name(&self) -> &str {
+        "chaos-gang"
+    }
+
+    fn on_event(&mut self, finished: &[NodeId], idle: usize, to_start: &mut Vec<(NodeId, usize)>) {
+        self.running -= finished.len();
+        for &j in finished {
+            if let Some(p) = self.tree.parent(j) {
+                self.remaining_children[p.index()] -= 1;
+                if self.remaining_children[p.index()] == 0 {
+                    self.ready.push(p);
+                }
+            }
+        }
+        if !self.ready.is_empty() {
+            let k = (self.next_rand() as usize) % self.ready.len();
+            self.ready.rotate_left(k);
+        }
+        let mut budget = idle;
+        while budget > 0 && !self.ready.is_empty() {
+            // Randomly stop early — but never leave the machine idle with
+            // nothing running (that would be a stall, not a bug).
+            if self.running + to_start.len() > 0 && self.next_rand().is_multiple_of(3) {
+                break;
+            }
+            let i = self.ready.pop().expect("nonempty");
+            let q = 1 + (self.next_rand() as usize) % self.cap.min(budget);
+            to_start.push((i, q));
+            budget -= q;
+        }
+        self.running += to_start.len();
+    }
+
+    fn booked(&self) -> u64 {
+        self.bound
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary legal gang patterns: the pool never runs more concurrent
+    /// members than workers, and every gang is released — the tree always
+    /// finishes (allotments are capped at the idle budget ≤ p).
+    #[test]
+    fn chaos_gangs_complete_without_oversubscription(
+        tree in arb_tree(40),
+        seed in 1u64..500,
+        cap in 1usize..5,
+        p in arb_workers(),
+    ) {
+        let bound: u64 = tree
+            .nodes()
+            .map(|i| tree.exec(i) + tree.output(i))
+            .sum::<u64>()
+            .max(1);
+        let report = execute_moldable(
+            &tree,
+            RuntimeConfig { workers: p, memory: bound },
+            ChaosGang::new(&tree, bound, cap, seed),
+            Workload::Noop,
+        )
+        .unwrap();
+        // Every launched gang was released: the whole tree completed.
+        prop_assert_eq!(report.tasks_run, tree.len());
+        // Live allotments never exceeded the worker count, as measured by
+        // the workers' own occupancy counter.
+        prop_assert!(
+            report.peak_busy <= p,
+            "{} members busy on {} workers", report.peak_busy, p
+        );
+        prop_assert!(report.peak_busy >= 1);
+    }
+
+    /// The paper policy under gangs: MoldableMemBooking with any uniform
+    /// cap ≤ p finishes at the minimum feasible memory (Theorem 1 carries
+    /// over — allotments never change the completion history's legality),
+    /// inside the booking envelope, without oversubscribing the pool.
+    #[test]
+    fn moldable_membooking_completes_at_minimum_memory(
+        tree in arb_tree(40),
+        cap in 1u32..5,
+        p in arb_workers(),
+    ) {
+        let ao = mem_postorder(&tree);
+        let m = ao.sequential_peak(&tree);
+        // "No deadlock when max allotment ≤ p".
+        let cap = cap.min(p as u32);
+        let caps = AllotmentCaps::uniform(&tree, cap);
+        prop_assert!(caps.max_cap() <= p as u32);
+        let sched = MoldableMemBooking::try_new(&tree, &ao, &ao, m, caps).unwrap();
+        let report = execute_moldable(
+            &tree,
+            RuntimeConfig { workers: p, memory: m },
+            sched,
+            Workload::Noop,
+        )
+        .unwrap();
+        prop_assert_eq!(report.tasks_run, tree.len());
+        prop_assert!(report.peak_busy <= p);
+        prop_assert!(report.peak_booked <= m);
+        prop_assert!(report.peak_actual <= report.peak_booked);
+    }
+
+    /// Time-scaled caps (the sqrt-of-time heuristic) behave identically:
+    /// complete, in-envelope, no oversubscription.
+    #[test]
+    fn sqrt_caps_complete_threaded(
+        tree in arb_tree(30),
+        p in arb_workers(),
+    ) {
+        let ao = mem_postorder(&tree);
+        let m = ao.sequential_peak(&tree);
+        let caps = AllotmentCaps::sqrt_of_time(&tree, p as u32);
+        let sched = MoldableMemBooking::try_new(&tree, &ao, &ao, m, caps).unwrap();
+        let report = execute_moldable(
+            &tree,
+            RuntimeConfig { workers: p, memory: m },
+            sched,
+            Workload::Noop,
+        )
+        .unwrap();
+        prop_assert_eq!(report.tasks_run, tree.len());
+        prop_assert!(report.peak_busy <= p);
+    }
+}

@@ -5,14 +5,24 @@
 //! deliver a completion batch to the scheduler, start the requested tasks,
 //! re-check the booking invariants, drain the next batch. The only genuine
 //! difference between them is *where completions come from* — a virtual
-//! clock or real worker threads. [`drive`] owns the loop once; a
-//! [`Backend`] supplies the completions.
+//! clock or real worker threads. [`drive_gang`] owns the loop once; a
+//! [`GangBackend`] supplies the completions.
+//!
+//! The loop is **gang-aware**: every start carries a processor allotment
+//! `q ≥ 1`, and the driver's capacity ledger counts processors, not tasks,
+//! so a moldable policy ([`MoldableScheduler`]) runs under exactly the same
+//! contract as a sequential one. The classic single-processor-per-task
+//! regime ([`drive`] + [`Backend`] + [`crate::Scheduler`]) is a thin
+//! adapter that pins every allotment to 1 — one loop, one contract, every
+//! platform.
 //!
 //! The driver enforces the full scheduler contract on every platform:
 //!
 //! * precedence — a started task has all children finished;
 //! * single start — no task starts twice;
-//! * capacity — at most `idle` starts per event;
+//! * capacity — the live allotments sum to at most `p` (at most `idle`
+//!   processors claimed per event), and no gang is ever launched without
+//!   its full processor complement free;
 //! * booking — `actual ≤ booked ≤ M` at every event (configurable);
 //! * progress — no event may leave zero tasks in flight while the tree is
 //!   unfinished (the stall/deadlock check).
@@ -20,6 +30,7 @@
 //! This is strictly stronger than the old threaded executor, which only
 //! checked the booking ledger.
 
+use crate::moldable::MoldableScheduler;
 use crate::scheduler::Scheduler;
 use memtree_tree::memory::LiveSet;
 use memtree_tree::{NodeId, TaskTree};
@@ -64,6 +75,9 @@ pub struct DriveStats {
     pub peak_actual: u64,
     /// Tasks completed (the full tree on success).
     pub completed: usize,
+    /// Peak sum of live allotments (busy processors). Always ≤ the
+    /// configured worker count — the driver rejects the start otherwise.
+    pub peak_busy: usize,
 }
 
 /// Errors raised by [`drive`]; the platforms map these onto their public
@@ -85,6 +99,12 @@ pub enum DriveError {
     /// The scheduler started a task whose children were not all finished.
     PrecedenceViolation {
         /// The prematurely started task.
+        node: NodeId,
+    },
+    /// A moldable scheduler assigned a task an allotment of zero
+    /// processors.
+    ZeroAllotment {
+        /// The task with the empty gang.
         node: NodeId,
     },
     /// The scheduler's booked memory exceeded the bound.
@@ -124,12 +144,15 @@ impl std::fmt::Display for DriveError {
             DriveError::TooManyStarts { requested, idle } => {
                 write!(
                     f,
-                    "scheduler started {requested} tasks with only {idle} idle workers"
+                    "scheduler claimed {requested} processors with only {idle} idle workers"
                 )
             }
             DriveError::DoubleStart { node } => write!(f, "task {node:?} started twice"),
             DriveError::PrecedenceViolation { node } => {
                 write!(f, "task {node:?} started before its children finished")
+            }
+            DriveError::ZeroAllotment { node } => {
+                write!(f, "zero allotment for {node:?}")
             }
             DriveError::BookedOverBound { booked, bound } => {
                 write!(f, "booked memory {booked} exceeds the bound {bound}")
@@ -153,11 +176,40 @@ impl std::fmt::Display for DriveError {
 
 impl std::error::Error for DriveError {}
 
-/// An execution vehicle under the shared driver loop.
+/// An execution vehicle for **gang-scheduled** tasks under the shared
+/// driver loop.
 ///
 /// The driver owns scheduler interaction and every invariant check; the
-/// backend owns task execution: [`Backend::launch`] makes a task run,
-/// [`Backend::await_batch`] blocks until at least one task completes.
+/// backend owns task execution: [`GangBackend::launch`] makes a task run
+/// on a gang of `procs` workers, [`GangBackend::await_batch`] blocks until
+/// at least one task completes.
+pub trait GangBackend {
+    /// Starts task `i` on a gang of `procs` workers at the current
+    /// instant. `epoch` is the driver's event index (useful for trace
+    /// records). The driver guarantees `procs ≥ 1` and that at least
+    /// `procs` workers are idle, so the backend may claim the whole gang
+    /// unconditionally — no partial gangs, no hold-and-wait deadlock.
+    fn launch(&mut self, i: NodeId, procs: usize, epoch: u32) -> Result<(), DriveError>;
+
+    /// Observation hook, called once per event after the booking checks
+    /// with the current memory state (used for memory profiles).
+    fn observe(&mut self, actual: u64, booked: u64) {
+        let _ = (actual, booked);
+    }
+
+    /// Blocks until at least one launched task completes and pushes the
+    /// completions into `batch` (driver sorts them). `epoch` is the event
+    /// index the completions will take effect at, minus one. The driver
+    /// guarantees at least one task is in flight. A completion releases
+    /// the task's whole gang at once — the driver returns its allotment to
+    /// the idle pool before the next scheduler event.
+    fn await_batch(&mut self, epoch: u32, batch: &mut Vec<NodeId>) -> Result<(), DriveError>;
+}
+
+/// An execution vehicle for classic one-processor-per-task scheduling.
+///
+/// Implementations are driven through [`drive`], which adapts them onto
+/// the gang loop with every allotment pinned to 1.
 pub trait Backend {
     /// Starts task `i` at the current instant. `epoch` is the driver's
     /// event index (useful for trace records). The driver guarantees a
@@ -177,9 +229,84 @@ pub trait Backend {
     fn await_batch(&mut self, epoch: u32, batch: &mut Vec<NodeId>) -> Result<(), DriveError>;
 }
 
+/// Adapter: a sequential [`Scheduler`] viewed as a [`MoldableScheduler`]
+/// that assigns every task a unit allotment. This is how the classic
+/// engines ride the gang loop; it is public so any platform can reuse it.
+pub struct UnitAllotments<S> {
+    inner: S,
+    buf: Vec<NodeId>,
+}
+
+impl<S: Scheduler> UnitAllotments<S> {
+    /// Wraps `inner`, pinning every allotment to 1.
+    pub fn new(inner: S) -> Self {
+        UnitAllotments {
+            inner,
+            buf: Vec::new(),
+        }
+    }
+}
+
+impl<S: Scheduler> MoldableScheduler for UnitAllotments<S> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn on_event(&mut self, finished: &[NodeId], idle: usize, to_start: &mut Vec<(NodeId, usize)>) {
+        self.buf.clear();
+        self.inner.on_event(finished, idle, &mut self.buf);
+        to_start.extend(self.buf.iter().map(|&i| (i, 1)));
+    }
+    fn booked(&self) -> u64 {
+        self.inner.booked()
+    }
+    fn on_begin(&mut self) {
+        self.inner.on_begin()
+    }
+}
+
+/// Adapter: a sequential [`Backend`] viewed as a [`GangBackend`] (every
+/// gang is a single worker).
+struct UnitBackend<'a, B>(&'a mut B);
+
+impl<B: Backend> GangBackend for UnitBackend<'_, B> {
+    fn launch(&mut self, i: NodeId, procs: usize, epoch: u32) -> Result<(), DriveError> {
+        debug_assert_eq!(procs, 1, "UnitAllotments only issues unit gangs");
+        self.0.launch(i, epoch)
+    }
+    fn observe(&mut self, actual: u64, booked: u64) {
+        self.0.observe(actual, booked)
+    }
+    fn await_batch(&mut self, epoch: u32, batch: &mut Vec<NodeId>) -> Result<(), DriveError> {
+        self.0.await_batch(epoch, batch)
+    }
+}
+
 /// Runs `scheduler` over `tree` on `backend` until the whole tree has
-/// completed or an invariant breaks.
+/// completed or an invariant breaks — the classic one-processor-per-task
+/// regime, adapted onto [`drive_gang`] with unit allotments.
 pub fn drive<S: Scheduler, B: Backend>(
+    tree: &TaskTree,
+    cfg: DriveConfig,
+    scheduler: S,
+    backend: &mut B,
+) -> Result<DriveStats, DriveError> {
+    drive_gang(
+        tree,
+        cfg,
+        UnitAllotments::new(scheduler),
+        &mut UnitBackend(backend),
+    )
+}
+
+/// Runs a moldable `scheduler` over `tree` on `backend` until the whole
+/// tree has completed or an invariant breaks.
+///
+/// Every started task carries a processor allotment `q`; the driver's
+/// capacity ledger counts processors (the live allotments sum to at most
+/// `cfg.workers`), releases a completed task's whole gang at once, and
+/// enforces precedence, single-start, booking and stall detection exactly
+/// as the sequential loop does — there is only this loop.
+pub fn drive_gang<S: MoldableScheduler, B: GangBackend>(
     tree: &TaskTree,
     cfg: DriveConfig,
     mut scheduler: S,
@@ -191,13 +318,19 @@ pub fn drive<S: Scheduler, B: Backend>(
     let n = tree.len();
     let mut started = vec![false; n];
     let mut finished = vec![false; n];
+    // Live allotment of each running task, for gang release on completion.
+    let mut allotment = vec![0u32; n];
     let mut live = LiveSet::new(tree);
     let mut peak_booked = 0u64;
     let mut completed = 0usize;
+    // Processors busy (sum of live allotments) and tasks in flight are
+    // distinct ledgers under gangs.
+    let mut busy = 0usize;
+    let mut peak_busy = 0usize;
     let mut in_flight = 0usize;
     let mut events = 0usize;
     let mut scheduling_seconds = 0f64;
-    let mut to_start: Vec<NodeId> = Vec::new();
+    let mut to_start: Vec<(NodeId, usize)> = Vec::new();
     let mut finished_batch: Vec<NodeId> = Vec::new();
 
     scheduler.on_begin();
@@ -205,7 +338,7 @@ pub fn drive<S: Scheduler, B: Backend>(
     loop {
         // Deliver the event (initial or completions) to the scheduler.
         to_start.clear();
-        let idle = cfg.workers - in_flight;
+        let idle = cfg.workers - busy;
         let t0 = cfg.measure_overhead.then(std::time::Instant::now);
         scheduler.on_event(&finished_batch, idle, &mut to_start);
         if let Some(t0) = t0 {
@@ -213,14 +346,17 @@ pub fn drive<S: Scheduler, B: Backend>(
         }
         events += 1;
 
-        // Start the requested tasks.
-        if to_start.len() > idle {
-            return Err(DriveError::TooManyStarts {
-                requested: to_start.len(),
-                idle,
-            });
+        // Start the requested gangs. The capacity check counts processors,
+        // and it happens before any launch: either every requested gang
+        // fits in the idle pool or nothing starts — no partial gangs.
+        let requested: usize = to_start.iter().map(|&(_, q)| q).sum();
+        if requested > idle {
+            return Err(DriveError::TooManyStarts { requested, idle });
         }
-        for &i in &to_start {
+        for &(i, q) in &to_start {
+            if q == 0 {
+                return Err(DriveError::ZeroAllotment { node: i });
+            }
             if started[i.index()] {
                 return Err(DriveError::DoubleStart { node: i });
             }
@@ -228,10 +364,13 @@ pub fn drive<S: Scheduler, B: Backend>(
                 return Err(DriveError::PrecedenceViolation { node: i });
             }
             started[i.index()] = true;
-            backend.launch(i, events as u32)?;
+            allotment[i.index()] = q as u32;
+            backend.launch(i, q, events as u32)?;
             live.start(i);
+            busy += q;
             in_flight += 1;
         }
+        peak_busy = peak_busy.max(busy);
 
         // Booking invariants at this instant.
         let booked = scheduler.booked();
@@ -263,7 +402,8 @@ pub fn drive<S: Scheduler, B: Backend>(
             });
         }
 
-        // Block until the next completion batch.
+        // Block until the next completion batch; each completion releases
+        // its whole gang back to the idle pool.
         finished_batch.clear();
         backend.await_batch(events as u32, &mut finished_batch)?;
         finished_batch.sort_unstable();
@@ -273,6 +413,7 @@ pub fn drive<S: Scheduler, B: Backend>(
             live.finish(i);
             completed += 1;
             in_flight -= 1;
+            busy -= allotment[i.index()] as usize;
         }
     }
 
@@ -282,6 +423,7 @@ pub fn drive<S: Scheduler, B: Backend>(
         peak_booked,
         peak_actual: live.peak(),
         completed,
+        peak_busy,
     })
 }
 
@@ -453,6 +595,152 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, DriveError::ActualOverBooked { .. }));
+    }
+
+    /// A gang backend where tasks complete immediately, one batch per
+    /// event.
+    struct ImmediateGang {
+        pending: Vec<NodeId>,
+        launched: Vec<(NodeId, usize)>,
+    }
+
+    impl GangBackend for ImmediateGang {
+        fn launch(&mut self, i: NodeId, procs: usize, _epoch: u32) -> Result<(), DriveError> {
+            self.pending.push(i);
+            self.launched.push((i, procs));
+            Ok(())
+        }
+        fn await_batch(&mut self, _epoch: u32, batch: &mut Vec<NodeId>) -> Result<(), DriveError> {
+            batch.append(&mut self.pending);
+            Ok(())
+        }
+    }
+
+    /// Runs tasks one at a time on the full machine.
+    struct WholeMachine<'a> {
+        tree: &'a TaskTree,
+        order: Vec<NodeId>,
+        next: usize,
+        procs: usize,
+    }
+
+    impl MoldableScheduler for WholeMachine<'_> {
+        fn name(&self) -> &str {
+            "whole-machine"
+        }
+        fn on_event(&mut self, _: &[NodeId], idle: usize, to_start: &mut Vec<(NodeId, usize)>) {
+            let _ = self.tree;
+            if idle >= self.procs && self.next < self.order.len() {
+                to_start.push((self.order[self.next], self.procs));
+                self.next += 1;
+            }
+        }
+        fn booked(&self) -> u64 {
+            1_000
+        }
+    }
+
+    #[test]
+    fn gangs_claim_and_release_whole_allotments() {
+        let t = fork();
+        let order = vec![NodeId(1), NodeId(2), NodeId(0)];
+        let mut backend = ImmediateGang {
+            pending: Vec::new(),
+            launched: Vec::new(),
+        };
+        let stats = drive_gang(
+            &t,
+            DriveConfig::new(3, 1_000),
+            WholeMachine {
+                tree: &t,
+                order,
+                next: 0,
+                procs: 3,
+            },
+            &mut backend,
+        )
+        .unwrap();
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.peak_busy, 3);
+        assert!(backend.launched.iter().all(|&(_, q)| q == 3));
+        // One gang at a time: each event starts one task on the whole
+        // machine, so there are n + 1 events.
+        assert_eq!(stats.events, 4);
+    }
+
+    #[test]
+    fn gang_capacity_counts_processors_not_tasks() {
+        // Two tasks of 2 processors each on a 3-worker machine: 4 > 3.
+        struct Greedy2;
+        impl MoldableScheduler for Greedy2 {
+            fn name(&self) -> &str {
+                "greedy2"
+            }
+            fn on_event(&mut self, _: &[NodeId], _: usize, to_start: &mut Vec<(NodeId, usize)>) {
+                to_start.push((NodeId(1), 2));
+                to_start.push((NodeId(2), 2));
+            }
+            fn booked(&self) -> u64 {
+                u64::MAX
+            }
+        }
+        let t = fork();
+        let mut backend = ImmediateGang {
+            pending: Vec::new(),
+            launched: Vec::new(),
+        };
+        let err = drive_gang(&t, DriveConfig::new(3, 1_000), Greedy2, &mut backend).unwrap_err();
+        assert_eq!(
+            err,
+            DriveError::TooManyStarts {
+                requested: 4,
+                idle: 3
+            }
+        );
+        assert!(
+            backend.launched.is_empty(),
+            "capacity is checked before any launch: no partial gangs"
+        );
+    }
+
+    #[test]
+    fn zero_allotment_rejected() {
+        struct Empty;
+        impl MoldableScheduler for Empty {
+            fn name(&self) -> &str {
+                "empty-gang"
+            }
+            fn on_event(&mut self, _: &[NodeId], _: usize, to_start: &mut Vec<(NodeId, usize)>) {
+                to_start.push((NodeId(1), 0));
+            }
+            fn booked(&self) -> u64 {
+                u64::MAX
+            }
+        }
+        let t = fork();
+        let mut backend = ImmediateGang {
+            pending: Vec::new(),
+            launched: Vec::new(),
+        };
+        let err = drive_gang(&t, DriveConfig::new(2, 1_000), Empty, &mut backend).unwrap_err();
+        assert_eq!(err, DriveError::ZeroAllotment { node: NodeId(1) });
+    }
+
+    #[test]
+    fn unit_adapter_reports_task_level_peak_busy() {
+        let t = fork();
+        let mut backend = Immediate {
+            pending: Vec::new(),
+        };
+        let stats = drive(
+            &t,
+            DriveConfig::new(2, 1000),
+            Greedy::new(&t, 1000),
+            &mut backend,
+        )
+        .unwrap();
+        // Both leaves run concurrently on unit allotments.
+        assert_eq!(stats.peak_busy, 2);
     }
 
     #[test]

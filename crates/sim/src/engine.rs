@@ -147,13 +147,16 @@ impl Backend for SimBackend<'_> {
     }
 }
 
-fn to_sim_error(e: DriveError) -> SimError {
+pub(crate) fn to_sim_error(e: DriveError) -> SimError {
     match e {
         DriveError::TooManyStarts { requested, idle } => {
             SimError::TooManyStarts { requested, idle }
         }
         DriveError::DoubleStart { node } => SimError::DoubleStart { node },
         DriveError::PrecedenceViolation { node } => SimError::PrecedenceViolation { node },
+        DriveError::ZeroAllotment { node } => {
+            SimError::BadConfig(format!("zero allotment for {node:?}"))
+        }
         DriveError::BookedOverBound { booked, bound } => {
             SimError::BookedOverBound { booked, bound }
         }

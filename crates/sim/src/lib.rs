@@ -29,9 +29,13 @@ pub mod scheduler;
 pub mod trace;
 pub mod validate;
 
-pub use driver::{drive, Backend, DriveConfig, DriveError, DriveStats};
+pub use driver::{
+    drive, drive_gang, Backend, DriveConfig, DriveError, DriveStats, GangBackend, UnitAllotments,
+};
 pub use engine::{simulate, SimConfig};
 pub use error::SimError;
-pub use moldable::{simulate_moldable, MoldableScheduler, MoldableTrace, SpeedupModel};
+pub use moldable::{
+    simulate_moldable, MoldableRecord, MoldableScheduler, MoldableTrace, SpeedupModel,
+};
 pub use scheduler::Scheduler;
 pub use trace::{TaskRecord, Trace};

@@ -7,13 +7,19 @@
 //! adaptation: an engine where the scheduler assigns each started task a
 //! processor *count*, with its running time scaled by a speedup model.
 //!
+//! The engine is a virtual-clock [`GangBackend`] under the shared
+//! [`crate::driver`] gang loop — the same loop that backs the sequential
+//! simulator and the threaded runtime (`memtree_runtime::execute_moldable`),
+//! so precedence, processor capacity, booking and stall detection are
+//! enforced identically wherever a moldable policy runs.
+//!
 //! Memory is charged exactly as in the sequential-task model (the paper
 //! notes a parallel run would need extra workspace; modelling that extra
 //! is orthogonal and left to the policy via inflated `n_i` if desired).
 
+use crate::driver::{drive_gang, DriveConfig, DriveError, GangBackend};
 use crate::error::SimError;
 use crate::trace::MemSample;
-use memtree_tree::memory::LiveSet;
 use memtree_tree::{NodeId, TaskTree};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -55,6 +61,40 @@ pub trait MoldableScheduler {
     fn on_event(&mut self, finished: &[NodeId], idle: usize, to_start: &mut Vec<(NodeId, usize)>);
     /// Memory currently booked.
     fn booked(&self) -> u64;
+    /// Optional hook: called once by the driver before the first event.
+    fn on_begin(&mut self) {}
+}
+
+/// Blanket impl so `&mut S` can be passed where a moldable scheduler is
+/// expected.
+impl<S: MoldableScheduler + ?Sized> MoldableScheduler for &mut S {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn on_event(&mut self, finished: &[NodeId], idle: usize, to_start: &mut Vec<(NodeId, usize)>) {
+        (**self).on_event(finished, idle, to_start)
+    }
+    fn booked(&self) -> u64 {
+        (**self).booked()
+    }
+    fn on_begin(&mut self) {
+        (**self).on_begin()
+    }
+}
+
+impl<S: MoldableScheduler + ?Sized> MoldableScheduler for Box<S> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn on_event(&mut self, finished: &[NodeId], idle: usize, to_start: &mut Vec<(NodeId, usize)>) {
+        (**self).on_event(finished, idle, to_start)
+    }
+    fn booked(&self) -> u64 {
+        (**self).booked()
+    }
+    fn on_begin(&mut self) {
+        (**self).on_begin()
+    }
 }
 
 /// Start/finish record of a moldable task.
@@ -95,6 +135,18 @@ pub struct MoldableTrace {
 }
 
 impl MoldableTrace {
+    /// Per-task allotments in node-id order — the `q` each task actually
+    /// got, for replaying the same gang decisions on another platform
+    /// (e.g. the threaded runtime).
+    pub fn allotments(&self) -> Vec<u32> {
+        self.records.iter().map(|r| r.procs).collect()
+    }
+
+    /// The largest allotment any task received.
+    pub fn max_allotment(&self) -> u32 {
+        self.records.iter().map(|r| r.procs).max().unwrap_or(0)
+    }
+
     /// Validates the trace: every task ran once, precedence held, the sum
     /// of allotments never exceeded `p`, memory stayed under the bound.
     pub fn validate(&self, tree: &TaskTree, model: SpeedupModel) -> Result<(), String> {
@@ -135,128 +187,107 @@ impl MoldableTrace {
     }
 }
 
-/// Runs a moldable simulation.
+/// The virtual-clock gang backend: gangs "run" on a completion-time heap
+/// with the speedup model applied, and a batch is everything finishing at
+/// the next instant.
+struct MoldableSimBackend<'t> {
+    tree: &'t TaskTree,
+    model: SpeedupModel,
+    now: f64,
+    running: BinaryHeap<Reverse<(OrderedTime, NodeId)>>,
+    records: Vec<MoldableRecord>,
+    profile: Vec<MemSample>,
+}
+
+impl<'t> MoldableSimBackend<'t> {
+    fn new(tree: &'t TaskTree, model: SpeedupModel) -> Self {
+        MoldableSimBackend {
+            tree,
+            model,
+            now: 0.0,
+            running: BinaryHeap::new(),
+            records: vec![
+                MoldableRecord {
+                    start: f64::NAN,
+                    finish: f64::NAN,
+                    procs: 0
+                };
+                tree.len()
+            ],
+            profile: Vec::new(),
+        }
+    }
+}
+
+impl GangBackend for MoldableSimBackend<'_> {
+    fn launch(&mut self, i: NodeId, procs: usize, _epoch: u32) -> Result<(), DriveError> {
+        let finish = self.now + self.model.time(self.tree.time(i), procs);
+        self.records[i.index()] = MoldableRecord {
+            start: self.now,
+            finish,
+            procs: procs as u32,
+        };
+        self.running.push(Reverse((OrderedTime(finish), i)));
+        Ok(())
+    }
+
+    fn observe(&mut self, actual: u64, booked: u64) {
+        // Always recorded; moldable runs are small.
+        self.profile.push(MemSample {
+            time: self.now,
+            actual,
+            booked,
+        });
+    }
+
+    fn await_batch(&mut self, _epoch: u32, batch: &mut Vec<NodeId>) -> Result<(), DriveError> {
+        let Some(&Reverse((OrderedTime(t), _))) = self.running.peek() else {
+            // Unreachable through `drive_gang` (it checks in-flight > 0).
+            return Err(DriveError::Backend("no task is running".into()));
+        };
+        self.now = t;
+        while let Some(&Reverse((OrderedTime(ft), i))) = self.running.peek() {
+            if ft > t {
+                break;
+            }
+            self.running.pop();
+            batch.push(i);
+        }
+        Ok(())
+    }
+}
+
+/// Runs a moldable simulation under the shared gang driver.
 pub fn simulate_moldable<S: MoldableScheduler>(
     tree: &TaskTree,
     processors: usize,
     memory: u64,
     model: SpeedupModel,
-    mut scheduler: S,
+    scheduler: S,
 ) -> Result<MoldableTrace, SimError> {
     if processors == 0 {
         return Err(SimError::BadConfig("zero processors".into()));
     }
-    let n = tree.len();
-    let mut records = vec![
-        MoldableRecord {
-            start: f64::NAN,
-            finish: f64::NAN,
-            procs: 0
-        };
-        n
-    ];
-    let mut started = vec![false; n];
-    let mut finished_flags = vec![false; n];
-    let mut running: BinaryHeap<Reverse<(OrderedTime, NodeId)>> = BinaryHeap::new();
-    let mut idle = processors;
-    let mut live = LiveSet::new(tree);
-    let mut peak_booked = 0u64;
-    let mut completed = 0usize;
-    let mut events = 0usize;
-    let mut scheduling_seconds = 0f64;
-    let mut profile = Vec::new();
-    let mut finished_batch: Vec<NodeId> = Vec::new();
-    let mut to_start: Vec<(NodeId, usize)> = Vec::new();
-    let mut now = 0f64;
-
-    loop {
-        to_start.clear();
-        let t0 = std::time::Instant::now();
-        scheduler.on_event(&finished_batch, idle, &mut to_start);
-        scheduling_seconds += t0.elapsed().as_secs_f64();
-        events += 1;
-        let requested: usize = to_start.iter().map(|&(_, q)| q).sum();
-        if requested > idle {
-            return Err(SimError::TooManyStarts { requested, idle });
-        }
-        for &(i, q) in &to_start {
-            if q == 0 {
-                return Err(SimError::BadConfig(format!("zero allotment for {i:?}")));
-            }
-            if started[i.index()] {
-                return Err(SimError::DoubleStart { node: i });
-            }
-            if tree.children(i).iter().any(|c| !finished_flags[c.index()]) {
-                return Err(SimError::PrecedenceViolation { node: i });
-            }
-            started[i.index()] = true;
-            idle -= q;
-            let finish = now + model.time(tree.time(i), q);
-            records[i.index()] = MoldableRecord {
-                start: now,
-                finish,
-                procs: q as u32,
-            };
-            running.push(Reverse((OrderedTime(finish), i)));
-            live.start(i);
-        }
-        let booked = scheduler.booked();
-        peak_booked = peak_booked.max(booked);
-        if booked > memory {
-            return Err(SimError::BookedOverBound {
-                booked,
-                bound: memory,
-            });
-        }
-        if live.current() > booked {
-            return Err(SimError::ActualOverBooked {
-                actual: live.current(),
-                booked,
-            });
-        }
-        profile.push(MemSample {
-            time: now,
-            actual: live.current(),
-            booked,
-        });
-
-        if completed == n {
-            break;
-        }
-        let Some(&Reverse((OrderedTime(t), _))) = running.peek() else {
-            return Err(SimError::Stalled {
-                completed,
-                total: n,
-                booked,
-            });
-        };
-        now = t;
-        finished_batch.clear();
-        while let Some(&Reverse((OrderedTime(ft), i))) = running.peek() {
-            if ft > t {
-                break;
-            }
-            running.pop();
-            finished_batch.push(i);
-            idle += records[i.index()].procs as usize;
-            finished_flags[i.index()] = true;
-            live.finish(i);
-            completed += 1;
-        }
-        finished_batch.sort_unstable();
-    }
-
+    let name = scheduler.name().to_string();
+    let mut backend = MoldableSimBackend::new(tree, model);
+    let stats = drive_gang(
+        tree,
+        DriveConfig::new(processors, memory),
+        scheduler,
+        &mut backend,
+    )
+    .map_err(crate::engine::to_sim_error)?;
     Ok(MoldableTrace {
-        scheduler: scheduler.name().to_string(),
+        scheduler: name,
         processors,
         memory,
-        records,
-        makespan: now,
-        peak_actual: live.peak(),
-        peak_booked,
-        events,
-        scheduling_seconds,
-        profile,
+        records: backend.records,
+        makespan: backend.now,
+        peak_actual: stats.peak_actual,
+        peak_booked: stats.peak_booked,
+        events: stats.events,
+        scheduling_seconds: stats.scheduling_seconds,
+        profile: backend.profile,
     })
 }
 

@@ -1,8 +1,12 @@
 //! Chaos testing: drive the engine with a randomized-but-legal scheduler
 //! and check that the engine's incremental bookkeeping always agrees with
-//! the independent trace validator.
+//! the independent trace validator — in both the sequential-task and the
+//! moldable (gang-allotment) regime.
 
-use memtree_sim::{simulate, validate::validate_trace, Scheduler, SimConfig};
+use memtree_sim::{
+    simulate, simulate_moldable, validate::validate_trace, MoldableScheduler, Scheduler, SimConfig,
+    SpeedupModel,
+};
 use memtree_tree::{NodeId, TaskSpec, TaskTree};
 use proptest::prelude::*;
 
@@ -80,6 +84,65 @@ impl Scheduler for Chaos<'_> {
     }
 }
 
+/// The chaos policy lifted to moldable tasks: the inner [`Chaos`] picks
+/// which tasks start (its RNG untouched), and a *separate* RNG spreads the
+/// leftover idle processors as random allotments in `1..=cap`. With
+/// `cap == 1` no allotment randomness is drawn at all, so the decision
+/// sequence is bit-for-bit the sequential chaos policy's.
+struct MoldChaos<'a> {
+    inner: Chaos<'a>,
+    cap: usize,
+    allot_state: u64,
+    buf: Vec<NodeId>,
+}
+
+impl<'a> MoldChaos<'a> {
+    fn new(tree: &'a TaskTree, bound: u64, seed: u64, cap: usize) -> Self {
+        MoldChaos {
+            inner: Chaos::new(tree, bound, seed),
+            cap: cap.max(1),
+            allot_state: seed.rotate_left(17) | 1,
+            buf: Vec::new(),
+        }
+    }
+
+    fn next_allot_rand(&mut self) -> u64 {
+        let mut x = self.allot_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.allot_state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+impl MoldableScheduler for MoldChaos<'_> {
+    fn name(&self) -> &str {
+        "mold-chaos"
+    }
+
+    fn on_event(&mut self, finished: &[NodeId], idle: usize, to_start: &mut Vec<(NodeId, usize)>) {
+        self.buf.clear();
+        self.inner.on_event(finished, idle, &mut self.buf);
+        // Every pick holds one processor; spread the rest randomly.
+        let mut leftover = idle - self.buf.len();
+        for k in 0..self.buf.len() {
+            let i = self.buf[k];
+            let mut q = 1;
+            if self.cap > 1 {
+                let extra = (self.next_allot_rand() as usize) % ((self.cap - 1).min(leftover) + 1);
+                q += extra;
+                leftover -= extra;
+            }
+            to_start.push((i, q));
+        }
+    }
+
+    fn booked(&self) -> u64 {
+        Scheduler::booked(&self.inner)
+    }
+}
+
 fn arb_tree(max_n: usize) -> impl Strategy<Value = TaskTree> {
     (1..=max_n)
         .prop_flat_map(|n| {
@@ -147,5 +210,81 @@ proptest! {
         prop_assert!(trace.makespan >= stats.critical_path(&tree) - 1e-9);
         prop_assert!(trace.makespan >= tree.total_time() / p as f64 - 1e-9);
         prop_assert!(trace.makespan <= tree.total_time() + 1e-9);
+    }
+
+    /// Moldable chaos: randomized allotment caps, randomized gang sizes —
+    /// whatever legal pattern comes out, the gang engine's trace passes
+    /// the independent moldable validator (precedence, per-task duration
+    /// under the speedup model, allotment sweep ≤ p, every task ran).
+    #[test]
+    fn moldable_chaos_traces_always_validate(
+        tree in arb_tree(50),
+        seed in 1u64..400,
+        p in 1usize..6,
+        cap in 1usize..6,
+    ) {
+        let bound: u64 = tree
+            .nodes()
+            .map(|i| tree.exec(i) + tree.output(i))
+            .sum::<u64>()
+            .max(1);
+        let trace = simulate_moldable(
+            &tree,
+            p,
+            bound,
+            SpeedupModel::Linear,
+            MoldChaos::new(&tree, bound, seed, cap),
+        )
+        .unwrap();
+        trace.validate(&tree, SpeedupModel::Linear).unwrap();
+        prop_assert_eq!(trace.records.len(), tree.len());
+        prop_assert!(trace.max_allotment() as usize <= cap.min(p));
+        prop_assert!(trace.allotments().iter().all(|&q| q >= 1));
+        // The always-on profile agrees with the recorded peaks.
+        let prof_max = trace.profile.iter().map(|s| s.actual).max().unwrap_or(0);
+        prop_assert_eq!(prof_max, trace.peak_actual);
+    }
+
+    /// Single-worker gangs are not a special case: with every cap at 1 the
+    /// moldable engine replays the sequential engine bit-for-bit — same
+    /// starts, finishes, makespan, peaks and event count.
+    #[test]
+    fn unit_gangs_degenerate_to_the_sequential_path_bit_for_bit(
+        tree in arb_tree(50),
+        seed in 1u64..400,
+        p in 1usize..6,
+    ) {
+        let bound: u64 = tree
+            .nodes()
+            .map(|i| tree.exec(i) + tree.output(i))
+            .sum::<u64>()
+            .max(1);
+        let seq = simulate(
+            &tree,
+            SimConfig::new(p, bound),
+            Chaos::new(&tree, bound, seed),
+        )
+        .unwrap();
+        let mold = simulate_moldable(
+            &tree,
+            p,
+            bound,
+            SpeedupModel::Linear,
+            MoldChaos::new(&tree, bound, seed, 1),
+        )
+        .unwrap();
+        prop_assert_eq!(mold.records.len(), seq.records.len());
+        for i in tree.nodes() {
+            let m = mold.records[i.index()];
+            let s = seq.record(i);
+            prop_assert_eq!(m.procs, 1);
+            // Bit-for-bit: same f64s, not same-within-epsilon.
+            prop_assert_eq!(m.start, s.start, "start of {:?}", i);
+            prop_assert_eq!(m.finish, s.finish, "finish of {:?}", i);
+        }
+        prop_assert_eq!(mold.makespan, seq.makespan);
+        prop_assert_eq!(mold.peak_booked, seq.peak_booked);
+        prop_assert_eq!(mold.peak_actual, seq.peak_actual);
+        prop_assert_eq!(mold.events, seq.events);
     }
 }

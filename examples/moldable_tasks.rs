@@ -9,7 +9,8 @@
 //! Run with `cargo run --release --example moldable_tasks`.
 
 use memtree::order::mem_postorder;
-use memtree::sched::{AllotmentCaps, MemBooking, MoldableMemBooking};
+use memtree::runtime::{Platform, ThreadedPlatform, Workload};
+use memtree::sched::{AllotmentCaps, HeuristicKind, MemBooking, MoldableMemBooking, PolicySpec};
 use memtree::sim::moldable::{simulate_moldable, SpeedupModel};
 use memtree::sim::{simulate, SimConfig};
 
@@ -71,4 +72,28 @@ fn main() {
             m
         );
     }
+
+    // The predictions above, validated on real threads: the same moldable
+    // spec gang-schedules its allotments onto the worker pool. A sleep
+    // payload stands in for compute time, so gang members overlap even on
+    // small hosts.
+    let payload = Workload::Sleep {
+        nanos_per_time_unit: 50_000.0,
+        max_nanos: 400_000,
+    };
+    let threads = ThreadedPlatform::new(p).with_workload(payload);
+    let seq_spec = PolicySpec::new(HeuristicKind::MemBooking, m);
+    let thr_seq = threads.run(&tree, &seq_spec).expect("completes");
+    let mold_spec = seq_spec
+        .clone()
+        .with_caps(AllotmentCaps::uniform(&tree, p as u32));
+    let thr_mold = threads.run(&tree, &mold_spec).expect("completes");
+    println!(
+        "threaded (measured): sequential {:.3}s, gang-scheduled {:.3}s ({:.2}x), peak mem {}/{}",
+        thr_seq.makespan,
+        thr_mold.makespan,
+        thr_seq.makespan / thr_mold.makespan,
+        thr_mold.peak_actual,
+        m
+    );
 }

@@ -2,11 +2,70 @@
 //! threaded runtime, plus moldable-engine integration.
 
 use memtree::gen::synthetic::paper_tree;
+use memtree::multifrontal::{assembly_corpus, CorpusSpec};
 use memtree::order::{cp_order, mem_postorder, OrderKind};
 use memtree::runtime::{execute, Platform, RuntimeConfig, SimPlatform, ThreadedPlatform, Workload};
 use memtree::sched::{AllotmentCaps, HeuristicKind, MemBooking, MoldableMemBooking, PolicySpec};
 use memtree::sim::moldable::{simulate_moldable, SpeedupModel};
 use memtree::sim::{simulate, SimConfig};
+use memtree::tree::TaskTree;
+
+/// Worker counts the cross-platform cases sweep: the CI matrix pins one
+/// count per job via `MEMTREE_TEST_WORKERS`; locally the default covers
+/// p ∈ {1, 2, 4}.
+fn worker_counts() -> Vec<usize> {
+    RuntimeConfig::worker_counts_from_env(&[1, 2, 4])
+}
+
+/// The moldable cross-platform contract for one tree: the same spec runs
+/// the identical task set on the simulator and on gang-scheduled threads;
+/// both stay inside the booking envelope; and with one worker — where the
+/// completion order is forced — the booking trajectories coincide exactly.
+fn assert_moldable_equivalence(name: &str, tree: &TaskTree, m: u64) {
+    for p in worker_counts() {
+        let caps = AllotmentCaps::uniform(tree, p as u32);
+        let spec = PolicySpec::new(HeuristicKind::MemBooking, m).with_caps(caps);
+        let sim = SimPlatform::new(p).run(tree, &spec).unwrap();
+        let thr = ThreadedPlatform::new(p).run(tree, &spec).unwrap();
+        assert_eq!(sim.tasks_run, tree.len(), "{name} p={p}");
+        assert_eq!(
+            sim.tasks_run, thr.tasks_run,
+            "{name} p={p}: identical task sets on both platforms"
+        );
+        assert_eq!(sim.policy, thr.policy, "{name} p={p}");
+        assert!(sim.peak_booked <= m && thr.peak_booked <= m, "{name} p={p}");
+        assert!(thr.peak_actual <= thr.peak_booked, "{name} p={p}");
+        if p == 1 {
+            // Single worker: the event sequence is identical on both
+            // platforms, so the booked and actual peaks are too.
+            assert_eq!(sim.peak_booked, thr.peak_booked, "{name}: p=1 peaks");
+            assert_eq!(sim.peak_actual, thr.peak_actual, "{name}: p=1 peaks");
+        }
+    }
+}
+
+/// Moldable specs are first-class on both platforms across synthetic
+/// trees and worker counts.
+#[test]
+fn moldable_spec_equivalent_on_synthetic_trees() {
+    for seed in 0..3 {
+        let tree = paper_tree(200, 40 + seed);
+        let m = mem_postorder(&tree).sequential_peak(&tree) * 2;
+        assert_moldable_equivalence(&format!("synth-{seed}"), &tree, m);
+    }
+}
+
+/// … and across assembly trees from the multifrontal pipeline, at the
+/// minimum feasible memory (the tight Theorem-1 regime).
+#[test]
+fn moldable_spec_equivalent_on_assembly_trees() {
+    let corpus = assembly_corpus(&CorpusSpec::small());
+    assert!(corpus.len() >= 4, "small corpus unexpectedly empty");
+    for (name, tree) in corpus.iter().take(4) {
+        let m = mem_postorder(tree).sequential_peak(tree);
+        assert_moldable_equivalence(name, tree, m);
+    }
+}
 
 /// Both execution vehicles must run the full tree under the same memory
 /// bound; the threaded run obeys the same booking invariants the simulator
