@@ -1,38 +1,43 @@
 //! Runs every figure and table in sequence, with section markers.
+//!
+//! With `--cache-dir` the second run of this binary (or any per-figure
+//! binary over the same corpora) replays every previously completed cell
+//! from the content-addressed cache.
 fn main() {
-    let scale = memtree_bench::scale_from_env();
-    let assembly = memtree_bench::assembly_cases(scale);
-    let synthetic = memtree_bench::synthetic_cases(scale);
-    let fa = memtree_bench::corpus::memory_factors(scale, 20.0);
-    let fs = memtree_bench::corpus::memory_factors(scale, 10.0);
+    let args = memtree_bench::BenchArgs::parse();
+    let ctx = args.ctx();
+    let assembly = memtree_bench::assembly_source(args.scale);
+    let synthetic = memtree_bench::synthetic_source(args.scale);
+    let fa = memtree_bench::corpus::memory_factors(args.scale, 20.0);
+    let fs = memtree_bench::corpus::memory_factors(args.scale, 10.0);
     use memtree_bench::figures as f;
 
     println!("=== fig02 makespan assembly ===");
-    f::fig_makespan(&assembly, 8, &fa).emit();
+    f::fig_makespan(&assembly, 8, &fa, &ctx).emit();
     println!("=== fig03 speedup assembly ===");
-    f::fig_speedup(&assembly, 8, &fa).emit();
+    f::fig_speedup(&assembly, 8, &fa, &ctx).emit();
     println!("=== fig04 memfrac assembly ===");
-    f::fig_memfrac(&assembly, 8, &fa).emit();
+    f::fig_memfrac(&assembly, 8, &fa, &ctx).emit();
     println!("=== fig05/06 schedtime assembly ===");
-    f::fig_schedtime(&assembly, 8, 2.0).emit();
+    f::fig_schedtime(&assembly, 8, 2.0, &ctx).emit();
     println!("=== fig07 speedup vs height ===");
-    f::fig_speedup_height(&assembly, 8, 2.0).emit();
+    f::fig_speedup_height(&assembly, 8, 2.0, &ctx).emit();
     println!("=== fig08 orders assembly ===");
-    f::fig_orders(&assembly, 8, &fa).emit();
+    f::fig_orders(&assembly, 8, &fa, &ctx).emit();
     println!("=== fig09 processors assembly ===");
-    f::fig_processors(&assembly, &[2, 4, 8, 16, 32], &fa).emit();
+    f::fig_processors(&assembly, &[2, 4, 8, 16, 32], &fa, &ctx).emit();
     println!("=== fig10 makespan synthetic ===");
-    f::fig_makespan(&synthetic, 8, &fs).emit();
+    f::fig_makespan(&synthetic, 8, &fs, &ctx).emit();
     println!("=== fig11 speedup synthetic ===");
-    f::fig_speedup(&synthetic, 8, &fs).emit();
+    f::fig_speedup(&synthetic, 8, &fs, &ctx).emit();
     println!("=== fig12 memfrac synthetic ===");
-    f::fig_memfrac(&synthetic, 8, &fs).emit();
+    f::fig_memfrac(&synthetic, 8, &fs, &ctx).emit();
     println!("=== fig13 schedtime synthetic ===");
-    f::fig_schedtime(&synthetic, 8, 2.0).emit();
+    f::fig_schedtime(&synthetic, 8, 2.0, &ctx).emit();
     println!("=== fig14 orders synthetic ===");
-    f::fig_orders(&synthetic, 8, &fs).emit();
+    f::fig_orders(&synthetic, 8, &fs, &ctx).emit();
     println!("=== fig15 processors synthetic ===");
-    f::fig_processors(&synthetic, &[2, 4, 8, 16, 32], &fs).emit();
+    f::fig_processors(&synthetic, &[2, 4, 8, 16, 32], &fs, &ctx).emit();
     println!("=== table: lower bound stats (assembly) ===");
     f::table_lowerbound(&assembly, 8, &fs).emit();
     println!("=== table: lower bound stats (synthetic) ===");

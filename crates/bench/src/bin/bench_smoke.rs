@@ -1,0 +1,140 @@
+//! The CI perf gate: a downscaled streaming sweep, run cold then warm
+//! against the content-addressed cell cache.
+//!
+//! ```text
+//! bench_smoke [quick|full] [--cache-dir DIR] [--fresh] [--window N]
+//!             [--out-dir DIR] [--min-hit-rate R] [--trees N]
+//! ```
+//!
+//! Writes two artifacts into `--out-dir` (default `bench-out`):
+//!
+//! * `sweep.csv` — the full cell dump in grid order. Byte-identical
+//!   between a cold and a warm run over the same cache (cached outcomes
+//!   round-trip exactly), which the CI job asserts with `cmp`.
+//! * `BENCH_sweep.json` — the perf trajectory: cells/sec, wall seconds,
+//!   cache hit rate, threads, and a peak-RSS proxy (`VmHWM`), uploaded
+//!   per-PR so regressions show up as a trend, not an anecdote.
+//!
+//! `--min-hit-rate R` turns the run into a gate: exit 1 when the cache
+//! served less than fraction `R` of the cells (CI uses 0.95 on the warm
+//! run).
+
+use memtree_bench::{ArgParser, BenchArgs, CaseSource, Sweep, SweepReport, TreeCase};
+use memtree_sched::HeuristicKind;
+use std::io::Write;
+use std::path::PathBuf;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: bench_smoke [quick|full] [--cache-dir DIR] [--fresh] [--window N] \
+         [--out-dir DIR] [--min-hit-rate R] [--trees N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut parser = ArgParser::from_env();
+    let out_dir = parser
+        .take_value("--out-dir")
+        .unwrap_or_else(|e| fail(&e))
+        .map_or_else(|| PathBuf::from("bench-out"), PathBuf::from);
+    let min_hit_rate: Option<f64> = parser
+        .take_value("--min-hit-rate")
+        .unwrap_or_else(|e| fail(&e))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| fail("--min-hit-rate wants a number in [0,1]"))
+        });
+    let trees: usize = parser
+        .take_value("--trees")
+        .unwrap_or_else(|e| fail(&e))
+        .map_or(8, |v| {
+            v.parse()
+                .unwrap_or_else(|_| fail("--trees wants a positive integer"))
+        });
+    let args = BenchArgs::from_parser(&mut parser)
+        .and_then(|a| parser.finish().map(|()| a))
+        .unwrap_or_else(|e| fail(&e));
+
+    // The downscaled grid: big enough to exercise streaming, multiple
+    // policies and multi-axis lookups; small enough for seconds-scale CI.
+    let mut cases = CaseSource::new();
+    for k in 0..trees.max(1) {
+        cases.push_lazy(move || {
+            TreeCase::new(
+                format!("smoke-{k}"),
+                memtree_gen::synthetic::paper_tree(600, 9_000 + k as u64),
+            )
+        });
+    }
+    let report = Sweep::new(&cases)
+        .kinds(vec![
+            HeuristicKind::Activation,
+            HeuristicKind::MemBooking,
+            HeuristicKind::MemBookingRedTree,
+        ])
+        .processors(vec![2, 4])
+        .factors(vec![1.0, 1.5, 2.0, 3.0, 5.0])
+        .ctx(&args.ctx())
+        .run();
+
+    std::fs::create_dir_all(&out_dir)
+        .unwrap_or_else(|e| fail(&format!("cannot create {}: {e}", out_dir.display())));
+    let csv_path = out_dir.join("sweep.csv");
+    let mut csv = String::new();
+    csv.push_str(SweepReport::cell_csv_header());
+    csv.push('\n');
+    for row in report.cell_rows() {
+        csv.push_str(&row);
+        csv.push('\n');
+    }
+    std::fs::write(&csv_path, csv).unwrap_or_else(|e| fail(&format!("writing sweep.csv: {e}")));
+
+    let cells = report.cells.len();
+    let cells_per_sec = if report.wall_seconds > 0.0 {
+        cells as f64 / report.wall_seconds
+    } else {
+        0.0
+    };
+    let json_path = out_dir.join("BENCH_sweep.json");
+    let mut json = std::fs::File::create(&json_path)
+        .unwrap_or_else(|e| fail(&format!("creating BENCH_sweep.json: {e}")));
+    write!(
+        json,
+        "{{\n  \"cells\": {cells},\n  \"cases\": {},\n  \"wall_seconds\": {:.6},\n  \
+         \"cells_per_sec\": {:.3},\n  \"cache_hits\": {},\n  \"computed\": {},\n  \
+         \"hit_rate\": {:.6},\n  \"threads_used\": {},\n  \"peak_rss_kb\": {}\n}}\n",
+        report.case_count(),
+        report.wall_seconds,
+        cells_per_sec,
+        report.cache_hits,
+        report.computed,
+        report.hit_rate(),
+        report.threads_used,
+        memtree_bench::cli::peak_rss_kb(),
+    )
+    .unwrap_or_else(|e| fail(&format!("writing BENCH_sweep.json: {e}")));
+
+    println!(
+        "bench_smoke: {cells} cells in {:.2}s ({cells_per_sec:.0} cells/s), \
+         {} cached / {} computed (hit rate {:.1}%), peak RSS {} kB",
+        report.wall_seconds,
+        report.cache_hits,
+        report.computed,
+        100.0 * report.hit_rate(),
+        memtree_bench::cli::peak_rss_kb(),
+    );
+    println!("wrote {} and {}", csv_path.display(), json_path.display());
+
+    if let Some(min) = min_hit_rate {
+        if report.hit_rate() < min {
+            eprintln!(
+                "bench_smoke: hit rate {:.3} below the required {min:.3} — the cache \
+                 did not resume this sweep",
+                report.hit_rate()
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! Figure 2: normalized makespan vs memory bound, assembly trees, p = 8.
 fn main() {
-    let scale = memtree_bench::scale_from_env();
-    let cases = memtree_bench::assembly_cases(scale);
-    let factors = memtree_bench::corpus::memory_factors(scale, 20.0);
-    memtree_bench::figures::fig_makespan(&cases, 8, &factors).emit();
+    let args = memtree_bench::BenchArgs::parse();
+    let cases = memtree_bench::assembly_source(args.scale);
+    let factors = memtree_bench::corpus::memory_factors(args.scale, 20.0);
+    memtree_bench::figures::fig_makespan(&cases, 8, &factors, &args.ctx()).emit();
 }

@@ -1,7 +1,7 @@
 //! Figure 6: scheduling time per node vs tree height (includes the deep
 //! band-matrix chains).
 fn main() {
-    let scale = memtree_bench::scale_from_env();
-    let cases = memtree_bench::assembly_cases(scale);
-    memtree_bench::figures::fig_schedtime(&cases, 8, 2.0).emit();
+    let args = memtree_bench::BenchArgs::parse();
+    let cases = memtree_bench::assembly_source(args.scale);
+    memtree_bench::figures::fig_schedtime(&cases, 8, 2.0, &args.ctx()).emit();
 }

@@ -1,6 +1,6 @@
-//! Figure 7: speedup vs tree height at memory factor 2, assembly trees.
+//! Figure 7: MemBooking-over-Activation speedup against tree height.
 fn main() {
-    let scale = memtree_bench::scale_from_env();
-    let cases = memtree_bench::assembly_cases(scale);
-    memtree_bench::figures::fig_speedup_height(&cases, 8, 2.0).emit();
+    let args = memtree_bench::BenchArgs::parse();
+    let cases = memtree_bench::assembly_source(args.scale);
+    memtree_bench::figures::fig_speedup_height(&cases, 8, 2.0, &args.ctx()).emit();
 }

@@ -1,7 +1,7 @@
 //! Figure 10: normalized makespan vs memory bound, synthetic trees.
 fn main() {
-    let scale = memtree_bench::scale_from_env();
-    let cases = memtree_bench::synthetic_cases(scale);
-    let factors = memtree_bench::corpus::memory_factors(scale, 10.0);
-    memtree_bench::figures::fig_makespan(&cases, 8, &factors).emit();
+    let args = memtree_bench::BenchArgs::parse();
+    let cases = memtree_bench::synthetic_source(args.scale);
+    let factors = memtree_bench::corpus::memory_factors(args.scale, 10.0);
+    memtree_bench::figures::fig_makespan(&cases, 8, &factors, &args.ctx()).emit();
 }

@@ -1,6 +1,6 @@
 //! Figure 13: scheduling time vs tree size, synthetic trees.
 fn main() {
-    let scale = memtree_bench::scale_from_env();
-    let cases = memtree_bench::synthetic_cases(scale);
-    memtree_bench::figures::fig_schedtime(&cases, 8, 2.0).emit();
+    let args = memtree_bench::BenchArgs::parse();
+    let cases = memtree_bench::synthetic_source(args.scale);
+    memtree_bench::figures::fig_schedtime(&cases, 8, 2.0, &args.ctx()).emit();
 }

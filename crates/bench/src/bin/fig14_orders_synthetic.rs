@@ -1,7 +1,7 @@
-//! Figure 14: MemBooking under six AO/EO combinations, synthetic trees.
+//! Figure 14: MemBooking under the six AO/EO combinations, synthetic trees.
 fn main() {
-    let scale = memtree_bench::scale_from_env();
-    let cases = memtree_bench::synthetic_cases(scale);
-    let factors = memtree_bench::corpus::memory_factors(scale, 10.0);
-    memtree_bench::figures::fig_orders(&cases, 8, &factors).emit();
+    let args = memtree_bench::BenchArgs::parse();
+    let cases = memtree_bench::synthetic_source(args.scale);
+    let factors = memtree_bench::corpus::memory_factors(args.scale, 10.0);
+    memtree_bench::figures::fig_orders(&cases, 8, &factors, &args.ctx()).emit();
 }

@@ -1,7 +1,8 @@
 //! Figure 15: the heuristics across p ∈ {2,4,8,16,32}, synthetic trees.
 fn main() {
-    let scale = memtree_bench::scale_from_env();
-    let cases = memtree_bench::synthetic_cases(scale);
-    let factors = memtree_bench::corpus::memory_factors(scale, 10.0);
-    memtree_bench::figures::fig_processors(&cases, &[2, 4, 8, 16, 32], &factors).emit();
+    let args = memtree_bench::BenchArgs::parse();
+    let cases = memtree_bench::synthetic_source(args.scale);
+    let factors = memtree_bench::corpus::memory_factors(args.scale, 10.0);
+    memtree_bench::figures::fig_processors(&cases, &[2, 4, 8, 16, 32], &factors, &args.ctx())
+        .emit();
 }

@@ -1,14 +1,15 @@
 //! Corpus inventory: the structural spread of the trees behind every
 //! experiment (the reproduction's analogue of the paper's corpus
-//! description in Section 7.1).
+//! description in Section 7.1). Streams both corpora — only one tree is
+//! alive at a time no matter the scale.
 fn main() {
-    let scale = memtree_bench::scale_from_env();
+    let args = memtree_bench::BenchArgs::parse();
     println!("corpus,tree,nodes,height,max_degree,leaves,min_memory,total_time");
-    for (corpus, cases) in [
-        ("assembly", memtree_bench::assembly_cases(scale)),
-        ("synthetic", memtree_bench::synthetic_cases(scale)),
+    for (corpus, source) in [
+        ("assembly", memtree_bench::assembly_source(args.scale)),
+        ("synthetic", memtree_bench::synthetic_source(args.scale)),
     ] {
-        for c in &cases {
+        for c in source.iter() {
             println!(
                 "{corpus},{},{},{},{},{},{},{:.1}",
                 c.name,

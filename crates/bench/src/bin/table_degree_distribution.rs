@@ -1,4 +1,5 @@
 //! Section 7.1: the synthetic generator's node-degree distribution.
 fn main() {
+    let _args = memtree_bench::BenchArgs::parse();
     memtree_bench::figures::table_degree_distribution(400_000, 7).emit();
 }

@@ -1,12 +1,12 @@
 //! Section 6: how often the memory-aware lower bound beats the classical
-//! one, on both corpora.
+//! one, on both corpora (streamed: one tree alive at a time).
 fn main() {
-    let scale = memtree_bench::scale_from_env();
-    let factors = memtree_bench::corpus::memory_factors(scale, 10.0);
+    let args = memtree_bench::BenchArgs::parse();
+    let factors = memtree_bench::corpus::memory_factors(args.scale, 10.0);
     println!("## assembly trees");
-    let cases = memtree_bench::assembly_cases(scale);
+    let cases = memtree_bench::assembly_source(args.scale);
     memtree_bench::figures::table_lowerbound(&cases, 8, &factors).emit();
     println!("## synthetic trees");
-    let cases = memtree_bench::synthetic_cases(scale);
+    let cases = memtree_bench::synthetic_source(args.scale);
     memtree_bench::figures::table_lowerbound(&cases, 8, &factors).emit();
 }

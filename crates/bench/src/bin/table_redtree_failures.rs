@@ -1,8 +1,8 @@
 //! Section 7.4: fraction of synthetic trees MemBookingRedTree cannot
-//! schedule under tight memory.
+//! schedule under tight memory (streamed: one tree alive at a time).
 fn main() {
-    let scale = memtree_bench::scale_from_env();
-    let cases = memtree_bench::synthetic_cases(scale);
+    let args = memtree_bench::BenchArgs::parse();
+    let cases = memtree_bench::synthetic_source(args.scale);
     let factors = [1.0, 1.1, 1.2, 1.3, 1.4, 1.6, 2.0, 3.0];
     memtree_bench::figures::table_redtree_failures(&cases, &factors).emit();
 }

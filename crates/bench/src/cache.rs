@@ -1,0 +1,394 @@
+//! **`CellCache`** — the content-addressed, on-disk store of completed
+//! sweep cells (DESIGN.md §6.6).
+//!
+//! Every figure in the paper is an aggregation over a (trees × policies ×
+//! orders × p × memory-factor) grid; the cells are pure functions of their
+//! coordinates. This cache persists each completed [`RunOutcome`] under a
+//! 128-bit key derived from *content*, never position:
+//!
+//! ```text
+//! key = H(format version,
+//!         tree content hash,          // memtree_tree::hash::content_hash
+//!         PolicySpec fingerprint,     // kind + AO/EO + memory (+ caps)
+//!         order pair, p, factor bits)
+//! ```
+//!
+//! so renaming or reordering a corpus keeps every hit, while any change to
+//! a tree or to a policy knob invalidates exactly the cells it affects. A
+//! re-run of an interrupted sweep recomputes zero completed cells; a
+//! policy tweak recomputes only that policy's series (ARMS-style cached
+//! re-measurement, arXiv:2112.09509).
+//!
+//! ## Store format
+//!
+//! One file per cell (`<32 hex digits>.cell`), written atomically
+//! (temp file + rename) so a killed sweep never leaves a half-written
+//! entry under the final name. Each file is a versioned text record:
+//!
+//! ```text
+//! memtree-cell v1
+//! scheduled 1
+//! makespan 1234.5
+//! normalized 1.0625
+//! memory_fraction 0.875
+//! scheduling_seconds 0.00012
+//! checksum 89abcdef01234567
+//! ```
+//!
+//! `f64`s round-trip exactly through Rust's shortest-representation
+//! formatting, so a warm run replays bit-identical outcomes and CSV output
+//! is byte-identical to the cold run's. The trailing FNV-1a checksum
+//! covers every preceding byte: corrupt or truncated files fail
+//! verification, are treated as misses and silently recomputed — the
+//! cache is an accelerator, never an authority.
+//!
+//! One deliberate consequence of byte-identical replay: the *measured*
+//! `scheduling_seconds` is replayed too, so a warm run of the
+//! scheduling-time figures (fig05/06/13) reports timings recorded when
+//! the cell was first computed — possibly by an older build or another
+//! machine. The simulated quantities (makespan, memory) are pure
+//! functions of the key and always valid; for timing measurements of the
+//! *current* build, pass `--fresh`.
+
+use crate::runner::{OrderPair, RunOutcome};
+use memtree_sched::{HeuristicKind, PolicySpec};
+use memtree_tree::Fnv64;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Version tag of both the key derivation and the file format; bumping it
+/// orphans (never mis-reads) every existing entry.
+const FORMAT: &str = "memtree-cell v1";
+
+/// A 128-bit content address of one sweep cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CellKey {
+    hi: u64,
+    lo: u64,
+}
+
+impl CellKey {
+    /// The file name of this key inside a cache directory.
+    pub fn file_name(&self) -> String {
+        format!("{:016x}{:016x}.cell", self.hi, self.lo)
+    }
+}
+
+/// Derives the content address of the cell `(tree, kind, pair, p, factor)`.
+///
+/// `tree_hash` is the tree's canonical content hash; the policy component
+/// goes through [`PolicySpec::fingerprint`] built at the cell's actual
+/// memory bound, so every behavioural knob of the policy feeds the key.
+/// Two independent FNV-1a lanes (distinct domain tags) form the 128-bit
+/// address; at that width accidental collisions are out of reach for any
+/// realistic sweep (billions of cells).
+pub fn cell_key(
+    tree_hash: u64,
+    kind: HeuristicKind,
+    pair: OrderPair,
+    processors: usize,
+    factor: f64,
+    memory: u64,
+) -> CellKey {
+    let spec = PolicySpec::new(kind, memory).with_orders(pair.ao, pair.eo);
+    let lane = |tag: &str| {
+        let mut h = Fnv64::with_tag(tag);
+        h.write_str(FORMAT);
+        h.write_u64(tree_hash);
+        // The spec fingerprint covers kind, AO/EO and the memory bound.
+        h.write_u64(spec.fingerprint());
+        h.write_u64(processors as u64);
+        h.write_f64(factor);
+        h.finish()
+    };
+    CellKey {
+        hi: lane("memtree-cell-key-hi"),
+        lo: lane("memtree-cell-key-lo"),
+    }
+}
+
+/// A directory of persisted sweep cells. Cheap to clone; safe to share
+/// across the threads of one sweep and across concurrent processes
+/// (atomic same-content writes).
+#[derive(Clone, Debug)]
+pub struct CellCache {
+    dir: PathBuf,
+    seq: std::sync::Arc<AtomicU64>,
+}
+
+impl CellCache {
+    /// Opens (creating if needed) the cache directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<CellCache> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(CellCache {
+            dir,
+            seq: std::sync::Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Looks `key` up. Returns `None` on a miss *or* on any entry that
+    /// fails verification (bad magic, bad checksum, truncation, parse
+    /// failure) — corrupt data is never trusted, the caller recomputes.
+    pub fn lookup(&self, key: &CellKey) -> Option<RunOutcome> {
+        let bytes = fs::read(self.dir.join(key.file_name())).ok()?;
+        decode(&bytes)
+    }
+
+    /// Persists `outcome` under `key`, atomically (write to a unique temp
+    /// file in the same directory, then rename). Concurrent writers of the
+    /// same key race benignly: both write identical content.
+    pub fn store(&self, key: &CellKey, outcome: &RunOutcome) -> io::Result<()> {
+        // No `.cell` suffix: an orphan left by a killed process must never
+        // be mistaken for a committed entry by `entry_paths`.
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}-{:016x}{:016x}",
+            std::process::id(),
+            self.seq.fetch_add(1, Ordering::Relaxed),
+            key.hi,
+            key.lo
+        ));
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&encode(outcome))?;
+        f.sync_all()?;
+        drop(f);
+        let result = fs::rename(&tmp, self.dir.join(key.file_name()));
+        if result.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        result
+    }
+
+    /// Paths of every committed entry (no temp files), unordered — for
+    /// tests and maintenance tooling.
+    pub fn entry_paths(&self) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for e in fs::read_dir(&self.dir)? {
+            let p = e?.path();
+            if p.extension().is_some_and(|x| x == "cell") {
+                out.push(p);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Number of committed entries.
+    pub fn entry_count(&self) -> io::Result<usize> {
+        Ok(self.entry_paths()?.len())
+    }
+}
+
+fn encode(o: &RunOutcome) -> Vec<u8> {
+    let mut body = String::new();
+    body.push_str(FORMAT);
+    body.push('\n');
+    body.push_str(&format!("scheduled {}\n", u8::from(o.scheduled)));
+    body.push_str(&format!("makespan {}\n", o.makespan));
+    body.push_str(&format!("normalized {}\n", o.normalized));
+    body.push_str(&format!("memory_fraction {}\n", o.memory_fraction));
+    body.push_str(&format!("scheduling_seconds {}\n", o.scheduling_seconds));
+    let mut h = Fnv64::with_tag("memtree-cell-body");
+    h.write_bytes(body.as_bytes());
+    body.push_str(&format!("checksum {:016x}\n", h.finish()));
+    body.into_bytes()
+}
+
+fn decode(bytes: &[u8]) -> Option<RunOutcome> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    // The checksum line covers every byte before it.
+    let body_end = text.rfind("checksum ")?;
+    let (body, tail) = text.split_at(body_end);
+    let stored: u64 = u64::from_str_radix(tail.strip_prefix("checksum ")?.trim(), 16).ok()?;
+    let mut h = Fnv64::with_tag("memtree-cell-body");
+    h.write_bytes(body.as_bytes());
+    if h.finish() != stored {
+        return None;
+    }
+    let mut lines = body.lines();
+    if lines.next()? != FORMAT {
+        return None;
+    }
+    let mut field = |name: &str| -> Option<&str> {
+        let line = lines.next()?;
+        line.strip_prefix(name)?.strip_prefix(' ')
+    };
+    let scheduled = match field("scheduled")? {
+        "1" => true,
+        "0" => false,
+        _ => return None,
+    };
+    let outcome = RunOutcome {
+        scheduled,
+        makespan: field("makespan")?.parse().ok()?,
+        normalized: field("normalized")?.parse().ok()?,
+        memory_fraction: field("memory_fraction")?.parse().ok()?,
+        scheduling_seconds: field("scheduling_seconds")?.parse().ok()?,
+    };
+    Some(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtree_order::OrderKind;
+
+    fn temp_cache(tag: &str) -> CellCache {
+        let dir =
+            std::env::temp_dir().join(format!("memtree-cellcache-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        CellCache::open(dir).unwrap()
+    }
+
+    fn outcome() -> RunOutcome {
+        RunOutcome {
+            scheduled: true,
+            makespan: 1234.567891011,
+            normalized: 1.0000000000000002, // next f64 after 1.0: exactness matters
+            memory_fraction: 0.87654321,
+            scheduling_seconds: 1.25e-4,
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let cache = temp_cache("roundtrip");
+        let key = cell_key(
+            42,
+            HeuristicKind::MemBooking,
+            OrderPair::default_pair(),
+            8,
+            2.0,
+            999,
+        );
+        assert!(cache.lookup(&key).is_none());
+        let o = outcome();
+        cache.store(&key, &o).unwrap();
+        let back = cache.lookup(&key).unwrap();
+        assert_eq!(back.scheduled, o.scheduled);
+        assert_eq!(back.makespan.to_bits(), o.makespan.to_bits());
+        assert_eq!(back.normalized.to_bits(), o.normalized.to_bits());
+        assert_eq!(back.memory_fraction.to_bits(), o.memory_fraction.to_bits());
+        assert_eq!(
+            back.scheduling_seconds.to_bits(),
+            o.scheduling_seconds.to_bits()
+        );
+        assert_eq!(cache.entry_count().unwrap(), 1);
+    }
+
+    #[test]
+    fn keys_separate_every_coordinate() {
+        let pair = OrderPair::default_pair();
+        let base = cell_key(1, HeuristicKind::MemBooking, pair, 8, 2.0, 100);
+        let other_pair = OrderPair {
+            ao: OrderKind::MemPostorder,
+            eo: OrderKind::CriticalPath,
+        };
+        let variants = [
+            cell_key(2, HeuristicKind::MemBooking, pair, 8, 2.0, 100),
+            cell_key(1, HeuristicKind::Activation, pair, 8, 2.0, 100),
+            cell_key(1, HeuristicKind::MemBooking, other_pair, 8, 2.0, 100),
+            cell_key(1, HeuristicKind::MemBooking, pair, 4, 2.0, 100),
+            cell_key(1, HeuristicKind::MemBooking, pair, 8, 3.0, 100),
+            cell_key(1, HeuristicKind::MemBooking, pair, 8, 2.0, 101),
+        ];
+        for v in &variants {
+            assert_ne!(base, *v);
+        }
+        // And the derivation is deterministic.
+        assert_eq!(
+            base,
+            cell_key(1, HeuristicKind::MemBooking, pair, 8, 2.0, 100)
+        );
+    }
+
+    #[test]
+    fn corrupt_and_truncated_entries_are_misses() {
+        let cache = temp_cache("corrupt");
+        let key = cell_key(
+            7,
+            HeuristicKind::Activation,
+            OrderPair::default_pair(),
+            4,
+            1.5,
+            50,
+        );
+        cache.store(&key, &outcome()).unwrap();
+        let path = cache.dir().join(key.file_name());
+
+        // Flip a payload byte: checksum fails.
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] = bytes[mid].wrapping_add(1);
+        fs::write(&path, &bytes).unwrap();
+        assert!(cache.lookup(&key).is_none(), "corrupt entry trusted");
+
+        // Truncate: also a miss.
+        cache.store(&key, &outcome()).unwrap();
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(cache.lookup(&key).is_none(), "truncated entry trusted");
+
+        // Garbage and empty files too.
+        fs::write(&path, b"not a cell at all").unwrap();
+        assert!(cache.lookup(&key).is_none());
+        fs::write(&path, b"").unwrap();
+        assert!(cache.lookup(&key).is_none());
+
+        // A fresh store repairs the entry.
+        cache.store(&key, &outcome()).unwrap();
+        assert!(cache.lookup(&key).is_some());
+    }
+
+    #[test]
+    fn orphaned_temp_files_are_not_entries() {
+        let cache = temp_cache("orphan");
+        let key = cell_key(
+            3,
+            HeuristicKind::MemBooking,
+            OrderPair::default_pair(),
+            2,
+            2.0,
+            64,
+        );
+        cache.store(&key, &outcome()).unwrap();
+        // Simulate a process killed between create and rename.
+        fs::write(cache.dir().join(".tmp-1234-0-deadbeefdeadbeef"), b"partial").unwrap();
+        assert_eq!(cache.entry_count().unwrap(), 1);
+        assert!(cache.entry_paths().unwrap().iter().all(|p| !p
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .starts_with(".tmp-")));
+    }
+
+    #[test]
+    fn unscheduled_outcomes_roundtrip() {
+        let cache = temp_cache("unsched");
+        let key = cell_key(
+            9,
+            HeuristicKind::MemBookingRedTree,
+            OrderPair::default_pair(),
+            2,
+            1.0,
+            10,
+        );
+        let o = RunOutcome {
+            scheduled: false,
+            makespan: 0.0,
+            normalized: 0.0,
+            memory_fraction: 0.0,
+            scheduling_seconds: 0.0,
+        };
+        cache.store(&key, &o).unwrap();
+        let back = cache.lookup(&key).unwrap();
+        assert!(!back.scheduled);
+        assert_eq!(back.makespan, 0.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! The tiny shared CLI of every figure/table binary.
+//!
+//! All 19 experiment binaries accept the same surface:
+//!
+//! ```text
+//! <binary> [quick|full] [--cache-dir DIR] [--fresh] [--window N]
+//! ```
+//!
+//! * the positional scale (or `MEMTREE_SCALE`) picks the corpus size;
+//! * `--cache-dir` (or `MEMTREE_CACHE_DIR`) attaches the content-addressed
+//!   [`CellCache`] so re-runs replay completed cells;
+//! * `--fresh` recomputes everything while refreshing the store;
+//! * `--window` overrides the streaming sweep's in-flight case window.
+//!
+//! Binaries with extra options (`bench_smoke`) reuse [`ArgParser`]
+//! directly and take their extras before handing the rest to
+//! [`BenchArgs::from_parser`].
+
+use crate::cache::CellCache;
+use crate::corpus::Scale;
+use crate::sweep::SweepCtx;
+use std::path::PathBuf;
+
+/// A minimal flag parser over `std::env::args` — enough structure for the
+/// experiment binaries without an external dependency.
+#[derive(Debug)]
+pub struct ArgParser {
+    args: Vec<String>,
+}
+
+impl ArgParser {
+    /// Parses the process arguments (excluding the binary name).
+    pub fn from_env() -> Self {
+        ArgParser {
+            args: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// A parser over explicit arguments (tests).
+    pub fn from_args(args: &[&str]) -> Self {
+        ArgParser {
+            args: args.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Removes `name` if present; returns whether it was.
+    pub fn take_flag(&mut self, name: &str) -> bool {
+        match self.args.iter().position(|a| a == name) {
+            Some(i) => {
+                self.args.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes `name VALUE` if present; returns the value.
+    ///
+    /// # Errors
+    /// When the flag is present without a value — a following `--flag`
+    /// does not count, so `--cache-dir --fresh` reports the missing
+    /// value instead of caching into a directory named `--fresh`.
+    pub fn take_value(&mut self, name: &str) -> Result<Option<String>, String> {
+        match self.args.iter().position(|a| a == name) {
+            Some(i) if i + 1 < self.args.len() && !self.args[i + 1].starts_with("--") => {
+                self.args.remove(i);
+                Ok(Some(self.args.remove(i)))
+            }
+            Some(_) => Err(format!("{name} requires a value")),
+            None => Ok(None),
+        }
+    }
+
+    /// Removes and returns the next positional (non-`--`) argument.
+    pub fn take_positional(&mut self) -> Option<String> {
+        let i = self.args.iter().position(|a| !a.starts_with("--"))?;
+        Some(self.args.remove(i))
+    }
+
+    /// Succeeds only when every argument has been consumed.
+    ///
+    /// # Errors
+    /// Lists the leftover (unrecognised) arguments.
+    pub fn finish(self) -> Result<(), String> {
+        if self.args.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("unrecognised arguments: {}", self.args.join(" ")))
+        }
+    }
+}
+
+/// The options shared by every figure/table binary.
+#[derive(Debug)]
+pub struct BenchArgs {
+    /// Corpus scale (positional `quick`/`full` or `MEMTREE_SCALE`).
+    pub scale: Scale,
+    /// Cell-cache directory (`--cache-dir` or `MEMTREE_CACHE_DIR`).
+    pub cache_dir: Option<PathBuf>,
+    /// Recompute cells even on cache hits (`--fresh`).
+    pub fresh: bool,
+    /// Streaming window override (`--window`).
+    pub window: Option<usize>,
+}
+
+impl BenchArgs {
+    /// Parses the process arguments; prints usage and exits on bad input.
+    pub fn parse() -> BenchArgs {
+        let mut parser = ArgParser::from_env();
+        let parsed = Self::from_parser(&mut parser).and_then(|args| parser.finish().map(|()| args));
+        match parsed {
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("usage: [quick|full] [--cache-dir DIR] [--fresh] [--window N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Consumes the shared options from `parser`, leaving any extras for
+    /// the caller. Environment fallbacks: `MEMTREE_SCALE`,
+    /// `MEMTREE_CACHE_DIR`.
+    ///
+    /// # Errors
+    /// On a malformed scale, window, or missing flag value.
+    pub fn from_parser(parser: &mut ArgParser) -> Result<BenchArgs, String> {
+        // Flags (and their values) are consumed before the positional
+        // scan, so `--cache-dir /tmp/c quick` parses the same as
+        // `quick --cache-dir /tmp/c` — a flag's value must never be
+        // mistaken for the scale.
+        let cache_dir = parser
+            .take_value("--cache-dir")?
+            .or_else(|| std::env::var("MEMTREE_CACHE_DIR").ok())
+            .map(PathBuf::from);
+        let fresh = parser.take_flag("--fresh");
+        let window = parser
+            .take_value("--window")?
+            .map(|w| {
+                w.parse::<usize>()
+                    .ok()
+                    .filter(|&w| w >= 1)
+                    .ok_or_else(|| format!("--window must be a positive integer, got {w:?}"))
+            })
+            .transpose()?;
+        let scale_arg = parser
+            .take_positional()
+            .or_else(|| std::env::var("MEMTREE_SCALE").ok());
+        let scale = match scale_arg.as_deref() {
+            Some("full") => Scale::Full,
+            Some("quick") | None => Scale::Quick,
+            Some(other) => return Err(format!("unknown scale {other:?} (quick|full)")),
+        };
+        Ok(BenchArgs {
+            scale,
+            cache_dir,
+            fresh,
+            window,
+        })
+    }
+
+    /// The sweep execution knobs these arguments describe. Opens (creating
+    /// if needed) the cache directory.
+    ///
+    /// # Panics
+    /// When the cache directory cannot be created — an unusable `--cache-dir`
+    /// should fail loudly, not silently recompute.
+    pub fn ctx(&self) -> SweepCtx {
+        let cache = self.cache_dir.as_ref().map(|d| {
+            CellCache::open(d)
+                .unwrap_or_else(|e| panic!("cannot open cache dir {}: {e}", d.display()))
+        });
+        SweepCtx {
+            cache,
+            fresh: self.fresh,
+            window: self.window,
+        }
+    }
+}
+
+/// Peak resident set size of this process in kilobytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where unavailable — the RSS proxy recorded
+/// in `BENCH_sweep.json` to track the streaming sweep's memory trajectory.
+pub fn peak_rss_kb() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    return rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                }
+            }
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_consumes_flags_values_and_positionals() {
+        let mut p = ArgParser::from_args(&["full", "--fresh", "--cache-dir", "/tmp/c"]);
+        let args = BenchArgs::from_parser(&mut p).unwrap();
+        p.finish().unwrap();
+        assert_eq!(args.scale, Scale::Full);
+        assert!(args.fresh);
+        assert_eq!(
+            args.cache_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/c"))
+        );
+        assert_eq!(args.window, None);
+    }
+
+    #[test]
+    fn leftovers_and_bad_values_error() {
+        let mut p = ArgParser::from_args(&["--bogus"]);
+        let _ = BenchArgs::from_parser(&mut p).unwrap();
+        assert!(p.finish().is_err());
+
+        let mut p = ArgParser::from_args(&["--window", "0"]);
+        assert!(BenchArgs::from_parser(&mut p).is_err());
+
+        let mut p = ArgParser::from_args(&["--cache-dir"]);
+        assert!(BenchArgs::from_parser(&mut p).is_err());
+
+        // A following flag is not a value.
+        let mut p = ArgParser::from_args(&["--cache-dir", "--fresh"]);
+        assert!(BenchArgs::from_parser(&mut p).is_err());
+
+        let mut p = ArgParser::from_args(&["medium"]);
+        assert!(BenchArgs::from_parser(&mut p).is_err());
+    }
+
+    #[test]
+    fn flags_may_precede_the_positional_scale() {
+        let mut p = ArgParser::from_args(&["--cache-dir", "/tmp/c", "full"]);
+        let args = BenchArgs::from_parser(&mut p).unwrap();
+        p.finish().unwrap();
+        assert_eq!(args.scale, Scale::Full);
+        assert_eq!(
+            args.cache_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/c"))
+        );
+    }
+
+    #[test]
+    fn extras_can_be_taken_before_shared_parsing() {
+        let mut p = ArgParser::from_args(&["quick", "--out-dir", "x", "--window", "3"]);
+        assert_eq!(p.take_value("--out-dir").unwrap().as_deref(), Some("x"));
+        let args = BenchArgs::from_parser(&mut p).unwrap();
+        p.finish().unwrap();
+        assert_eq!(args.window, Some(3));
+        assert_eq!(args.scale, Scale::Quick);
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        #[cfg(target_os = "linux")]
+        assert!(peak_rss_kb() > 0);
+    }
+}

@@ -1,8 +1,15 @@
 //! Corpora for the experiments: assembly trees (multifrontal pipeline)
 //! and the paper's synthetic family.
+//!
+//! Each corpus comes in two shapes: the materialised `*_cases` (a `Vec`
+//! of built [`TreeCase`]s) and the streaming `*_source` (a lazy
+//! [`CaseSource`] of cheap descriptors realised on demand), which is what
+//! the windowed [`crate::Sweep`] consumes to keep peak RSS bounded by its
+//! in-flight window instead of the corpus size.
 
-use crate::runner::TreeCase;
+use crate::runner::{CaseSource, TreeCase};
 use memtree_multifrontal::CorpusSpec;
+use std::sync::Arc;
 
 /// Experiment scale.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -14,9 +21,8 @@ pub enum Scale {
     Full,
 }
 
-/// The assembly-tree corpus (the UFL-collection stand-in; DESIGN.md §5).
-pub fn assembly_cases(scale: Scale) -> Vec<TreeCase> {
-    let spec = match scale {
+fn assembly_spec(scale: Scale) -> CorpusSpec {
+    match scale {
         Scale::Quick => CorpusSpec {
             grids2d: vec![20, 30, 40, 50],
             grids3d: vec![7, 9],
@@ -26,29 +32,67 @@ pub fn assembly_cases(scale: Scale) -> Vec<TreeCase> {
             params: Default::default(),
         },
         Scale::Full => CorpusSpec::evaluation(),
-    };
-    memtree_multifrontal::assembly_corpus(&spec)
+    }
+}
+
+/// The assembly-tree corpus as a streaming source: each tree runs the
+/// symbolic pipeline only when its sweep window arrives.
+pub fn assembly_source(scale: Scale) -> CaseSource {
+    let spec = Arc::new(assembly_spec(scale));
+    let mut source = CaseSource::new();
+    for id in spec.case_ids() {
+        let spec = spec.clone();
+        source.push_lazy(move || {
+            let (name, tree) = spec.build_case(&id);
+            TreeCase::new(name, tree)
+        });
+    }
+    source
+}
+
+/// The assembly-tree corpus (the UFL-collection stand-in; DESIGN.md §5),
+/// fully materialised.
+pub fn assembly_cases(scale: Scale) -> Vec<TreeCase> {
+    memtree_multifrontal::assembly_corpus(&assembly_spec(scale))
         .into_iter()
         .map(|(name, tree)| TreeCase::new(name, tree))
         .collect()
 }
 
-/// The synthetic corpus of Section 7.1: `count` trees per size.
-pub fn synthetic_cases(scale: Scale) -> Vec<TreeCase> {
-    let plan: &[(usize, usize)] = match scale {
-        // (node count, number of trees)
+/// (node count, number of trees) per scale.
+fn synthetic_plan(scale: Scale) -> &'static [(usize, usize)] {
+    match scale {
         Scale::Quick => &[(1_000, 12), (10_000, 6)],
         Scale::Full => &[(1_000, 50), (10_000, 50), (100_000, 12)],
-    };
-    let mut out = Vec::new();
-    for &(n, count) in plan {
+    }
+}
+
+/// The synthetic corpus of Section 7.1 as a streaming source: each tree
+/// is generated from its seed when its sweep window arrives.
+pub fn synthetic_source(scale: Scale) -> CaseSource {
+    let mut source = CaseSource::new();
+    for &(n, count) in synthetic_plan(scale) {
         for k in 0..count {
             let seed = 1_000 * n as u64 + k as u64;
-            let tree = memtree_gen::synthetic::paper_tree(n, seed);
-            out.push(TreeCase::new(format!("synth-{n}-{k}"), tree));
+            source.push_lazy(move || {
+                TreeCase::new(
+                    format!("synth-{n}-{k}"),
+                    memtree_gen::synthetic::paper_tree(n, seed),
+                )
+            });
         }
     }
-    out
+    source
+}
+
+/// The synthetic corpus of Section 7.1, fully materialised.
+pub fn synthetic_cases(scale: Scale) -> Vec<TreeCase> {
+    let source = synthetic_source(scale);
+    (0..source.len())
+        .map(|i| {
+            Arc::try_unwrap(source.build(i)).unwrap_or_else(|_| unreachable!("fresh lazy build"))
+        })
+        .collect()
 }
 
 /// The memory factors swept by the makespan figures (the paper's x-axis
@@ -76,6 +120,24 @@ mod tests {
         for c in a.iter().chain(&s) {
             assert!(c.min_memory > 0, "{} has zero minimum memory", c.name);
         }
+    }
+
+    #[test]
+    fn sources_stream_the_same_corpora() {
+        let eager = synthetic_cases(Scale::Quick);
+        let source = synthetic_source(Scale::Quick);
+        assert_eq!(source.len(), eager.len());
+        for (got, want) in source.iter().zip(&eager) {
+            assert_eq!(got.name, want.name);
+            assert_eq!(got.content_hash(), want.content_hash());
+        }
+        // Assembly: spot-check the first case without building the whole
+        // corpus twice.
+        let asm_source = assembly_source(Scale::Quick);
+        let first = asm_source.build(0);
+        assert_eq!(first.name, "grid2d-20");
+        assert!(first.min_memory > 0);
+        assert_eq!(asm_source.len(), assembly_cases(Scale::Quick).len());
     }
 
     #[test]

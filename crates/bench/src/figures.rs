@@ -5,11 +5,15 @@
 //!
 //! Every simulator-backed figure runs its scenario grid through
 //! [`Sweep`], so the (tree × policy × p × memory) cells fan out across
-//! all cores; the aggregation below is pure bookkeeping over the cells.
+//! all cores and stream through a bounded case window; the caller's
+//! [`SweepCtx`] decides whether cells replay from the content-addressed
+//! cache. Aggregations read the report's cells and per-case metadata —
+//! never the trees themselves, which the streaming sweep has already
+//! dropped.
 
 use crate::aggregate::Summary;
-use crate::runner::{OrderPair, TreeCase};
-use crate::sweep::{Sweep, SweepReport};
+use crate::runner::{CaseSource, OrderPair};
+use crate::sweep::{Sweep, SweepCtx, SweepReport};
 use memtree_sched::HeuristicKind;
 
 /// CSV payload plus human-readable findings.
@@ -41,6 +45,18 @@ fn main_heuristics() -> Vec<HeuristicKind> {
     ]
 }
 
+/// The sweep-execution note shared by every figure.
+fn sweep_note(report: &SweepReport, p: usize) -> String {
+    format!(
+        "corpus size: {} trees, p = {p}; {} sweep cells on {} threads ({} cached, {} computed)",
+        report.case_count(),
+        report.cells.len(),
+        report.threads_used,
+        report.cache_hits,
+        report.computed
+    )
+}
+
 /// Normalized makespans of the scheduled cells in a series.
 fn scheduled_normalized(
     report: &SweepReport,
@@ -58,11 +74,12 @@ fn scheduled_normalized(
 
 /// Figures 2 and 10: normalized makespan vs normalized memory bound for
 /// the three heuristics.
-pub fn fig_makespan(cases: &[TreeCase], p: usize, factors: &[f64]) -> FigureOutput {
+pub fn fig_makespan(cases: &CaseSource, p: usize, factors: &[f64], ctx: &SweepCtx) -> FigureOutput {
     let report = Sweep::new(cases)
         .kinds(main_heuristics())
         .processors(vec![p])
         .factors(factors.to_vec())
+        .ctx(ctx)
         .run();
     let mut rows = Vec::new();
     let mut notes = Vec::new();
@@ -73,7 +90,7 @@ pub fn fig_makespan(cases: &[TreeCase], p: usize, factors: &[f64]) -> FigureOutp
             let label = kind.label();
             let scheduled =
                 scheduled_normalized(&report, kind, OrderPair::default_pair(), p, factor);
-            let coverage = scheduled.len() as f64 / cases.len() as f64;
+            let coverage = scheduled.len() as f64 / report.case_count() as f64;
             if let Some(s) = Summary::of(&scheduled) {
                 rows.push(format!(
                     "{factor},{label},{:.4},{:.4},{:.3}",
@@ -98,12 +115,7 @@ pub fn fig_makespan(cases: &[TreeCase], p: usize, factors: &[f64]) -> FigureOutp
             ac_at_2 / mb_at_2
         ));
     }
-    notes.push(format!(
-        "corpus size: {} trees, p = {p}; {} sweep cells on {} threads",
-        cases.len(),
-        report.cells.len(),
-        report.threads_used
-    ));
+    notes.push(sweep_note(&report, p));
     FigureOutput {
         header:
             "memory_factor,heuristic,mean_normalized_makespan,median_normalized_makespan,coverage"
@@ -115,9 +127,9 @@ pub fn fig_makespan(cases: &[TreeCase], p: usize, factors: &[f64]) -> FigureOutp
 
 /// Per-factor speedups of MemBooking over Activation (cells paired by
 /// tree; only trees both policies scheduled count).
-fn speedups_at(report: &SweepReport, cases: &[TreeCase], p: usize, factor: f64) -> Vec<f64> {
+fn speedups_at(report: &SweepReport, p: usize, factor: f64) -> Vec<f64> {
     let pair = OrderPair::default_pair();
-    (0..cases.len())
+    (0..report.case_count())
         .filter_map(|ci| {
             let mb = report.cell(ci, HeuristicKind::MemBooking, pair, p, factor)?;
             let ac = report.cell(ci, HeuristicKind::Activation, pair, p, factor)?;
@@ -129,16 +141,17 @@ fn speedups_at(report: &SweepReport, cases: &[TreeCase], p: usize, factor: f64) 
 
 /// Figures 3 and 11: the speedup distribution of MemBooking over
 /// Activation per memory factor.
-pub fn fig_speedup(cases: &[TreeCase], p: usize, factors: &[f64]) -> FigureOutput {
+pub fn fig_speedup(cases: &CaseSource, p: usize, factors: &[f64], ctx: &SweepCtx) -> FigureOutput {
     let report = Sweep::new(cases)
         .kinds(vec![HeuristicKind::MemBooking, HeuristicKind::Activation])
         .processors(vec![p])
         .factors(factors.to_vec())
+        .ctx(ctx)
         .run();
     let mut rows = Vec::new();
     let mut notes = Vec::new();
     for &factor in factors {
-        let speedups = speedups_at(&report, cases, p, factor);
+        let speedups = speedups_at(&report, p, factor);
         if let Some(s) = Summary::of(&speedups) {
             rows.push(format!(
                 "{factor},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
@@ -160,11 +173,12 @@ pub fn fig_speedup(cases: &[TreeCase], p: usize, factors: &[f64]) -> FigureOutpu
 }
 
 /// Figures 4 and 12: fraction of the memory bound actually used.
-pub fn fig_memfrac(cases: &[TreeCase], p: usize, factors: &[f64]) -> FigureOutput {
+pub fn fig_memfrac(cases: &CaseSource, p: usize, factors: &[f64], ctx: &SweepCtx) -> FigureOutput {
     let report = Sweep::new(cases)
         .kinds(main_heuristics())
         .processors(vec![p])
         .factors(factors.to_vec())
+        .ctx(ctx)
         .run();
     let mut rows = Vec::new();
     let mut notes = Vec::new();
@@ -199,16 +213,17 @@ pub fn fig_memfrac(cases: &[TreeCase], p: usize, factors: &[f64]) -> FigureOutpu
 }
 
 /// Figures 5, 6 and 13: scheduling time against tree size and height.
-pub fn fig_schedtime(cases: &[TreeCase], p: usize, factor: f64) -> FigureOutput {
+pub fn fig_schedtime(cases: &CaseSource, p: usize, factor: f64, ctx: &SweepCtx) -> FigureOutput {
     let report = Sweep::new(cases)
         .kinds(main_heuristics())
         .processors(vec![p])
         .factors(vec![factor])
+        .ctx(ctx)
         .run();
     let mut rows = Vec::new();
     let mut notes = Vec::new();
     let mut worst_per_node = 0f64;
-    for (ci, c) in cases.iter().enumerate() {
+    for (ci, meta) in report.cases.iter().enumerate() {
         for kind in main_heuristics() {
             let Some(cell) = report.cell(ci, kind, OrderPair::default_pair(), p, factor) else {
                 continue;
@@ -216,13 +231,13 @@ pub fn fig_schedtime(cases: &[TreeCase], p: usize, factor: f64) -> FigureOutput 
             if !cell.outcome.scheduled {
                 continue;
             }
-            let per_node = cell.outcome.scheduling_seconds / c.len() as f64;
+            let per_node = cell.outcome.scheduling_seconds / meta.nodes as f64;
             worst_per_node = worst_per_node.max(per_node);
             rows.push(format!(
                 "{},{},{},{},{:.6e},{:.6e}",
-                c.name,
-                c.len(),
-                c.stats.height,
+                meta.name,
+                meta.nodes,
+                meta.height,
                 kind.label(),
                 cell.outcome.scheduling_seconds,
                 per_node
@@ -241,17 +256,23 @@ pub fn fig_schedtime(cases: &[TreeCase], p: usize, factor: f64) -> FigureOutput 
 
 /// Figure 7: speedup of MemBooking over Activation against tree height at
 /// a fixed memory factor.
-pub fn fig_speedup_height(cases: &[TreeCase], p: usize, factor: f64) -> FigureOutput {
+pub fn fig_speedup_height(
+    cases: &CaseSource,
+    p: usize,
+    factor: f64,
+    ctx: &SweepCtx,
+) -> FigureOutput {
     let report = Sweep::new(cases)
         .kinds(vec![HeuristicKind::MemBooking, HeuristicKind::Activation])
         .processors(vec![p])
         .factors(vec![factor])
+        .ctx(ctx)
         .run();
     let pair = OrderPair::default_pair();
     let mut rows = Vec::new();
     let mut shallow = Vec::new();
     let mut deep = Vec::new();
-    for (ci, c) in cases.iter().enumerate() {
+    for (ci, meta) in report.cases.iter().enumerate() {
         let (Some(mb), Some(ac)) = (
             report.cell(ci, HeuristicKind::MemBooking, pair, p, factor),
             report.cell(ci, HeuristicKind::Activation, pair, p, factor),
@@ -262,12 +283,9 @@ pub fn fig_speedup_height(cases: &[TreeCase], p: usize, factor: f64) -> FigureOu
             let s = ac.outcome.makespan / mb.outcome.makespan;
             rows.push(format!(
                 "{},{},{},{:.4}",
-                c.name,
-                c.len(),
-                c.stats.height,
-                s
+                meta.name, meta.nodes, meta.height, s
             ));
-            if (c.stats.height as usize) * 4 > c.len() {
+            if (meta.height as usize) * 4 > meta.nodes {
                 deep.push(s);
             } else {
                 shallow.push(s);
@@ -289,12 +307,13 @@ pub fn fig_speedup_height(cases: &[TreeCase], p: usize, factor: f64) -> FigureOu
 }
 
 /// Figures 8 and 14: MemBooking under the six AO/EO combinations.
-pub fn fig_orders(cases: &[TreeCase], p: usize, factors: &[f64]) -> FigureOutput {
+pub fn fig_orders(cases: &CaseSource, p: usize, factors: &[f64], ctx: &SweepCtx) -> FigureOutput {
     let report = Sweep::new(cases)
         .kinds(vec![HeuristicKind::MemBooking])
         .pairs(OrderPair::paper_combinations())
         .processors(vec![p])
         .factors(factors.to_vec())
+        .ctx(ctx)
         .run();
     let mut rows = Vec::new();
     let mut best_at_2: Option<(String, f64)> = None;
@@ -334,11 +353,17 @@ pub fn fig_orders(cases: &[TreeCase], p: usize, factors: &[f64]) -> FigureOutput
 }
 
 /// Figures 9 and 15: the heuristics across processor counts.
-pub fn fig_processors(cases: &[TreeCase], processors: &[usize], factors: &[f64]) -> FigureOutput {
+pub fn fig_processors(
+    cases: &CaseSource,
+    processors: &[usize],
+    factors: &[f64],
+    ctx: &SweepCtx,
+) -> FigureOutput {
     let report = Sweep::new(cases)
         .kinds(main_heuristics())
         .processors(processors.to_vec())
         .factors(factors.to_vec())
+        .ctx(ctx)
         .run();
     let mut rows = Vec::new();
     let mut gaps: Vec<(usize, f64)> = Vec::new();
@@ -384,32 +409,39 @@ pub fn fig_processors(cases: &[TreeCase], processors: &[usize], factors: &[f64])
 
 /// Section 6 statistics: how often and by how much the memory-aware lower
 /// bound improves on the classical one.
-pub fn table_lowerbound(cases: &[TreeCase], p: usize, factors: &[f64]) -> FigureOutput {
-    let mut rows = Vec::new();
-    let mut total_improved = 0usize;
-    let mut total = 0usize;
+///
+/// Streams the corpus: each tree is built, measured at every factor, and
+/// dropped before the next one is realised.
+pub fn table_lowerbound(cases: &CaseSource, p: usize, factors: &[f64]) -> FigureOutput {
+    let mut improved = vec![0usize; factors.len()];
+    let mut gains: Vec<Vec<f64>> = vec![Vec::new(); factors.len()];
     let mut improvements = Vec::new();
-    for &factor in factors {
-        let mut improved = 0usize;
-        let mut gains = Vec::new();
-        for c in cases {
+    let mut total = 0usize;
+    for c in cases.iter() {
+        for (fi, &factor) in factors.iter().enumerate() {
             let lb = c.lower_bounds(p, factor);
             total += 1;
             if lb.memory_bound_improves() {
-                improved += 1;
-                total_improved += 1;
-                gains.push(lb.improvement_ratio());
+                improved[fi] += 1;
+                gains[fi].push(lb.improvement_ratio());
                 improvements.push(lb.improvement_ratio());
             }
         }
-        let avg = Summary::of(&gains).map_or(0.0, |s| s.mean);
-        rows.push(format!(
-            "{factor},{:.3},{:.3}",
-            improved as f64 / cases.len() as f64,
-            avg
-        ));
     }
+    let rows = factors
+        .iter()
+        .enumerate()
+        .map(|(fi, factor)| {
+            let avg = Summary::of(&gains[fi]).map_or(0.0, |s| s.mean);
+            format!(
+                "{factor},{:.3},{:.3}",
+                improved[fi] as f64 / cases.len() as f64,
+                avg
+            )
+        })
+        .collect();
     let overall = Summary::of(&improvements).map_or(0.0, |s| s.mean);
+    let total_improved: usize = improved.iter().sum();
     let notes = vec![format!(
         "memory-aware bound improves the classical bound in {:.0}% of (tree, M) cases, by {:.0}% on average when it does (paper: 22%/46% assembly, 33%/37% synthetic at p = 8)",
         100.0 * total_improved as f64 / total as f64,
@@ -424,15 +456,23 @@ pub fn table_lowerbound(cases: &[TreeCase], p: usize, factors: &[f64]) -> Figure
 
 /// Section 7.4 statistic: the fraction of trees MemBookingRedTree cannot
 /// schedule under tight memory bounds.
-pub fn table_redtree_failures(cases: &[TreeCase], factors: &[f64]) -> FigureOutput {
+///
+/// Streams the corpus (one tree and its reduction transform alive at a
+/// time).
+pub fn table_redtree_failures(cases: &CaseSource, factors: &[f64]) -> FigureOutput {
+    let mut failed = vec![0usize; factors.len()];
+    for c in cases.iter() {
+        let red_min = c.redtree_min_memory();
+        for (fi, &factor) in factors.iter().enumerate() {
+            if red_min > c.memory_at(factor) {
+                failed[fi] += 1;
+            }
+        }
+    }
     let mut rows = Vec::new();
     let mut note_at_14 = String::new();
-    for &factor in factors {
-        let failed = cases
-            .iter()
-            .filter(|c| c.redtree_min_memory() > c.memory_at(factor))
-            .count();
-        let frac = failed as f64 / cases.len() as f64;
+    for (fi, &factor) in factors.iter().enumerate() {
+        let frac = failed[fi] as f64 / cases.len() as f64;
         rows.push(format!("{factor},{frac:.3}"));
         if (factor - 1.4).abs() < 0.05 {
             note_at_14 = format!(
@@ -485,9 +525,10 @@ pub fn table_degree_distribution(samples: usize, seed: u64) -> FigureOutput {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::corpus::{memory_factors, synthetic_cases, Scale};
+    use crate::corpus::{memory_factors, synthetic_source, Scale};
+    use crate::runner::TreeCase;
 
-    fn tiny_cases() -> Vec<TreeCase> {
+    fn tiny_cases() -> CaseSource {
         (0..4)
             .map(|s| {
                 TreeCase::new(
@@ -501,7 +542,7 @@ mod tests {
     #[test]
     fn makespan_figure_has_all_series() {
         let cases = tiny_cases();
-        let out = fig_makespan(&cases, 4, &[1.0, 2.0]);
+        let out = fig_makespan(&cases, 4, &[1.0, 2.0], &SweepCtx::default());
         assert_eq!(out.rows.len(), 6, "2 factors x 3 heuristics");
         assert!(out.rows.iter().any(|r| r.contains("MemBooking")));
         assert!(!out.notes.is_empty());
@@ -510,7 +551,7 @@ mod tests {
     #[test]
     fn speedup_figure_is_sane() {
         let cases = tiny_cases();
-        let out = fig_speedup(&cases, 4, &[2.0]);
+        let out = fig_speedup(&cases, 4, &[2.0], &SweepCtx::default());
         assert_eq!(out.rows.len(), 1);
         let mean: f64 = out.rows[0].split(',').nth(1).unwrap().parse().unwrap();
         assert!(
@@ -522,8 +563,26 @@ mod tests {
     #[test]
     fn orders_figure_covers_six_pairs() {
         let cases = tiny_cases();
-        let out = fig_orders(&cases, 4, &[2.0]);
+        let out = fig_orders(&cases, 4, &[2.0], &SweepCtx::default());
         assert_eq!(out.rows.len(), 6);
+    }
+
+    #[test]
+    fn schedtime_figure_uses_case_metadata() {
+        let cases = tiny_cases();
+        let out = fig_schedtime(&cases, 4, 2.0, &SweepCtx::default());
+        assert!(!out.rows.is_empty());
+        // Rows carry the tree name and node count from the sweep metadata.
+        assert!(out.rows.iter().all(|r| r.starts_with("tiny-")));
+        assert!(
+            out.rows[0]
+                .split(',')
+                .nth(1)
+                .unwrap()
+                .parse::<usize>()
+                .unwrap()
+                > 0
+        );
     }
 
     #[test]
@@ -541,10 +600,18 @@ mod tests {
 
     #[test]
     fn quick_synthetic_pipeline_smoke() {
-        // A minimal end-to-end pass over the real corpus machinery.
-        let cases: Vec<TreeCase> = synthetic_cases(Scale::Quick).into_iter().take(3).collect();
+        // A minimal end-to-end pass over the real (streaming) corpus
+        // machinery: a lazy sub-source of the quick synthetic corpus.
+        let full = synthetic_source(Scale::Quick);
+        let mut cases = CaseSource::new();
+        for i in 0..3 {
+            let full = full.clone();
+            cases.push_lazy(move || {
+                std::sync::Arc::try_unwrap(full.build(i)).unwrap_or_else(|_| unreachable!())
+            });
+        }
         let factors = memory_factors(Scale::Quick, 3.0);
-        let out = fig_makespan(&cases, 8, &factors);
+        let out = fig_makespan(&cases, 8, &factors, &SweepCtx::default());
         assert!(!out.rows.is_empty());
     }
 }

@@ -10,28 +10,25 @@
 //!
 //! Scale is controlled by the first CLI argument or the `MEMTREE_SCALE`
 //! environment variable: `quick` (default; minutes) or `full` (the
-//! paper-sized corpora; longer).
+//! paper-sized corpora; longer). Every binary also takes `--cache-dir`
+//! (persist/replay sweep cells content-addressed; see [`cache`]),
+//! `--fresh` (recompute) and `--window` (streaming width) — the shared
+//! surface parsed by [`cli::BenchArgs`].
 
 pub mod aggregate;
+pub mod cache;
+pub mod cli;
 pub mod corpus;
 pub mod figures;
 pub mod runner;
 pub mod sweep;
 
 pub use aggregate::Summary;
-pub use corpus::{assembly_cases, synthetic_cases, Scale};
-pub use runner::{run_heuristic, run_on_platform, OrderPair, RunOutcome, TreeCase};
-pub use sweep::{Sweep, SweepCell, SweepReport};
-
-/// Parses the scale from CLI args / environment.
-pub fn scale_from_env() -> Scale {
-    let arg = std::env::args().nth(1);
-    let var = std::env::var("MEMTREE_SCALE").ok();
-    match arg.or(var).as_deref() {
-        Some("full") => Scale::Full,
-        _ => Scale::Quick,
-    }
-}
+pub use cache::{cell_key, CellCache, CellKey};
+pub use cli::{ArgParser, BenchArgs};
+pub use corpus::{assembly_cases, assembly_source, synthetic_cases, synthetic_source, Scale};
+pub use runner::{run_heuristic, run_on_platform, CaseSource, OrderPair, RunOutcome, TreeCase};
+pub use sweep::{CaseMeta, Sweep, SweepCell, SweepCtx, SweepReport};
 
 /// Prints a CSV header and rows through a tiny helper so every binary
 /// formats identically.

@@ -50,6 +50,7 @@ pub struct TreeCase {
     pub min_memory: u64,
     orders: OrderCache,
     redtree: OnceLock<RedCase>,
+    content_hash: OnceLock<u64>,
 }
 
 struct RedCase {
@@ -154,6 +155,7 @@ impl TreeCase {
             min_memory,
             orders: OrderCache::default(),
             redtree: OnceLock::new(),
+            content_hash: OnceLock::new(),
         };
         case.orders
             .orders
@@ -176,6 +178,13 @@ impl TreeCase {
     /// The order of `kind`, computed once and cached (thread-safe).
     pub fn order(&self, kind: OrderKind) -> Arc<Order> {
         self.orders.get(&self.tree, kind)
+    }
+
+    /// The tree's canonical content hash
+    /// ([`memtree_tree::hash::content_hash`]), computed once and cached —
+    /// the tree component of a sweep cell's cache key.
+    pub fn content_hash(&self) -> u64 {
+        *self.content_hash.get_or_init(|| self.tree.content_hash())
     }
 
     /// The memory bound for a normalized factor.
@@ -268,6 +277,112 @@ pub fn run_heuristic(
     }
 }
 
+/// A corpus as a *source* of [`TreeCase`]s rather than a materialised
+/// slice: each case is either ready (already built) or a builder closure
+/// that realises it on demand.
+///
+/// This is what lets [`crate::Sweep`] stream: a lazy source holds only
+/// cheap descriptors (a seed, a grid side), the sweep builds the cases of
+/// its current in-flight window, and drops each case as soon as its last
+/// cell completes — peak RSS is proportional to the window, not the
+/// corpus. Builders must be deterministic (same index, same case): the
+/// sweep may rebuild a case after an interruption and relies on its
+/// content hash matching the cached cells.
+///
+/// Cloning is cheap (`Arc`-shared entries) and never re-runs builders.
+#[derive(Clone, Default)]
+pub struct CaseSource {
+    entries: Vec<CaseEntry>,
+}
+
+#[derive(Clone)]
+enum CaseEntry {
+    Ready(Arc<TreeCase>),
+    Lazy(Arc<dyn Fn() -> TreeCase + Send + Sync>),
+}
+
+impl CaseSource {
+    /// An empty source; push cases or builders into it.
+    pub fn new() -> Self {
+        CaseSource::default()
+    }
+
+    /// A source over already-built cases (no streaming benefit, full API
+    /// compatibility — what tests and small experiments use).
+    pub fn from_cases(cases: Vec<TreeCase>) -> Self {
+        CaseSource {
+            entries: cases
+                .into_iter()
+                .map(|c| CaseEntry::Ready(Arc::new(c)))
+                .collect(),
+        }
+    }
+
+    /// Appends a ready case.
+    pub fn push_case(&mut self, case: TreeCase) {
+        self.entries.push(CaseEntry::Ready(Arc::new(case)));
+    }
+
+    /// Appends a lazy builder realised on demand by [`CaseSource::build`].
+    pub fn push_lazy(&mut self, build: impl Fn() -> TreeCase + Send + Sync + 'static) {
+        self.entries.push(CaseEntry::Lazy(Arc::new(build)));
+    }
+
+    /// Number of cases.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the source is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Realises case `index`: clones the `Arc` for ready cases, runs the
+    /// builder for lazy ones. Lazy builds are *not* memoised — dropping
+    /// the returned `Arc` frees the tree, which is the point.
+    pub fn build(&self, index: usize) -> Arc<TreeCase> {
+        match &self.entries[index] {
+            CaseEntry::Ready(c) => c.clone(),
+            CaseEntry::Lazy(f) => Arc::new(f()),
+        }
+    }
+
+    /// Streams the cases one at a time in corpus order — for sequential
+    /// consumers (corpus tables, per-tree statistics) that want bounded
+    /// memory without the sweep machinery.
+    pub fn iter(&self) -> impl Iterator<Item = Arc<TreeCase>> + '_ {
+        (0..self.len()).map(|i| self.build(i))
+    }
+}
+
+impl From<Vec<TreeCase>> for CaseSource {
+    fn from(cases: Vec<TreeCase>) -> Self {
+        CaseSource::from_cases(cases)
+    }
+}
+
+impl FromIterator<TreeCase> for CaseSource {
+    fn from_iter<I: IntoIterator<Item = TreeCase>>(iter: I) -> Self {
+        CaseSource::from_cases(iter.into_iter().collect())
+    }
+}
+
+impl std::fmt::Debug for CaseSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ready = self
+            .entries
+            .iter()
+            .filter(|e| matches!(e, CaseEntry::Ready(_)))
+            .count();
+        f.debug_struct("CaseSource")
+            .field("cases", &self.len())
+            .field("ready", &ready)
+            .field("lazy", &(self.len() - ready))
+            .finish()
+    }
+}
+
 /// Convenience wrapper: runs `kind` on any [`Platform`] (not just the
 /// simulator), using the case's caches.
 pub fn run_on_platform(
@@ -356,6 +471,33 @@ mod tests {
     fn tree_case_is_sync() {
         fn assert_sync<T: Sync>() {}
         assert_sync::<TreeCase>();
+        assert_sync::<CaseSource>();
+    }
+
+    #[test]
+    fn content_hash_is_cached_and_matches_tree() {
+        let c = case();
+        assert_eq!(c.content_hash(), c.tree.content_hash());
+        assert_eq!(c.content_hash(), c.content_hash());
+    }
+
+    #[test]
+    fn case_source_builds_lazily_and_deterministically() {
+        let mut source = CaseSource::new();
+        source.push_case(case());
+        source.push_lazy(|| TreeCase::new("lazy", memtree_gen::synthetic::paper_tree(120, 9)));
+        assert_eq!(source.len(), 2);
+        let a = source.build(1);
+        let b = source.build(1);
+        assert_eq!(a.name, "lazy");
+        assert_eq!(a.content_hash(), b.content_hash());
+        assert!(!Arc::ptr_eq(&a, &b), "lazy builds are not memoised");
+        // Ready entries share one Arc.
+        assert!(Arc::ptr_eq(&source.build(0), &source.build(0)));
+        // Clones share entries without re-running builders on ready cases.
+        let clone = source.clone();
+        assert!(Arc::ptr_eq(&source.build(0), &clone.build(0)));
+        assert_eq!(clone.iter().count(), 2);
     }
 
     #[test]

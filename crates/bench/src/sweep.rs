@@ -1,24 +1,36 @@
-//! **`Sweep`** — declarative scenario grids fanned out over all cores
-//! (DESIGN.md §6.4).
+//! **`Sweep`** — streaming, resumable scenario grids fanned out over all
+//! cores (DESIGN.md §6.5/§6.6).
 //!
 //! A sweep is the cartesian product (trees × policies × order pairs ×
 //! processor counts × memory factors); every figure in the paper is an
-//! aggregation over such a grid. [`Sweep::run`] executes the cells with
-//! `rayon`, one simulator run per cell, sharing each [`TreeCase`]'s cached
-//! orders and reduction-tree transform across cells. Cells come back in
-//! deterministic grid order regardless of which thread ran them, so
-//! downstream CSV output is reproducible.
+//! aggregation over such a grid. [`Sweep::run`] *streams*: trees come from
+//! a [`CaseSource`] and are realised in a bounded in-flight window —
+//! while one window's cells execute on the rayon pool, the next window's
+//! trees generate concurrently, and each case is dropped as soon as its
+//! last cell completes. Peak RSS is O(window), not O(corpus), so
+//! full-scale sweeps (100k-node trees × thousands of cells) run under the
+//! same out-of-core discipline the paper's schedulers study.
+//!
+//! With a [`CellCache`] attached the sweep is also *resumable*: completed
+//! cells persist under content-addressed keys, a re-run after an
+//! interruption recomputes zero finished cells, and a policy change
+//! invalidates exactly its own series. Cells come back in deterministic
+//! grid order regardless of which thread (or which earlier run) produced
+//! them, so CSV output is byte-identical between cold and warm runs.
 
-use crate::runner::{run_heuristic, OrderPair, RunOutcome, TreeCase};
+use crate::cache::{cell_key, CellCache};
+use crate::runner::{run_heuristic, CaseSource, OrderPair, RunOutcome, TreeCase};
 use memtree_sched::HeuristicKind;
 use rayon::prelude::*;
 use std::collections::HashSet;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// One point of the scenario grid with its outcome.
 #[derive(Clone, Debug)]
 pub struct SweepCell {
-    /// Index of the tree in the sweep's case slice.
+    /// Index of the tree in the sweep's case source.
     pub case_index: usize,
     /// The tree's name (CSV key).
     pub tree: String,
@@ -32,6 +44,36 @@ pub struct SweepCell {
     pub factor: f64,
     /// What happened.
     pub outcome: RunOutcome,
+    /// Whether the outcome was replayed from the cell cache.
+    pub from_cache: bool,
+}
+
+/// Per-tree structural metadata recorded by the sweep, so figures can
+/// aggregate by tree size/height after the tree itself has been dropped.
+#[derive(Clone, Debug)]
+pub struct CaseMeta {
+    /// The tree's name (CSV key).
+    pub name: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Tree height.
+    pub height: u32,
+    /// Minimum memory (the unit of the memory-factor axis).
+    pub min_memory: u64,
+}
+
+/// Execution knobs shared by every figure/table binary: where (and
+/// whether) to cache cells, and how wide the streaming window is.
+#[derive(Clone, Debug, Default)]
+pub struct SweepCtx {
+    /// Persist/replay cells here; `None` disables caching.
+    pub cache: Option<CellCache>,
+    /// Ignore existing cache entries (recompute and overwrite) — the
+    /// `--fresh` flag.
+    pub fresh: bool,
+    /// Override the in-flight case window (`None` = one window per rayon
+    /// thread, min 2).
+    pub window: Option<usize>,
 }
 
 /// Result of a sweep: the cells in grid order plus execution metadata.
@@ -40,9 +82,17 @@ pub struct SweepReport {
     /// All cells, ordered (case, kind, pair, processors, factor) —
     /// innermost index varies fastest.
     pub cells: Vec<SweepCell>,
+    /// Structural metadata of every case, in case order.
+    pub cases: Vec<CaseMeta>,
     /// Distinct worker threads that executed cells (≥ 2 on multicore
     /// machines for non-trivial grids).
     pub threads_used: usize,
+    /// Cells replayed from the cache.
+    pub cache_hits: usize,
+    /// Cells actually computed this run.
+    pub computed: usize,
+    /// Wall-clock duration of the whole sweep.
+    pub wall_seconds: f64,
     // The grid axes, kept so lookups are index arithmetic instead of
     // scans.
     kinds: Vec<HeuristicKind>,
@@ -54,9 +104,16 @@ pub struct SweepReport {
 impl SweepReport {
     /// Number of trees the sweep covered.
     pub fn case_count(&self) -> usize {
-        let per_case =
-            self.kinds.len() * self.pairs.len() * self.processors.len() * self.factors.len();
-        self.cells.len().checked_div(per_case).unwrap_or(0)
+        self.cases.len()
+    }
+
+    /// Fraction of cells served from the cache (0 when nothing ran).
+    pub fn hit_rate(&self) -> f64 {
+        if self.cells.is_empty() {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.cells.len() as f64
+        }
     }
 
     /// The cell for an exact grid point, if that point was on the grid.
@@ -69,6 +126,9 @@ impl SweepReport {
         processors: usize,
         factor: f64,
     ) -> Option<&SweepCell> {
+        if case_index >= self.case_count() {
+            return None;
+        }
         let k = self.kinds.iter().position(|&x| x == kind)?;
         let o = self.pairs.iter().position(|&x| x == pair)?;
         let p = self.processors.iter().position(|&x| x == processors)?;
@@ -101,18 +161,49 @@ impl SweepReport {
     ) -> impl Iterator<Item = &SweepCell> + '_ {
         (0..self.case_count()).filter_map(move |ci| self.cell(ci, kind, pair, processors, factor))
     }
+
+    /// The header matching [`SweepReport::cell_rows`].
+    pub fn cell_csv_header() -> &'static str {
+        "tree,heuristic,ao_eo,processors,memory_factor,scheduled,makespan,normalized,\
+         memory_fraction,scheduling_seconds"
+    }
+
+    /// A full deterministic CSV dump of every cell, in grid order. With a
+    /// warm cache the rows are byte-identical to the cold run's (cached
+    /// outcomes round-trip `f64`s exactly) — what the `bench-smoke` CI job
+    /// asserts.
+    pub fn cell_rows(&self) -> Vec<String> {
+        self.cells
+            .iter()
+            .map(|c| {
+                format!(
+                    "{},{},{},{},{},{},{},{},{},{}",
+                    c.tree,
+                    c.kind.label(),
+                    c.pair.label(),
+                    c.processors,
+                    c.factor,
+                    u8::from(c.outcome.scheduled),
+                    c.outcome.makespan,
+                    c.outcome.normalized,
+                    c.outcome.memory_fraction,
+                    c.outcome.scheduling_seconds,
+                )
+            })
+            .collect()
+    }
 }
 
-/// A declarative scenario grid over a set of [`TreeCase`]s.
+/// A declarative scenario grid over a [`CaseSource`].
 ///
 /// ```
-/// use memtree_bench::{Sweep, TreeCase};
+/// use memtree_bench::{CaseSource, Sweep, TreeCase};
 /// use memtree_sched::HeuristicKind;
 ///
-/// let cases: Vec<TreeCase> = (0..2)
+/// let source: CaseSource = (0..2)
 ///     .map(|s| TreeCase::new(format!("t{s}"), memtree_gen::synthetic::paper_tree(120, s)))
 ///     .collect();
-/// let report = Sweep::new(&cases)
+/// let report = Sweep::new(&source)
 ///     .kinds(vec![HeuristicKind::MemBooking, HeuristicKind::Activation])
 ///     .factors(vec![1.0, 2.0])
 ///     .processors(vec![4])
@@ -120,102 +211,262 @@ impl SweepReport {
 /// assert_eq!(report.cells.len(), 2 * 2 * 2);
 /// ```
 pub struct Sweep<'a> {
-    cases: &'a [TreeCase],
+    source: &'a CaseSource,
     kinds: Vec<HeuristicKind>,
     pairs: Vec<OrderPair>,
     processors: Vec<usize>,
     factors: Vec<f64>,
+    window: usize,
+    cache: Option<CellCache>,
+    fresh: bool,
 }
 
 impl<'a> Sweep<'a> {
-    /// A sweep over `cases` with the paper's defaults: MemBooking,
-    /// memPO/memPO, 8 processors, memory factor 2.
-    pub fn new(cases: &'a [TreeCase]) -> Self {
+    /// A sweep over `source` with the paper's defaults: MemBooking,
+    /// memPO/memPO, 8 processors, memory factor 2, a window of one case
+    /// per rayon thread, no cache.
+    pub fn new(source: &'a CaseSource) -> Self {
         Sweep {
-            cases,
+            source,
             kinds: vec![HeuristicKind::MemBooking],
             pairs: vec![OrderPair::default_pair()],
             processors: vec![8],
             factors: vec![2.0],
+            window: rayon::current_num_threads().max(2),
+            cache: None,
+            fresh: false,
         }
     }
 
     /// Sets the policies axis.
+    ///
+    /// # Panics
+    /// On an empty axis: a sweep with an empty axis has zero cells and
+    /// every per-case index becomes undefined, so it is rejected at
+    /// construction instead of silently reporting `case_count() == 0`.
     pub fn kinds(mut self, kinds: Vec<HeuristicKind>) -> Self {
+        assert!(!kinds.is_empty(), "Sweep: empty policy axis");
         self.kinds = kinds;
         self
     }
 
     /// Sets the order-pair axis.
+    ///
+    /// # Panics
+    /// On an empty axis (see [`Sweep::kinds`]).
     pub fn pairs(mut self, pairs: Vec<OrderPair>) -> Self {
+        assert!(!pairs.is_empty(), "Sweep: empty order-pair axis");
         self.pairs = pairs;
         self
     }
 
     /// Sets the processor-count axis.
+    ///
+    /// # Panics
+    /// On an empty axis (see [`Sweep::kinds`]).
     pub fn processors(mut self, processors: Vec<usize>) -> Self {
+        assert!(!processors.is_empty(), "Sweep: empty processor axis");
         self.processors = processors;
         self
     }
 
     /// Sets the memory-factor axis.
+    ///
+    /// # Panics
+    /// On an empty axis (see [`Sweep::kinds`]).
     pub fn factors(mut self, factors: Vec<f64>) -> Self {
+        assert!(!factors.is_empty(), "Sweep: empty memory-factor axis");
         self.factors = factors;
+        self
+    }
+
+    /// Sets the in-flight case window: at most `window` cases (plus the
+    /// window being generated) are alive at once.
+    ///
+    /// # Panics
+    /// When `window == 0`.
+    pub fn window(mut self, window: usize) -> Self {
+        assert!(window >= 1, "Sweep: the in-flight window must be ≥ 1");
+        self.window = window;
+        self
+    }
+
+    /// Attaches a cell cache: hits are replayed, misses computed and
+    /// persisted.
+    pub fn cache(mut self, cache: CellCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Ignores existing cache entries (recompute everything) while still
+    /// refreshing the store — the `--fresh` flag.
+    pub fn fresh(mut self, fresh: bool) -> Self {
+        self.fresh = fresh;
+        self
+    }
+
+    /// Applies the shared execution knobs of a figure binary.
+    pub fn ctx(mut self, ctx: &SweepCtx) -> Self {
+        self.cache = ctx.cache.clone();
+        self.fresh = ctx.fresh;
+        if let Some(w) = ctx.window {
+            self = self.window(w);
+        }
         self
     }
 
     /// Number of grid cells this sweep will run.
     pub fn cell_count(&self) -> usize {
-        self.cases.len()
-            * self.kinds.len()
-            * self.pairs.len()
-            * self.processors.len()
-            * self.factors.len()
+        self.source.len() * self.cells_per_case()
     }
 
-    /// Runs every cell, fanned out with rayon; cells return in grid order.
+    fn cells_per_case(&self) -> usize {
+        self.kinds.len() * self.pairs.len() * self.processors.len() * self.factors.len()
+    }
+
+    /// Runs every cell; cells return in grid order.
+    ///
+    /// Streaming: the source's cases are realised `window` at a time; the
+    /// cells of the current window fan out over the rayon pool while the
+    /// next window's trees generate concurrently (`rayon::join`), and each
+    /// window is dropped wholesale once its cells are in — so peak RSS
+    /// tracks the window, not the corpus.
     pub fn run(&self) -> SweepReport {
-        let mut grid: Vec<(usize, HeuristicKind, OrderPair, usize, f64)> =
-            Vec::with_capacity(self.cell_count());
-        for (case_index, _) in self.cases.iter().enumerate() {
-            for &kind in &self.kinds {
-                for &pair in &self.pairs {
-                    for &p in &self.processors {
-                        for &factor in &self.factors {
-                            grid.push((case_index, kind, pair, p, factor));
-                        }
-                    }
-                }
-            }
-        }
+        let start_time = Instant::now();
+        let n = self.source.len();
+        let per_case = self.cells_per_case();
         let threads: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
-        let cells: Vec<SweepCell> = grid
+        let hits = AtomicUsize::new(0);
+        let computed = AtomicUsize::new(0);
+
+        let mut cells: Vec<SweepCell> = Vec::with_capacity(n * per_case);
+        let mut cases: Vec<CaseMeta> = Vec::with_capacity(n);
+        let mut start = 0usize;
+        // The initial window builds in parallel — nothing competes yet.
+        let mut current: Vec<Arc<TreeCase>> = (0..self.window.min(n))
+            .collect::<Vec<usize>>()
             .into_par_iter()
-            .map(|(case_index, kind, pair, p, factor)| {
-                threads
-                    .lock()
-                    .expect("thread-set lock poisoned")
-                    .insert(std::thread::current().id());
-                let case = &self.cases[case_index];
-                SweepCell {
-                    case_index,
-                    tree: case.name.clone(),
-                    kind,
-                    pair,
-                    processors: p,
-                    factor,
-                    outcome: run_heuristic(case, kind, pair, p, factor),
-                }
-            })
+            .map(|i| self.source.build(i))
             .collect();
+        while start < n {
+            let end = start + current.len();
+            let next_range = end..(end + self.window).min(n);
+            let (window_cells, next) = rayon::join(
+                || {
+                    (0..current.len() * per_case)
+                        .collect::<Vec<usize>>()
+                        .into_par_iter()
+                        .map(|flat| {
+                            let (local, rest) = (flat / per_case, flat % per_case);
+                            self.run_cell(
+                                start + local,
+                                &current[local],
+                                rest,
+                                &threads,
+                                &hits,
+                                &computed,
+                            )
+                        })
+                        .collect::<Vec<SweepCell>>()
+                },
+                // The next window generates on the join's one extra thread
+                // while the full pool executes cells — sequential here, so
+                // the two sides never oversubscribe the machine 2×.
+                || next_range.map(|i| self.source.build(i)).collect::<Vec<_>>(),
+            );
+            cases.extend(current.iter().map(|c| CaseMeta {
+                name: c.name.clone(),
+                nodes: c.len(),
+                height: c.stats.height,
+                min_memory: c.min_memory,
+            }));
+            cells.extend(window_cells);
+            current = next; // the finished window drops here
+            start = end;
+        }
+
         let threads_used = threads.lock().expect("thread-set lock poisoned").len();
         SweepReport {
             cells,
+            cases,
             threads_used,
+            cache_hits: hits.into_inner(),
+            computed: computed.into_inner(),
+            wall_seconds: start_time.elapsed().as_secs_f64(),
             kinds: self.kinds.clone(),
             pairs: self.pairs.clone(),
             processors: self.processors.clone(),
             factors: self.factors.clone(),
+        }
+    }
+
+    /// Executes (or replays) the cell at flat in-case offset `rest`.
+    fn run_cell(
+        &self,
+        case_index: usize,
+        case: &TreeCase,
+        rest: usize,
+        threads: &Mutex<HashSet<std::thread::ThreadId>>,
+        hits: &AtomicUsize,
+        computed: &AtomicUsize,
+    ) -> SweepCell {
+        // Decompose in grid order: factor varies fastest.
+        let f = rest % self.factors.len();
+        let rest = rest / self.factors.len();
+        let p = rest % self.processors.len();
+        let rest = rest / self.processors.len();
+        let o = rest % self.pairs.len();
+        let k = rest / self.pairs.len();
+        let (kind, pair) = (self.kinds[k], self.pairs[o]);
+        let (processors, factor) = (self.processors[p], self.factors[f]);
+
+        threads
+            .lock()
+            .expect("thread-set lock poisoned")
+            .insert(std::thread::current().id());
+
+        let key = self.cache.as_ref().map(|_| {
+            cell_key(
+                case.content_hash(),
+                kind,
+                pair,
+                processors,
+                factor,
+                case.memory_at(factor),
+            )
+        });
+        if !self.fresh {
+            if let (Some(cache), Some(key)) = (&self.cache, &key) {
+                if let Some(outcome) = cache.lookup(key) {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    return SweepCell {
+                        case_index,
+                        tree: case.name.clone(),
+                        kind,
+                        pair,
+                        processors,
+                        factor,
+                        outcome,
+                        from_cache: true,
+                    };
+                }
+            }
+        }
+        let outcome = run_heuristic(case, kind, pair, processors, factor);
+        computed.fetch_add(1, Ordering::Relaxed);
+        if let (Some(cache), Some(key)) = (&self.cache, &key) {
+            // Best-effort: a full disk must not kill the sweep.
+            let _ = cache.store(key, &outcome);
+        }
+        SweepCell {
+            case_index,
+            tree: case.name.clone(),
+            kind,
+            pair,
+            processors,
+            factor,
+            outcome,
+            from_cache: false,
         }
     }
 }
@@ -224,7 +475,7 @@ impl<'a> Sweep<'a> {
 mod tests {
     use super::*;
 
-    fn cases(n: usize) -> Vec<TreeCase> {
+    fn cases(n: usize) -> CaseSource {
         (0..n)
             .map(|s| {
                 TreeCase::new(
@@ -233,6 +484,21 @@ mod tests {
                 )
             })
             .collect()
+    }
+
+    /// A lazy source of `n` synthetic trees — exercises the streaming
+    /// path (cases built inside `run`, dropped per window).
+    fn lazy_cases(n: usize) -> CaseSource {
+        let mut source = CaseSource::new();
+        for s in 0..n {
+            source.push_lazy(move || {
+                TreeCase::new(
+                    format!("sweep-{s}"),
+                    memtree_gen::synthetic::paper_tree(200, 60 + s as u64),
+                )
+            });
+        }
+        source
     }
 
     #[test]
@@ -251,6 +517,42 @@ mod tests {
         assert_eq!(report.cells[4].case_index, 1);
         // Feasible policies at these factors all schedule.
         assert!(report.cells.iter().all(|c| c.outcome.scheduled));
+        // No cache attached: everything computed, nothing hit.
+        assert_eq!(report.cache_hits, 0);
+        assert_eq!(report.computed, report.cells.len());
+    }
+
+    #[test]
+    fn streaming_windows_match_materialised_run() {
+        // The same grid through a lazy source with a tiny window must
+        // produce identical cells (order and outcomes) to the eager run.
+        let eager = cases(5);
+        let lazy = lazy_cases(5);
+        let run = |src: &CaseSource, window: usize| {
+            Sweep::new(src)
+                .kinds(vec![HeuristicKind::MemBooking, HeuristicKind::Activation])
+                .factors(vec![1.5, 3.0])
+                .processors(vec![2])
+                .window(window)
+                .run()
+        };
+        let a = run(&eager, 64);
+        let b = run(&lazy, 2);
+        let c = run(&lazy, 1);
+        // scheduling_seconds is wall-clock (nondeterministic between
+        // independent computed runs — byte-identity is the *cache's*
+        // guarantee); every simulated quantity must match exactly.
+        let sans_timing = |r: &SweepReport| -> Vec<String> {
+            r.cell_rows()
+                .into_iter()
+                .map(|row| row.rsplit_once(',').unwrap().0.to_string())
+                .collect()
+        };
+        assert_eq!(sans_timing(&a), sans_timing(&b));
+        assert_eq!(sans_timing(&a), sans_timing(&c));
+        assert_eq!(b.case_count(), 5);
+        assert_eq!(b.cases[3].name, "sweep-3");
+        assert!(b.cases[3].nodes > 0 && b.cases[3].min_memory > 0);
     }
 
     #[test]
@@ -335,5 +637,28 @@ mod tests {
                 assert!(cells.iter().all(|c| c.pair == pair && c.processors == p));
             }
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty memory-factor axis")]
+    fn empty_axis_is_a_construction_error() {
+        let cs = cases(1);
+        let _ = Sweep::new(&cs).factors(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty policy axis")]
+    fn empty_kind_axis_is_a_construction_error() {
+        let cs = cases(1);
+        let _ = Sweep::new(&cs).kinds(vec![]);
+    }
+
+    #[test]
+    fn empty_source_is_a_valid_empty_sweep() {
+        let cs = CaseSource::new();
+        let report = Sweep::new(&cs).run();
+        assert_eq!(report.case_count(), 0);
+        assert!(report.cells.is_empty());
+        assert_eq!(report.hit_rate(), 0.0);
     }
 }

@@ -1,0 +1,232 @@
+//! Integration tests of the streaming sweep's content-addressed cell
+//! cache: resumability, corruption handling, invalidation scope, and
+//! index arithmetic over mixed cached/computed reports.
+
+use memtree_bench::{CaseSource, CellCache, OrderPair, Sweep, SweepReport, TreeCase};
+use memtree_sched::HeuristicKind;
+use std::path::PathBuf;
+
+/// A fresh temp cache directory per test.
+fn temp_cache(tag: &str) -> CellCache {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("memtree-itest-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    CellCache::open(dir).unwrap()
+}
+
+/// A lazy source (exercises the streaming path end to end).
+fn source(n: usize) -> CaseSource {
+    let mut s = CaseSource::new();
+    for k in 0..n {
+        s.push_lazy(move || {
+            TreeCase::new(
+                format!("itest-{k}"),
+                memtree_gen::synthetic::paper_tree(180, 500 + k as u64),
+            )
+        });
+    }
+    s
+}
+
+fn sweep<'a>(src: &'a CaseSource, cache: &CellCache) -> Sweep<'a> {
+    Sweep::new(src)
+        .kinds(vec![HeuristicKind::MemBooking, HeuristicKind::Activation])
+        .processors(vec![2])
+        .factors(vec![1.0, 2.0, 4.0])
+        .window(2)
+        .cache(cache.clone())
+}
+
+#[test]
+fn warm_rerun_recomputes_zero_cells_and_is_byte_identical() {
+    let cache = temp_cache("warm");
+    let src = source(3);
+    let cold = sweep(&src, &cache).run();
+    assert_eq!(cold.computed, cold.cells.len());
+    assert_eq!(cold.cache_hits, 0);
+
+    // The acceptance criterion: a re-run against the same cache
+    // recomputes zero completed cells and reproduces the CSV byte for
+    // byte (scheduling_seconds included — it replays from the store).
+    let warm = sweep(&src, &cache).run();
+    assert_eq!(warm.computed, 0, "warm run recomputed cells");
+    assert_eq!(warm.cache_hits, warm.cells.len());
+    assert!((warm.hit_rate() - 1.0).abs() < 1e-12);
+    assert_eq!(cold.cell_rows(), warm.cell_rows());
+    assert!(warm.cells.iter().all(|c| c.from_cache));
+}
+
+#[test]
+fn interrupted_sweep_resumes_without_recomputing_completed_cells() {
+    let cache = temp_cache("resume");
+    let src = source(3);
+    // "Interrupt" after a third of the grid: run only one factor first.
+    let partial = Sweep::new(&src)
+        .kinds(vec![HeuristicKind::MemBooking, HeuristicKind::Activation])
+        .processors(vec![2])
+        .factors(vec![1.0])
+        .window(2)
+        .cache(cache.clone())
+        .run();
+    assert_eq!(partial.computed, partial.cells.len());
+
+    // The full grid resumes: the completed third hits, the rest computes.
+    let full = sweep(&src, &cache).run();
+    assert_eq!(full.cache_hits, partial.cells.len());
+    assert_eq!(full.computed, full.cells.len() - partial.cells.len());
+
+    // And the partial run's outcomes are embedded verbatim.
+    let pair = OrderPair::default_pair();
+    for ci in 0..3 {
+        let from_partial = partial
+            .cell(ci, HeuristicKind::MemBooking, pair, 2, 1.0)
+            .unwrap();
+        let from_full = full
+            .cell(ci, HeuristicKind::MemBooking, pair, 2, 1.0)
+            .unwrap();
+        assert!(from_full.from_cache);
+        assert_eq!(
+            from_partial.outcome.makespan.to_bits(),
+            from_full.outcome.makespan.to_bits()
+        );
+    }
+}
+
+#[test]
+fn corrupt_and_truncated_entries_are_recomputed_not_trusted() {
+    let cache = temp_cache("corrupt");
+    let src = source(2);
+    let cold = sweep(&src, &cache).run();
+    let mut paths = cache.entry_paths().unwrap();
+    assert_eq!(paths.len(), cold.cells.len());
+    paths.sort();
+
+    // Corrupt one entry, truncate another.
+    let corrupt = std::fs::read(&paths[0]).unwrap();
+    let mut bytes = corrupt.clone();
+    let mid = bytes.len() / 3;
+    bytes[mid] ^= 0x5a;
+    std::fs::write(&paths[0], &bytes).unwrap();
+    let full = std::fs::read(&paths[1]).unwrap();
+    std::fs::write(&paths[1], &full[..full.len() / 2]).unwrap();
+
+    let warm = sweep(&src, &cache).run();
+    assert_eq!(warm.computed, 2, "exactly the two damaged cells recompute");
+    assert_eq!(warm.cache_hits, warm.cells.len() - 2);
+    // Identical output regardless: damaged entries were recomputed from
+    // scratch, not parsed optimistically. (Timing of the two recomputed
+    // cells is wall-clock, so compare everything but the last column.)
+    let sans_timing = |r: &SweepReport| -> Vec<String> {
+        r.cell_rows()
+            .into_iter()
+            .map(|row| row.rsplit_once(',').unwrap().0.to_string())
+            .collect()
+    };
+    assert_eq!(sans_timing(&cold), sans_timing(&warm));
+
+    // The recomputation repaired the store: a third run is all hits.
+    let repaired = sweep(&src, &cache).run();
+    assert_eq!(repaired.computed, 0);
+    assert_eq!(cold.cell_rows().len(), repaired.cell_rows().len());
+}
+
+#[test]
+fn policy_change_invalidates_exactly_its_own_cells() {
+    let cache = temp_cache("invalidate");
+    let src = source(2);
+    let base = Sweep::new(&src)
+        .kinds(vec![HeuristicKind::MemBooking])
+        .processors(vec![2])
+        .factors(vec![1.0, 2.0])
+        .cache(cache.clone())
+        .run();
+    assert_eq!(base.computed, 4);
+
+    // Adding a policy axis entry computes only the new policy's cells.
+    let widened = Sweep::new(&src)
+        .kinds(vec![HeuristicKind::MemBooking, HeuristicKind::Activation])
+        .processors(vec![2])
+        .factors(vec![1.0, 2.0])
+        .cache(cache.clone())
+        .run();
+    assert_eq!(widened.cache_hits, 4, "MemBooking cells survive");
+    assert_eq!(widened.computed, 4, "only Activation cells run");
+
+    // Changing the order pair (a PolicySpec knob) misses for every cell
+    // of the changed spec — and leaves the old entries intact.
+    let before = cache.entry_count().unwrap();
+    let reordered = Sweep::new(&src)
+        .kinds(vec![HeuristicKind::MemBooking])
+        .pairs(vec![OrderPair {
+            ao: memtree_order::OrderKind::MemPostorder,
+            eo: memtree_order::OrderKind::CriticalPath,
+        }])
+        .processors(vec![2])
+        .factors(vec![1.0, 2.0])
+        .cache(cache.clone())
+        .run();
+    assert_eq!(reordered.cache_hits, 0);
+    assert_eq!(reordered.computed, 4);
+    assert_eq!(cache.entry_count().unwrap(), before + 4);
+
+    // The original spec still hits: nothing was invalidated collaterally.
+    let again = Sweep::new(&src)
+        .kinds(vec![HeuristicKind::MemBooking, HeuristicKind::Activation])
+        .processors(vec![2])
+        .factors(vec![1.0, 2.0])
+        .cache(cache.clone())
+        .run();
+    assert_eq!(again.computed, 0);
+}
+
+#[test]
+fn fresh_recomputes_but_refreshes_the_store() {
+    let cache = temp_cache("fresh");
+    let src = source(2);
+    let cold = sweep(&src, &cache).run();
+    let fresh = sweep(&src, &cache).fresh(true).run();
+    assert_eq!(fresh.cache_hits, 0, "--fresh must not read the cache");
+    assert_eq!(fresh.computed, cold.cells.len());
+    // ... but it rewrites entries, so the next plain run is warm.
+    let warm = sweep(&src, &cache).run();
+    assert_eq!(warm.computed, 0);
+}
+
+#[test]
+fn report_index_arithmetic_is_correct_with_cached_cells() {
+    let cache = temp_cache("index");
+    let src = source(3);
+    sweep(&src, &cache).run();
+    let warm = sweep(&src, &cache).run();
+    assert_eq!(warm.case_count(), 3);
+    assert_eq!(warm.cases.len(), 3);
+    let pair = OrderPair::default_pair();
+    // Every grid point resolves to the cell with its own coordinates.
+    for ci in 0..3 {
+        for kind in [HeuristicKind::MemBooking, HeuristicKind::Activation] {
+            for factor in [1.0, 2.0, 4.0] {
+                let cell = warm.cell(ci, kind, pair, 2, factor).unwrap();
+                assert_eq!(cell.case_index, ci);
+                assert_eq!(cell.kind, kind);
+                assert_eq!(cell.factor, factor);
+                assert_eq!(cell.tree, format!("itest-{ci}"));
+                assert!(cell.from_cache);
+            }
+        }
+    }
+    // Series across trees stay separate and complete.
+    for factor in [1.0, 2.0, 4.0] {
+        assert_eq!(
+            warm.series(HeuristicKind::Activation, pair, 2, factor)
+                .count(),
+            3
+        );
+    }
+    // Off-grid points stay None.
+    assert!(warm
+        .cell(3, HeuristicKind::MemBooking, pair, 2, 1.0)
+        .is_none());
+    assert!(warm
+        .cell(0, HeuristicKind::MemBooking, pair, 4, 1.0)
+        .is_none());
+}

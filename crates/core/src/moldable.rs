@@ -64,6 +64,12 @@ impl AllotmentCaps {
     pub fn max_cap(&self) -> u32 {
         self.caps.iter().copied().max().unwrap_or(1)
     }
+
+    /// The caps in node-index order (read-only; used by spec
+    /// fingerprinting).
+    pub fn as_slice(&self) -> &[u32] {
+        &self.caps
+    }
 }
 
 /// MemBooking for moldable tasks: identical booking, even-split allotment.

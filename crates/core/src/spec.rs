@@ -73,6 +73,31 @@ impl PolicySpec {
         self
     }
 
+    /// A stable content fingerprint of the spec: every field that changes
+    /// scheduling behaviour — kind, both order strategies, the memory
+    /// bound, allotment caps — feeds a pinned FNV-1a digest
+    /// ([`memtree_tree::Fnv64`]). Combined with a tree's
+    /// [`content_hash`](memtree_tree::hash::content_hash) it addresses
+    /// persisted experiment results: change any policy knob and exactly
+    /// the cells run under that spec are invalidated, nothing else.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = memtree_tree::Fnv64::with_tag("memtree-policy-spec-v1");
+        h.write_str(self.kind.label());
+        h.write_str(self.ao.label());
+        h.write_str(self.eo.label());
+        h.write_u64(self.memory);
+        match &self.caps {
+            None => h.write_u64(0),
+            Some(caps) => {
+                h.write_u64(1 + caps.as_slice().len() as u64);
+                for &c in caps.as_slice() {
+                    h.write_u32(c);
+                }
+            }
+        }
+        h.finish()
+    }
+
     /// Resolves the spec against `tree`: applies any tree transformation
     /// the policy needs and computes its orders on the tree the policy
     /// will actually schedule.
@@ -343,6 +368,27 @@ mod tests {
             inst.moldable(&tree),
             Err(SchedError::InvalidSpec(_))
         ));
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_behavioural_field() {
+        let base = PolicySpec::new(HeuristicKind::MemBooking, 1_000);
+        assert_eq!(base.fingerprint(), base.clone().fingerprint());
+        let variants = [
+            PolicySpec::new(HeuristicKind::Activation, 1_000),
+            base.clone().with_memory(1_001),
+            base.clone()
+                .with_orders(OrderKind::CriticalPath, OrderKind::MemPostorder),
+            base.clone()
+                .with_orders(OrderKind::MemPostorder, OrderKind::CriticalPath),
+        ];
+        for v in &variants {
+            assert_ne!(base.fingerprint(), v.fingerprint(), "{v:?}");
+        }
+        // Caps change the fingerprint too.
+        let tree = memtree_gen::synthetic::paper_tree(30, 2);
+        let capped = base.clone().with_caps(AllotmentCaps::uniform(&tree, 2));
+        assert_ne!(base.fingerprint(), capped.fingerprint());
     }
 
     #[test]

@@ -162,12 +162,21 @@ pub fn paper_tree(n: usize, seed: u64) -> TaskTree {
     SyntheticConfig::paper(n).generate(seed)
 }
 
+/// Streaming equivalent of [`paper_batch`]: trees are generated one at a
+/// time as the iterator is pulled, so a sweep over a large corpus never
+/// holds more trees in memory than its in-flight window.
+pub fn paper_batch_iter(
+    n: usize,
+    count: usize,
+    base_seed: u64,
+) -> impl ExactSizeIterator<Item = TaskTree> {
+    (0..count).map(move |k| paper_tree(n, base_seed.wrapping_add(k as u64)))
+}
+
 /// Convenience: the paper's batch of `count` trees of `n` nodes with
 /// consecutive seeds derived from `base_seed`.
 pub fn paper_batch(n: usize, count: usize, base_seed: u64) -> Vec<TaskTree> {
-    (0..count)
-        .map(|k| paper_tree(n, base_seed.wrapping_add(k as u64)))
-        .collect()
+    paper_batch_iter(n, count, base_seed).collect()
 }
 
 #[cfg(test)]
@@ -298,5 +307,17 @@ mod tests {
         for w in batch.windows(2) {
             assert_ne!(w[0], w[1]);
         }
+    }
+
+    #[test]
+    fn batch_iter_streams_the_same_trees() {
+        let eager = paper_batch(200, 4, 77);
+        let mut it = paper_batch_iter(200, 4, 77);
+        assert_eq!(it.len(), 4);
+        // Pulling one at a time yields exactly the materialised batch.
+        for want in &eager {
+            assert_eq!(&it.next().unwrap(), want);
+        }
+        assert!(it.next().is_none());
     }
 }

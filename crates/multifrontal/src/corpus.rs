@@ -90,34 +90,77 @@ impl CorpusSpec {
         assembly_tree(&sn, &par, self.params)
     }
 
-    /// Generates the whole corpus as `(name, tree)` pairs.
-    pub fn build(&self) -> Vec<(String, TaskTree)> {
+    /// The identities of every tree this corpus contains, in corpus order,
+    /// without building anything. Each id can be realised independently
+    /// through [`CorpusSpec::build_case`] — the streaming constructor a
+    /// windowed sweep uses to keep at most a handful of assembly trees
+    /// alive at a time.
+    pub fn case_ids(&self) -> Vec<CaseId> {
         let mut out = Vec::new();
-        for &k in &self.grids2d {
-            let p = SparsePattern::grid2d(k);
-            let perm = ordering::nested_dissection_grid2d(k);
-            out.push((format!("grid2d-{k}"), self.analyze(&p, &perm)));
-        }
-        for &k in &self.grids3d {
-            let p = SparsePattern::grid3d(k);
-            let perm = ordering::nested_dissection_grid3d(k);
-            out.push((format!("grid3d-{k}"), self.analyze(&p, &perm)));
-        }
-        for &(n, bw) in &self.bands {
-            let p = SparsePattern::band(n, bw);
-            let perm = ordering::identity(n);
-            out.push((format!("band-{n}-{bw}"), self.analyze(&p, &perm)));
-        }
-        for &(n, extra, seed) in &self.randoms {
-            let p = SparsePattern::random_connected(n, extra, seed);
-            let perm = ordering::minimum_degree(&p);
-            out.push((
-                format!("random-{n}-{extra}-{seed}"),
-                self.analyze(&p, &perm),
-            ));
-        }
+        out.extend(self.grids2d.iter().map(|&k| CaseId::Grid2d(k)));
+        out.extend(self.grids3d.iter().map(|&k| CaseId::Grid3d(k)));
+        out.extend(self.bands.iter().map(|&(n, bw)| CaseId::Band(n, bw)));
+        out.extend(
+            self.randoms
+                .iter()
+                .map(|&(n, extra, seed)| CaseId::Random(n, extra, seed)),
+        );
         out
     }
+
+    /// Builds the single tree identified by `id` through the full symbolic
+    /// pipeline. Deterministic: the same `(spec, id)` always produces the
+    /// same `(name, tree)`.
+    pub fn build_case(&self, id: &CaseId) -> (String, TaskTree) {
+        match *id {
+            CaseId::Grid2d(k) => {
+                let p = SparsePattern::grid2d(k);
+                let perm = ordering::nested_dissection_grid2d(k);
+                (format!("grid2d-{k}"), self.analyze(&p, &perm))
+            }
+            CaseId::Grid3d(k) => {
+                let p = SparsePattern::grid3d(k);
+                let perm = ordering::nested_dissection_grid3d(k);
+                (format!("grid3d-{k}"), self.analyze(&p, &perm))
+            }
+            CaseId::Band(n, bw) => {
+                let p = SparsePattern::band(n, bw);
+                let perm = ordering::identity(n);
+                (format!("band-{n}-{bw}"), self.analyze(&p, &perm))
+            }
+            CaseId::Random(n, extra, seed) => {
+                let p = SparsePattern::random_connected(n, extra, seed);
+                let perm = ordering::minimum_degree(&p);
+                (
+                    format!("random-{n}-{extra}-{seed}"),
+                    self.analyze(&p, &perm),
+                )
+            }
+        }
+    }
+
+    /// Generates the whole corpus as `(name, tree)` pairs.
+    pub fn build(&self) -> Vec<(String, TaskTree)> {
+        self.case_ids()
+            .iter()
+            .map(|id| self.build_case(id))
+            .collect()
+    }
+}
+
+/// The identity of one corpus tree: which matrix family and which
+/// parameters. Realise it with [`CorpusSpec::build_case`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CaseId {
+    /// 2-D grid Laplacian of the given side, nested dissection.
+    Grid2d(usize),
+    /// 3-D grid Laplacian of the given side, nested dissection.
+    Grid3d(usize),
+    /// Band matrix `(order, half_bandwidth)`, natural order.
+    Band(usize, usize),
+    /// Random connected pattern `(order, extra_edges, seed)`, minimum
+    /// degree.
+    Random(usize, usize, u64),
 }
 
 /// Builds the corpus described by `spec`.
@@ -172,6 +215,20 @@ mod tests {
             (grid.1 as usize) < grid.2 / 2,
             "ND tree should be shallow: {grid:?}"
         );
+    }
+
+    #[test]
+    fn case_ids_stream_the_same_corpus() {
+        let spec = CorpusSpec::small();
+        let eager = spec.build();
+        let ids = spec.case_ids();
+        assert_eq!(ids.len(), eager.len());
+        // Building one id at a time (any order) matches the eager corpus.
+        for (id, (want_name, want_tree)) in ids.iter().zip(&eager).rev() {
+            let (name, tree) = spec.build_case(id);
+            assert_eq!(&name, want_name);
+            assert_eq!(&tree, want_tree);
+        }
     }
 
     #[test]

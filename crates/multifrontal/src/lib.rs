@@ -36,6 +36,6 @@ pub mod pattern;
 pub mod supernodes;
 
 pub use assembly::{assembly_tree, AssemblyParams};
-pub use corpus::{assembly_corpus, CorpusSpec};
+pub use corpus::{assembly_corpus, CaseId, CorpusSpec};
 pub use etree::{elimination_tree, etree_postorder};
 pub use pattern::SparsePattern;

@@ -165,7 +165,13 @@ pub fn minimum_degree(pattern: &SparsePattern) -> Vec<usize> {
 
         eliminated[v] = true;
         perm.push(v);
-        let neigh: Vec<u32> = adj[v].iter().copied().collect();
+        let mut neigh: Vec<u32> = adj[v].iter().copied().collect();
+        // Sorted so the whole ordering is a pure function of the pattern:
+        // `HashSet` iteration order varies per instance, and downstream
+        // re-push order (hence tie-breaking) follows this loop. Corpus
+        // builders must be deterministic — the sweep cache addresses cells
+        // by tree content, so rebuilding a tree must reproduce it exactly.
+        neigh.sort_unstable();
         // Clique the neighbourhood.
         for (ai, &a) in neigh.iter().enumerate() {
             let a = a as usize;
@@ -229,6 +235,16 @@ mod tests {
     fn minimum_degree_is_a_permutation() {
         let p = SparsePattern::random_connected(60, 80, 3);
         assert!(is_permutation(&minimum_degree(&p), 60));
+    }
+
+    #[test]
+    fn minimum_degree_is_deterministic() {
+        // Two runs over the same pattern must tie-break identically —
+        // corpus trees are rebuilt on demand by the streaming sweep and
+        // addressed by content hash, so any run-to-run wobble here would
+        // orphan every cached cell of the random-pattern corpus.
+        let p = SparsePattern::random_connected(200, 300, 7);
+        assert_eq!(minimum_degree(&p), minimum_degree(&p));
     }
 
     #[test]

@@ -22,7 +22,9 @@
 //! representation built through [`TreeBuilder`] or the convenience
 //! constructors. Structural statistics (heights, levels, critical paths) live
 //! in [`stats`], the sequential-memory semantics in [`memory`], traversal
-//! iterators in [`traverse`] and a plain-text serialisation format in [`io`].
+//! iterators in [`traverse`], a plain-text serialisation format in [`io`]
+//! and canonical content hashing (the basis of sweep-level result caching)
+//! in [`hash`].
 //!
 //! All algorithms in this crate are iterative, never recursive: assembly
 //! trees of sparse factorizations routinely reach heights of 10⁵, which
@@ -30,6 +32,7 @@
 
 pub mod builder;
 pub mod error;
+pub mod hash;
 pub mod io;
 pub mod memory;
 pub mod node;
@@ -40,6 +43,7 @@ pub mod validate;
 
 pub use builder::TreeBuilder;
 pub use error::TreeError;
+pub use hash::Fnv64;
 pub use memory::{mem_needed_slice, LiveSet, SequentialProfile};
 pub use node::{NodeId, TaskSpec};
 pub use stats::TreeStats;

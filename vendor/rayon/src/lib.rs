@@ -33,6 +33,24 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, ParallelIterator};
 }
 
+/// Runs two closures concurrently and returns both results (real rayon's
+/// `join`). The stand-in spawns one scoped thread for `b` and runs `a` on
+/// the caller — enough to overlap a sweep window's cell execution with the
+/// generation of the next window.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join closure panicked"))
+    })
+}
+
 /// Conversion into a parallel iterator (rayon's entry point).
 pub trait IntoParallelIterator {
     /// Element type.
@@ -185,6 +203,13 @@ mod tests {
             .collect();
         let distinct: std::collections::HashSet<_> = ids.into_iter().collect();
         assert!(distinct.len() > 1, "expected multiple worker threads");
+    }
+
+    #[test]
+    fn join_runs_both_and_propagates_results() {
+        let (a, b) = super::join(|| 2 + 2, || "side".to_string());
+        assert_eq!(a, 4);
+        assert_eq!(b, "side");
     }
 
     #[test]
