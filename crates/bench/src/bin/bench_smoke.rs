@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! bench_smoke [quick|full] [--cache-dir DIR] [--fresh] [--window N]
-//!             [--out-dir DIR] [--min-hit-rate R] [--trees N]
+//!             [--shards LIST] [--out-dir DIR] [--min-hit-rate R] [--trees N]
 //! ```
 //!
 //! Writes two artifacts into `--out-dir` (default `bench-out`):
@@ -28,7 +28,7 @@ fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: bench_smoke [quick|full] [--cache-dir DIR] [--fresh] [--window N] \
-         [--out-dir DIR] [--min-hit-rate R] [--trees N]"
+         [--shards LIST] [--out-dir DIR] [--min-hit-rate R] [--trees N]"
     );
     std::process::exit(2);
 }
@@ -68,6 +68,9 @@ fn main() {
             )
         });
     }
+    // The shard axis (`--shards`, default unsharded) proves the cell
+    // cache is shard-count-aware: the CI job sweeps `0,2` and the warm
+    // run must replay both backends' cells.
     let report = Sweep::new(&cases)
         .kinds(vec![
             HeuristicKind::Activation,
@@ -75,6 +78,7 @@ fn main() {
             HeuristicKind::MemBookingRedTree,
         ])
         .processors(vec![2, 4])
+        .shards(args.shards_axis())
         .factors(vec![1.0, 1.5, 2.0, 3.0, 5.0])
         .ctx(&args.ctx())
         .run();

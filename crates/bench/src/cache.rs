@@ -26,7 +26,7 @@
 //! entry under the final name. Each file is a versioned text record:
 //!
 //! ```text
-//! memtree-cell v1
+//! memtree-cell v2
 //! scheduled 1
 //! makespan 1234.5
 //! normalized 1.0625
@@ -59,8 +59,9 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Version tag of both the key derivation and the file format; bumping it
-/// orphans (never mis-reads) every existing entry.
-const FORMAT: &str = "memtree-cell v1";
+/// orphans (never mis-reads) every existing entry. v2 added the shard
+/// count to the key derivation.
+const FORMAT: &str = "memtree-cell v2";
 
 /// A 128-bit content address of one sweep cell.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -76,11 +77,15 @@ impl CellKey {
     }
 }
 
-/// Derives the content address of the cell `(tree, kind, pair, p, factor)`.
+/// Derives the content address of the cell `(tree, kind, pair, p, shards,
+/// factor)`.
 ///
 /// `tree_hash` is the tree's canonical content hash; the policy component
 /// goes through [`PolicySpec::fingerprint`] built at the cell's actual
 /// memory bound, so every behavioural knob of the policy feeds the key.
+/// `shards` is the execution backend's shard count (0 = the unsharded
+/// simulator) — a sharded run is a different measurement, so the shard
+/// count is part of the address and never aliases an unsharded cell.
 /// Two independent FNV-1a lanes (distinct domain tags) form the 128-bit
 /// address; at that width accidental collisions are out of reach for any
 /// realistic sweep (billions of cells).
@@ -89,6 +94,7 @@ pub fn cell_key(
     kind: HeuristicKind,
     pair: OrderPair,
     processors: usize,
+    shards: usize,
     factor: f64,
     memory: u64,
 ) -> CellKey {
@@ -100,6 +106,7 @@ pub fn cell_key(
         // The spec fingerprint covers kind, AO/EO and the memory bound.
         h.write_u64(spec.fingerprint());
         h.write_u64(processors as u64);
+        h.write_u64(shards as u64);
         h.write_f64(factor);
         h.finish()
     };
@@ -264,6 +271,7 @@ mod tests {
             HeuristicKind::MemBooking,
             OrderPair::default_pair(),
             8,
+            0,
             2.0,
             999,
         );
@@ -285,18 +293,21 @@ mod tests {
     #[test]
     fn keys_separate_every_coordinate() {
         let pair = OrderPair::default_pair();
-        let base = cell_key(1, HeuristicKind::MemBooking, pair, 8, 2.0, 100);
+        let base = cell_key(1, HeuristicKind::MemBooking, pair, 8, 0, 2.0, 100);
         let other_pair = OrderPair {
             ao: OrderKind::MemPostorder,
             eo: OrderKind::CriticalPath,
         };
         let variants = [
-            cell_key(2, HeuristicKind::MemBooking, pair, 8, 2.0, 100),
-            cell_key(1, HeuristicKind::Activation, pair, 8, 2.0, 100),
-            cell_key(1, HeuristicKind::MemBooking, other_pair, 8, 2.0, 100),
-            cell_key(1, HeuristicKind::MemBooking, pair, 4, 2.0, 100),
-            cell_key(1, HeuristicKind::MemBooking, pair, 8, 3.0, 100),
-            cell_key(1, HeuristicKind::MemBooking, pair, 8, 2.0, 101),
+            cell_key(2, HeuristicKind::MemBooking, pair, 8, 0, 2.0, 100),
+            cell_key(1, HeuristicKind::Activation, pair, 8, 0, 2.0, 100),
+            cell_key(1, HeuristicKind::MemBooking, other_pair, 8, 0, 2.0, 100),
+            cell_key(1, HeuristicKind::MemBooking, pair, 4, 0, 2.0, 100),
+            // The execution backend's shard count is a key coordinate:
+            // sharded and unsharded measurements never alias.
+            cell_key(1, HeuristicKind::MemBooking, pair, 8, 2, 2.0, 100),
+            cell_key(1, HeuristicKind::MemBooking, pair, 8, 0, 3.0, 100),
+            cell_key(1, HeuristicKind::MemBooking, pair, 8, 0, 2.0, 101),
         ];
         for v in &variants {
             assert_ne!(base, *v);
@@ -304,7 +315,7 @@ mod tests {
         // And the derivation is deterministic.
         assert_eq!(
             base,
-            cell_key(1, HeuristicKind::MemBooking, pair, 8, 2.0, 100)
+            cell_key(1, HeuristicKind::MemBooking, pair, 8, 0, 2.0, 100)
         );
     }
 
@@ -316,6 +327,7 @@ mod tests {
             HeuristicKind::Activation,
             OrderPair::default_pair(),
             4,
+            0,
             1.5,
             50,
         );
@@ -354,6 +366,7 @@ mod tests {
             HeuristicKind::MemBooking,
             OrderPair::default_pair(),
             2,
+            0,
             2.0,
             64,
         );
@@ -376,6 +389,7 @@ mod tests {
             HeuristicKind::MemBookingRedTree,
             OrderPair::default_pair(),
             2,
+            0,
             1.0,
             10,
         );

@@ -1,16 +1,18 @@
 //! The tiny shared CLI of every figure/table binary.
 //!
-//! All 19 experiment binaries accept the same surface:
+//! All 20 experiment binaries accept the same surface:
 //!
 //! ```text
-//! <binary> [quick|full] [--cache-dir DIR] [--fresh] [--window N]
+//! <binary> [quick|full] [--cache-dir DIR] [--fresh] [--window N] [--shards LIST]
 //! ```
 //!
 //! * the positional scale (or `MEMTREE_SCALE`) picks the corpus size;
 //! * `--cache-dir` (or `MEMTREE_CACHE_DIR`) attaches the content-addressed
 //!   [`CellCache`] so re-runs replay completed cells;
 //! * `--fresh` recomputes everything while refreshing the store;
-//! * `--window` overrides the streaming sweep's in-flight case window.
+//! * `--window` overrides the streaming sweep's in-flight case window;
+//! * `--shards` sets the shard-count axis (comma-separated; `0` is the
+//!   unsharded simulator) for the shard-aware binaries.
 //!
 //! Binaries with extra options (`bench_smoke`) reuse [`ArgParser`]
 //! directly and take their extras before handing the rest to
@@ -101,6 +103,12 @@ pub struct BenchArgs {
     pub fresh: bool,
     /// Streaming window override (`--window`).
     pub window: Option<usize>,
+    /// Shard-count axis (`--shards`, comma-separated; 0 = the unsharded
+    /// simulator), `None` when the flag was not given — so binaries with
+    /// their own default axis (`fig16_shards`) can tell "unset" apart
+    /// from an explicit `--shards 0`. Feed [`BenchArgs::shards_axis`] to
+    /// [`crate::Sweep::shards`].
+    pub shards: Option<Vec<usize>>,
 }
 
 impl BenchArgs {
@@ -112,7 +120,9 @@ impl BenchArgs {
             Ok(args) => args,
             Err(e) => {
                 eprintln!("error: {e}");
-                eprintln!("usage: [quick|full] [--cache-dir DIR] [--fresh] [--window N]");
+                eprintln!(
+                    "usage: [quick|full] [--cache-dir DIR] [--fresh] [--window N] [--shards LIST]"
+                );
                 std::process::exit(2);
             }
         }
@@ -143,6 +153,24 @@ impl BenchArgs {
                     .ok_or_else(|| format!("--window must be a positive integer, got {w:?}"))
             })
             .transpose()?;
+        let shards = parser
+            .take_value("--shards")?
+            .map(|v| {
+                let counts: Result<Vec<usize>, String> = v
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse::<usize>().map_err(|_| {
+                            format!("--shards wants comma-separated counts, got {v:?}")
+                        })
+                    })
+                    .collect();
+                let counts = counts?;
+                if counts.is_empty() {
+                    return Err(String::from("--shards needs at least one count"));
+                }
+                Ok(counts)
+            })
+            .transpose()?;
         let scale_arg = parser
             .take_positional()
             .or_else(|| std::env::var("MEMTREE_SCALE").ok());
@@ -156,7 +184,14 @@ impl BenchArgs {
             cache_dir,
             fresh,
             window,
+            shards,
         })
+    }
+
+    /// The shard-count axis for [`crate::Sweep::shards`]: the explicit
+    /// `--shards` list, or the single unsharded backend when unset.
+    pub fn shards_axis(&self) -> Vec<usize> {
+        self.shards.clone().unwrap_or_else(|| vec![0])
     }
 
     /// The sweep execution knobs these arguments describe. Opens (creating
@@ -216,6 +251,27 @@ mod tests {
             Some(std::path::Path::new("/tmp/c"))
         );
         assert_eq!(args.window, None);
+        assert_eq!(args.shards, None);
+        assert_eq!(args.shards_axis(), vec![0]);
+    }
+
+    #[test]
+    fn shards_axis_parses_comma_lists() {
+        let mut p = ArgParser::from_args(&["--shards", "0,2,4"]);
+        let args = BenchArgs::from_parser(&mut p).unwrap();
+        p.finish().unwrap();
+        assert_eq!(args.shards, Some(vec![0, 2, 4]));
+        assert_eq!(args.shards_axis(), vec![0, 2, 4]);
+
+        // An explicit `--shards 0` is distinguishable from the default.
+        let mut p = ArgParser::from_args(&["--shards", "0"]);
+        assert_eq!(
+            BenchArgs::from_parser(&mut p).unwrap().shards,
+            Some(vec![0])
+        );
+
+        let mut p = ArgParser::from_args(&["--shards", "two"]);
+        assert!(BenchArgs::from_parser(&mut p).is_err());
     }
 
     #[test]

@@ -407,6 +407,76 @@ pub fn fig_processors(
     }
 }
 
+/// Figure 16: shard-count scaling of the sharded forest platform.
+///
+/// One MemBooking series per shard count: `0` is the unsharded simulator
+/// baseline (virtual-time makespan), `s ≥ 1` runs the sharded platform,
+/// whose makespan is the run's wall-clock seconds — the scaling quantity
+/// `BENCH_sweep.json` tracks across PRs. Sharded and simulator cells are
+/// separate backends (and separate cache-key coordinates), so the rows
+/// carry a backend column rather than pretending the clocks compare.
+pub fn fig_shards(
+    cases: &CaseSource,
+    p: usize,
+    shards: &[usize],
+    factor: f64,
+    ctx: &SweepCtx,
+) -> FigureOutput {
+    let report = Sweep::new(cases)
+        .kinds(vec![HeuristicKind::MemBooking])
+        .processors(vec![p])
+        .shards(shards.to_vec())
+        .factors(vec![factor])
+        .ctx(ctx)
+        .run();
+    let mut rows = Vec::new();
+    let mut scaling: Vec<(usize, f64)> = Vec::new();
+    for &s in shards {
+        let cells: Vec<_> = report
+            .series_at(
+                HeuristicKind::MemBooking,
+                OrderPair::default_pair(),
+                p,
+                s,
+                factor,
+            )
+            .collect();
+        let scheduled: Vec<f64> = cells
+            .iter()
+            .filter(|c| c.outcome.scheduled)
+            .map(|c| c.outcome.makespan)
+            .collect();
+        let coverage = scheduled.len() as f64 / report.case_count().max(1) as f64;
+        let backend = if s == 0 { "sim" } else { "sharded" };
+        if let Some(summary) = Summary::of(&scheduled) {
+            rows.push(format!(
+                "{s},{backend},{coverage:.3},{:.6},{:.6}",
+                summary.mean, summary.median
+            ));
+            if s >= 1 {
+                scaling.push((s, summary.mean));
+            }
+        } else {
+            rows.push(format!("{s},{backend},{coverage:.3},NA,NA"));
+        }
+    }
+    let mut notes = vec![sweep_note(&report, p)];
+    if let (Some((s1, t1)), Some((sn, tn))) = (scaling.first(), scaling.last()) {
+        if s1 != sn && *tn > 0.0 {
+            notes.push(format!(
+                "sharded wall-clock scaling: {s1} shard(s) {t1:.4}s -> {sn} shards {tn:.4}s \
+                 ({:.2}x)",
+                t1 / tn
+            ));
+        }
+    }
+    FigureOutput {
+        header: "shards,backend,scheduled_fraction,mean_makespan,median_makespan".into(),
+        rows,
+        notes,
+    }
+}
+
 /// Section 6 statistics: how often and by how much the memory-aware lower
 /// bound improves on the classical one.
 ///

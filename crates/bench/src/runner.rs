@@ -277,6 +277,55 @@ pub fn run_heuristic(
     }
 }
 
+/// Runs `kind` on `case` through the execution backend `shards` selects:
+/// `0` is the unsharded simulator ([`run_heuristic`]); `s ≥ 1` runs the
+/// sharded forest platform with up to `min(s, processors)` shard workers
+/// of `⌊processors / shard count⌋` threads each — never more threads
+/// than the cell's processor budget.
+///
+/// A sharded cell's makespan is the run's wall-clock seconds (shard
+/// workers are real threads) — the shard-scaling axis of `fig16_shards` —
+/// so `normalized` is reported as 0 (virtual-time lower bounds do not
+/// apply). An infeasible budget split counts as unscheduled, mirroring
+/// the construction-refusal accounting of the unsharded run.
+pub fn run_heuristic_sharded(
+    case: &TreeCase,
+    kind: HeuristicKind,
+    orders: OrderPair,
+    processors: usize,
+    factor: f64,
+    shards: usize,
+) -> RunOutcome {
+    if shards == 0 {
+        return run_heuristic(case, kind, orders, processors, factor);
+    }
+    let memory = case.memory_at(factor);
+    let spec = memtree_sched::PolicySpec::new(kind, memory).with_orders(orders.ao, orders.eo);
+    // The machine stays inside the cell's processor budget: the shard
+    // count is capped at `processors` and each shard worker gets the
+    // floor share, so shard_count × workers_per_shard ≤ processors
+    // (non-dividing counts idle the remainder rather than oversubscribe).
+    let shard_count = shards.min(processors).max(1);
+    let platform = memtree_runtime::ShardedPlatform::new(shard_count)
+        .with_workers_per_shard(processors / shard_count);
+    let report = match platform.run(&case.tree, &spec) {
+        Ok(report) => report,
+        Err(e) if e.is_infeasible() => return RunOutcome::unscheduled(),
+        Err(e) => panic!("{}: {kind} x{shards} must not fail mid-run: {e}", case.name),
+    };
+    RunOutcome {
+        scheduled: true,
+        makespan: report.wall_seconds,
+        normalized: 0.0,
+        memory_fraction: if memory == 0 {
+            0.0
+        } else {
+            report.peak_actual as f64 / memory as f64
+        },
+        scheduling_seconds: report.scheduling_seconds,
+    }
+}
+
 /// A corpus as a *source* of [`TreeCase`]s rather than a materialised
 /// slice: each case is either ready (already built) or a builder closure
 /// that realises it on demand.

@@ -2,8 +2,9 @@
 //! cores (DESIGN.md §6.5/§6.6).
 //!
 //! A sweep is the cartesian product (trees × policies × order pairs ×
-//! processor counts × memory factors); every figure in the paper is an
-//! aggregation over such a grid. [`Sweep::run`] *streams*: trees come from
+//! processor counts × shard counts × memory factors); every figure in the
+//! paper is an aggregation over such a grid (the shard axis defaults to
+//! the single unsharded backend). [`Sweep::run`] *streams*: trees come from
 //! a [`CaseSource`] and are realised in a bounded in-flight window —
 //! while one window's cells execute on the rayon pool, the next window's
 //! trees generate concurrently, and each case is dropped as soon as its
@@ -19,7 +20,7 @@
 //! them, so CSV output is byte-identical between cold and warm runs.
 
 use crate::cache::{cell_key, CellCache};
-use crate::runner::{run_heuristic, CaseSource, OrderPair, RunOutcome, TreeCase};
+use crate::runner::{run_heuristic_sharded, CaseSource, OrderPair, RunOutcome, TreeCase};
 use memtree_sched::HeuristicKind;
 use rayon::prelude::*;
 use std::collections::HashSet;
@@ -40,6 +41,8 @@ pub struct SweepCell {
     pub pair: OrderPair,
     /// Processor count.
     pub processors: usize,
+    /// Execution-backend shard count (0 = the unsharded simulator).
+    pub shards: usize,
     /// Normalized memory factor.
     pub factor: f64,
     /// What happened.
@@ -79,8 +82,8 @@ pub struct SweepCtx {
 /// Result of a sweep: the cells in grid order plus execution metadata.
 #[derive(Debug)]
 pub struct SweepReport {
-    /// All cells, ordered (case, kind, pair, processors, factor) —
-    /// innermost index varies fastest.
+    /// All cells, ordered (case, kind, pair, processors, shards, factor)
+    /// — innermost index varies fastest.
     pub cells: Vec<SweepCell>,
     /// Structural metadata of every case, in case order.
     pub cases: Vec<CaseMeta>,
@@ -98,6 +101,7 @@ pub struct SweepReport {
     kinds: Vec<HeuristicKind>,
     pairs: Vec<OrderPair>,
     processors: Vec<usize>,
+    shards: Vec<usize>,
     factors: Vec<f64>,
 }
 
@@ -116,7 +120,9 @@ impl SweepReport {
         }
     }
 
-    /// The cell for an exact grid point, if that point was on the grid.
+    /// The cell for an exact grid point at the sweep's *first* shard
+    /// count (the whole axis for the common single-backend sweep); use
+    /// [`SweepReport::cell_at`] to address other shard counts.
     /// O(axis lengths): computes the position from the grid order.
     pub fn cell(
         &self,
@@ -126,16 +132,32 @@ impl SweepReport {
         processors: usize,
         factor: f64,
     ) -> Option<&SweepCell> {
+        self.cell_at(case_index, kind, pair, processors, self.shards[0], factor)
+    }
+
+    /// The cell for an exact grid point, every axis explicit.
+    pub fn cell_at(
+        &self,
+        case_index: usize,
+        kind: HeuristicKind,
+        pair: OrderPair,
+        processors: usize,
+        shards: usize,
+        factor: f64,
+    ) -> Option<&SweepCell> {
         if case_index >= self.case_count() {
             return None;
         }
         let k = self.kinds.iter().position(|&x| x == kind)?;
         let o = self.pairs.iter().position(|&x| x == pair)?;
         let p = self.processors.iter().position(|&x| x == processors)?;
+        let s = self.shards.iter().position(|&x| x == shards)?;
         let f = self.factors.iter().position(|&x| x == factor)?;
-        let idx = (((case_index * self.kinds.len() + k) * self.pairs.len() + o)
+        let idx = ((((case_index * self.kinds.len() + k) * self.pairs.len() + o)
             * self.processors.len()
             + p)
+            * self.shards.len()
+            + s)
             * self.factors.len()
             + f;
         let cell = self.cells.get(idx)?;
@@ -144,13 +166,15 @@ impl SweepReport {
                 && cell.kind == kind
                 && cell.pair == pair
                 && cell.processors == processors
+                && cell.shards == shards
                 && cell.factor == factor
         );
         Some(cell)
     }
 
     /// The cells of one full series — a fixed `(kind, pair, processors,
-    /// factor)` point across every tree, in tree order. All four axes are
+    /// factor)` point across every tree, in tree order, at the sweep's
+    /// first shard count (see [`SweepReport::series_at`]). The axes are
     /// explicit so multi-axis sweeps cannot silently merge series.
     pub fn series(
         &self,
@@ -159,12 +183,25 @@ impl SweepReport {
         processors: usize,
         factor: f64,
     ) -> impl Iterator<Item = &SweepCell> + '_ {
-        (0..self.case_count()).filter_map(move |ci| self.cell(ci, kind, pair, processors, factor))
+        self.series_at(kind, pair, processors, self.shards[0], factor)
+    }
+
+    /// The cells of one full series with the shard count explicit.
+    pub fn series_at(
+        &self,
+        kind: HeuristicKind,
+        pair: OrderPair,
+        processors: usize,
+        shards: usize,
+        factor: f64,
+    ) -> impl Iterator<Item = &SweepCell> + '_ {
+        (0..self.case_count())
+            .filter_map(move |ci| self.cell_at(ci, kind, pair, processors, shards, factor))
     }
 
     /// The header matching [`SweepReport::cell_rows`].
     pub fn cell_csv_header() -> &'static str {
-        "tree,heuristic,ao_eo,processors,memory_factor,scheduled,makespan,normalized,\
+        "tree,heuristic,ao_eo,processors,shards,memory_factor,scheduled,makespan,normalized,\
          memory_fraction,scheduling_seconds"
     }
 
@@ -177,11 +214,12 @@ impl SweepReport {
             .iter()
             .map(|c| {
                 format!(
-                    "{},{},{},{},{},{},{},{},{},{}",
+                    "{},{},{},{},{},{},{},{},{},{},{}",
                     c.tree,
                     c.kind.label(),
                     c.pair.label(),
                     c.processors,
+                    c.shards,
                     c.factor,
                     u8::from(c.outcome.scheduled),
                     c.outcome.makespan,
@@ -215,6 +253,7 @@ pub struct Sweep<'a> {
     kinds: Vec<HeuristicKind>,
     pairs: Vec<OrderPair>,
     processors: Vec<usize>,
+    shards: Vec<usize>,
     factors: Vec<f64>,
     window: usize,
     cache: Option<CellCache>,
@@ -223,14 +262,15 @@ pub struct Sweep<'a> {
 
 impl<'a> Sweep<'a> {
     /// A sweep over `source` with the paper's defaults: MemBooking,
-    /// memPO/memPO, 8 processors, memory factor 2, a window of one case
-    /// per rayon thread, no cache.
+    /// memPO/memPO, 8 processors, unsharded, memory factor 2, a window of
+    /// one case per rayon thread, no cache.
     pub fn new(source: &'a CaseSource) -> Self {
         Sweep {
             source,
             kinds: vec![HeuristicKind::MemBooking],
             pairs: vec![OrderPair::default_pair()],
             processors: vec![8],
+            shards: vec![0],
             factors: vec![2.0],
             window: rayon::current_num_threads().max(2),
             cache: None,
@@ -267,6 +307,18 @@ impl<'a> Sweep<'a> {
     pub fn processors(mut self, processors: Vec<usize>) -> Self {
         assert!(!processors.is_empty(), "Sweep: empty processor axis");
         self.processors = processors;
+        self
+    }
+
+    /// Sets the shard-count axis: 0 runs the unsharded simulator, `s ≥ 1`
+    /// runs the sharded forest platform with up to `s` shard workers —
+    /// the `--shards` sweep axis of `fig16_shards` and `bench_smoke`.
+    ///
+    /// # Panics
+    /// On an empty axis (see [`Sweep::kinds`]).
+    pub fn shards(mut self, shards: Vec<usize>) -> Self {
+        assert!(!shards.is_empty(), "Sweep: empty shard-count axis");
+        self.shards = shards;
         self
     }
 
@@ -321,7 +373,11 @@ impl<'a> Sweep<'a> {
     }
 
     fn cells_per_case(&self) -> usize {
-        self.kinds.len() * self.pairs.len() * self.processors.len() * self.factors.len()
+        self.kinds.len()
+            * self.pairs.len()
+            * self.processors.len()
+            * self.shards.len()
+            * self.factors.len()
     }
 
     /// Runs every cell; cells return in grid order.
@@ -396,6 +452,7 @@ impl<'a> Sweep<'a> {
             kinds: self.kinds.clone(),
             pairs: self.pairs.clone(),
             processors: self.processors.clone(),
+            shards: self.shards.clone(),
             factors: self.factors.clone(),
         }
     }
@@ -413,12 +470,14 @@ impl<'a> Sweep<'a> {
         // Decompose in grid order: factor varies fastest.
         let f = rest % self.factors.len();
         let rest = rest / self.factors.len();
+        let s = rest % self.shards.len();
+        let rest = rest / self.shards.len();
         let p = rest % self.processors.len();
         let rest = rest / self.processors.len();
         let o = rest % self.pairs.len();
         let k = rest / self.pairs.len();
         let (kind, pair) = (self.kinds[k], self.pairs[o]);
-        let (processors, factor) = (self.processors[p], self.factors[f]);
+        let (processors, shards, factor) = (self.processors[p], self.shards[s], self.factors[f]);
 
         threads
             .lock()
@@ -431,6 +490,7 @@ impl<'a> Sweep<'a> {
                 kind,
                 pair,
                 processors,
+                shards,
                 factor,
                 case.memory_at(factor),
             )
@@ -445,6 +505,7 @@ impl<'a> Sweep<'a> {
                         kind,
                         pair,
                         processors,
+                        shards,
                         factor,
                         outcome,
                         from_cache: true,
@@ -452,7 +513,7 @@ impl<'a> Sweep<'a> {
                 }
             }
         }
-        let outcome = run_heuristic(case, kind, pair, processors, factor);
+        let outcome = run_heuristic_sharded(case, kind, pair, processors, factor, shards);
         computed.fetch_add(1, Ordering::Relaxed);
         if let (Some(cache), Some(key)) = (&self.cache, &key) {
             // Best-effort: a full disk must not kill the sweep.
@@ -464,6 +525,7 @@ impl<'a> Sweep<'a> {
             kind,
             pair,
             processors,
+            shards,
             factor,
             outcome,
             from_cache: false,
@@ -640,10 +702,53 @@ mod tests {
     }
 
     #[test]
+    fn shard_axis_runs_both_backends() {
+        let cs = cases(2);
+        let report = Sweep::new(&cs)
+            .processors(vec![4])
+            .shards(vec![0, 2])
+            .factors(vec![8.0])
+            .run();
+        assert_eq!(report.cells.len(), 2 * 2);
+        // Grid order: the shard axis sits between processors and factor.
+        assert_eq!(report.cells[0].shards, 0);
+        assert_eq!(report.cells[1].shards, 2);
+        assert!(report.cells.iter().all(|c| c.outcome.scheduled));
+        // Explicit-axis lookups separate the backends.
+        let pair = OrderPair::default_pair();
+        let unsharded = report
+            .cell_at(0, HeuristicKind::MemBooking, pair, 4, 0, 8.0)
+            .unwrap();
+        let sharded = report
+            .cell_at(0, HeuristicKind::MemBooking, pair, 4, 2, 8.0)
+            .unwrap();
+        assert_eq!(unsharded.shards, 0);
+        assert_eq!(sharded.shards, 2);
+        // The implicit-axis lookup addresses the first shard count.
+        assert_eq!(
+            report
+                .cell(0, HeuristicKind::MemBooking, pair, 4, 8.0)
+                .unwrap()
+                .shards,
+            0
+        );
+        // Sharded cells report wall-clock makespans, not virtual time.
+        assert!(sharded.outcome.makespan > 0.0);
+        assert_eq!(sharded.outcome.normalized, 0.0);
+    }
+
+    #[test]
     #[should_panic(expected = "empty memory-factor axis")]
     fn empty_axis_is_a_construction_error() {
         let cs = cases(1);
         let _ = Sweep::new(&cs).factors(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty shard-count axis")]
+    fn empty_shard_axis_is_a_construction_error() {
+        let cs = cases(1);
+        let _ = Sweep::new(&cs).shards(vec![]);
     }
 
     #[test]

@@ -27,7 +27,9 @@
 //! (kind + order pair + memory bound + optional moldable caps) whose
 //! [`spec::PolicySpec::instantiate`] owns any tree transformation, so
 //! every kind, including the reduction-tree baseline, builds through one
-//! entry point and runs on any `Platform` (see DESIGN.md §6).
+//! entry point and runs on any `Platform` (see DESIGN.md §6). Sharded
+//! platforms split the bound into independent per-shard booking ledgers
+//! through [`shard::ShardBudget`] (DESIGN.md §6.7).
 
 pub mod activation;
 pub mod error;
@@ -36,6 +38,7 @@ pub mod membooking;
 pub mod moldable;
 pub mod redtree;
 pub mod seq;
+pub mod shard;
 pub mod spec;
 
 pub use activation::Activation;
@@ -45,6 +48,7 @@ pub use membooking::{MemBooking, MemBookingRef};
 pub use moldable::{AllotmentCaps, MoldableMemBooking};
 pub use redtree::{to_reduction_tree, RedTreeBooking, ReductionTransform};
 pub use seq::Sequential;
+pub use shard::{min_feasible_memory, ShardBudget};
 pub use spec::{PolicyInstance, PolicySpec};
 
 /// Which heuristic to instantiate — the legend of Figures 2/9/10/15.

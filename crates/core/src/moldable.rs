@@ -53,6 +53,17 @@ impl AllotmentCaps {
         AllotmentCaps { caps }
     }
 
+    /// Explicit per-task caps in node-index order — how a sharded
+    /// platform projects a tree's caps onto a shard's local id space.
+    ///
+    /// # Panics
+    /// When `caps` is empty or any cap is 0.
+    pub fn from_caps(caps: Vec<u32>) -> Self {
+        assert!(!caps.is_empty(), "one cap per task required");
+        assert!(caps.iter().all(|&c| c >= 1), "caps must be ≥ 1");
+        AllotmentCaps { caps }
+    }
+
     /// Cap of task `i`.
     #[inline]
     pub fn cap(&self, i: NodeId) -> u32 {

@@ -1,0 +1,175 @@
+//! **`ShardBudget`** — how a global memory bound splits into independent
+//! per-shard booking ledgers (DESIGN.md §6.7).
+//!
+//! A sharded platform runs disjoint subtrees concurrently, each under its
+//! own booking ledger; the split policy decides how much of the global
+//! bound `M` each ledger gets. Whatever the policy, the contract is:
+//!
+//! * every shard gets at least its minimum feasible memory (the
+//!   sequential peak of its memPO activation order — Theorem 1's
+//!   feasibility condition applied shard-locally);
+//! * the per-shard budgets **sum to at most `M`**, so the sum of the
+//!   shard ledgers' peaks can never exceed the global bound — memory
+//!   booking composes across shards exactly as Eyraud-Dubois et al.
+//!   (2014) compose it across independent subtrees.
+//!
+//! When even the minima do not fit, the split refuses with
+//! [`SchedError::InfeasibleMemory`] — the sharded analogue of a policy's
+//! construction-time feasibility refusal.
+
+use crate::error::SchedError;
+use memtree_tree::TaskTree;
+
+/// The minimum memory any booking policy provably needs on `tree`: the
+/// sequential peak of the peak-minimising postorder (never 0, so it can
+/// serve as a proportional-split weight).
+pub fn min_feasible_memory(tree: &TaskTree) -> u64 {
+    memtree_order::mem_postorder(tree)
+        .sequential_peak(tree)
+        .max(1)
+}
+
+/// How a global memory bound splits across per-shard booking ledgers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ShardBudget {
+    /// Each shard gets its minimum plus a share of the headroom
+    /// proportional to that minimum — big shards get big ledgers.
+    #[default]
+    Proportional,
+    /// Each shard gets its minimum plus an equal share of the headroom.
+    Even,
+    /// Each shard gets exactly its minimum; all headroom stays with the
+    /// parent ledger (maximal budget left for the residual phase).
+    Minimum,
+}
+
+impl ShardBudget {
+    /// Stable label for reports and cache keys.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShardBudget::Proportional => "proportional",
+            ShardBudget::Even => "even",
+            ShardBudget::Minimum => "minimum",
+        }
+    }
+
+    /// Splits `memory` over shards whose minimum feasible memories are
+    /// `mins`. On success every budget is ≥ its min and the budgets sum
+    /// to at most `memory`.
+    ///
+    /// # Errors
+    /// [`SchedError::InfeasibleMemory`] when `Σ mins > memory` — the
+    /// shards cannot all be granted a feasible ledger at once.
+    pub fn split(&self, memory: u64, mins: &[u64]) -> Result<Vec<u64>, SchedError> {
+        if mins.is_empty() {
+            return Ok(Vec::new());
+        }
+        let total_min: u64 = mins.iter().sum();
+        if total_min > memory {
+            return Err(SchedError::InfeasibleMemory {
+                required: total_min,
+                available: memory,
+            });
+        }
+        let headroom = memory - total_min;
+        let budgets = match self {
+            ShardBudget::Minimum => mins.to_vec(),
+            ShardBudget::Even => {
+                let share = headroom / mins.len() as u64;
+                mins.iter().map(|&m| m + share).collect()
+            }
+            ShardBudget::Proportional => mins
+                .iter()
+                .map(|&m| {
+                    // u128 intermediate: headroom · min can overflow u64.
+                    let share = (headroom as u128 * m as u128 / total_min as u128) as u64;
+                    m + share
+                })
+                .collect(),
+        };
+        debug_assert!(budgets.iter().sum::<u64>() <= memory);
+        debug_assert!(budgets.iter().zip(mins).all(|(b, m)| b >= m));
+        Ok(budgets)
+    }
+}
+
+impl std::fmt::Display for ShardBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimum_keeps_all_headroom() {
+        let b = ShardBudget::Minimum.split(100, &[10, 20, 30]).unwrap();
+        assert_eq!(b, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn even_spreads_headroom_equally() {
+        let b = ShardBudget::Even.split(100, &[10, 20, 30]).unwrap();
+        assert_eq!(b, vec![23, 33, 43]);
+        assert!(b.iter().sum::<u64>() <= 100);
+    }
+
+    #[test]
+    fn proportional_spreads_by_min() {
+        let b = ShardBudget::Proportional.split(120, &[10, 20, 30]).unwrap();
+        // headroom 60 split 1:2:3.
+        assert_eq!(b, vec![20, 40, 60]);
+        assert_eq!(b.iter().sum::<u64>(), 120);
+    }
+
+    #[test]
+    fn split_is_exhaustive_over_policies_and_never_overcommits() {
+        let mins = [7, 13, 1, 64];
+        for policy in [
+            ShardBudget::Proportional,
+            ShardBudget::Even,
+            ShardBudget::Minimum,
+        ] {
+            for memory in [85u64, 86, 100, 1_000, u64::MAX / 2] {
+                let b = policy.split(memory, &mins).unwrap();
+                assert!(b.iter().sum::<u64>() <= memory, "{policy} at {memory}");
+                assert!(
+                    b.iter().zip(&mins).all(|(b, m)| b >= m),
+                    "{policy} at {memory}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_split_refused() {
+        let err = ShardBudget::Proportional
+            .split(84, &[7, 13, 1, 64])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SchedError::InfeasibleMemory {
+                required: 85,
+                available: 84
+            }
+        ));
+    }
+
+    #[test]
+    fn empty_split_is_empty() {
+        assert!(ShardBudget::Even.split(10, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn min_feasible_memory_is_positive_and_feasible() {
+        let tree = memtree_gen::synthetic::paper_tree(80, 3);
+        let m = min_feasible_memory(&tree);
+        assert!(m >= 1);
+        // A MemBooking policy constructs at exactly this bound.
+        let spec = crate::PolicySpec::new(crate::HeuristicKind::MemBooking, m);
+        let inst = spec.instantiate(&tree).unwrap();
+        assert!(inst.scheduler(&tree).is_ok());
+    }
+}

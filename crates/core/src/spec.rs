@@ -98,6 +98,55 @@ impl PolicySpec {
         h.finish()
     }
 
+    /// The smallest memory bound at which this spec constructs against
+    /// `tree` — the policy's feasibility threshold: the sequential peak
+    /// of the spec's activation order, computed on the tree the policy
+    /// actually schedules (the reduction-tree transform for RedTree,
+    /// whose statically-booked subtree requirements raise the bar).
+    ///
+    /// Sharded platforms size per-shard ledger budgets with this, so a
+    /// split that succeeds grants every shard a constructible policy.
+    pub fn min_feasible(&self, tree: &TaskTree) -> u64 {
+        match self.kind {
+            HeuristicKind::MemBookingRedTree => {
+                let tr = to_reduction_tree(tree);
+                let ao = make_order(&tr.tree, self.ao);
+                RedTreeBooking::min_memory(&tr.tree, &ao).max(1)
+            }
+            _ => {
+                let ao = make_order(tree, self.ao);
+                ao.sequential_peak(tree).max(1)
+            }
+        }
+    }
+
+    /// The per-shard specs of a sharded execution: one spec per shard,
+    /// same kind and orders, with the global bound split by `budget` over
+    /// the shards' minimum feasible memories (`mins`). Allotment caps are
+    /// cleared — they index the original tree's nodes, so a sharded
+    /// platform projects them onto each shard's id space itself.
+    ///
+    /// # Errors
+    /// [`SchedError::InfeasibleMemory`] when the minima alone exceed the
+    /// global bound (see [`crate::ShardBudget::split`]).
+    pub fn shard_specs(
+        &self,
+        budget: crate::ShardBudget,
+        mins: &[u64],
+    ) -> Result<Vec<PolicySpec>, SchedError> {
+        Ok(budget
+            .split(self.memory, mins)?
+            .into_iter()
+            .map(|memory| PolicySpec {
+                kind: self.kind,
+                ao: self.ao,
+                eo: self.eo,
+                memory,
+                caps: None,
+            })
+            .collect())
+    }
+
     /// Resolves the spec against `tree`: applies any tree transformation
     /// the policy needs and computes its orders on the tree the policy
     /// will actually schedule.
@@ -194,6 +243,13 @@ impl PolicyInstance {
     /// Whether this instance carries moldable allotment caps.
     pub fn is_moldable(&self) -> bool {
         self.caps.is_some()
+    }
+
+    /// The moldable allotment caps, when the instance carries any —
+    /// lets a platform reconstruct the spec it was built from (sharded
+    /// execution re-derives per-shard specs this way).
+    pub fn caps(&self) -> Option<&AllotmentCaps> {
+        self.caps.as_ref()
     }
 
     /// The activation order (on [`PolicyInstance::exec_tree`]).

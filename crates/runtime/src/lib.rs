@@ -13,14 +13,20 @@
 //! overcommitting.
 //!
 //! The [`platform`] module is the one entry point for running a
-//! `memtree_sched::PolicySpec` in either regime — [`SimPlatform`] (virtual
-//! time) or [`ThreadedPlatform`] (real threads) — behind the common
-//! [`Platform`] trait returning a common [`RunReport`].
+//! `memtree_sched::PolicySpec` in any regime — [`SimPlatform`] (virtual
+//! time), [`ThreadedPlatform`] (real threads) or [`ShardedPlatform`]
+//! (the tree cut into shard subtrees, each on its own channel-connected
+//! worker with an independent booking ledger; see [`sharded`]) — behind
+//! the common [`Platform`] trait returning a common [`RunReport`]. The
+//! [`conformance`] module stamps one invariant suite out per platform.
 
+pub mod conformance;
 pub mod executor;
 pub mod platform;
+pub mod sharded;
 pub mod workload;
 
 pub use executor::{execute, execute_moldable, RuntimeConfig, RuntimeError, RuntimeReport};
 pub use platform::{Platform, PlatformError, RunReport, SimPlatform, ThreadedPlatform};
+pub use sharded::{ShardedPlatform, ShardedReport};
 pub use workload::Workload;

@@ -1,0 +1,519 @@
+//! **`ShardedPlatform`** — a distributed-style execution backend that
+//! splits one tree across channel-connected shard workers (DESIGN.md
+//! §6.7).
+//!
+//! The platform cuts the tree at subtree-weight frontiers
+//! ([`memtree_tree::partition`]) into disjoint shard subtrees plus a
+//! residual merge tree, then runs in two phases:
+//!
+//! 1. **Shard phase.** Every shard runs concurrently on its own worker — a
+//!    thread standing in for a process, connected to the coordinator only
+//!    by a crossbeam channel (no shared scheduler state, exactly the
+//!    message surface a multi-process deployment would have). Each worker
+//!    executes its subtree through the ordinary [`ThreadedPlatform`], so
+//!    the shard has an **independent booking ledger** bounded by its slice
+//!    of the global memory `M`; the slices come from a
+//!    [`ShardBudget`] split and sum to at most `M`, so the shard peaks can
+//!    never jointly exceed the bound.
+//! 2. **Merge phase.** As each shard root completes, the coordinator
+//!    releases the shard's budget back to the parent ledger. Once all
+//!    shards are in, the residual tree — where each shard is a proxy leaf
+//!    carrying the shard root's output size — runs under the full bound
+//!    `M`, with the proxy outputs booked through the normal policy
+//!    machinery.
+//!
+//! Every [`PolicySpec`] runs unmodified: the spec is re-derived per shard
+//! (same kind and orders, split memory, allotment caps projected onto the
+//! shard's id space), so `MemBookingRedTree` transforms each part and
+//! moldable MemBooking gang-schedules inside each shard worker. Failure
+//! paths are first-class: a killed worker surfaces
+//! [`PlatformError::ShardFailed`], a silent one trips the optional
+//! watchdog as [`PlatformError::ShardStalled`], and in both cases every
+//! budget reservation is released before the error returns — the chaos
+//! suite pins this down.
+
+use crate::platform::{Platform, PlatformError, RunReport, ThreadedPlatform};
+use crate::workload::Workload;
+use crossbeam::channel::{self, RecvTimeoutError};
+use memtree_sched::{AllotmentCaps, PolicyInstance, PolicySpec, ShardBudget};
+use memtree_sim::validate::validate_shard_plan;
+use memtree_tree::partition::{partition, Partition, PartitionPolicy};
+use memtree_tree::TaskTree;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The coordinator's view of the global memory bound: budgets are
+/// reserved per shard up front and must all come back before the
+/// residual phase may claim the full bound. Purely an accounting device —
+/// the per-shard driver ledgers do the real enforcement — but it turns a
+/// budget-release bug into a loud error instead of silent overcommit.
+#[derive(Debug)]
+struct BudgetLedger {
+    capacity: u64,
+    reserved: u64,
+}
+
+impl BudgetLedger {
+    fn new(capacity: u64) -> Self {
+        BudgetLedger {
+            capacity,
+            reserved: 0,
+        }
+    }
+
+    fn reserve(&mut self, amount: u64) -> Result<(), PlatformError> {
+        let next = self.reserved.saturating_add(amount);
+        if next > self.capacity {
+            return Err(PlatformError::Partition(format!(
+                "budget reservation {next} exceeds the bound {}",
+                self.capacity
+            )));
+        }
+        self.reserved = next;
+        Ok(())
+    }
+
+    fn release(&mut self, amount: u64) {
+        debug_assert!(amount <= self.reserved, "releasing more than reserved");
+        self.reserved = self.reserved.saturating_sub(amount);
+    }
+
+    fn leaked(&self) -> u64 {
+        self.reserved
+    }
+}
+
+/// The sharded forest backend; see the module docs.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardedPlatform {
+    /// Maximum shard count the partitioner may cut (≥ 1; the tree's
+    /// structure may admit fewer).
+    pub shards: usize,
+    /// Worker threads inside each shard's executor.
+    pub workers_per_shard: usize,
+    /// How the global memory bound splits into per-shard ledgers.
+    pub budget: ShardBudget,
+    /// Per-task payload, as on [`ThreadedPlatform`].
+    pub workload: Workload,
+    /// Watchdog: a shard worker silent for this long fails the run with
+    /// [`PlatformError::ShardStalled`] instead of blocking forever.
+    pub shard_timeout: Option<Duration>,
+}
+
+impl ShardedPlatform {
+    /// Up to `shards` shard workers of one thread each, proportional
+    /// budget split, no-op payload, no watchdog.
+    ///
+    /// # Panics
+    /// When `shards` is 0.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "a sharded platform needs at least one shard");
+        ShardedPlatform {
+            shards,
+            workers_per_shard: 1,
+            budget: ShardBudget::Proportional,
+            workload: Workload::Noop,
+            shard_timeout: None,
+        }
+    }
+
+    /// Overrides the per-shard worker-thread count.
+    pub fn with_workers_per_shard(mut self, workers: usize) -> Self {
+        self.workers_per_shard = workers;
+        self
+    }
+
+    /// Overrides the budget split policy.
+    pub fn with_budget(mut self, budget: ShardBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Overrides the per-task payload.
+    pub fn with_workload(mut self, workload: Workload) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Enables the shard watchdog.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.shard_timeout = Some(timeout);
+        self
+    }
+
+    /// The machine this platform models: every shard worker's threads
+    /// plus nothing else (the coordinator only routes messages). The
+    /// residual phase reclaims the whole machine.
+    pub fn total_workers(&self) -> usize {
+        self.shards * self.workers_per_shard
+    }
+
+    /// Projects per-node allotment caps from the original tree onto a
+    /// part: mapped nodes take their original cap, proxy leaves get 1.
+    fn project_caps(
+        caps: &AllotmentCaps,
+        origin: impl Iterator<Item = Option<memtree_tree::NodeId>>,
+    ) -> AllotmentCaps {
+        AllotmentCaps::from_caps(origin.map(|g| g.map_or(1, |g| caps.cap(g))).collect())
+    }
+
+    /// Runs `spec` sharded over `tree`, returning the full per-shard
+    /// detail ([`ShardedReport`]); [`Platform::run`] flattens this to the
+    /// common [`RunReport`].
+    pub fn run_detailed(
+        &self,
+        tree: &TaskTree,
+        spec: &PolicySpec,
+    ) -> Result<ShardedReport, PlatformError> {
+        let started_at = Instant::now();
+        let part = Arc::new(partition(tree, &PartitionPolicy::balanced(self.shards)));
+        validate_shard_plan(tree, &part.assignment, part.shard_count())
+            .map_err(PlatformError::Partition)?;
+
+        // Split the bound over the shards' minimum feasible memories —
+        // the *policy's* threshold per shard, so a successful split
+        // grants every shard a constructible scheduler.
+        let mins: Vec<u64> = part
+            .shards
+            .iter()
+            .map(|s| spec.min_feasible(&s.tree))
+            .collect();
+        let shard_specs = spec.shard_specs(self.budget, &mins).map_err(|e| {
+            debug_assert!(matches!(
+                e,
+                memtree_sched::SchedError::InfeasibleMemory { .. }
+            ));
+            PlatformError::Sched(e)
+        })?;
+        let budgets: Vec<u64> = shard_specs.iter().map(|s| s.memory).collect();
+        let mut ledger = BudgetLedger::new(spec.memory);
+        for &b in &budgets {
+            ledger.reserve(b)?;
+        }
+
+        // Phase 1: every shard on its own channel-connected worker.
+        let shard_reports = self.run_shard_phase(&part, spec, shard_specs, &budgets, &mut ledger);
+        debug_assert_eq!(ledger.leaked(), 0, "a shard budget leaked");
+        let shard_reports = shard_reports?;
+
+        // Phase 2: the merge — all budgets are back with the parent
+        // ledger, so the residual tree runs under the full bound with the
+        // whole machine.
+        ledger.reserve(spec.memory)?;
+        let mut residual_spec = PolicySpec {
+            kind: spec.kind,
+            ao: spec.ao,
+            eo: spec.eo,
+            memory: spec.memory,
+            caps: None,
+        };
+        if let Some(caps) = &spec.caps {
+            residual_spec.caps = Some(Self::project_caps(
+                caps,
+                part.residual.origin.iter().copied(),
+            ));
+        }
+        let residual = ThreadedPlatform {
+            workers: self.total_workers(),
+            workload: self.workload,
+        }
+        .run(&part.residual.tree, &residual_spec)?;
+        ledger.release(spec.memory);
+        debug_assert_eq!(ledger.leaked(), 0);
+
+        Ok(ShardedReport::roll_up(
+            &part,
+            budgets,
+            shard_reports,
+            residual,
+            started_at.elapsed().as_secs_f64(),
+        ))
+    }
+
+    /// Launches every shard worker, collects their reports, and releases
+    /// each shard's budget as it reports (success *or* failure) — on any
+    /// error path all budgets are back before the error returns.
+    fn run_shard_phase(
+        &self,
+        part: &Arc<Partition>,
+        spec: &PolicySpec,
+        shard_specs: Vec<PolicySpec>,
+        budgets: &[u64],
+        ledger: &mut BudgetLedger,
+    ) -> Result<Vec<RunReport>, PlatformError> {
+        let total = part.shard_count();
+        let mut reports: Vec<Option<RunReport>> = (0..total).map(|_| None).collect();
+        if total == 0 {
+            return Ok(Vec::new());
+        }
+
+        let (tx, rx) = channel::unbounded::<(usize, Result<RunReport, PlatformError>)>();
+        let mut handles = Vec::with_capacity(total);
+        for (k, mut shard_spec) in shard_specs.into_iter().enumerate() {
+            if let Some(caps) = &spec.caps {
+                shard_spec.caps = Some(Self::project_caps(
+                    caps,
+                    part.shards[k].to_global.iter().map(|&g| Some(g)),
+                ));
+            }
+            let inner = ThreadedPlatform {
+                workers: self.workers_per_shard,
+                workload: self.workload,
+            };
+            let part = part.clone();
+            let tx = tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("memtree-shard-{k}"))
+                .spawn(move || {
+                    // A panicking payload must become a message, never a
+                    // silent death: the coordinator's only view of this
+                    // worker is the channel.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        inner.run(&part.shards[k].tree, &shard_spec)
+                    }))
+                    .unwrap_or(Err(PlatformError::Runtime(
+                        crate::executor::RuntimeError::WorkerPanic,
+                    )));
+                    let _ = tx.send((k, outcome));
+                })
+                .expect("spawning a shard worker");
+            handles.push(handle);
+        }
+        drop(tx);
+
+        // Merge protocol: each report releases its shard's budget back to
+        // the parent ledger; failures are remembered and returned after
+        // every other shard has been drained.
+        let mut released = vec![false; total];
+        let mut first_err: Option<(usize, PlatformError)> = None;
+        let mut reported = 0usize;
+        let mut stalled = false;
+        while reported < total {
+            let msg = match self.shard_timeout {
+                Some(timeout) => rx.recv_timeout(timeout).map_err(|e| match e {
+                    RecvTimeoutError::Timeout => None,
+                    RecvTimeoutError::Disconnected => Some(()),
+                }),
+                None => rx.recv().map_err(|_| Some(())),
+            };
+            match msg {
+                Ok((k, Ok(report))) => {
+                    ledger.release(budgets[k]);
+                    released[k] = true;
+                    reports[k] = Some(report);
+                    reported += 1;
+                }
+                Ok((k, Err(e))) => {
+                    ledger.release(budgets[k]);
+                    released[k] = true;
+                    reported += 1;
+                    if first_err.as_ref().is_none_or(|(j, _)| k < *j) {
+                        first_err = Some((k, e));
+                    }
+                }
+                Err(None) => {
+                    // Watchdog fired: the silent shards keep their worker
+                    // threads (they are detached below), but their budget
+                    // reservations are reclaimed here and the run fails
+                    // cleanly instead of blocking forever.
+                    stalled = true;
+                    break;
+                }
+                Err(Some(())) => {
+                    // All senders gone with reports outstanding — a worker
+                    // died without even its catch_unwind message.
+                    stalled = true;
+                    break;
+                }
+            }
+        }
+        if stalled {
+            for (k, &done) in released.iter().enumerate() {
+                if !done {
+                    ledger.release(budgets[k]);
+                }
+            }
+            // Any error from an already-reported shard loses to the
+            // stall: the stall is what stopped the phase. The silent
+            // workers stay detached; their channel sends land in a
+            // dropped receiver.
+            drop(rx);
+            return Err(PlatformError::ShardStalled { reported, total });
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+        if let Some((shard, source)) = first_err {
+            return Err(PlatformError::ShardFailed {
+                shard,
+                source: Box::new(source),
+            });
+        }
+        Ok(reports
+            .into_iter()
+            .map(|r| r.expect("every shard reported"))
+            .collect())
+    }
+}
+
+/// The full outcome of a sharded run: the rolled-up [`RunReport`] plus
+/// per-shard detail for differential tests and shard-scaling figures.
+#[derive(Clone, Debug)]
+pub struct ShardedReport {
+    /// The platform-level report (what [`Platform::run`] returns).
+    pub report: RunReport,
+    /// Per-shard reports, in shard order.
+    pub shard_reports: Vec<RunReport>,
+    /// Per-shard ledger budgets granted by the split policy.
+    pub budgets: Vec<u64>,
+    /// The residual (merge-phase) report.
+    pub residual: RunReport,
+    /// Proxy leaves executed in the residual tree (one per shard) —
+    /// bookkeeping tasks excluded from the rolled-up `tasks_run`.
+    pub proxy_tasks: usize,
+}
+
+impl ShardedReport {
+    fn roll_up(
+        part: &Partition,
+        budgets: Vec<u64>,
+        shard_reports: Vec<RunReport>,
+        residual: RunReport,
+        wall_seconds: f64,
+    ) -> ShardedReport {
+        // Phase 1 runs the shards concurrently, so the platform-level
+        // peak is bounded by the *sum* of the shard ledgers' peaks; the
+        // residual phase runs alone. The rolled-up peak is the larger of
+        // the two phases — conservative (a real co-schedule can only be
+        // lower) and still provably ≤ M because the budgets sum to ≤ M.
+        let shard_booked: u64 = shard_reports.iter().map(|r| r.peak_booked).sum();
+        let shard_actual: u64 = shard_reports.iter().map(|r| r.peak_actual).sum();
+        let proxy_tasks = part.shard_count();
+        let report = RunReport {
+            platform: "sharded",
+            policy: residual.policy.clone(),
+            makespan: wall_seconds,
+            wall_seconds,
+            peak_booked: shard_booked.max(residual.peak_booked),
+            peak_actual: shard_actual.max(residual.peak_actual),
+            events: shard_reports.iter().map(|r| r.events).sum::<usize>() + residual.events,
+            scheduling_seconds: shard_reports
+                .iter()
+                .map(|r| r.scheduling_seconds)
+                .sum::<f64>()
+                + residual.scheduling_seconds,
+            // Proxy leaves are bookkeeping, not tasks: with them removed
+            // the count covers every original task exactly once (plus any
+            // fictitious tasks a transforming policy adds per part).
+            tasks_run: shard_reports.iter().map(|r| r.tasks_run).sum::<usize>()
+                + residual.tasks_run
+                - proxy_tasks,
+        };
+        ShardedReport {
+            report,
+            shard_reports,
+            budgets,
+            residual,
+            proxy_tasks,
+        }
+    }
+
+    /// Sum of the shard ledgers' booked peaks — the quantity the
+    /// acceptance invariant bounds by the global budget.
+    pub fn shard_peak_sum(&self) -> u64 {
+        self.shard_reports.iter().map(|r| r.peak_booked).sum()
+    }
+}
+
+impl Platform for ShardedPlatform {
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn run_instance(
+        &self,
+        tree: &TaskTree,
+        instance: &PolicyInstance,
+    ) -> Result<RunReport, PlatformError> {
+        // The instance resolved the spec against the *whole* tree; the
+        // sharded backend re-derives per-part specs instead (orders and
+        // any tree transform are per-part), so reconstruct the spec.
+        let spec = PolicySpec {
+            kind: instance.kind(),
+            ao: instance.ao().kind(),
+            eo: instance.eo().kind(),
+            memory: instance.memory(),
+            caps: instance.caps().cloned(),
+        };
+        Ok(self.run_detailed(tree, &spec)?.report)
+    }
+
+    fn run(&self, tree: &TaskTree, spec: &PolicySpec) -> Result<RunReport, PlatformError> {
+        // No whole-tree instantiation: parts resolve their own specs.
+        Ok(self.run_detailed(tree, spec)?.report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtree_sched::HeuristicKind;
+
+    fn min_memory(tree: &TaskTree) -> u64 {
+        memtree_sched::min_feasible_memory(tree)
+    }
+
+    #[test]
+    fn sharded_runs_the_whole_tree() {
+        let tree = memtree_gen::synthetic::paper_tree(200, 11);
+        let m = min_memory(&tree) * 8;
+        let spec = PolicySpec::new(HeuristicKind::MemBooking, m);
+        for shards in [1, 2, 4, 8] {
+            let detailed = ShardedPlatform::new(shards)
+                .run_detailed(&tree, &spec)
+                .unwrap();
+            assert_eq!(detailed.report.tasks_run, tree.len(), "{shards} shards");
+            assert!(detailed.report.peak_booked <= m, "{shards} shards");
+            assert!(detailed.shard_peak_sum() <= m, "{shards} shards");
+            for (r, &b) in detailed.shard_reports.iter().zip(&detailed.budgets) {
+                assert!(r.peak_booked <= b, "shard ledger over its budget");
+                assert!(r.peak_actual <= r.peak_booked);
+            }
+            assert!(detailed.residual.peak_booked <= m);
+        }
+    }
+
+    #[test]
+    fn budget_ledger_guards_overcommit() {
+        let mut ledger = BudgetLedger::new(100);
+        ledger.reserve(60).unwrap();
+        ledger.reserve(40).unwrap();
+        assert!(ledger.reserve(1).is_err());
+        ledger.release(40);
+        ledger.release(60);
+        assert_eq!(ledger.leaked(), 0);
+        ledger.reserve(100).unwrap();
+        assert_eq!(ledger.leaked(), 100);
+    }
+
+    #[test]
+    fn infeasible_split_is_distinguishable() {
+        let tree = memtree_gen::synthetic::paper_tree(120, 5);
+        // Tight bound: the per-shard minima cannot all fit.
+        let spec = PolicySpec::new(HeuristicKind::MemBooking, min_memory(&tree));
+        let err = ShardedPlatform::new(4).run(&tree, &spec).unwrap_err();
+        assert!(err.is_infeasible(), "got {err}");
+    }
+
+    #[test]
+    fn sharded_platform_satisfies_the_platform_trait() {
+        let tree = memtree_gen::synthetic::paper_tree(150, 2);
+        let m = min_memory(&tree) * 8;
+        let spec = PolicySpec::new(HeuristicKind::MemBooking, m);
+        let platform: &dyn Platform = &ShardedPlatform::new(2);
+        let report = platform.run(&tree, &spec).unwrap();
+        assert_eq!(report.platform, "sharded");
+        assert_eq!(report.tasks_run, tree.len());
+    }
+}

@@ -32,6 +32,14 @@ pub enum Workload {
         /// Hard cap per task, bytes.
         max_bytes: usize,
     },
+    /// Fault injection for chaos tests: panic when running task `node`
+    /// (an index into the executed tree), killing the worker mid-run. The
+    /// executor and any sharded coordinator above it must surface a clean
+    /// error instead of deadlocking.
+    FailAt {
+        /// Index of the task whose payload panics.
+        node: u32,
+    },
 }
 
 impl Workload {
@@ -94,6 +102,11 @@ impl Workload {
                 }
                 std::hint::black_box(&buf);
             }
+            Workload::FailAt { node } => {
+                if i.index() as u32 == node {
+                    panic!("injected workload fault at task {node}");
+                }
+            }
         }
     }
 }
@@ -133,12 +146,19 @@ mod tests {
                 bytes_per_output_unit: 16.0,
                 max_bytes: 1 << 16,
             },
+            Workload::FailAt { node: 999 }, // fault targets another task
         ] {
             w.run(&t, memtree_tree::NodeId(0));
             for shard in 0..4 {
                 w.run_shard(&t, memtree_tree::NodeId(0), shard, 4);
             }
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "injected workload fault")]
+    fn fail_at_panics_on_its_target() {
+        Workload::FailAt { node: 0 }.run(&tree(), memtree_tree::NodeId(0));
     }
 
     #[test]

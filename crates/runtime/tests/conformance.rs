@@ -1,0 +1,20 @@
+//! The shared platform invariant suite, stamped out per platform by
+//! `platform_conformance!` — one contract, three backends (and one
+//! instantiation line per future backend).
+//!
+//! This replaces the per-platform invariant assertions that used to be
+//! duplicated across the sim-vs-threaded equivalence tests: the
+//! cross-platform *comparisons* stay in `tests/runtime_vs_sim.rs` and
+//! `tests/sharded_equivalence.rs`; the per-platform *invariants* live
+//! here, once.
+
+memtree_runtime::platform_conformance!(sim, memtree_runtime::SimPlatform::new(4));
+
+memtree_runtime::platform_conformance!(threaded, memtree_runtime::ThreadedPlatform::new(4));
+
+memtree_runtime::platform_conformance!(
+    sharded_x2,
+    memtree_runtime::ShardedPlatform::new(2).with_workers_per_shard(2)
+);
+
+memtree_runtime::platform_conformance!(sharded_x4, memtree_runtime::ShardedPlatform::new(4));

@@ -156,6 +156,96 @@ pub fn validate_trace(tree: &TaskTree, trace: &Trace) -> Result<(), String> {
     Ok(())
 }
 
+/// The assignment value meaning "this node stays in the residual tree"
+/// (mirrors `memtree_tree::partition::RESIDUAL`; redeclared here so the
+/// validator depends only on the raw plan, not the partition types).
+pub const RESIDUAL_SHARD: u32 = u32::MAX;
+
+/// Shard-aware validation: checks that `assignment` (one entry per tree
+/// node: a shard index below `shard_count`, or [`RESIDUAL_SHARD`]) is an
+/// executable shard plan for `tree`.
+///
+/// Verifies:
+/// 1. one assignment per node, every shard index in range;
+/// 2. the tree root is residual (the merge tree always finishes the run);
+/// 3. shards are **downward closed**: a shard node's children are in the
+///    same shard — so a shard is executable without cross-shard waits;
+/// 4. each shard is a single connected subtree: exactly one shard root,
+///    and that root's parent is residual (the merge frontier);
+/// 5. no shard is empty.
+///
+/// Sharded platforms run this before launching workers: a malformed plan
+/// is a partitioner bug that must abort the run, not deadlock it.
+pub fn validate_shard_plan(
+    tree: &TaskTree,
+    assignment: &[u32],
+    shard_count: usize,
+) -> Result<(), String> {
+    if assignment.len() != tree.len() {
+        return Err(format!(
+            "{} assignments for {} nodes",
+            assignment.len(),
+            tree.len()
+        ));
+    }
+    if assignment[tree.root().index()] != RESIDUAL_SHARD {
+        return Err("the tree root must stay in the residual tree".into());
+    }
+    let mut shard_root: Vec<Option<NodeId>> = vec![None; shard_count];
+    let mut shard_nodes = vec![0usize; shard_count];
+    for i in tree.nodes() {
+        let s = assignment[i.index()];
+        if s == RESIDUAL_SHARD {
+            continue;
+        }
+        if (s as usize) >= shard_count {
+            return Err(format!("node {i:?} assigned to ghost shard {s}"));
+        }
+        shard_nodes[s as usize] += 1;
+        let p = tree.parent(i).expect("non-residual nodes are not the root");
+        let ps = assignment[p.index()];
+        if ps == s {
+            continue;
+        }
+        // A shard node whose parent is elsewhere is a shard root; its
+        // parent must sit on the residual merge frontier, and each shard
+        // has exactly one such root (connectivity).
+        if ps != RESIDUAL_SHARD {
+            return Err(format!(
+                "shard {s} root {i:?} hangs under shard {ps}, not the residual tree"
+            ));
+        }
+        if let Some(other) = shard_root[s as usize] {
+            return Err(format!(
+                "shard {s} is disconnected: roots {other:?} and {i:?}"
+            ));
+        }
+        shard_root[s as usize] = Some(i);
+    }
+    for (s, (&root, &nodes)) in shard_root.iter().zip(&shard_nodes).enumerate() {
+        if nodes == 0 {
+            return Err(format!("shard {s} is empty"));
+        }
+        if root.is_none() {
+            return Err(format!("shard {s} has no root under the residual tree"));
+        }
+    }
+    // Downward closure, checked from the child side above, leaves one
+    // gap: a residual node below a shard node. Sweep parents once more.
+    for i in tree.nodes() {
+        let s = assignment[i.index()];
+        for &c in tree.children(i) {
+            let cs = assignment[c.index()];
+            if s != RESIDUAL_SHARD && cs != s {
+                return Err(format!(
+                    "shard {s} node {i:?} has child {c:?} outside the shard"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,5 +355,55 @@ mod tests {
         assert!(validate_trace(&t, &trace)
             .unwrap_err()
             .contains("exceeds bound"));
+    }
+
+    /// Root 0; children 1, 2; 1 has children 3, 4.
+    fn plan_tree() -> TaskTree {
+        TaskTree::from_parents(
+            &[None, Some(0), Some(0), Some(1), Some(1)],
+            &[TaskSpec::new(1, 1, 1.0); 5],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn valid_shard_plans_pass() {
+        let t = plan_tree();
+        const R: u32 = RESIDUAL_SHARD;
+        // Subtree of 1 is shard 0, node 2 is shard 1.
+        validate_shard_plan(&t, &[R, 0, 1, 0, 0], 2).unwrap();
+        // Everything residual is a valid zero-shard plan.
+        validate_shard_plan(&t, &[R; 5], 0).unwrap();
+    }
+
+    #[test]
+    fn malformed_shard_plans_rejected() {
+        let t = plan_tree();
+        const R: u32 = RESIDUAL_SHARD;
+        // Root inside a shard.
+        assert!(validate_shard_plan(&t, &[0, 0, 0, 0, 0], 1)
+            .unwrap_err()
+            .contains("root"));
+        // Not downward closed: node 1 sharded, child 3 residual.
+        assert!(validate_shard_plan(&t, &[R, 0, R, R, 0], 1)
+            .unwrap_err()
+            .contains("outside the shard"));
+        // Disconnected shard: nodes 3 and 4 share a shard but their
+        // parent 1 is residual.
+        assert!(validate_shard_plan(&t, &[R, R, R, 0, 0], 1)
+            .unwrap_err()
+            .contains("disconnected"));
+        // Empty shard.
+        assert!(validate_shard_plan(&t, &[R, 0, R, 0, 0], 2)
+            .unwrap_err()
+            .contains("empty"));
+        // Ghost shard index.
+        assert!(validate_shard_plan(&t, &[R, 7, R, 7, 7], 1)
+            .unwrap_err()
+            .contains("ghost"));
+        // Wrong length.
+        assert!(validate_shard_plan(&t, &[R; 3], 0)
+            .unwrap_err()
+            .contains("assignments"));
     }
 }

@@ -2,6 +2,12 @@
 //! and check that the engine's incremental bookkeeping always agrees with
 //! the independent trace validator — in both the sequential-task and the
 //! moldable (gang-allotment) regime.
+//!
+//! The `shard_chaos` module extends the suite to the sharded platform:
+//! kill or stall a shard worker mid-run and assert the coordinator
+//! surfaces a clean `PlatformError` — no deadlock, no leaked ledger
+//! reservations — the same failure-path discipline the `Stalled`/`Ledger`
+//! executor tests pin down for the threaded runtime.
 
 use memtree_sim::{
     simulate, simulate_moldable, validate::validate_trace, MoldableScheduler, Scheduler, SimConfig,
@@ -245,9 +251,9 @@ proptest! {
         prop_assert_eq!(prof_max, trace.peak_actual);
     }
 
-    /// Single-worker gangs are not a special case: with every cap at 1 the
-    /// moldable engine replays the sequential engine bit-for-bit — same
-    /// starts, finishes, makespan, peaks and event count.
+    /// Single-worker gangs are not a special case: with every cap at 1
+    /// the moldable engine replays the sequential engine bit-for-bit —
+    /// same starts, finishes, makespan, peaks and event count.
     #[test]
     fn unit_gangs_degenerate_to_the_sequential_path_bit_for_bit(
         tree in arb_tree(50),
@@ -286,5 +292,140 @@ proptest! {
         prop_assert_eq!(mold.peak_booked, seq.peak_booked);
         prop_assert_eq!(mold.peak_actual, seq.peak_actual);
         prop_assert_eq!(mold.events, seq.events);
+    }
+}
+
+/// Chaos on the sharded platform: a shard worker killed or stalled
+/// mid-run must surface a clean `PlatformError` with every budget
+/// reservation released — never a deadlock, never a poisoned
+/// coordinator.
+mod shard_chaos {
+    use memtree_runtime::{Platform, PlatformError, RuntimeError, ShardedPlatform, Workload};
+    use memtree_sched::{HeuristicKind, PolicySpec};
+    use memtree_sim::validate::validate_shard_plan;
+    use memtree_tree::partition::{partition, PartitionPolicy};
+    use memtree_tree::{TaskSpec, TaskTree};
+
+    /// Root 0; a bushy 21-node subtree (node 1 with two chains of 10)
+    /// plus two 13-node chains. Partitioned 4 ways this yields exactly
+    /// three shards — one of 21 nodes, two of 12 — and a 3-node residual,
+    /// so a fault at local index 15 exists in exactly one shard worker.
+    fn chaos_tree() -> TaskTree {
+        let mut parents: Vec<Option<usize>> = vec![None, Some(0)];
+        for k in 0..2 {
+            let mut prev = 1usize;
+            for _ in 0..10 {
+                parents.push(Some(prev));
+                prev = parents.len() - 1;
+            }
+            let _ = k;
+        }
+        for _ in 0..2 {
+            let mut prev = 0usize;
+            for _ in 0..13 {
+                parents.push(Some(prev));
+                prev = parents.len() - 1;
+            }
+        }
+        let specs = vec![TaskSpec::new(1, 3, 1.0); parents.len()];
+        TaskTree::from_parents(&parents, &specs).unwrap()
+    }
+
+    fn roomy_spec(tree: &TaskTree) -> PolicySpec {
+        PolicySpec::new(
+            HeuristicKind::MemBooking,
+            memtree_sched::min_feasible_memory(tree) * 100,
+        )
+    }
+
+    /// Pins the partition shape the fault injection below relies on: the
+    /// plan validates, and local index 15 exists in exactly one part.
+    #[test]
+    fn chaos_tree_partitions_as_documented() {
+        let tree = chaos_tree();
+        let part = partition(&tree, &PartitionPolicy::balanced(4));
+        validate_shard_plan(&tree, &part.assignment, part.shard_count()).unwrap();
+        assert_eq!(part.shard_count(), 3);
+        let big: Vec<_> = part.shards.iter().filter(|s| s.tree.len() > 15).collect();
+        assert_eq!(big.len(), 1, "exactly one shard holds local index 15");
+        assert!(part.residual.tree.len() <= 15);
+    }
+
+    /// Kill: the injected payload panic takes down one shard worker; the
+    /// coordinator reports `ShardFailed(WorkerPanic)` cleanly and a
+    /// subsequent run of the same platform value succeeds — no leaked
+    /// reservations, no poisoned state (the post-phase ledger audit runs
+    /// on the failure path too).
+    #[test]
+    fn killed_shard_worker_surfaces_shard_failed() {
+        let tree = chaos_tree();
+        let spec = roomy_spec(&tree);
+        let platform = ShardedPlatform::new(4).with_workload(Workload::FailAt { node: 15 });
+        let err = platform.run(&tree, &spec).unwrap_err();
+        match err {
+            PlatformError::ShardFailed { shard, source } => {
+                assert!(
+                    matches!(*source, PlatformError::Runtime(RuntimeError::WorkerPanic)),
+                    "expected WorkerPanic inside shard {shard}, got {source}"
+                );
+            }
+            other => panic!("expected ShardFailed, got {other}"),
+        }
+        // The platform value is reusable: nothing leaked across the run.
+        let report = platform
+            .with_workload(Workload::Noop)
+            .run(&tree, &spec)
+            .unwrap();
+        assert_eq!(report.tasks_run, tree.len());
+    }
+
+    /// Stall: a payload sleeping far past the watchdog makes the shard
+    /// workers go silent; the coordinator must time out with
+    /// `ShardStalled` instead of blocking forever, and release every
+    /// budget reservation on the way out.
+    #[test]
+    fn stalled_shard_worker_trips_the_watchdog() {
+        let tree = chaos_tree();
+        let spec = roomy_spec(&tree);
+        let platform = ShardedPlatform::new(4)
+            .with_workload(Workload::Sleep {
+                nanos_per_time_unit: 2e8, // 200 ms per task, every task
+                max_nanos: 200_000_000,
+            })
+            .with_timeout(std::time::Duration::from_millis(40));
+        let started = std::time::Instant::now();
+        let err = platform.run(&tree, &spec).unwrap_err();
+        match err {
+            PlatformError::ShardStalled { reported, total } => {
+                assert!(reported < total, "{reported}/{total}");
+                assert_eq!(total, 3, "the three shards of the chaos tree");
+            }
+            other => panic!("expected ShardStalled, got {other}"),
+        }
+        // Clean and prompt: the watchdog fired, the run did not wait for
+        // the sleeping workers to finish their subtrees.
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(5),
+            "stall detection took {:?}",
+            started.elapsed()
+        );
+        // A fresh run on the same platform value (fast payload) works.
+        let report = platform
+            .with_workload(Workload::Noop)
+            .run(&tree, &spec)
+            .unwrap();
+        assert_eq!(report.tasks_run, tree.len());
+    }
+
+    /// An infeasible budget split refuses up front — the sharded
+    /// analogue of the executor's `Ledger` failure path: the invariant
+    /// machinery rejects the run instead of letting shards overcommit.
+    #[test]
+    fn infeasible_budget_split_refuses_without_launching() {
+        let tree = chaos_tree();
+        let min = memtree_sched::min_feasible_memory(&tree);
+        let spec = PolicySpec::new(HeuristicKind::MemBooking, min);
+        let err = ShardedPlatform::new(4).run(&tree, &spec).unwrap_err();
+        assert!(err.is_infeasible(), "got {err}");
     }
 }

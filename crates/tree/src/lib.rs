@@ -22,9 +22,10 @@
 //! representation built through [`TreeBuilder`] or the convenience
 //! constructors. Structural statistics (heights, levels, critical paths) live
 //! in [`stats`], the sequential-memory semantics in [`memory`], traversal
-//! iterators in [`traverse`], a plain-text serialisation format in [`io`]
-//! and canonical content hashing (the basis of sweep-level result caching)
-//! in [`hash`].
+//! iterators in [`traverse`], a plain-text serialisation format in [`io`],
+//! canonical content hashing (the basis of sweep-level result caching)
+//! in [`hash`] and forest partitioning for sharded execution (disjoint
+//! shard subtrees plus a residual merge tree) in [`partition`].
 //!
 //! All algorithms in this crate are iterative, never recursive: assembly
 //! trees of sparse factorizations routinely reach heights of 10⁵, which
@@ -36,6 +37,7 @@ pub mod hash;
 pub mod io;
 pub mod memory;
 pub mod node;
+pub mod partition;
 pub mod stats;
 pub mod traverse;
 pub mod tree;
@@ -46,6 +48,7 @@ pub use error::TreeError;
 pub use hash::Fnv64;
 pub use memory::{mem_needed_slice, LiveSet, SequentialProfile};
 pub use node::{NodeId, TaskSpec};
+pub use partition::{partition, Partition, PartitionPolicy, ResidualPart, ShardPart};
 pub use stats::TreeStats;
 pub use traverse::{BfsIter, PostorderIter};
 pub use tree::TaskTree;

@@ -1,0 +1,385 @@
+//! Forest partitioning: cut a [`TaskTree`] at subtree-weight frontiers
+//! into disjoint **shard** subtrees plus a **residual** merge tree
+//! (DESIGN.md §6.7).
+//!
+//! A sharded platform splits one tree across workers the way Eyraud-Dubois
+//! et al. (2014) parallelise independent subtrees: each shard is a whole
+//! subtree whose root's parent stays behind in the residual tree, so the
+//! only cross-shard dependency is "shard finished → its output is an input
+//! of the residual". The cut heuristic is a linear leaf-up sweep: walking
+//! the tree in postorder, the first untainted node whose subtree reaches
+//! the target weight (`⌈n / shards⌉ nodes`) becomes a shard root and
+//! taints its ancestors, which naturally cuts just below high fan-out
+//! nodes — the children of a bushy node are the heaviest disjoint
+//! subtrees available. A chain yields at most one shard (its subtrees are
+//! all nested); that is structural, not a heuristic failure.
+//!
+//! The partition is **lossless**: every global node lands in exactly one
+//! shard or the residual tree, each part is a real [`TaskTree`] in its own
+//! compact id space with a recorded local→global mapping, and
+//! [`Partition::stitch`] rebuilds a tree that is `content_hash`-equal to
+//! the original — the property the partitioner proptests pin down. In the
+//! residual tree every shard is represented by a **proxy leaf** (`n = 0`,
+//! `t = 0`, `f =` the shard root's output) attached to the shard root's
+//! original parent, so the residual tree's memory semantics account for
+//! the shard outputs exactly as the original tree did.
+//!
+//! Partitioning is deterministic: the same tree and policy always produce
+//! byte-identical parts (shard trees hash stably), which sharded result
+//! caching relies on.
+
+use crate::node::{NodeId, TaskSpec};
+use crate::traverse::PostorderIter;
+use crate::tree::TaskTree;
+
+/// Shard-assignment sentinel: the node stays in the residual tree.
+pub const RESIDUAL: u32 = u32::MAX;
+
+/// How aggressively to cut a tree into shards.
+#[derive(Clone, Copy, Debug)]
+pub struct PartitionPolicy {
+    /// Maximum number of shards to cut (the partitioner may produce fewer
+    /// when the structure does not admit that many disjoint subtrees).
+    pub shards: usize,
+    /// Smallest subtree (in nodes) worth shipping to a worker; subtrees
+    /// below this never become shards.
+    pub min_shard_nodes: usize,
+}
+
+impl PartitionPolicy {
+    /// Up to `shards` shards of roughly `n / shards` nodes each.
+    pub fn balanced(shards: usize) -> Self {
+        PartitionPolicy {
+            shards,
+            min_shard_nodes: 2,
+        }
+    }
+}
+
+/// One shard: a whole subtree of the original tree, re-indexed into its
+/// own compact id space.
+#[derive(Clone, Debug)]
+pub struct ShardPart {
+    /// The shard subtree (local ids `0..tree.len()`).
+    pub tree: TaskTree,
+    /// Local id → original global id; ascending (locals preserve the
+    /// global relative order, so children stay id-sorted).
+    pub to_global: Vec<NodeId>,
+    /// Global id of the shard root's parent — always a residual node.
+    pub attach: NodeId,
+}
+
+impl ShardPart {
+    /// Global id of the shard's root.
+    pub fn root_global(&self) -> NodeId {
+        self.to_global[self.tree.root().index()]
+    }
+}
+
+/// The residual merge tree: everything not in a shard, plus one proxy
+/// leaf per shard standing in for the shard's output.
+#[derive(Clone, Debug)]
+pub struct ResidualPart {
+    /// The residual tree (real nodes first, proxy leaves last).
+    pub tree: TaskTree,
+    /// Local id → original global id for real nodes, `None` for proxies.
+    pub origin: Vec<Option<NodeId>>,
+    /// Local id of shard `k`'s proxy leaf, indexed by shard.
+    pub proxies: Vec<NodeId>,
+}
+
+/// A [`TaskTree`] cut into shard subtrees plus a residual merge tree.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// The shard subtrees, ordered by ascending global root id.
+    pub shards: Vec<ShardPart>,
+    /// The residual merge tree.
+    pub residual: ResidualPart,
+    /// Per-global-node home: the shard index, or [`RESIDUAL`].
+    pub assignment: Vec<u32>,
+}
+
+impl Partition {
+    /// Number of shards actually cut.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total nodes across all parts, proxies excluded — always the
+    /// original tree's length.
+    pub fn node_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Reassembles the original tree from the parts alone (shard trees,
+    /// mappings, attachment points, residual tree) — no reference to the
+    /// source tree. The result is `content_hash`-equal to the original,
+    /// proving the partition loses nothing.
+    pub fn stitch(&self) -> TaskTree {
+        let n = self.assignment.len();
+        let mut parents: Vec<Option<usize>> = vec![None; n];
+        let mut specs: Vec<TaskSpec> = vec![TaskSpec::default(); n];
+        for (local, origin) in self.residual.origin.iter().enumerate() {
+            let Some(g) = *origin else { continue };
+            let local_id = NodeId::from_index(local);
+            // A real residual node's parent is real too (proxies are
+            // leaves), so the unwrap on its origin is safe.
+            parents[g.index()] = self.residual.tree.parent(local_id).map(|p| {
+                self.residual.origin[p.index()]
+                    .expect("parent is real")
+                    .index()
+            });
+            specs[g.index()] = self.residual.tree.spec(local_id);
+        }
+        for shard in &self.shards {
+            for local in shard.tree.nodes() {
+                let g = shard.to_global[local.index()];
+                parents[g.index()] = match shard.tree.parent(local) {
+                    Some(p) => Some(shard.to_global[p.index()].index()),
+                    None => Some(shard.attach.index()),
+                };
+                specs[g.index()] = shard.tree.spec(local);
+            }
+        }
+        TaskTree::from_parents(&parents, &specs).expect("stitched parts form the original tree")
+    }
+}
+
+/// Extracts the subtree rooted at `root` into its own compact tree.
+fn extract_subtree(tree: &TaskTree, root: NodeId) -> (TaskTree, Vec<NodeId>) {
+    let mut to_global: Vec<NodeId> = PostorderIter::rooted(tree, root).collect();
+    to_global.sort_unstable();
+    let mut local_of = std::collections::HashMap::with_capacity(to_global.len());
+    for (local, &g) in to_global.iter().enumerate() {
+        local_of.insert(g, local);
+    }
+    let parents: Vec<Option<usize>> = to_global
+        .iter()
+        .map(|&g| {
+            if g == root {
+                None
+            } else {
+                Some(local_of[&tree.parent(g).expect("non-root has a parent")])
+            }
+        })
+        .collect();
+    let specs: Vec<TaskSpec> = to_global.iter().map(|&g| tree.spec(g)).collect();
+    let sub = TaskTree::from_parents(&parents, &specs).expect("subtree is a valid tree");
+    (sub, to_global)
+}
+
+/// Cuts `tree` into up to `policy.shards` disjoint shard subtrees plus a
+/// residual merge tree; see the module docs for the heuristic and the
+/// invariants.
+pub fn partition(tree: &TaskTree, policy: &PartitionPolicy) -> Partition {
+    let n = tree.len();
+    let mut assignment = vec![RESIDUAL; n];
+    let mut roots: Vec<NodeId> = Vec::new();
+
+    if policy.shards >= 1 && n >= 2 {
+        let mut size = vec![1u32; n];
+        for i in PostorderIter::new(tree) {
+            let ix = i.index();
+            for &c in tree.children(i) {
+                size[ix] += size[c.index()];
+            }
+        }
+        // The per-shard target weight, clamped to the heaviest proper
+        // subtree: when `n / shards` exceeds every cuttable subtree
+        // (shards = 1, or a heavy root), the clamp keeps a cut possible
+        // instead of silently degenerating to an all-residual partition.
+        let max_proper = tree
+            .nodes()
+            .filter(|&i| i != tree.root())
+            .map(|i| size[i.index()] as usize)
+            .max()
+            .unwrap_or(0);
+        let target = (n / policy.shards)
+            .min(max_proper)
+            .max(policy.min_shard_nodes.max(1));
+        // Leaf-up sweep: a node whose untainted subtree reaches the
+        // target becomes a shard root and taints its ancestors (shards
+        // are whole, disjoint subtrees).
+        let mut tainted = vec![false; n];
+        for i in PostorderIter::new(tree) {
+            let ix = i.index();
+            for &c in tree.children(i) {
+                tainted[ix] |= tainted[c.index()];
+            }
+            if i != tree.root()
+                && !tainted[ix]
+                && (size[ix] as usize) >= target
+                && roots.len() < policy.shards
+            {
+                roots.push(i);
+                tainted[ix] = true;
+            }
+        }
+        // Canonical shard order: ascending global root id, independent of
+        // traversal order.
+        roots.sort_unstable();
+        for (k, &r) in roots.iter().enumerate() {
+            for i in PostorderIter::rooted(tree, r) {
+                assignment[i.index()] = k as u32;
+            }
+        }
+    }
+
+    let shards: Vec<ShardPart> = roots
+        .iter()
+        .map(|&r| {
+            let (sub, to_global) = extract_subtree(tree, r);
+            ShardPart {
+                tree: sub,
+                to_global,
+                attach: tree.parent(r).expect("shard roots are never the tree root"),
+            }
+        })
+        .collect();
+
+    // Residual: real nodes in ascending global id, then one proxy leaf
+    // per shard carrying the shard root's output size.
+    let mut local_of = vec![usize::MAX; n];
+    let mut origin: Vec<Option<NodeId>> = Vec::new();
+    for i in tree.nodes() {
+        if assignment[i.index()] == RESIDUAL {
+            local_of[i.index()] = origin.len();
+            origin.push(Some(i));
+        }
+    }
+    let real = origin.len();
+    let mut parents: Vec<Option<usize>> = origin
+        .iter()
+        .map(|g| {
+            tree.parent(g.expect("real node"))
+                .map(|p| local_of[p.index()])
+        })
+        .collect();
+    let mut specs: Vec<TaskSpec> = origin
+        .iter()
+        .map(|g| tree.spec(g.expect("real node")))
+        .collect();
+    let mut proxies = Vec::with_capacity(shards.len());
+    for shard in &shards {
+        proxies.push(NodeId::from_index(origin.len()));
+        origin.push(None);
+        parents.push(Some(local_of[shard.attach.index()]));
+        specs.push(TaskSpec::new(0, tree.output(shard.root_global()), 0.0));
+    }
+    debug_assert_eq!(real + shards.len(), origin.len());
+    let residual_tree = TaskTree::from_parents(&parents, &specs).expect("residual is a valid tree");
+
+    Partition {
+        shards,
+        residual: ResidualPart {
+            tree: residual_tree,
+            origin,
+            proxies,
+        },
+        assignment,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::TaskSpec;
+
+    fn star_of_chains(lens: &[usize]) -> TaskTree {
+        let mut parents: Vec<Option<usize>> = vec![None];
+        let mut specs = vec![TaskSpec::new(1, 2, 1.0)];
+        for &len in lens {
+            let mut prev = 0usize; // attach each chain under the root
+            for k in 0..len {
+                parents.push(Some(prev));
+                specs.push(TaskSpec::new(1, 2 + k as u64, 1.0));
+                prev = parents.len() - 1;
+            }
+        }
+        TaskTree::from_parents(&parents, &specs).unwrap()
+    }
+
+    #[test]
+    fn star_splits_into_per_chain_shards() {
+        let tree = star_of_chains(&[10, 10, 10, 10]);
+        let part = partition(&tree, &PartitionPolicy::balanced(4));
+        assert_eq!(part.shard_count(), 4);
+        for shard in &part.shards {
+            assert_eq!(shard.tree.len(), 10);
+            assert_eq!(shard.attach, tree.root());
+        }
+        // Residual: the root plus one proxy per shard.
+        assert_eq!(part.residual.tree.len(), 1 + 4);
+        assert_eq!(part.residual.proxies.len(), 4);
+        for (k, &p) in part.residual.proxies.iter().enumerate() {
+            assert!(part.residual.tree.is_leaf(p));
+            assert_eq!(part.residual.tree.time(p), 0.0);
+            assert_eq!(part.residual.tree.exec(p), 0);
+            assert_eq!(
+                part.residual.tree.output(p),
+                tree.output(part.shards[k].root_global())
+            );
+        }
+    }
+
+    #[test]
+    fn a_single_requested_shard_still_cuts() {
+        // shards = 1 must not degenerate to an all-residual partition:
+        // the target clamps to the heaviest proper subtree, so the first
+        // chain becomes the one shard.
+        let tree = star_of_chains(&[10, 10, 10, 10]);
+        let part = partition(&tree, &PartitionPolicy::balanced(1));
+        assert_eq!(part.shard_count(), 1);
+        assert_eq!(part.shards[0].tree.len(), 10);
+        assert_eq!(part.stitch().content_hash(), tree.content_hash());
+    }
+
+    #[test]
+    fn chain_admits_at_most_one_shard() {
+        let tree = crate::tree::TaskTree::from_parents(
+            &[None, Some(0), Some(1), Some(2), Some(3), Some(4)],
+            &[TaskSpec::new(1, 1, 1.0); 6],
+        )
+        .unwrap();
+        let part = partition(&tree, &PartitionPolicy::balanced(4));
+        assert!(part.shard_count() <= 1, "nested subtrees cannot both shard");
+        assert_eq!(part.stitch().content_hash(), tree.content_hash());
+    }
+
+    #[test]
+    fn stitch_restores_the_original_hash() {
+        let tree = star_of_chains(&[7, 13, 5, 20, 3]);
+        for shards in [1, 2, 4, 8] {
+            let part = partition(&tree, &PartitionPolicy::balanced(shards));
+            assert_eq!(
+                part.stitch().content_hash(),
+                tree.content_hash(),
+                "{shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn partitioning_is_deterministic() {
+        let tree = star_of_chains(&[9, 4, 17, 11]);
+        let a = partition(&tree, &PartitionPolicy::balanced(3));
+        let b = partition(&tree, &PartitionPolicy::balanced(3));
+        assert_eq!(a.assignment, b.assignment);
+        for (sa, sb) in a.shards.iter().zip(&b.shards) {
+            assert_eq!(sa.tree.content_hash(), sb.tree.content_hash());
+        }
+        assert_eq!(
+            a.residual.tree.content_hash(),
+            b.residual.tree.content_hash()
+        );
+    }
+
+    #[test]
+    fn tiny_trees_stay_whole() {
+        let tree = TaskTree::from_parents(&[None], &[TaskSpec::new(1, 1, 1.0)]).unwrap();
+        let part = partition(&tree, &PartitionPolicy::balanced(8));
+        assert_eq!(part.shard_count(), 0);
+        assert_eq!(part.residual.tree.len(), 1);
+        assert_eq!(part.stitch().content_hash(), tree.content_hash());
+    }
+}

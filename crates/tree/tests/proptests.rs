@@ -2,6 +2,7 @@
 
 use memtree_tree::io::{tree_from_str, tree_to_string};
 use memtree_tree::memory::{sequential_peak, LiveSet};
+use memtree_tree::partition::{partition, PartitionPolicy, RESIDUAL};
 use memtree_tree::traverse::{postorder, postorder_with_child_order};
 use memtree_tree::validate::check_consistency;
 use memtree_tree::{NodeId, TaskSpec, TaskTree, TreeStats};
@@ -117,6 +118,112 @@ proptest! {
                 prop_assert_eq!(s.depth[i.index()], s.depth[p.index()] + 1);
             }
         }
+    }
+
+    /// Every node lands in exactly one shard or the residual tree, the
+    /// parts tile the tree, and shards are whole (downward-closed)
+    /// subtrees.
+    #[test]
+    fn partition_assigns_every_node_exactly_once(
+        tree in arb_tree(64),
+        shards in 1usize..10,
+    ) {
+        let part = partition(&tree, &PartitionPolicy::balanced(shards));
+        prop_assert!(part.shard_count() <= shards);
+        prop_assert_eq!(part.assignment.len(), tree.len());
+
+        // The assignment is the authoritative "exactly one home"; the
+        // extracted parts must tile it exactly.
+        let mut homes = vec![0usize; tree.len()];
+        for (k, shard) in part.shards.iter().enumerate() {
+            prop_assert_eq!(shard.tree.len(), shard.to_global.len());
+            for (local, &g) in shard.to_global.iter().enumerate() {
+                prop_assert_eq!(part.assignment[g.index()], k as u32);
+                homes[g.index()] += 1;
+                // Specs carried over verbatim.
+                prop_assert_eq!(
+                    shard.tree.spec(NodeId::from_index(local)),
+                    tree.spec(g)
+                );
+            }
+        }
+        let mut proxies = 0usize;
+        for (local, origin) in part.residual.origin.iter().enumerate() {
+            match origin {
+                Some(g) => {
+                    prop_assert_eq!(part.assignment[g.index()], RESIDUAL);
+                    homes[g.index()] += 1;
+                    prop_assert_eq!(
+                        part.residual.tree.spec(NodeId::from_index(local)),
+                        tree.spec(*g)
+                    );
+                }
+                None => proxies += 1,
+            }
+        }
+        prop_assert!(homes.iter().all(|&h| h == 1), "a node has two homes");
+        prop_assert_eq!(proxies, part.shard_count());
+
+        // Downward closure: a shard node's children share its shard.
+        for i in tree.nodes() {
+            let s = part.assignment[i.index()];
+            if s != RESIDUAL {
+                for &c in tree.children(i) {
+                    prop_assert_eq!(part.assignment[c.index()], s);
+                }
+            }
+        }
+    }
+
+    /// Shard roots' parents are in the residual tree, and each proxy leaf
+    /// mirrors its shard root's output under that parent.
+    #[test]
+    fn shard_frontiers_sit_on_the_residual_tree(
+        tree in arb_tree(64),
+        shards in 1usize..10,
+    ) {
+        let part = partition(&tree, &PartitionPolicy::balanced(shards));
+        for (k, shard) in part.shards.iter().enumerate() {
+            let root = shard.root_global();
+            prop_assert_eq!(tree.parent(root), Some(shard.attach));
+            prop_assert_eq!(part.assignment[shard.attach.index()], RESIDUAL);
+
+            let proxy = part.residual.proxies[k];
+            prop_assert!(part.residual.tree.is_leaf(proxy));
+            prop_assert_eq!(part.residual.tree.output(proxy), tree.output(root));
+            prop_assert_eq!(part.residual.tree.exec(proxy), 0);
+            prop_assert_eq!(part.residual.tree.time(proxy), 0.0);
+            let attach_local = part
+                .residual
+                .tree
+                .parent(proxy)
+                .expect("proxies are never the residual root");
+            prop_assert_eq!(
+                part.residual.origin[attach_local.index()],
+                Some(shard.attach)
+            );
+        }
+    }
+
+    /// Re-stitching the parts rebuilds the original tree, hash-equal —
+    /// the partition loses nothing and is canonical.
+    #[test]
+    fn restitched_partition_hash_equals_the_original(
+        tree in arb_tree(64),
+        shards in 1usize..10,
+    ) {
+        let part = partition(&tree, &PartitionPolicy::balanced(shards));
+        prop_assert_eq!(part.stitch().content_hash(), tree.content_hash());
+        // Determinism: partitioning again yields hash-identical parts.
+        let again = partition(&tree, &PartitionPolicy::balanced(shards));
+        prop_assert_eq!(&part.assignment, &again.assignment);
+        for (a, b) in part.shards.iter().zip(&again.shards) {
+            prop_assert_eq!(a.tree.content_hash(), b.tree.content_hash());
+        }
+        prop_assert_eq!(
+            part.residual.tree.content_hash(),
+            again.residual.tree.content_hash()
+        );
     }
 }
 
