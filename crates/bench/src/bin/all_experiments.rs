@@ -38,8 +38,15 @@ fn main() {
     f::fig_orders(&synthetic, 8, &fs, &ctx).emit();
     println!("=== fig15 processors synthetic ===");
     f::fig_processors(&synthetic, &[2, 4, 8, 16, 32], &fs, &ctx).emit();
-    println!("=== fig16 shard scaling ===");
-    f::fig_shards(&synthetic, 8, &[0, 1, 2, 4, 8], 16.0, &ctx).emit();
+    println!("=== fig16 backend scaling ===");
+    f::fig_shards(
+        &synthetic,
+        8,
+        &memtree_bench::Backend::default_axis(),
+        16.0,
+        &ctx,
+    )
+    .emit();
     println!("=== table: lower bound stats (assembly) ===");
     f::table_lowerbound(&assembly, 8, &fs).emit();
     println!("=== table: lower bound stats (synthetic) ===");

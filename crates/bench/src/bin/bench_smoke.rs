@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! bench_smoke [quick|full] [--cache-dir DIR] [--fresh] [--window N]
-//!             [--shards LIST] [--out-dir DIR] [--min-hit-rate R] [--trees N]
+//!             [--backend LIST] [--shards LIST] [--out-dir DIR]
+//!             [--min-hit-rate R] [--trees N]
 //! ```
 //!
 //! Writes two artifacts into `--out-dir` (default `bench-out`):
@@ -28,7 +29,7 @@ fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: bench_smoke [quick|full] [--cache-dir DIR] [--fresh] [--window N] \
-         [--shards LIST] [--out-dir DIR] [--min-hit-rate R] [--trees N]"
+         [--backend LIST] [--shards LIST] [--out-dir DIR] [--min-hit-rate R] [--trees N]"
     );
     std::process::exit(2);
 }
@@ -68,9 +69,10 @@ fn main() {
             )
         });
     }
-    // The shard axis (`--shards`, default unsharded) proves the cell
-    // cache is shard-count-aware: the CI job sweeps `0,2` and the warm
-    // run must replay both backends' cells.
+    // The backend axis (`--backend`/`--shards`, default the simulator)
+    // proves the cell cache is backend-aware: the CI job sweeps
+    // sim + async + sharded and the warm run must replay every backend's
+    // cells.
     let report = Sweep::new(&cases)
         .kinds(vec![
             HeuristicKind::Activation,
@@ -78,7 +80,7 @@ fn main() {
             HeuristicKind::MemBookingRedTree,
         ])
         .processors(vec![2, 4])
-        .shards(args.shards_axis())
+        .backends(args.backends_axis())
         .factors(vec![1.0, 1.5, 2.0, 3.0, 5.0])
         .ctx(&args.ctx())
         .run();
@@ -101,6 +103,10 @@ fn main() {
     } else {
         0.0
     };
+    // An unavailable RSS proxy is JSON `null`, never a fake 0 — a 0 in
+    // the trajectory artifact would read as a perfect-memory run.
+    let peak_rss = memtree_bench::cli::peak_rss_kb();
+    let peak_rss_json = peak_rss.map_or_else(|| "null".to_string(), |kb| kb.to_string());
     let json_path = out_dir.join("BENCH_sweep.json");
     let mut json = std::fs::File::create(&json_path)
         .unwrap_or_else(|e| fail(&format!("creating BENCH_sweep.json: {e}")));
@@ -108,7 +114,7 @@ fn main() {
         json,
         "{{\n  \"cells\": {cells},\n  \"cases\": {},\n  \"wall_seconds\": {:.6},\n  \
          \"cells_per_sec\": {:.3},\n  \"cache_hits\": {},\n  \"computed\": {},\n  \
-         \"hit_rate\": {:.6},\n  \"threads_used\": {},\n  \"peak_rss_kb\": {}\n}}\n",
+         \"hit_rate\": {:.6},\n  \"threads_used\": {},\n  \"peak_rss_kb\": {peak_rss_json}\n}}\n",
         report.case_count(),
         report.wall_seconds,
         cells_per_sec,
@@ -116,18 +122,17 @@ fn main() {
         report.computed,
         report.hit_rate(),
         report.threads_used,
-        memtree_bench::cli::peak_rss_kb(),
     )
     .unwrap_or_else(|e| fail(&format!("writing BENCH_sweep.json: {e}")));
 
     println!(
         "bench_smoke: {cells} cells in {:.2}s ({cells_per_sec:.0} cells/s), \
-         {} cached / {} computed (hit rate {:.1}%), peak RSS {} kB",
+         {} cached / {} computed (hit rate {:.1}%), peak RSS {}",
         report.wall_seconds,
         report.cache_hits,
         report.computed,
         100.0 * report.hit_rate(),
-        memtree_bench::cli::peak_rss_kb(),
+        peak_rss.map_or_else(|| "unavailable".to_string(), |kb| format!("{kb} kB")),
     );
     println!("wrote {} and {}", csv_path.display(), json_path.display());
 

@@ -1,15 +1,19 @@
-//! Figure 16: shard-count scaling of the sharded forest platform
+//! Figure 16: execution-backend scaling of the platform family
 //! (MemBooking, synthetic corpus).
 //!
-//! The `--shards` axis defaults to `0,1,2,4,8`: the unsharded simulator
-//! baseline plus the sharded backend at increasing worker counts. Cached
-//! cells are shard-count-aware, so re-runs replay every completed
-//! backend × shard-count combination.
+//! The backend axis defaults to [`Backend::default_axis`] — the
+//! unsharded simulator baseline, the threaded and async execution
+//! backends, and the sharded platform at increasing shard counts;
+//! `--backend`/`--shards` override it. Cached cells are backend-aware,
+//! so re-runs replay every completed backend combination.
+
+use memtree_bench::Backend;
+
 fn main() {
     let args = memtree_bench::BenchArgs::parse();
     let cases = memtree_bench::synthetic_source(args.scale);
-    let shards = args.shards.clone().unwrap_or_else(|| vec![0, 1, 2, 4, 8]);
+    let backends = args.backends_axis_or(&Backend::default_axis());
     // A roomy factor: the per-shard budget split must stay feasible at
     // the deepest shard count on the axis.
-    memtree_bench::figures::fig_shards(&cases, 8, &shards, 16.0, &args.ctx()).emit();
+    memtree_bench::figures::fig_shards(&cases, 8, &backends, 16.0, &args.ctx()).emit();
 }

@@ -10,7 +10,7 @@
 //! key = H(format version,
 //!         tree content hash,          // memtree_tree::hash::content_hash
 //!         PolicySpec fingerprint,     // kind + AO/EO + memory (+ caps)
-//!         order pair, p, factor bits)
+//!         order pair, p, backend label, factor bits)
 //! ```
 //!
 //! so renaming or reordering a corpus keeps every hit, while any change to
@@ -26,7 +26,7 @@
 //! entry under the final name. Each file is a versioned text record:
 //!
 //! ```text
-//! memtree-cell v2
+//! memtree-cell v3
 //! scheduled 1
 //! makespan 1234.5
 //! normalized 1.0625
@@ -50,7 +50,7 @@
 //! functions of the key and always valid; for timing measurements of the
 //! *current* build, pass `--fresh`.
 
-use crate::runner::{OrderPair, RunOutcome};
+use crate::runner::{Backend, OrderPair, RunOutcome};
 use memtree_sched::{HeuristicKind, PolicySpec};
 use memtree_tree::Fnv64;
 use std::fs;
@@ -60,8 +60,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Version tag of both the key derivation and the file format; bumping it
 /// orphans (never mis-reads) every existing entry. v2 added the shard
-/// count to the key derivation.
-const FORMAT: &str = "memtree-cell v2";
+/// count to the key derivation; v3 generalised it to the execution
+/// backend label (`sim`/`threaded`/`async`/`sharded:N`).
+const FORMAT: &str = "memtree-cell v3";
 
 /// A 128-bit content address of one sweep cell.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -77,15 +78,15 @@ impl CellKey {
     }
 }
 
-/// Derives the content address of the cell `(tree, kind, pair, p, shards,
-/// factor)`.
+/// Derives the content address of the cell `(tree, kind, pair, p,
+/// backend, factor)`.
 ///
 /// `tree_hash` is the tree's canonical content hash; the policy component
 /// goes through [`PolicySpec::fingerprint`] built at the cell's actual
 /// memory bound, so every behavioural knob of the policy feeds the key.
-/// `shards` is the execution backend's shard count (0 = the unsharded
-/// simulator) — a sharded run is a different measurement, so the shard
-/// count is part of the address and never aliases an unsharded cell.
+/// `backend` is the execution backend the cell runs on — each backend is
+/// a different measurement (different clock, different machine shape), so
+/// its label is part of the address and backends never alias each other.
 /// Two independent FNV-1a lanes (distinct domain tags) form the 128-bit
 /// address; at that width accidental collisions are out of reach for any
 /// realistic sweep (billions of cells).
@@ -94,7 +95,7 @@ pub fn cell_key(
     kind: HeuristicKind,
     pair: OrderPair,
     processors: usize,
-    shards: usize,
+    backend: Backend,
     factor: f64,
     memory: u64,
 ) -> CellKey {
@@ -106,7 +107,7 @@ pub fn cell_key(
         // The spec fingerprint covers kind, AO/EO and the memory bound.
         h.write_u64(spec.fingerprint());
         h.write_u64(processors as u64);
-        h.write_u64(shards as u64);
+        h.write_str(&backend.label());
         h.write_f64(factor);
         h.finish()
     };
@@ -246,6 +247,8 @@ mod tests {
     use super::*;
     use memtree_order::OrderKind;
 
+    const SIM: Backend = Backend::Sim;
+
     fn temp_cache(tag: &str) -> CellCache {
         let dir =
             std::env::temp_dir().join(format!("memtree-cellcache-{tag}-{}", std::process::id()));
@@ -271,7 +274,7 @@ mod tests {
             HeuristicKind::MemBooking,
             OrderPair::default_pair(),
             8,
-            0,
+            SIM,
             2.0,
             999,
         );
@@ -293,29 +296,61 @@ mod tests {
     #[test]
     fn keys_separate_every_coordinate() {
         let pair = OrderPair::default_pair();
-        let base = cell_key(1, HeuristicKind::MemBooking, pair, 8, 0, 2.0, 100);
+        let base = cell_key(1, HeuristicKind::MemBooking, pair, 8, SIM, 2.0, 100);
         let other_pair = OrderPair {
             ao: OrderKind::MemPostorder,
             eo: OrderKind::CriticalPath,
         };
         let variants = [
-            cell_key(2, HeuristicKind::MemBooking, pair, 8, 0, 2.0, 100),
-            cell_key(1, HeuristicKind::Activation, pair, 8, 0, 2.0, 100),
-            cell_key(1, HeuristicKind::MemBooking, other_pair, 8, 0, 2.0, 100),
-            cell_key(1, HeuristicKind::MemBooking, pair, 4, 0, 2.0, 100),
-            // The execution backend's shard count is a key coordinate:
-            // sharded and unsharded measurements never alias.
-            cell_key(1, HeuristicKind::MemBooking, pair, 8, 2, 2.0, 100),
-            cell_key(1, HeuristicKind::MemBooking, pair, 8, 0, 3.0, 100),
-            cell_key(1, HeuristicKind::MemBooking, pair, 8, 0, 2.0, 101),
+            cell_key(2, HeuristicKind::MemBooking, pair, 8, SIM, 2.0, 100),
+            cell_key(1, HeuristicKind::Activation, pair, 8, SIM, 2.0, 100),
+            cell_key(1, HeuristicKind::MemBooking, other_pair, 8, SIM, 2.0, 100),
+            cell_key(1, HeuristicKind::MemBooking, pair, 4, SIM, 2.0, 100),
+            // The execution backend is a key coordinate: the backends'
+            // measurements never alias each other.
+            cell_key(
+                1,
+                HeuristicKind::MemBooking,
+                pair,
+                8,
+                Backend::Sharded(2),
+                2.0,
+                100,
+            ),
+            cell_key(
+                1,
+                HeuristicKind::MemBooking,
+                pair,
+                8,
+                Backend::Threaded,
+                2.0,
+                100,
+            ),
+            cell_key(
+                1,
+                HeuristicKind::MemBooking,
+                pair,
+                8,
+                Backend::Async,
+                2.0,
+                100,
+            ),
+            cell_key(1, HeuristicKind::MemBooking, pair, 8, SIM, 3.0, 100),
+            cell_key(1, HeuristicKind::MemBooking, pair, 8, SIM, 2.0, 101),
         ];
         for v in &variants {
             assert_ne!(base, *v);
         }
+        // Distinct backends are pairwise distinct too.
+        for (i, a) in variants.iter().enumerate() {
+            for b in &variants[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
         // And the derivation is deterministic.
         assert_eq!(
             base,
-            cell_key(1, HeuristicKind::MemBooking, pair, 8, 0, 2.0, 100)
+            cell_key(1, HeuristicKind::MemBooking, pair, 8, SIM, 2.0, 100)
         );
     }
 
@@ -327,7 +362,7 @@ mod tests {
             HeuristicKind::Activation,
             OrderPair::default_pair(),
             4,
-            0,
+            SIM,
             1.5,
             50,
         );
@@ -366,7 +401,7 @@ mod tests {
             HeuristicKind::MemBooking,
             OrderPair::default_pair(),
             2,
-            0,
+            SIM,
             2.0,
             64,
         );
@@ -389,7 +424,7 @@ mod tests {
             HeuristicKind::MemBookingRedTree,
             OrderPair::default_pair(),
             2,
-            0,
+            SIM,
             1.0,
             10,
         );

@@ -3,7 +3,8 @@
 //! All 20 experiment binaries accept the same surface:
 //!
 //! ```text
-//! <binary> [quick|full] [--cache-dir DIR] [--fresh] [--window N] [--shards LIST]
+//! <binary> [quick|full] [--cache-dir DIR] [--fresh] [--window N]
+//!          [--backend LIST] [--shards LIST]
 //! ```
 //!
 //! * the positional scale (or `MEMTREE_SCALE`) picks the corpus size;
@@ -11,8 +12,12 @@
 //!   [`CellCache`] so re-runs replay completed cells;
 //! * `--fresh` recomputes everything while refreshing the store;
 //! * `--window` overrides the streaming sweep's in-flight case window;
+//! * `--backend` sets the execution-backend axis (comma-separated:
+//!   `sim`, `threaded`, `async`, `sharded:N`, or bare `sharded` which
+//!   expands against the `--shards` counts);
 //! * `--shards` sets the shard-count axis (comma-separated; `0` is the
-//!   unsharded simulator) for the shard-aware binaries.
+//!   unsharded simulator) — the PR-4 spelling, mapped onto the backend
+//!   axis when `--backend` is absent.
 //!
 //! Binaries with extra options (`bench_smoke`) reuse [`ArgParser`]
 //! directly and take their extras before handing the rest to
@@ -20,6 +25,7 @@
 
 use crate::cache::CellCache;
 use crate::corpus::Scale;
+use crate::runner::Backend;
 use crate::sweep::SweepCtx;
 use std::path::PathBuf;
 
@@ -106,9 +112,15 @@ pub struct BenchArgs {
     /// Shard-count axis (`--shards`, comma-separated; 0 = the unsharded
     /// simulator), `None` when the flag was not given — so binaries with
     /// their own default axis (`fig16_shards`) can tell "unset" apart
-    /// from an explicit `--shards 0`. Feed [`BenchArgs::shards_axis`] to
-    /// [`crate::Sweep::shards`].
+    /// from an explicit `--shards 0`. Feeds the backend axis through
+    /// [`BenchArgs::backends_axis`].
     pub shards: Option<Vec<usize>>,
+    /// Execution-backend axis (`--backend`, comma-separated names —
+    /// `sim`, `threaded`, `async`, `sharded:N`; bare `sharded` expands
+    /// against the `--shards` counts), `None` when the flag was not
+    /// given. Feed [`BenchArgs::backends_axis`] to
+    /// [`crate::Sweep::backends`].
+    pub backends: Option<Vec<Backend>>,
 }
 
 impl BenchArgs {
@@ -121,7 +133,8 @@ impl BenchArgs {
             Err(e) => {
                 eprintln!("error: {e}");
                 eprintln!(
-                    "usage: [quick|full] [--cache-dir DIR] [--fresh] [--window N] [--shards LIST]"
+                    "usage: [quick|full] [--cache-dir DIR] [--fresh] [--window N] \
+                     [--backend LIST] [--shards LIST]"
                 );
                 std::process::exit(2);
             }
@@ -171,6 +184,36 @@ impl BenchArgs {
                 Ok(counts)
             })
             .transpose()?;
+        let backends = parser
+            .take_value("--backend")?
+            .map(|v| {
+                let mut out = Vec::new();
+                for name in v.split(',').map(str::trim) {
+                    if name == "sharded" {
+                        // Bare `sharded` expands against the --shards
+                        // counts (default: 2 shards).
+                        let counts = shards
+                            .clone()
+                            .unwrap_or_else(|| vec![2])
+                            .into_iter()
+                            .filter(|&s| s >= 1)
+                            .collect::<Vec<_>>();
+                        if counts.is_empty() {
+                            return Err(String::from(
+                                "--backend sharded needs a --shards count >= 1",
+                            ));
+                        }
+                        out.extend(counts.into_iter().map(Backend::Sharded));
+                    } else {
+                        out.push(Backend::parse(name)?);
+                    }
+                }
+                if out.is_empty() {
+                    return Err(String::from("--backend needs at least one name"));
+                }
+                Ok(out)
+            })
+            .transpose()?;
         let scale_arg = parser
             .take_positional()
             .or_else(|| std::env::var("MEMTREE_SCALE").ok());
@@ -185,6 +228,7 @@ impl BenchArgs {
             fresh,
             window,
             shards,
+            backends,
         })
     }
 
@@ -192,6 +236,32 @@ impl BenchArgs {
     /// `--shards` list, or the single unsharded backend when unset.
     pub fn shards_axis(&self) -> Vec<usize> {
         self.shards.clone().unwrap_or_else(|| vec![0])
+    }
+
+    /// The execution-backend axis for [`crate::Sweep::backends`]: the
+    /// explicit `--backend` list when given, else the `--shards` list
+    /// through the PR-4 encoding ([`Backend::from_shards`]), else the
+    /// single simulator backend.
+    pub fn backends_axis(&self) -> Vec<Backend> {
+        if let Some(backends) = &self.backends {
+            return backends.clone();
+        }
+        self.shards_axis()
+            .into_iter()
+            .map(Backend::from_shards)
+            .collect()
+    }
+
+    /// [`BenchArgs::backends_axis`] with a caller default: the
+    /// flag-derived axis when `--backend` or `--shards` was given, else
+    /// `default` — for binaries whose natural axis is wider than the
+    /// single simulator backend (`fig16_shards`).
+    pub fn backends_axis_or(&self, default: &[Backend]) -> Vec<Backend> {
+        if self.backends.is_some() || self.shards.is_some() {
+            self.backends_axis()
+        } else {
+            default.to_vec()
+        }
     }
 
     /// The sweep execution knobs these arguments describe. Opens (creating
@@ -214,25 +284,25 @@ impl BenchArgs {
 }
 
 /// Peak resident set size of this process in kilobytes (`VmHWM` from
-/// `/proc/self/status`), or 0 where unavailable — the RSS proxy recorded
-/// in `BENCH_sweep.json` to track the streaming sweep's memory trajectory.
-pub fn peak_rss_kb() -> u64 {
+/// `/proc/self/status`) — the RSS proxy recorded in `BENCH_sweep.json` to
+/// track the streaming sweep's memory trajectory.
+///
+/// Returns `None` off Linux, when `/proc/self/status` is unreadable, or
+/// when the `VmHWM` line is missing or unparsable — "unknown" must stay
+/// distinguishable from a genuine measurement (a fake 0 would read as a
+/// perfect-memory run in the trajectory artifact; `bench_smoke` emits
+/// JSON `null` instead).
+pub fn peak_rss_kb() -> Option<u64> {
     #[cfg(target_os = "linux")]
     {
-        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
-            for line in status.lines() {
-                if let Some(rest) = line.strip_prefix("VmHWM:") {
-                    return rest
-                        .trim()
-                        .trim_end_matches("kB")
-                        .trim()
-                        .parse()
-                        .unwrap_or(0);
-                }
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                return rest.trim().trim_end_matches("kB").trim().parse().ok();
             }
         }
     }
-    0
+    None
 }
 
 #[cfg(test)]
@@ -317,8 +387,64 @@ mod tests {
     }
 
     #[test]
-    fn peak_rss_is_positive_on_linux() {
+    fn peak_rss_is_measured_and_positive_on_linux() {
         #[cfg(target_os = "linux")]
-        assert!(peak_rss_kb() > 0);
+        assert!(peak_rss_kb().expect("VmHWM available on Linux") > 0);
+        #[cfg(not(target_os = "linux"))]
+        assert_eq!(peak_rss_kb(), None);
+    }
+
+    #[test]
+    fn backend_axis_parses_names_and_expands_sharded() {
+        let mut p = ArgParser::from_args(&["--backend", "sim,threaded,async,sharded:4"]);
+        let args = BenchArgs::from_parser(&mut p).unwrap();
+        p.finish().unwrap();
+        assert_eq!(
+            args.backends_axis(),
+            vec![
+                Backend::Sim,
+                Backend::Threaded,
+                Backend::Async,
+                Backend::Sharded(4)
+            ]
+        );
+
+        // Bare `sharded` expands against the --shards counts (0 entries,
+        // being the unsharded simulator, do not produce sharded cells).
+        let mut p = ArgParser::from_args(&["--backend", "sim,sharded", "--shards", "0,2,4"]);
+        let args = BenchArgs::from_parser(&mut p).unwrap();
+        p.finish().unwrap();
+        assert_eq!(
+            args.backends_axis(),
+            vec![Backend::Sim, Backend::Sharded(2), Backend::Sharded(4)]
+        );
+
+        // … and defaults to 2 shards without --shards.
+        let mut p = ArgParser::from_args(&["--backend", "sharded"]);
+        assert_eq!(
+            BenchArgs::from_parser(&mut p).unwrap().backends_axis(),
+            vec![Backend::Sharded(2)]
+        );
+
+        // Without --backend, --shards feeds the axis through the PR-4
+        // encoding; without either, the axis is the simulator.
+        let mut p = ArgParser::from_args(&["--shards", "0,2"]);
+        assert_eq!(
+            BenchArgs::from_parser(&mut p).unwrap().backends_axis(),
+            vec![Backend::Sim, Backend::Sharded(2)]
+        );
+        let mut p = ArgParser::from_args(&[]);
+        assert_eq!(
+            BenchArgs::from_parser(&mut p).unwrap().backends_axis(),
+            vec![Backend::Sim]
+        );
+
+        // Unknown names and malformed shard suffixes error loudly.
+        let mut p = ArgParser::from_args(&["--backend", "simulator"]);
+        assert!(BenchArgs::from_parser(&mut p).is_err());
+        let mut p = ArgParser::from_args(&["--backend", "sharded:0"]);
+        assert!(BenchArgs::from_parser(&mut p).is_err());
+        let mut p = ArgParser::from_args(&["--backend", "sharded:two"]);
+        assert!(BenchArgs::from_parser(&mut p).is_err());
     }
 }

@@ -12,7 +12,7 @@
 //! dropped.
 
 use crate::aggregate::Summary;
-use crate::runner::{CaseSource, OrderPair};
+use crate::runner::{Backend, CaseSource, OrderPair};
 use crate::sweep::{Sweep, SweepCtx, SweepReport};
 use memtree_sched::HeuristicKind;
 
@@ -407,37 +407,37 @@ pub fn fig_processors(
     }
 }
 
-/// Figure 16: shard-count scaling of the sharded forest platform.
+/// Figure 16: execution-backend scaling, shard counts included.
 ///
-/// One MemBooking series per shard count: `0` is the unsharded simulator
-/// baseline (virtual-time makespan), `s ≥ 1` runs the sharded platform,
-/// whose makespan is the run's wall-clock seconds — the scaling quantity
-/// `BENCH_sweep.json` tracks across PRs. Sharded and simulator cells are
-/// separate backends (and separate cache-key coordinates), so the rows
-/// carry a backend column rather than pretending the clocks compare.
+/// One MemBooking series per backend: the simulator baseline reports
+/// virtual-time makespans; the execution backends (threaded, async,
+/// sharded) report the run's wall-clock seconds — the scaling quantity
+/// `BENCH_sweep.json` tracks across PRs. Each backend is its own
+/// cache-key coordinate, so the rows carry the backend label rather than
+/// pretending the clocks compare.
 pub fn fig_shards(
     cases: &CaseSource,
     p: usize,
-    shards: &[usize],
+    backends: &[Backend],
     factor: f64,
     ctx: &SweepCtx,
 ) -> FigureOutput {
     let report = Sweep::new(cases)
         .kinds(vec![HeuristicKind::MemBooking])
         .processors(vec![p])
-        .shards(shards.to_vec())
+        .backends(backends.to_vec())
         .factors(vec![factor])
         .ctx(ctx)
         .run();
     let mut rows = Vec::new();
     let mut scaling: Vec<(usize, f64)> = Vec::new();
-    for &s in shards {
+    for &b in backends {
         let cells: Vec<_> = report
             .series_at(
                 HeuristicKind::MemBooking,
                 OrderPair::default_pair(),
                 p,
-                s,
+                b,
                 factor,
             )
             .collect();
@@ -447,17 +447,18 @@ pub fn fig_shards(
             .map(|c| c.outcome.makespan)
             .collect();
         let coverage = scheduled.len() as f64 / report.case_count().max(1) as f64;
-        let backend = if s == 0 { "sim" } else { "sharded" };
         if let Some(summary) = Summary::of(&scheduled) {
             rows.push(format!(
-                "{s},{backend},{coverage:.3},{:.6},{:.6}",
-                summary.mean, summary.median
+                "{},{coverage:.3},{:.6},{:.6}",
+                b.label(),
+                summary.mean,
+                summary.median
             ));
-            if s >= 1 {
+            if let Backend::Sharded(s) = b {
                 scaling.push((s, summary.mean));
             }
         } else {
-            rows.push(format!("{s},{backend},{coverage:.3},NA,NA"));
+            rows.push(format!("{},{coverage:.3},NA,NA", b.label()));
         }
     }
     let mut notes = vec![sweep_note(&report, p)];
@@ -471,7 +472,7 @@ pub fn fig_shards(
         }
     }
     FigureOutput {
-        header: "shards,backend,scheduled_fraction,mean_makespan,median_makespan".into(),
+        header: "backend,scheduled_fraction,mean_makespan,median_makespan".into(),
         rows,
         notes,
     }

@@ -27,8 +27,11 @@ pub use aggregate::Summary;
 pub use cache::{cell_key, CellCache, CellKey};
 pub use cli::{ArgParser, BenchArgs};
 pub use corpus::{assembly_cases, assembly_source, synthetic_cases, synthetic_source, Scale};
-pub use runner::{run_heuristic, run_on_platform, CaseSource, OrderPair, RunOutcome, TreeCase};
-pub use sweep::{CaseMeta, Sweep, SweepCell, SweepCtx, SweepReport};
+pub use runner::{
+    run_heuristic, run_heuristic_backend, run_on_platform, Backend, CaseSource, OrderPair,
+    RunOutcome, TreeCase,
+};
+pub use sweep::{untimed_row, CaseMeta, Sweep, SweepCell, SweepCtx, SweepReport};
 
 /// Prints a CSV header and rows through a tiny helper so every binary
 /// formats identically.

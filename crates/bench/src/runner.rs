@@ -6,7 +6,7 @@
 //! while sharing the expensive per-tree preprocessing.
 
 use memtree_order::{make_order, Order, OrderKind};
-use memtree_runtime::{Platform, PlatformError, SimPlatform};
+use memtree_runtime::{AsyncPlatform, Platform, PlatformError, SimPlatform, ThreadedPlatform};
 use memtree_sched::to_reduction_tree;
 use memtree_sched::{HeuristicKind, LowerBounds, PolicyInstance, RedTreeBooking};
 use memtree_tree::{TaskTree, TreeStats};
@@ -111,6 +111,96 @@ impl OrderPair {
     /// Plot label, e.g. `memPO/CP`.
     pub fn label(&self) -> String {
         format!("{}/{}", self.ao.label(), self.eo.label())
+    }
+}
+
+/// An execution backend a sweep cell can run on — the sweep's backend
+/// axis (`--backend sim|threaded|sharded|async` on the shared CLI).
+///
+/// `Sim` reports virtual-time makespans with paper-normalised lower
+/// bounds; the execution backends (`Threaded`, `Async`, `Sharded`) report
+/// the run's wall-clock seconds and a `normalized` of 0 — different
+/// clocks are different measurements, and the cell cache keys them apart
+/// ([`crate::cache::cell_key`] hashes the backend label).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// The discrete-event simulator (virtual time) — the default.
+    Sim,
+    /// Real worker threads (`ThreadedPlatform`, wall-clock).
+    Threaded,
+    /// The futures-backed executor (`AsyncPlatform`, wall-clock) — the
+    /// IO-bound regime.
+    Async,
+    /// The sharded forest platform with up to this many shard workers
+    /// (≥ 1, wall-clock).
+    Sharded(usize),
+}
+
+impl Backend {
+    /// CSV/cache label: `sim`, `threaded`, `async`, `sharded:N`.
+    pub fn label(&self) -> String {
+        match self {
+            Backend::Sim => "sim".into(),
+            Backend::Threaded => "threaded".into(),
+            Backend::Async => "async".into(),
+            Backend::Sharded(n) => format!("sharded:{n}"),
+        }
+    }
+
+    /// The PR-4 shard-count encoding: `0` is the unsharded simulator,
+    /// `n ≥ 1` the sharded platform — what a bare `--shards` axis maps
+    /// through.
+    pub fn from_shards(shards: usize) -> Backend {
+        match shards {
+            0 => Backend::Sim,
+            n => Backend::Sharded(n),
+        }
+    }
+
+    /// The canonical backend-scaling axis (`fig16_shards`,
+    /// `all_experiments`): the simulator baseline, both single-machine
+    /// execution backends, and the sharded platform at increasing shard
+    /// counts.
+    pub fn default_axis() -> Vec<Backend> {
+        vec![
+            Backend::Sim,
+            Backend::Threaded,
+            Backend::Async,
+            Backend::Sharded(1),
+            Backend::Sharded(2),
+            Backend::Sharded(4),
+            Backend::Sharded(8),
+        ]
+    }
+
+    /// Parses one backend name: `sim`, `threaded`, `async`, or
+    /// `sharded:N` (N ≥ 1). A bare `sharded` is rejected here — the CLI
+    /// expands it against its `--shards` counts before parsing.
+    ///
+    /// # Errors
+    /// On an unknown name or a malformed/zero shard count.
+    pub fn parse(s: &str) -> Result<Backend, String> {
+        match s {
+            "sim" => Ok(Backend::Sim),
+            "threaded" => Ok(Backend::Threaded),
+            "async" => Ok(Backend::Async),
+            _ => {
+                let n = s
+                    .strip_prefix("sharded:")
+                    .and_then(|n| n.trim().parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| {
+                        format!("unknown backend {s:?} (sim|threaded|async|sharded:N)")
+                    })?;
+                Ok(Backend::Sharded(n))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
     }
 }
 
@@ -277,41 +367,65 @@ pub fn run_heuristic(
     }
 }
 
-/// Runs `kind` on `case` through the execution backend `shards` selects:
-/// `0` is the unsharded simulator ([`run_heuristic`]); `s ≥ 1` runs the
-/// sharded forest platform with up to `min(s, processors)` shard workers
-/// of `⌊processors / shard count⌋` threads each — never more threads
-/// than the cell's processor budget.
+/// Runs `kind` on `case` through the execution `backend` — the cell
+/// dispatch behind the sweep's backend axis.
 ///
-/// A sharded cell's makespan is the run's wall-clock seconds (shard
-/// workers are real threads) — the shard-scaling axis of `fig16_shards` —
-/// so `normalized` is reported as 0 (virtual-time lower bounds do not
-/// apply). An infeasible budget split counts as unscheduled, mirroring
-/// the construction-refusal accounting of the unsharded run.
-pub fn run_heuristic_sharded(
+/// `Backend::Sim` is [`run_heuristic`] (virtual-time makespan, normalised
+/// against the lower bounds). The execution backends report the run's
+/// wall-clock seconds with `normalized` 0 (virtual-time lower bounds do
+/// not apply):
+///
+/// * `Threaded` runs `processors` real worker threads;
+/// * `Async` runs `processors` logical workers as futures on the
+///   platform's default executor-thread count;
+/// * `Sharded(s)` runs up to `min(s, processors)` shard workers of
+///   `⌊processors / shard count⌋` threads each — never more threads than
+///   the cell's processor budget (non-dividing counts idle the remainder
+///   rather than oversubscribe).
+///
+/// Infeasible memory — a construction refusal or a sharded budget split
+/// that cannot fit — counts as unscheduled on every backend.
+pub fn run_heuristic_backend(
     case: &TreeCase,
     kind: HeuristicKind,
     orders: OrderPair,
     processors: usize,
     factor: f64,
-    shards: usize,
+    backend: Backend,
 ) -> RunOutcome {
-    if shards == 0 {
-        return run_heuristic(case, kind, orders, processors, factor);
-    }
     let memory = case.memory_at(factor);
-    let spec = memtree_sched::PolicySpec::new(kind, memory).with_orders(orders.ao, orders.eo);
-    // The machine stays inside the cell's processor budget: the shard
-    // count is capped at `processors` and each shard worker gets the
-    // floor share, so shard_count × workers_per_shard ≤ processors
-    // (non-dividing counts idle the remainder rather than oversubscribe).
-    let shard_count = shards.min(processors).max(1);
-    let platform = memtree_runtime::ShardedPlatform::new(shard_count)
-        .with_workers_per_shard(processors / shard_count);
-    let report = match platform.run(&case.tree, &spec) {
+    let report = match backend {
+        Backend::Sim => return run_heuristic(case, kind, orders, processors, factor),
+        Backend::Threaded => run_on_platform(
+            case,
+            &ThreadedPlatform::new(processors.max(1)),
+            kind,
+            orders,
+            factor,
+        ),
+        Backend::Async => run_on_platform(
+            case,
+            &AsyncPlatform::new(processors.max(1)),
+            kind,
+            orders,
+            factor,
+        ),
+        Backend::Sharded(s) => {
+            let spec =
+                memtree_sched::PolicySpec::new(kind, memory).with_orders(orders.ao, orders.eo);
+            let shard_count = s.min(processors).max(1);
+            memtree_runtime::ShardedPlatform::new(shard_count)
+                .with_workers_per_shard(processors / shard_count)
+                .run(&case.tree, &spec)
+        }
+    };
+    let report = match report {
         Ok(report) => report,
         Err(e) if e.is_infeasible() => return RunOutcome::unscheduled(),
-        Err(e) => panic!("{}: {kind} x{shards} must not fail mid-run: {e}", case.name),
+        Err(e) => panic!(
+            "{}: {kind} on {backend} must not fail mid-run: {e}",
+            case.name
+        ),
     };
     RunOutcome {
         scheduled: true,
@@ -324,6 +438,27 @@ pub fn run_heuristic_sharded(
         },
         scheduling_seconds: report.scheduling_seconds,
     }
+}
+
+/// The PR-4 shard-count entry point: `shards == 0` is the unsharded
+/// simulator, `s ≥ 1` the sharded platform — a thin
+/// [`Backend::from_shards`] wrapper over [`run_heuristic_backend`].
+pub fn run_heuristic_sharded(
+    case: &TreeCase,
+    kind: HeuristicKind,
+    orders: OrderPair,
+    processors: usize,
+    factor: f64,
+    shards: usize,
+) -> RunOutcome {
+    run_heuristic_backend(
+        case,
+        kind,
+        orders,
+        processors,
+        factor,
+        Backend::from_shards(shards),
+    )
 }
 
 /// A corpus as a *source* of [`TreeCase`]s rather than a materialised

@@ -2,9 +2,9 @@
 //! cores (DESIGN.md §6.5/§6.6).
 //!
 //! A sweep is the cartesian product (trees × policies × order pairs ×
-//! processor counts × shard counts × memory factors); every figure in the
-//! paper is an aggregation over such a grid (the shard axis defaults to
-//! the single unsharded backend). [`Sweep::run`] *streams*: trees come from
+//! processor counts × execution backends × memory factors); every figure
+//! in the paper is an aggregation over such a grid (the backend axis
+//! defaults to the simulator). [`Sweep::run`] *streams*: trees come from
 //! a [`CaseSource`] and are realised in a bounded in-flight window —
 //! while one window's cells execute on the rayon pool, the next window's
 //! trees generate concurrently, and each case is dropped as soon as its
@@ -20,7 +20,7 @@
 //! them, so CSV output is byte-identical between cold and warm runs.
 
 use crate::cache::{cell_key, CellCache};
-use crate::runner::{run_heuristic_sharded, CaseSource, OrderPair, RunOutcome, TreeCase};
+use crate::runner::{run_heuristic_backend, Backend, CaseSource, OrderPair, RunOutcome, TreeCase};
 use memtree_sched::HeuristicKind;
 use rayon::prelude::*;
 use std::collections::HashSet;
@@ -41,8 +41,8 @@ pub struct SweepCell {
     pub pair: OrderPair,
     /// Processor count.
     pub processors: usize,
-    /// Execution-backend shard count (0 = the unsharded simulator).
-    pub shards: usize,
+    /// Execution backend the cell ran on.
+    pub backend: Backend,
     /// Normalized memory factor.
     pub factor: f64,
     /// What happened.
@@ -82,8 +82,8 @@ pub struct SweepCtx {
 /// Result of a sweep: the cells in grid order plus execution metadata.
 #[derive(Debug)]
 pub struct SweepReport {
-    /// All cells, ordered (case, kind, pair, processors, shards, factor)
-    /// — innermost index varies fastest.
+    /// All cells, ordered (case, kind, pair, processors, backend,
+    /// factor) — innermost index varies fastest.
     pub cells: Vec<SweepCell>,
     /// Structural metadata of every case, in case order.
     pub cases: Vec<CaseMeta>,
@@ -101,7 +101,7 @@ pub struct SweepReport {
     kinds: Vec<HeuristicKind>,
     pairs: Vec<OrderPair>,
     processors: Vec<usize>,
-    shards: Vec<usize>,
+    backends: Vec<Backend>,
     factors: Vec<f64>,
 }
 
@@ -120,9 +120,9 @@ impl SweepReport {
         }
     }
 
-    /// The cell for an exact grid point at the sweep's *first* shard
-    /// count (the whole axis for the common single-backend sweep); use
-    /// [`SweepReport::cell_at`] to address other shard counts.
+    /// The cell for an exact grid point at the sweep's *first* backend
+    /// (the whole axis for the common single-backend sweep); use
+    /// [`SweepReport::cell_at`] to address other backends.
     /// O(axis lengths): computes the position from the grid order.
     pub fn cell(
         &self,
@@ -132,7 +132,7 @@ impl SweepReport {
         processors: usize,
         factor: f64,
     ) -> Option<&SweepCell> {
-        self.cell_at(case_index, kind, pair, processors, self.shards[0], factor)
+        self.cell_at(case_index, kind, pair, processors, self.backends[0], factor)
     }
 
     /// The cell for an exact grid point, every axis explicit.
@@ -142,7 +142,7 @@ impl SweepReport {
         kind: HeuristicKind,
         pair: OrderPair,
         processors: usize,
-        shards: usize,
+        backend: Backend,
         factor: f64,
     ) -> Option<&SweepCell> {
         if case_index >= self.case_count() {
@@ -151,13 +151,13 @@ impl SweepReport {
         let k = self.kinds.iter().position(|&x| x == kind)?;
         let o = self.pairs.iter().position(|&x| x == pair)?;
         let p = self.processors.iter().position(|&x| x == processors)?;
-        let s = self.shards.iter().position(|&x| x == shards)?;
+        let b = self.backends.iter().position(|&x| x == backend)?;
         let f = self.factors.iter().position(|&x| x == factor)?;
         let idx = ((((case_index * self.kinds.len() + k) * self.pairs.len() + o)
             * self.processors.len()
             + p)
-            * self.shards.len()
-            + s)
+            * self.backends.len()
+            + b)
             * self.factors.len()
             + f;
         let cell = self.cells.get(idx)?;
@@ -166,7 +166,7 @@ impl SweepReport {
                 && cell.kind == kind
                 && cell.pair == pair
                 && cell.processors == processors
-                && cell.shards == shards
+                && cell.backend == backend
                 && cell.factor == factor
         );
         Some(cell)
@@ -174,7 +174,7 @@ impl SweepReport {
 
     /// The cells of one full series — a fixed `(kind, pair, processors,
     /// factor)` point across every tree, in tree order, at the sweep's
-    /// first shard count (see [`SweepReport::series_at`]). The axes are
+    /// first backend (see [`SweepReport::series_at`]). The axes are
     /// explicit so multi-axis sweeps cannot silently merge series.
     pub fn series(
         &self,
@@ -183,25 +183,25 @@ impl SweepReport {
         processors: usize,
         factor: f64,
     ) -> impl Iterator<Item = &SweepCell> + '_ {
-        self.series_at(kind, pair, processors, self.shards[0], factor)
+        self.series_at(kind, pair, processors, self.backends[0], factor)
     }
 
-    /// The cells of one full series with the shard count explicit.
+    /// The cells of one full series with the backend explicit.
     pub fn series_at(
         &self,
         kind: HeuristicKind,
         pair: OrderPair,
         processors: usize,
-        shards: usize,
+        backend: Backend,
         factor: f64,
     ) -> impl Iterator<Item = &SweepCell> + '_ {
         (0..self.case_count())
-            .filter_map(move |ci| self.cell_at(ci, kind, pair, processors, shards, factor))
+            .filter_map(move |ci| self.cell_at(ci, kind, pair, processors, backend, factor))
     }
 
     /// The header matching [`SweepReport::cell_rows`].
     pub fn cell_csv_header() -> &'static str {
-        "tree,heuristic,ao_eo,processors,shards,memory_factor,scheduled,makespan,normalized,\
+        "tree,heuristic,ao_eo,processors,backend,memory_factor,scheduled,makespan,normalized,\
          memory_fraction,scheduling_seconds"
     }
 
@@ -219,7 +219,7 @@ impl SweepReport {
                     c.kind.label(),
                     c.pair.label(),
                     c.processors,
-                    c.shards,
+                    c.backend.label(),
                     c.factor,
                     u8::from(c.outcome.scheduled),
                     c.outcome.makespan,
@@ -230,6 +230,41 @@ impl SweepReport {
             })
             .collect()
     }
+
+    /// [`SweepReport::cell_rows`] with the trailing wall-clock
+    /// `scheduling_seconds` column stripped — what equivalence tests
+    /// compare, since timing is nondeterministic between independent
+    /// computed runs (byte-identity is the *cache's* guarantee).
+    ///
+    /// # Errors
+    /// On any row that does not have the header's column count — a
+    /// malformed row must fail loudly, never be silently truncated at the
+    /// wrong comma.
+    pub fn untimed_rows(&self) -> Result<Vec<String>, String> {
+        self.cell_rows().iter().map(|r| untimed_row(r)).collect()
+    }
+}
+
+/// Strips the trailing timing column from one [`SweepReport::cell_rows`]
+/// row, verifying the row's shape first.
+///
+/// # Errors
+/// When the row's column count differs from
+/// [`SweepReport::cell_csv_header`]'s — truncated or malformed rows
+/// surface a loud error instead of panicking (or worse, comparing a
+/// mis-stripped prefix).
+pub fn untimed_row(row: &str) -> Result<String, String> {
+    let expected = SweepReport::cell_csv_header().split(',').count();
+    let columns = row.split(',').count();
+    if columns != expected {
+        return Err(format!(
+            "malformed sweep row: {columns} columns where the header has {expected}: {row:?}"
+        ));
+    }
+    let (kept, _timing) = row
+        .rsplit_once(',')
+        .expect("a multi-column row contains a comma");
+    Ok(kept.to_string())
 }
 
 /// A declarative scenario grid over a [`CaseSource`].
@@ -253,7 +288,7 @@ pub struct Sweep<'a> {
     kinds: Vec<HeuristicKind>,
     pairs: Vec<OrderPair>,
     processors: Vec<usize>,
-    shards: Vec<usize>,
+    backends: Vec<Backend>,
     factors: Vec<f64>,
     window: usize,
     cache: Option<CellCache>,
@@ -262,15 +297,15 @@ pub struct Sweep<'a> {
 
 impl<'a> Sweep<'a> {
     /// A sweep over `source` with the paper's defaults: MemBooking,
-    /// memPO/memPO, 8 processors, unsharded, memory factor 2, a window of
-    /// one case per rayon thread, no cache.
+    /// memPO/memPO, 8 processors, the simulator backend, memory factor 2,
+    /// a window of one case per rayon thread, no cache.
     pub fn new(source: &'a CaseSource) -> Self {
         Sweep {
             source,
             kinds: vec![HeuristicKind::MemBooking],
             pairs: vec![OrderPair::default_pair()],
             processors: vec![8],
-            shards: vec![0],
+            backends: vec![Backend::Sim],
             factors: vec![2.0],
             window: rayon::current_num_threads().max(2),
             cache: None,
@@ -310,16 +345,26 @@ impl<'a> Sweep<'a> {
         self
     }
 
-    /// Sets the shard-count axis: 0 runs the unsharded simulator, `s ≥ 1`
-    /// runs the sharded forest platform with up to `s` shard workers —
-    /// the `--shards` sweep axis of `fig16_shards` and `bench_smoke`.
+    /// Sets the execution-backend axis — the `--backend` sweep axis of
+    /// the shared CLI (`sim|threaded|sharded|async`).
     ///
     /// # Panics
     /// On an empty axis (see [`Sweep::kinds`]).
-    pub fn shards(mut self, shards: Vec<usize>) -> Self {
-        assert!(!shards.is_empty(), "Sweep: empty shard-count axis");
-        self.shards = shards;
+    pub fn backends(mut self, backends: Vec<Backend>) -> Self {
+        assert!(!backends.is_empty(), "Sweep: empty backend axis");
+        self.backends = backends;
         self
+    }
+
+    /// Sets the backend axis through the PR-4 shard-count encoding: 0 is
+    /// the unsharded simulator, `s ≥ 1` the sharded forest platform with
+    /// up to `s` shard workers ([`Backend::from_shards`]).
+    ///
+    /// # Panics
+    /// On an empty axis (see [`Sweep::kinds`]).
+    pub fn shards(self, shards: Vec<usize>) -> Self {
+        assert!(!shards.is_empty(), "Sweep: empty shard-count axis");
+        self.backends(shards.into_iter().map(Backend::from_shards).collect())
     }
 
     /// Sets the memory-factor axis.
@@ -376,7 +421,7 @@ impl<'a> Sweep<'a> {
         self.kinds.len()
             * self.pairs.len()
             * self.processors.len()
-            * self.shards.len()
+            * self.backends.len()
             * self.factors.len()
     }
 
@@ -452,7 +497,7 @@ impl<'a> Sweep<'a> {
             kinds: self.kinds.clone(),
             pairs: self.pairs.clone(),
             processors: self.processors.clone(),
-            shards: self.shards.clone(),
+            backends: self.backends.clone(),
             factors: self.factors.clone(),
         }
     }
@@ -470,14 +515,14 @@ impl<'a> Sweep<'a> {
         // Decompose in grid order: factor varies fastest.
         let f = rest % self.factors.len();
         let rest = rest / self.factors.len();
-        let s = rest % self.shards.len();
-        let rest = rest / self.shards.len();
+        let b = rest % self.backends.len();
+        let rest = rest / self.backends.len();
         let p = rest % self.processors.len();
         let rest = rest / self.processors.len();
         let o = rest % self.pairs.len();
         let k = rest / self.pairs.len();
         let (kind, pair) = (self.kinds[k], self.pairs[o]);
-        let (processors, shards, factor) = (self.processors[p], self.shards[s], self.factors[f]);
+        let (processors, backend, factor) = (self.processors[p], self.backends[b], self.factors[f]);
 
         threads
             .lock()
@@ -490,7 +535,7 @@ impl<'a> Sweep<'a> {
                 kind,
                 pair,
                 processors,
-                shards,
+                backend,
                 factor,
                 case.memory_at(factor),
             )
@@ -505,7 +550,7 @@ impl<'a> Sweep<'a> {
                         kind,
                         pair,
                         processors,
-                        shards,
+                        backend,
                         factor,
                         outcome,
                         from_cache: true,
@@ -513,7 +558,7 @@ impl<'a> Sweep<'a> {
                 }
             }
         }
-        let outcome = run_heuristic_sharded(case, kind, pair, processors, factor, shards);
+        let outcome = run_heuristic_backend(case, kind, pair, processors, factor, backend);
         computed.fetch_add(1, Ordering::Relaxed);
         if let (Some(cache), Some(key)) = (&self.cache, &key) {
             // Best-effort: a full disk must not kill the sweep.
@@ -525,7 +570,7 @@ impl<'a> Sweep<'a> {
             kind,
             pair,
             processors,
-            shards,
+            backend,
             factor,
             outcome,
             from_cache: false,
@@ -604,12 +649,7 @@ mod tests {
         // scheduling_seconds is wall-clock (nondeterministic between
         // independent computed runs — byte-identity is the *cache's*
         // guarantee); every simulated quantity must match exactly.
-        let sans_timing = |r: &SweepReport| -> Vec<String> {
-            r.cell_rows()
-                .into_iter()
-                .map(|row| row.rsplit_once(',').unwrap().0.to_string())
-                .collect()
-        };
+        let sans_timing = |r: &SweepReport| r.untimed_rows().expect("well-formed rows");
         assert_eq!(sans_timing(&a), sans_timing(&b));
         assert_eq!(sans_timing(&a), sans_timing(&c));
         assert_eq!(b.case_count(), 5);
@@ -710,31 +750,107 @@ mod tests {
             .factors(vec![8.0])
             .run();
         assert_eq!(report.cells.len(), 2 * 2);
-        // Grid order: the shard axis sits between processors and factor.
-        assert_eq!(report.cells[0].shards, 0);
-        assert_eq!(report.cells[1].shards, 2);
+        // Grid order: the backend axis sits between processors and factor,
+        // and the shard-count encoding maps onto it.
+        assert_eq!(report.cells[0].backend, Backend::Sim);
+        assert_eq!(report.cells[1].backend, Backend::Sharded(2));
         assert!(report.cells.iter().all(|c| c.outcome.scheduled));
         // Explicit-axis lookups separate the backends.
         let pair = OrderPair::default_pair();
         let unsharded = report
-            .cell_at(0, HeuristicKind::MemBooking, pair, 4, 0, 8.0)
+            .cell_at(0, HeuristicKind::MemBooking, pair, 4, Backend::Sim, 8.0)
             .unwrap();
         let sharded = report
-            .cell_at(0, HeuristicKind::MemBooking, pair, 4, 2, 8.0)
+            .cell_at(
+                0,
+                HeuristicKind::MemBooking,
+                pair,
+                4,
+                Backend::Sharded(2),
+                8.0,
+            )
             .unwrap();
-        assert_eq!(unsharded.shards, 0);
-        assert_eq!(sharded.shards, 2);
-        // The implicit-axis lookup addresses the first shard count.
+        assert_eq!(unsharded.backend, Backend::Sim);
+        assert_eq!(sharded.backend, Backend::Sharded(2));
+        // The implicit-axis lookup addresses the first backend.
         assert_eq!(
             report
                 .cell(0, HeuristicKind::MemBooking, pair, 4, 8.0)
                 .unwrap()
-                .shards,
-            0
+                .backend,
+            Backend::Sim
         );
         // Sharded cells report wall-clock makespans, not virtual time.
         assert!(sharded.outcome.makespan > 0.0);
         assert_eq!(sharded.outcome.normalized, 0.0);
+    }
+
+    #[test]
+    fn backend_axis_runs_every_execution_regime() {
+        let cs = cases(1);
+        let backends = vec![
+            Backend::Sim,
+            Backend::Threaded,
+            Backend::Async,
+            Backend::Sharded(2),
+        ];
+        let report = Sweep::new(&cs)
+            .processors(vec![2])
+            .backends(backends.clone())
+            .factors(vec![8.0])
+            .run();
+        assert_eq!(report.cells.len(), backends.len());
+        let pair = OrderPair::default_pair();
+        for &b in &backends {
+            let cell = report
+                .cell_at(0, HeuristicKind::MemBooking, pair, 2, b, 8.0)
+                .unwrap_or_else(|| panic!("missing {b} cell"));
+            assert_eq!(cell.backend, b);
+            assert!(cell.outcome.scheduled, "{b}");
+            // Execution backends report wall-clock; only the simulator
+            // normalises against the virtual-time lower bounds.
+            if b == Backend::Sim {
+                assert!(cell.outcome.normalized >= 1.0 - 1e-9, "{b}");
+            } else {
+                assert_eq!(cell.outcome.normalized, 0.0, "{b}");
+            }
+        }
+        // The CSV backend column carries the labels.
+        let rows = report.cell_rows();
+        for (row, b) in rows.iter().zip(&backends) {
+            assert!(row.contains(&format!(",{},", b.label())), "{row}");
+        }
+    }
+
+    #[test]
+    fn untimed_rows_strip_exactly_the_timing_column() {
+        let cs = cases(1);
+        let report = Sweep::new(&cs).processors(vec![2]).factors(vec![2.0]).run();
+        let full = report.cell_rows();
+        let stripped = report.untimed_rows().unwrap();
+        assert_eq!(full.len(), stripped.len());
+        for (f, s) in full.iter().zip(&stripped) {
+            assert!(f.starts_with(s.as_str()));
+            assert_eq!(
+                s.split(',').count(),
+                SweepReport::cell_csv_header().split(',').count() - 1
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_rows_error_loudly_instead_of_panicking() {
+        // The regression for the old `rsplit_once(',').unwrap()` strip: a
+        // truncated or garbled row surfaces a descriptive error.
+        let err = untimed_row("").unwrap_err();
+        assert!(err.contains("malformed sweep row"), "{err}");
+        let err = untimed_row("no-commas-at-all").unwrap_err();
+        assert!(err.contains("1 columns"), "{err}");
+        let err = untimed_row("t,mb,memPO/memPO,4").unwrap_err();
+        assert!(err.contains("4 columns"), "{err}");
+        // A well-formed row round-trips.
+        let ok = untimed_row("t,mb,memPO/memPO,4,sim,2,1,10,1.5,0.5,0.001").unwrap();
+        assert_eq!(ok, "t,mb,memPO/memPO,4,sim,2,1,10,1.5,0.5");
     }
 
     #[test]

@@ -125,7 +125,7 @@ impl fmt::Display for RuntimeError {
 
 impl std::error::Error for RuntimeError {}
 
-fn to_runtime_error(e: DriveError) -> RuntimeError {
+pub(crate) fn to_runtime_error(e: DriveError) -> RuntimeError {
     match e {
         DriveError::Stalled {
             completed, total, ..
@@ -143,16 +143,29 @@ fn to_runtime_error(e: DriveError) -> RuntimeError {
 }
 
 /// Shared state of one gang: the payload shards its members claim and the
-/// member countdown that decides who reports the completion.
-struct GangState {
+/// member countdown that decides who reports the completion. One protocol
+/// for both gang pools — threaded members here, futures in
+/// [`crate::async_platform`].
+pub(crate) struct GangState {
     /// Gang size `q` — also the shard count.
-    size: u32,
+    pub(crate) size: u32,
     /// Next unclaimed payload shard (rayon-style dynamic claiming: a
     /// member delayed by the OS donates its shards to its gang mates).
-    next_shard: AtomicUsize,
+    pub(crate) next_shard: AtomicUsize,
     /// Members that have not finished yet; the last one out sends the
     /// completion, releasing the whole gang at once.
-    remaining: AtomicUsize,
+    pub(crate) remaining: AtomicUsize,
+}
+
+impl GangState {
+    /// A fresh gang of `procs` members with no shard claimed yet.
+    pub(crate) fn new(procs: usize) -> Self {
+        GangState {
+            size: procs as u32,
+            next_shard: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(procs),
+        }
+    }
 }
 
 /// One worker's membership in a gang-scheduled task.
@@ -172,11 +185,7 @@ struct GangThreadedBackend {
 
 impl GangBackend for GangThreadedBackend {
     fn launch(&mut self, i: NodeId, procs: usize, _epoch: u32) -> Result<(), DriveError> {
-        let gang = Arc::new(GangState {
-            size: procs as u32,
-            next_shard: AtomicUsize::new(0),
-            remaining: AtomicUsize::new(procs),
-        });
+        let gang = Arc::new(GangState::new(procs));
         for _ in 0..procs {
             self.task_tx
                 .send(GangMember {

@@ -14,18 +14,22 @@
 //!
 //! The [`platform`] module is the one entry point for running a
 //! `memtree_sched::PolicySpec` in any regime — [`SimPlatform`] (virtual
-//! time), [`ThreadedPlatform`] (real threads) or [`ShardedPlatform`]
+//! time), [`ThreadedPlatform`] (real threads), [`ShardedPlatform`]
 //! (the tree cut into shard subtrees, each on its own channel-connected
-//! worker with an independent booking ledger; see [`sharded`]) — behind
+//! worker with an independent booking ledger; see [`sharded`]) or
+//! [`AsyncPlatform`] (workers are futures on a small hand-rolled
+//! executor, for IO-bound fronts; see [`async_platform`]) — behind
 //! the common [`Platform`] trait returning a common [`RunReport`]. The
 //! [`conformance`] module stamps one invariant suite out per platform.
 
+pub mod async_platform;
 pub mod conformance;
 pub mod executor;
 pub mod platform;
 pub mod sharded;
 pub mod workload;
 
+pub use async_platform::AsyncPlatform;
 pub use executor::{execute, execute_moldable, RuntimeConfig, RuntimeError, RuntimeReport};
 pub use platform::{Platform, PlatformError, RunReport, SimPlatform, ThreadedPlatform};
 pub use sharded::{ShardedPlatform, ShardedReport};

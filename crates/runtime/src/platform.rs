@@ -36,7 +36,7 @@ use std::fmt;
 /// The common outcome of running a policy on any platform.
 #[derive(Clone, Debug)]
 pub struct RunReport {
-    /// Platform name (`"sim"` or `"threaded"`).
+    /// Platform name (`"sim"`, `"threaded"`, `"sharded"` or `"async"`).
     pub platform: &'static str,
     /// Scheduler name as reported by the policy.
     pub policy: String,

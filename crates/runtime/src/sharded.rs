@@ -27,14 +27,18 @@
 //! shard's id space), so `MemBookingRedTree` transforms each part and
 //! moldable MemBooking gang-schedules inside each shard worker. Failure
 //! paths are first-class: a killed worker surfaces
-//! [`PlatformError::ShardFailed`], a silent one trips the optional
-//! watchdog as [`PlatformError::ShardStalled`], and in both cases every
-//! budget reservation is released before the error returns — the chaos
-//! suite pins this down.
+//! [`PlatformError::ShardFailed`] (two failures pick the lowest shard
+//! index deterministically), a silent one trips the optional idle
+//! watchdog — and the optional overall deadline bounds the whole phase
+//! even under trickling reports — as [`PlatformError::ShardStalled`].
+//! In every case all budget reservations are released before the error
+//! returns; on the stall path a shard's budget only comes back after its
+//! worker joins or the grace deadline passes (the residual-risk window
+//! of DESIGN.md §6.7) — the chaos suite pins all of this down.
 
 use crate::platform::{Platform, PlatformError, RunReport, ThreadedPlatform};
 use crate::workload::Workload;
-use crossbeam::channel::{self, RecvTimeoutError};
+use crossbeam::channel::{self, RecvTimeoutError, TryRecvError};
 use memtree_sched::{AllotmentCaps, PolicyInstance, PolicySpec, ShardBudget};
 use memtree_sim::validate::validate_shard_plan;
 use memtree_tree::partition::{partition, Partition, PartitionPolicy};
@@ -96,14 +100,22 @@ pub struct ShardedPlatform {
     pub budget: ShardBudget,
     /// Per-task payload, as on [`ThreadedPlatform`].
     pub workload: Workload,
-    /// Watchdog: a shard worker silent for this long fails the run with
+    /// Idle watchdog: no shard report for this long fails the run with
     /// [`PlatformError::ShardStalled`] instead of blocking forever.
     pub shard_timeout: Option<Duration>,
+    /// Overall deadline for the whole shard phase, measured from its
+    /// start. The idle watchdog alone cannot bound the phase — shards
+    /// that keep trickling reports reset it — so a deadline caps the
+    /// total even when every individual gap stays short. It also bounds
+    /// the stall path's join grace: a stalled shard's budget is only
+    /// released once its worker thread has joined *or* the deadline has
+    /// passed (see `release_stalled_budgets`).
+    pub shard_deadline: Option<Duration>,
 }
 
 impl ShardedPlatform {
     /// Up to `shards` shard workers of one thread each, proportional
-    /// budget split, no-op payload, no watchdog.
+    /// budget split, no-op payload, no watchdog, no deadline.
     ///
     /// # Panics
     /// When `shards` is 0.
@@ -115,6 +127,7 @@ impl ShardedPlatform {
             budget: ShardBudget::Proportional,
             workload: Workload::Noop,
             shard_timeout: None,
+            shard_deadline: None,
         }
     }
 
@@ -136,9 +149,15 @@ impl ShardedPlatform {
         self
     }
 
-    /// Enables the shard watchdog.
+    /// Enables the idle shard watchdog.
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.shard_timeout = Some(timeout);
+        self
+    }
+
+    /// Enables the overall shard-phase deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.shard_deadline = Some(deadline);
         self
     }
 
@@ -284,18 +303,42 @@ impl ShardedPlatform {
 
         // Merge protocol: each report releases its shard's budget back to
         // the parent ledger; failures are remembered and returned after
-        // every other shard has been drained.
+        // every other shard has been drained. The wait is bounded twice
+        // over: the idle watchdog trips on a silent gap between reports,
+        // the overall deadline caps the whole phase even when reports
+        // keep trickling in (a trickle resets an idle timeout forever).
+        let deadline = self.shard_deadline.map(|d| Instant::now() + d);
         let mut released = vec![false; total];
         let mut first_err: Option<(usize, PlatformError)> = None;
         let mut reported = 0usize;
         let mut stalled = false;
         while reported < total {
-            let msg = match self.shard_timeout {
-                Some(timeout) => rx.recv_timeout(timeout).map_err(|e| match e {
-                    RecvTimeoutError::Timeout => None,
-                    RecvTimeoutError::Disconnected => Some(()),
-                }),
-                None => rx.recv().map_err(|_| Some(())),
+            // Drain anything already delivered before consulting the
+            // clock: a report that beat the deadline must count even if
+            // the coordinator thread was descheduled past it.
+            let msg = match rx.try_recv() {
+                Ok(m) => Ok(m),
+                Err(TryRecvError::Disconnected) => Err(Some(())),
+                Err(TryRecvError::Empty) => {
+                    let until_deadline =
+                        deadline.map(|d| d.saturating_duration_since(Instant::now()));
+                    if until_deadline.is_some_and(|d| d.is_zero()) {
+                        stalled = true;
+                        break;
+                    }
+                    let timeout = match (self.shard_timeout, until_deadline) {
+                        (Some(idle), Some(rest)) => Some(idle.min(rest)),
+                        (Some(idle), None) => Some(idle),
+                        (None, rest) => rest,
+                    };
+                    match timeout {
+                        Some(timeout) => rx.recv_timeout(timeout).map_err(|e| match e {
+                            RecvTimeoutError::Timeout => None,
+                            RecvTimeoutError::Disconnected => Some(()),
+                        }),
+                        None => rx.recv().map_err(|_| Some(())),
+                    }
+                }
             };
             match msg {
                 Ok((k, Ok(report))) => {
@@ -313,10 +356,8 @@ impl ShardedPlatform {
                     }
                 }
                 Err(None) => {
-                    // Watchdog fired: the silent shards keep their worker
-                    // threads (they are detached below), but their budget
-                    // reservations are reclaimed here and the run fails
-                    // cleanly instead of blocking forever.
+                    // Idle watchdog or overall deadline fired; either way
+                    // the phase stops waiting.
                     stalled = true;
                     break;
                 }
@@ -329,15 +370,9 @@ impl ShardedPlatform {
             }
         }
         if stalled {
-            for (k, &done) in released.iter().enumerate() {
-                if !done {
-                    ledger.release(budgets[k]);
-                }
-            }
             // Any error from an already-reported shard loses to the
-            // stall: the stall is what stopped the phase. The silent
-            // workers stay detached; their channel sends land in a
-            // dropped receiver.
+            // stall: the stall is what stopped the phase.
+            self.release_stalled_budgets(&handles, &rx, budgets, ledger, &mut released, deadline);
             drop(rx);
             return Err(PlatformError::ShardStalled { reported, total });
         }
@@ -354,6 +389,62 @@ impl ShardedPlatform {
             .into_iter()
             .map(|r| r.expect("every shard reported"))
             .collect())
+    }
+
+    /// The stall path's budget release, join-or-deadline: a stalled
+    /// shard's worker thread may still hold real memory, so its
+    /// reservation is reclaimed as soon as its thread joins — and only at
+    /// the end of the grace window (one idle-watchdog period, capped by
+    /// whatever remains of the overall deadline) for workers that never
+    /// do. Late reports arriving during the grace release their budgets
+    /// too (the run still fails as stalled — the watchdog verdict
+    /// stands). Releasing a never-joined worker's budget at the deadline
+    /// is a deliberate residual risk: the ledger must not leak, and the
+    /// window is documented in DESIGN.md §6.7.
+    fn release_stalled_budgets(
+        &self,
+        handles: &[std::thread::JoinHandle<()>],
+        rx: &channel::Receiver<(usize, Result<RunReport, PlatformError>)>,
+        budgets: &[u64],
+        ledger: &mut BudgetLedger,
+        released: &mut [bool],
+        deadline: Option<Instant>,
+    ) {
+        // The grace is the *smaller* of one idle-watchdog period and the
+        // deadline remainder: an idle-watchdog stall must stay fail-fast
+        // even under a long overall deadline, and a deadline stall must
+        // not extend the phase past the deadline it just enforced.
+        let idle_grace = Instant::now() + self.shard_timeout.unwrap_or(Duration::ZERO);
+        let grace_end = deadline.map_or(idle_grace, |d| d.min(idle_grace));
+        loop {
+            // A late report means the worker has finished its subtree —
+            // its memory is gone, its budget comes back.
+            while let Ok((k, _outcome)) = rx.try_recv() {
+                if !released[k] {
+                    ledger.release(budgets[k]);
+                    released[k] = true;
+                }
+            }
+            // A joined (finished) worker holds no memory either.
+            for (k, handle) in handles.iter().enumerate() {
+                if !released[k] && handle.is_finished() {
+                    ledger.release(budgets[k]);
+                    released[k] = true;
+                }
+            }
+            if released.iter().all(|&r| r) || Instant::now() >= grace_end {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Deadline passed with workers still running: reclaim anyway (the
+        // ledger must not leak) and leave the threads detached — the
+        // documented residual-risk window.
+        for (k, &done) in released.iter().enumerate() {
+            if !done {
+                ledger.release(budgets[k]);
+            }
+        }
     }
 }
 

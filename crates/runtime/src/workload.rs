@@ -32,6 +32,21 @@ pub enum Workload {
         /// Hard cap per task, bytes.
         max_bytes: usize,
     },
+    /// An IO-bound out-of-core front: `nanos_per_time_unit · t_i`
+    /// nanoseconds of simulated IO waiting (capped), split into `chunks`
+    /// wait points. On the thread-backed platforms each chunk is a plain
+    /// sleep; on [`AsyncPlatform`](crate::AsyncPlatform) each chunk is an
+    /// awaited timer with a cooperative yield between chunks
+    /// ([`Workload::run_shard_async`]), so the waiting task occupies no
+    /// executor thread — the regime the async backend exists for.
+    IoBound {
+        /// Nanoseconds of simulated IO per model time unit.
+        nanos_per_time_unit: f64,
+        /// Hard cap per task, nanoseconds.
+        max_nanos: u64,
+        /// Number of IO wait points the payload is split into (≥ 1).
+        chunks: u32,
+    },
     /// Fault injection for chaos tests: panic when running task `node`
     /// (an index into the executed tree), killing the worker mid-run. The
     /// executor and any sharded coordinator above it must surface a clean
@@ -48,6 +63,16 @@ impl Workload {
         Workload::Sleep {
             nanos_per_time_unit: 20_000.0,
             max_nanos: 2_000_000,
+        }
+    }
+
+    /// A fast IO-bound default for tests: 20 µs of simulated IO per time
+    /// unit (max 2 ms), split into 4 wait points.
+    pub fn quick_io() -> Self {
+        Workload::IoBound {
+            nanos_per_time_unit: 20_000.0,
+            max_nanos: 2_000_000,
+            chunks: 4,
         }
     }
 
@@ -102,11 +127,72 @@ impl Workload {
                 }
                 std::hint::black_box(&buf);
             }
+            Workload::IoBound {
+                nanos_per_time_unit,
+                max_nanos,
+                chunks,
+            } => {
+                // The synchronous interpretation: the same total wait as
+                // Sleep, in `chunks` slices — a thread-backed platform
+                // blocks a worker for the whole IO wait, which is exactly
+                // the cost the async backend avoids.
+                let nanos = ((tree.time(i) * nanos_per_time_unit) as u64).min(max_nanos) / of64;
+                let slice = nanos / u64::from(chunks.max(1));
+                if slice > 0 {
+                    for _ in 0..chunks.max(1) {
+                        std::thread::sleep(std::time::Duration::from_nanos(slice));
+                    }
+                }
+            }
             Workload::FailAt { node } => {
                 if i.index() as u32 == node {
                     panic!("injected workload fault at task {node}");
                 }
             }
+        }
+    }
+
+    /// The async interpretation of [`Workload::run_shard`], polled by the
+    /// [`AsyncPlatform`](crate::AsyncPlatform) executor. Timed payloads
+    /// (`Sleep`, `IoBound`) await `minitok` timers instead of blocking, so
+    /// a waiting task releases its executor thread; compute-shaped
+    /// payloads (`Spin`, `AllocTouch`) run inline in the poll — they are
+    /// CPU work, and blocking an executor thread is their honest cost.
+    pub async fn run_shard_async(&self, tree: &TaskTree, i: NodeId, shard: u32, of: u32) {
+        debug_assert!(shard < of, "shard index out of range");
+        match *self {
+            Workload::Sleep {
+                nanos_per_time_unit,
+                max_nanos,
+            } => {
+                let nanos =
+                    ((tree.time(i) * nanos_per_time_unit) as u64).min(max_nanos) / u64::from(of);
+                if nanos > 0 {
+                    minitok::time::sleep(std::time::Duration::from_nanos(nanos)).await;
+                }
+            }
+            Workload::IoBound {
+                nanos_per_time_unit,
+                max_nanos,
+                chunks,
+            } => {
+                let nanos =
+                    ((tree.time(i) * nanos_per_time_unit) as u64).min(max_nanos) / u64::from(of);
+                let chunks = chunks.max(1);
+                let slice = nanos / u64::from(chunks);
+                for _ in 0..chunks {
+                    if slice > 0 {
+                        minitok::time::sleep(std::time::Duration::from_nanos(slice)).await;
+                    }
+                    // The cooperative point between IO waits: hand the
+                    // executor thread back even when the slice rounds to 0.
+                    minitok::yield_now().await;
+                }
+            }
+            // Noop, Spin, AllocTouch and FailAt behave exactly as in the
+            // synchronous regime (FailAt panics inside the poll; the
+            // executor catches it and the platform surfaces a clean error).
+            _ => self.run_shard(tree, i, shard, of),
         }
     }
 }
@@ -146,12 +232,15 @@ mod tests {
                 bytes_per_output_unit: 16.0,
                 max_bytes: 1 << 16,
             },
+            Workload::quick_io(),
             Workload::FailAt { node: 999 }, // fault targets another task
         ] {
             w.run(&t, memtree_tree::NodeId(0));
             for shard in 0..4 {
                 w.run_shard(&t, memtree_tree::NodeId(0), shard, 4);
             }
+            // The async interpretation completes for every variant too.
+            minitok::block_on(w.run_shard_async(&t, memtree_tree::NodeId(0), 0, 1));
         }
     }
 

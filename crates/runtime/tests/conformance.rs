@@ -18,3 +18,13 @@ memtree_runtime::platform_conformance!(
 );
 
 memtree_runtime::platform_conformance!(sharded_x4, memtree_runtime::ShardedPlatform::new(4));
+
+memtree_runtime::platform_conformance!(async_x4, memtree_runtime::AsyncPlatform::new(4));
+
+// The single-threaded executor flavour: p = 4 logical workers polled by
+// one OS thread — the IO-bound configuration must satisfy the exact same
+// contract.
+memtree_runtime::platform_conformance!(
+    async_single_thread,
+    memtree_runtime::AsyncPlatform::new(4).with_threads(1)
+);

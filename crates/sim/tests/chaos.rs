@@ -379,10 +379,87 @@ mod shard_chaos {
         assert_eq!(report.tasks_run, tree.len());
     }
 
+    /// Two kills in one run: local index 5 exists in *every* shard
+    /// subtree, so all three shard workers panic. Which completes first
+    /// is OS scheduling, but `first_err` must deterministically pick the
+    /// lowest shard index (the coordinator's `is_none_or` tie-break), and
+    /// every budget must be released on the multi-failure path — a fresh
+    /// run on the same platform value succeeds.
+    #[test]
+    fn two_failed_shards_pick_the_lowest_shard_index() {
+        let tree = chaos_tree();
+        let spec = roomy_spec(&tree);
+        // Sanity: the fault index exists in at least two shards.
+        let part = partition(&tree, &PartitionPolicy::balanced(4));
+        let hit = part.shards.iter().filter(|s| s.tree.len() > 5).count();
+        assert!(hit >= 2, "fault must land in several shards, hit {hit}");
+        let platform = ShardedPlatform::new(4).with_workload(Workload::FailAt { node: 5 });
+        for round in 0..5 {
+            let err = platform.run(&tree, &spec).unwrap_err();
+            match err {
+                PlatformError::ShardFailed { shard, source } => {
+                    assert_eq!(
+                        shard, 0,
+                        "round {round}: first_err must pick the lowest failed shard"
+                    );
+                    assert!(
+                        matches!(*source, PlatformError::Runtime(RuntimeError::WorkerPanic)),
+                        "round {round}: got {source}"
+                    );
+                }
+                other => panic!("round {round}: expected ShardFailed, got {other}"),
+            }
+        }
+        // No leaked reservations across five failed runs: the same
+        // platform value still runs the whole tree (the coordinator's
+        // post-phase ledger audit also re-checks this in debug builds).
+        let report = platform
+            .with_workload(Workload::Noop)
+            .run(&tree, &spec)
+            .unwrap();
+        assert_eq!(report.tasks_run, tree.len());
+    }
+
+    /// Overall deadline: shards that keep *trickling* reports reset a
+    /// per-message idle watchdog forever, so the phase must also respect
+    /// a total deadline. Here every worker sleeps far past the deadline
+    /// with no idle timeout configured at all — only the deadline can
+    /// stop the wait.
+    #[test]
+    fn overall_deadline_bounds_the_shard_phase() {
+        let tree = chaos_tree();
+        let spec = roomy_spec(&tree);
+        let platform = ShardedPlatform::new(4)
+            .with_workload(Workload::Sleep {
+                nanos_per_time_unit: 2e8, // 200 ms per task, every task
+                max_nanos: 200_000_000,
+            })
+            .with_deadline(std::time::Duration::from_millis(60));
+        let started = std::time::Instant::now();
+        let err = platform.run(&tree, &spec).unwrap_err();
+        assert!(
+            matches!(err, PlatformError::ShardStalled { .. }),
+            "got {err}"
+        );
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(5),
+            "deadline enforcement took {:?}",
+            started.elapsed()
+        );
+        // Budgets released (after join-or-deadline): the platform value
+        // is reusable.
+        let report = platform
+            .with_workload(Workload::Noop)
+            .run(&tree, &spec)
+            .unwrap();
+        assert_eq!(report.tasks_run, tree.len());
+    }
+
     /// Stall: a payload sleeping far past the watchdog makes the shard
     /// workers go silent; the coordinator must time out with
     /// `ShardStalled` instead of blocking forever, and release every
-    /// budget reservation on the way out.
+    /// budget reservation on the way out — a stalled shard's budget only
+    /// after its worker joined or the grace deadline passed.
     #[test]
     fn stalled_shard_worker_trips_the_watchdog() {
         let tree = chaos_tree();

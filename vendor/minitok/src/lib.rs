@@ -1,0 +1,473 @@
+#![warn(missing_docs)]
+//! Minimal offline stand-in for a `tokio`-style async executor.
+//!
+//! Implements exactly the API subset the workspace's `AsyncPlatform`
+//! uses — a hand-rolled executor in the DESIGN.md §1 offline-subset
+//! convention, mirroring the shape (not the implementation) of
+//! `tokio::runtime::Runtime`:
+//!
+//! * [`Runtime::new`] — `n` worker threads polling a shared FIFO run
+//!   queue (`n == 1` is the single-threaded flavour; there is no
+//!   work-stealing, dynamic claiming off one queue balances fine at
+//!   this scale);
+//! * [`Runtime::spawn`] — fire-and-forget task submission (`'static`
+//!   futures of output `()`; the platform reports completions through
+//!   its own channel, so join handles are not part of the subset);
+//! * [`Runtime::block_on`] — drive one future on the caller's thread
+//!   (condvar parking), used by tests and small harnesses;
+//! * [`time::sleep`] — a timer future backed by one shared timer
+//!   thread (binary heap of deadlines, condvar-timed waits), so a
+//!   sleeping task occupies **no** worker thread — the property that
+//!   lets an IO-bound front release its executor;
+//! * [`yield_now`] — cooperative rescheduling (pending once, wake
+//!   immediately);
+//! * [`Runtime::panicked_tasks`] — a panicking task poll is caught,
+//!   counted, and the task dropped, so an embedding can turn a dead
+//!   task into a loud error instead of a hang.
+//!
+//! Replace this path dependency with the real crate when a registry is
+//! reachable; call sites only touch the subset above.
+
+use std::collections::{BinaryHeap, VecDeque};
+use std::future::Future;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::{Duration, Instant};
+
+/// Timer futures. The module path mirrors `tokio::time`.
+pub mod time {
+    pub use super::{sleep, Sleep};
+}
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+/// The shared run queue: ready tasks in FIFO order, plus shutdown and
+/// panic accounting.
+struct Queue {
+    ready: Mutex<QueueState>,
+    available: Condvar,
+    panicked: AtomicUsize,
+}
+
+struct QueueState {
+    tasks: VecDeque<Arc<Task>>,
+    closed: bool,
+}
+
+/// One spawned task: its future (taken while being polled) and the queue
+/// it reschedules onto when woken.
+struct Task {
+    future: Mutex<Option<BoxFuture>>,
+    queue: Arc<Queue>,
+    /// Collapses redundant wakes: a task already queued (or being moved
+    /// to the queue) is not enqueued twice.
+    queued: AtomicBool,
+}
+
+impl Task {
+    fn schedule(self: &Arc<Self>) {
+        if self.queued.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let mut state = self.queue.ready.lock().expect("run queue poisoned");
+        if state.closed {
+            return;
+        }
+        state.tasks.push_back(self.clone());
+        drop(state);
+        self.queue.available.notify_one();
+    }
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        self.schedule();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.schedule();
+    }
+}
+
+/// A small multi-threaded futures executor; see the crate docs for the
+/// mirrored API subset.
+pub struct Runtime {
+    queue: Arc<Queue>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// A runtime with `threads` worker threads (`threads == 1` is the
+    /// single-threaded flavour).
+    ///
+    /// # Panics
+    /// When `threads` is 0.
+    pub fn new(threads: usize) -> Runtime {
+        assert!(threads >= 1, "a runtime needs at least one worker thread");
+        let queue = Arc::new(Queue {
+            ready: Mutex::new(QueueState {
+                tasks: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            panicked: AtomicUsize::new(0),
+        });
+        let workers = (0..threads)
+            .map(|k| {
+                let queue = queue.clone();
+                std::thread::Builder::new()
+                    .name(format!("minitok-worker-{k}"))
+                    .spawn(move || worker_loop(&queue))
+                    .expect("spawning a minitok worker")
+            })
+            .collect();
+        Runtime { queue, workers }
+    }
+
+    /// Submits `future` to the run queue (fire-and-forget).
+    pub fn spawn<F>(&self, future: F)
+    where
+        F: Future<Output = ()> + Send + 'static,
+    {
+        let task = Arc::new(Task {
+            future: Mutex::new(Some(Box::pin(future))),
+            queue: self.queue.clone(),
+            queued: AtomicBool::new(false),
+        });
+        task.schedule();
+    }
+
+    /// Number of spawned tasks whose poll panicked (the task is caught,
+    /// counted and dropped — it will never complete). An embedding that
+    /// waits on task completions should treat a rising count as a dead
+    /// peer, not keep waiting.
+    pub fn panicked_tasks(&self) -> usize {
+        self.queue.panicked.load(Ordering::Acquire)
+    }
+
+    /// Drives `future` to completion on the caller's thread (worker
+    /// threads keep serving spawned tasks concurrently).
+    pub fn block_on<F: Future>(&self, future: F) -> F::Output {
+        block_on(future)
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        {
+            let mut state = self.queue.ready.lock().expect("run queue poisoned");
+            state.closed = true;
+            state.tasks.clear();
+        }
+        self.queue.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(queue: &Arc<Queue>) {
+    loop {
+        let task = {
+            let mut state = queue.ready.lock().expect("run queue poisoned");
+            loop {
+                if let Some(task) = state.tasks.pop_front() {
+                    break task;
+                }
+                if state.closed {
+                    return;
+                }
+                state = queue.available.wait(state).expect("run queue poisoned");
+            }
+        };
+        // The future stays locked for the whole poll: a stale waker firing
+        // mid-poll re-enqueues the task (queued was cleared below), and the
+        // worker that pops that entry parks on this lock until the poll is
+        // done — never observes a half-moved future, never loses a wake.
+        let mut slot = task.future.lock().expect("task future poisoned");
+        let Some(future) = slot.as_mut() else {
+            continue; // already completed (or panicked)
+        };
+        // Cleared *before* polling so a wake arriving mid-poll re-enqueues.
+        task.queued.store(false, Ordering::Release);
+        let waker = Waker::from(task.clone());
+        let mut cx = Context::from_waker(&waker);
+        match catch_unwind(AssertUnwindSafe(|| future.as_mut().poll(&mut cx))) {
+            Ok(Poll::Ready(())) => *slot = None,
+            Ok(Poll::Pending) => {}
+            Err(_) => {
+                // Drop the future and count the death so embeddings can
+                // stop waiting on its completion.
+                *slot = None;
+                queue.panicked.fetch_add(1, Ordering::AcqRel);
+            }
+        }
+    }
+}
+
+/// Drives `future` to completion on the current thread — condvar
+/// parking, no runtime required (timers still work: the timer thread is
+/// process-global).
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    struct Parker {
+        woken: Mutex<bool>,
+        cv: Condvar,
+    }
+    impl Wake for Parker {
+        fn wake(self: Arc<Self>) {
+            *self.woken.lock().expect("parker poisoned") = true;
+            self.cv.notify_one();
+        }
+    }
+    let parker = Arc::new(Parker {
+        woken: Mutex::new(false),
+        cv: Condvar::new(),
+    });
+    let waker = Waker::from(parker.clone());
+    let mut cx = Context::from_waker(&waker);
+    let mut future = std::pin::pin!(future);
+    loop {
+        if let Poll::Ready(out) = future.as_mut().poll(&mut cx) {
+            return out;
+        }
+        let mut woken = parker.woken.lock().expect("parker poisoned");
+        while !*woken {
+            woken = parker.cv.wait(woken).expect("parker poisoned");
+        }
+        *woken = false;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Timer: one process-global thread, a deadline min-heap, timed condvar
+// waits. A sleeping future registers (deadline, waker) and occupies no
+// executor thread until fired.
+
+struct TimerEntry {
+    deadline: Instant,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the nearest deadline.
+        other.deadline.cmp(&self.deadline)
+    }
+}
+
+struct Timer {
+    entries: Mutex<BinaryHeap<TimerEntry>>,
+    changed: Condvar,
+}
+
+fn timer() -> &'static Timer {
+    static TIMER: OnceLock<&'static Timer> = OnceLock::new();
+    TIMER.get_or_init(|| {
+        let timer: &'static Timer = Box::leak(Box::new(Timer {
+            entries: Mutex::new(BinaryHeap::new()),
+            changed: Condvar::new(),
+        }));
+        std::thread::Builder::new()
+            .name("minitok-timer".into())
+            .spawn(move || loop {
+                let mut entries = timer.entries.lock().expect("timer heap poisoned");
+                let now = Instant::now();
+                while entries.peek().is_some_and(|e| e.deadline <= now) {
+                    let entry = entries.pop().expect("peeked entry");
+                    drop(entries);
+                    entry.waker.wake();
+                    entries = timer.entries.lock().expect("timer heap poisoned");
+                }
+                entries = match entries.peek().map(|e| e.deadline) {
+                    Some(next) => {
+                        let wait = next.saturating_duration_since(Instant::now());
+                        timer
+                            .changed
+                            .wait_timeout(entries, wait)
+                            .expect("timer heap poisoned")
+                            .0
+                    }
+                    None => timer.changed.wait(entries).expect("timer heap poisoned"),
+                };
+                drop(entries);
+            })
+            .expect("spawning the minitok timer thread");
+        timer
+    })
+}
+
+/// Future returned by [`sleep`].
+pub struct Sleep {
+    deadline: Instant,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if Instant::now() >= self.deadline {
+            return Poll::Ready(());
+        }
+        // Re-register on every pending poll: wakers may differ between
+        // polls (spurious wakes, task migration), and a stale waker in
+        // the heap only costs a redundant wake.
+        let t = timer();
+        t.entries
+            .lock()
+            .expect("timer heap poisoned")
+            .push(TimerEntry {
+                deadline: self.deadline,
+                waker: cx.waker().clone(),
+            });
+        t.changed.notify_one();
+        Poll::Pending
+    }
+}
+
+/// Completes once `duration` has elapsed, without occupying an executor
+/// thread while waiting.
+pub fn sleep(duration: Duration) -> Sleep {
+    Sleep {
+        deadline: Instant::now() + duration,
+    }
+}
+
+/// Future returned by [`yield_now`].
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+/// Yields to the executor once: reschedules the task to the back of the
+/// run queue — the cooperative point an IO-simulating payload inserts
+/// between chunks.
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn block_on_drives_a_plain_future() {
+        assert_eq!(block_on(async { 6 * 7 }), 42);
+    }
+
+    #[test]
+    fn spawned_tasks_complete_on_workers() {
+        let rt = Runtime::new(2);
+        let (tx, rx) = mpsc::channel();
+        for k in 0..16 {
+            let tx = tx.clone();
+            rt.spawn(async move {
+                yield_now().await;
+                tx.send(k).expect("receiver alive");
+            });
+        }
+        drop(tx);
+        let mut got: Vec<i32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sleeps_overlap_on_one_worker_thread() {
+        // 8 concurrent 40 ms sleeps on a single-threaded runtime finish
+        // together, not serially — sleeping occupies no worker.
+        let rt = Runtime::new(1);
+        let (tx, rx) = mpsc::channel();
+        let start = Instant::now();
+        for _ in 0..8 {
+            let tx = tx.clone();
+            rt.spawn(async move {
+                sleep(Duration::from_millis(40)).await;
+                tx.send(()).expect("receiver alive");
+            });
+        }
+        drop(tx);
+        assert_eq!(rx.iter().count(), 8);
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(200),
+            "sleeps serialised: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn sleep_waits_at_least_its_duration() {
+        let start = Instant::now();
+        block_on(sleep(Duration::from_millis(25)));
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn panicked_task_is_counted_not_fatal() {
+        let rt = Runtime::new(1);
+        let (tx, rx) = mpsc::channel();
+        rt.spawn(async { panic!("injected task panic") });
+        rt.spawn(async move {
+            tx.send(()).expect("receiver alive");
+        });
+        rx.recv_timeout(Duration::from_secs(5))
+            .expect("the worker survived the panicking task");
+        assert_eq!(rt.panicked_tasks(), 1);
+    }
+
+    #[test]
+    fn dropping_the_runtime_joins_workers() {
+        let rt = Runtime::new(4);
+        rt.spawn(async {
+            sleep(Duration::from_millis(5)).await;
+        });
+        drop(rt); // must not hang or panic
+    }
+
+    #[test]
+    fn wake_during_poll_is_not_lost() {
+        // A future whose waker fires from another thread mid-poll must
+        // still be re-polled (the queued/pending handoff in the worker).
+        let rt = Runtime::new(2);
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..64 {
+            let tx = tx.clone();
+            rt.spawn(async move {
+                for _ in 0..8 {
+                    sleep(Duration::from_micros(50)).await;
+                    yield_now().await;
+                }
+                tx.send(()).expect("receiver alive");
+            });
+        }
+        drop(tx);
+        assert_eq!(rx.iter().count(), 64);
+    }
+}
