@@ -1,0 +1,226 @@
+//! Multi-tenant service load experiment (DESIGN.md §6.9): N tenants
+//! share one memory bound through `memtree_service` admission control,
+//! across the three single-process backends.
+//!
+//! ```text
+//! fig17_service [quick|full] [--backend LIST] [--tenants N]
+//!               [--sessions N] [--rate R] [--grant NAME] [--out-dir DIR]
+//! ```
+//!
+//! * `--backend` — comma-separated subset of `sim`, `threaded`, `async`
+//!   (default all three);
+//! * `--tenants` / `--sessions` / `--rate` — override the scale's load
+//!   shape (tenant threads, sessions per tenant, aggregate arrivals/s);
+//! * `--grant` — `all-available` (default), `minimum`, or `scaled:F`.
+//!
+//! Prints one CSV row per backend plus a shape summary, and writes
+//! `BENCH_service.json` into `--out-dir` (default `bench-out`) — arrival
+//! rate, admitted/refused counts, p99 admission latency, peak booked —
+//! the artifact the `service-smoke` CI job uploads next to
+//! `BENCH_sweep.json`. Exits 1 when any acceptance gate fails: the
+//! concurrency target not sustained, a refusal count different from the
+//! injected infeasible set, any under-floor grant, any failed run, or a
+//! booking peak over the bound.
+
+use memtree_bench::service_load::{run_load, LoadReport, LoadSpec};
+use memtree_bench::ArgParser;
+use memtree_runtime::Workload;
+use memtree_service::{GrantPolicy, SessionBackend};
+use std::io::Write;
+use std::path::PathBuf;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: fig17_service [quick|full] [--backend LIST] [--tenants N] \
+         [--sessions N] [--rate R] [--grant NAME] [--out-dir DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_grant(v: &str) -> GrantPolicy {
+    match v {
+        "all-available" => GrantPolicy::AllAvailable,
+        "minimum" => GrantPolicy::Minimum,
+        _ => match v.strip_prefix("scaled:").and_then(|f| f.parse().ok()) {
+            Some(f) => GrantPolicy::Scaled(f),
+            None => fail("--grant wants all-available, minimum or scaled:F"),
+        },
+    }
+}
+
+/// The backends under load. Sim sessions get a larger tree: virtual-time
+/// runs hold no real resources, so wall-clock session lifetime — what
+/// the concurrency gate needs to overlap — comes from tree size alone.
+/// The executor backends sleep per task instead.
+fn backends(names: &[String], sim_nodes: usize) -> Vec<(SessionBackend, usize)> {
+    names
+        .iter()
+        .map(|n| match n.as_str() {
+            "sim" => (SessionBackend::sim(4), sim_nodes),
+            "threaded" => (
+                SessionBackend::Threaded {
+                    workers: 2,
+                    workload: Workload::quick(),
+                },
+                0,
+            ),
+            "async" => (
+                SessionBackend::Async {
+                    workers: 2,
+                    threads: 2,
+                    workload: Workload::quick_io(),
+                },
+                0,
+            ),
+            other => fail(&format!("unknown backend {other:?}")),
+        })
+        .collect()
+}
+
+fn main() {
+    let mut parser = ArgParser::from_env();
+    let out_dir = parser
+        .take_value("--out-dir")
+        .unwrap_or_else(|e| fail(&e))
+        .map_or_else(|| PathBuf::from("bench-out"), PathBuf::from);
+    let backend_names: Vec<String> = parser
+        .take_value("--backend")
+        .unwrap_or_else(|e| fail(&e))
+        .map_or_else(
+            || vec!["sim".into(), "threaded".into(), "async".into()],
+            |v| v.split(',').map(|s| s.trim().to_string()).collect(),
+        );
+    let grant = parser
+        .take_value("--grant")
+        .unwrap_or_else(|e| fail(&e))
+        .map_or(GrantPolicy::AllAvailable, |v| parse_grant(&v));
+    let tenants: Option<usize> = parser
+        .take_value("--tenants")
+        .unwrap_or_else(|e| fail(&e))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| fail("--tenants wants an integer"))
+        });
+    let sessions: Option<usize> = parser
+        .take_value("--sessions")
+        .unwrap_or_else(|e| fail(&e))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| fail("--sessions wants an integer"))
+        });
+    let rate: Option<f64> = parser
+        .take_value("--rate")
+        .unwrap_or_else(|e| fail(&e))
+        .map(|v| v.parse().unwrap_or_else(|_| fail("--rate wants a number")));
+    let scale = parser
+        .take_positional()
+        .or_else(|| std::env::var("MEMTREE_SCALE").ok())
+        .unwrap_or_else(|| "quick".into());
+    parser.finish().unwrap_or_else(|e| fail(&e));
+
+    let mut spec = match scale.as_str() {
+        "quick" => LoadSpec::quick(),
+        "full" => LoadSpec::full(),
+        other => fail(&format!("unknown scale {other:?} (quick|full)")),
+    }
+    .with_grant(grant);
+    if let Some(t) = tenants {
+        spec.tenants = t.max(spec.concurrency_target);
+    }
+    if let Some(s) = sessions {
+        spec.sessions_per_tenant = s.max(1);
+    }
+    if let Some(r) = rate {
+        spec.rate_per_sec = r.max(1.0);
+    }
+    let sim_nodes = spec.tree_nodes * 8;
+
+    let mut reports: Vec<LoadReport> = Vec::new();
+    let mut violations: Vec<String> = Vec::new();
+    let mut rows = Vec::new();
+    for (backend, nodes_override) in backends(&backend_names, sim_nodes) {
+        let mut b_spec = spec;
+        if nodes_override > 0 {
+            b_spec.tree_nodes = nodes_override;
+        }
+        let report = run_load(backend, &b_spec);
+        violations.extend(report.violations(&b_spec));
+        rows.push(report.csv_row());
+        reports.push(report);
+    }
+    memtree_bench::print_csv(LoadReport::csv_header(), &rows);
+
+    for r in &reports {
+        println!(
+            "fig17 {}: {} tenants peak (target {}), {}/{} admitted ({} queued), \
+             {} refused (expected {}), peak booked {}/{} ({:.0}% of M), \
+             admission wait p50 {}µs p99 {}µs at {:.0} sessions/s",
+            r.backend,
+            r.stats.peak_running,
+            spec.concurrency_target,
+            r.admitted_immediate + r.admitted_queued,
+            r.submitted,
+            r.admitted_queued,
+            r.refused,
+            r.expected_refusals,
+            r.stats.peak_reserved,
+            r.capacity,
+            100.0 * r.stats.peak_reserved as f64 / r.capacity as f64,
+            r.wait_p50_us,
+            r.wait_p99_us,
+            r.arrival_rate,
+        );
+    }
+
+    std::fs::create_dir_all(&out_dir)
+        .unwrap_or_else(|e| fail(&format!("cannot create {}: {e}", out_dir.display())));
+    let json_path = out_dir.join("BENCH_service.json");
+    let mut json = std::fs::File::create(&json_path)
+        .unwrap_or_else(|e| fail(&format!("creating BENCH_service.json: {e}")));
+    let entries: Vec<String> = reports
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"backend\": \"{}\",\n      \"grant\": \"{}\",\n      \
+                 \"capacity\": {},\n      \"submitted\": {},\n      \"admitted\": {},\n      \
+                 \"queued\": {},\n      \"refused\": {},\n      \"expected_refusals\": {},\n      \
+                 \"peak_tenants\": {},\n      \"peak_booked\": {},\n      \
+                 \"arrival_rate\": {:.2},\n      \"wait_p50_us\": {},\n      \
+                 \"wait_p99_us\": {},\n      \"wall_seconds\": {:.4}\n    }}",
+                r.backend,
+                r.grant,
+                r.capacity,
+                r.submitted,
+                r.admitted_immediate + r.admitted_queued,
+                r.admitted_queued,
+                r.refused,
+                r.expected_refusals,
+                r.stats.peak_running,
+                r.stats.peak_reserved,
+                r.arrival_rate,
+                r.wait_p50_us,
+                r.wait_p99_us,
+                r.wall_seconds,
+            )
+        })
+        .collect();
+    write!(
+        json,
+        "{{\n  \"scale\": \"{scale}\",\n  \"tenants\": {},\n  \"sessions_per_tenant\": {},\n  \
+         \"concurrency_target\": {},\n  \"backends\": [\n{}\n  ]\n}}\n",
+        spec.tenants,
+        spec.sessions_per_tenant,
+        spec.concurrency_target,
+        entries.join(",\n"),
+    )
+    .unwrap_or_else(|e| fail(&format!("writing BENCH_service.json: {e}")));
+    println!("wrote {}", json_path.display());
+
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("gate violation: {v}");
+        }
+        std::process::exit(1);
+    }
+}

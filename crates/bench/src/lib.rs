@@ -21,6 +21,7 @@ pub mod cli;
 pub mod corpus;
 pub mod figures;
 pub mod runner;
+pub mod service_load;
 pub mod sweep;
 
 pub use aggregate::Summary;
@@ -31,6 +32,7 @@ pub use runner::{
     run_heuristic, run_heuristic_backend, run_on_platform, Backend, CaseSource, OrderPair,
     RunOutcome, TreeCase,
 };
+pub use service_load::{run_load, LoadReport, LoadSpec};
 pub use sweep::{untimed_row, CaseMeta, Sweep, SweepCell, SweepCtx, SweepReport};
 
 /// Prints a CSV header and rows through a tiny helper so every binary

@@ -1,0 +1,271 @@
+//! **`BudgetLedger`** — hierarchical memory-budget accounting shared by
+//! every coordinator that splits one bound across concurrent consumers
+//! (DESIGN.md §6.7/§6.9).
+//!
+//! Both the sharded platform's coordinator and the multi-tenant service
+//! sit one level above the per-run driver ledgers: they hand each
+//! consumer (a shard worker, an admitted session) a slice of the global
+//! bound `M`, and the consumer's own driver enforces `actual ≤ booked ≤
+//! slice` inside the run. The ledger is the parent level of that
+//! hierarchy: reservations must never sum past the capacity, and every
+//! reservation must come back exactly once.
+//!
+//! The ledger is deliberately **loud**: a reservation past the capacity
+//! and a release of more than is reserved are both hard
+//! [`LedgerError`]s, never saturating arithmetic or a `debug_assert!`.
+//! Silent accounting drift at this level is exactly how a coordinator
+//! ends up overcommitting the machine while every individual run still
+//! looks feasible — the PR-4 coordinator's `debug_assert` version of
+//! this type is the bug class this promotion retires.
+
+use std::fmt;
+
+/// A budget-accounting violation — always a coordinator bug, never a
+/// recoverable scheduling outcome (feasibility refusals are
+/// [`SchedError::InfeasibleMemory`](crate::SchedError::InfeasibleMemory);
+/// this type is for books that stopped balancing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LedgerError {
+    /// A reservation would push the reserved total past the capacity.
+    Overcommit {
+        /// The amount whose reservation was attempted.
+        requested: u64,
+        /// Already reserved before the attempt.
+        reserved: u64,
+        /// The ledger's capacity.
+        capacity: u64,
+    },
+    /// A release of more than is currently reserved — a double release or
+    /// a release of a never-reserved amount.
+    OverRelease {
+        /// The amount whose release was attempted.
+        requested: u64,
+        /// Currently reserved.
+        reserved: u64,
+    },
+}
+
+impl fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LedgerError::Overcommit {
+                requested,
+                reserved,
+                capacity,
+            } => write!(
+                f,
+                "budget overcommit: reserving {requested} on top of {reserved} \
+                 exceeds the capacity {capacity}"
+            ),
+            LedgerError::OverRelease {
+                requested,
+                reserved,
+            } => write!(
+                f,
+                "budget over-release: releasing {requested} with only {reserved} reserved"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+/// One level of the budget hierarchy: a capacity, the amount currently
+/// reserved against it, and the reservation high-water mark.
+///
+/// Purely an accounting device — the per-run driver ledgers do the real
+/// enforcement inside each consumer — but it turns a budget-release bug
+/// into a loud [`LedgerError`] instead of silent overcommit, and its
+/// [`peak_reserved`](BudgetLedger::peak_reserved) is the coordinator-level
+/// booking envelope reports cite (`Σ` granted budgets never exceeded it,
+/// and it never exceeded the capacity).
+#[derive(Clone, Debug)]
+pub struct BudgetLedger {
+    capacity: u64,
+    reserved: u64,
+    peak_reserved: u64,
+}
+
+impl BudgetLedger {
+    /// An empty ledger over `capacity` units.
+    pub fn new(capacity: u64) -> Self {
+        BudgetLedger {
+            capacity,
+            reserved: 0,
+            peak_reserved: 0,
+        }
+    }
+
+    /// The capacity reservations may never sum past.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Currently reserved.
+    pub fn reserved(&self) -> u64 {
+        self.reserved
+    }
+
+    /// Capacity not currently reserved.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.reserved
+    }
+
+    /// High-water mark of [`reserved`](BudgetLedger::reserved) over the
+    /// ledger's lifetime — provably ≤ the capacity.
+    pub fn peak_reserved(&self) -> u64 {
+        self.peak_reserved
+    }
+
+    /// Reserves `amount` units.
+    ///
+    /// # Errors
+    /// [`LedgerError::Overcommit`] when the reservation would exceed the
+    /// capacity; the ledger is unchanged.
+    pub fn reserve(&mut self, amount: u64) -> Result<(), LedgerError> {
+        let next = self
+            .reserved
+            .checked_add(amount)
+            .filter(|&n| n <= self.capacity);
+        match next {
+            Some(next) => {
+                self.reserved = next;
+                self.peak_reserved = self.peak_reserved.max(next);
+                Ok(())
+            }
+            None => Err(LedgerError::Overcommit {
+                requested: amount,
+                reserved: self.reserved,
+                capacity: self.capacity,
+            }),
+        }
+    }
+
+    /// Releases `amount` previously reserved units.
+    ///
+    /// # Errors
+    /// [`LedgerError::OverRelease`] when `amount` exceeds the reserved
+    /// total — a double release or a phantom release; the ledger is
+    /// unchanged. This is a hard error precisely so accounting drift
+    /// cannot hide: the PR-4 coordinator's `saturating_sub` would have
+    /// absorbed the bug and quietly freed budget that was never granted.
+    pub fn release(&mut self, amount: u64) -> Result<(), LedgerError> {
+        if amount > self.reserved {
+            return Err(LedgerError::OverRelease {
+                requested: amount,
+                reserved: self.reserved,
+            });
+        }
+        self.reserved -= amount;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_release_round_trips() {
+        let mut ledger = BudgetLedger::new(100);
+        ledger.reserve(60).unwrap();
+        ledger.reserve(40).unwrap();
+        assert_eq!(ledger.reserved(), 100);
+        assert_eq!(ledger.available(), 0);
+        ledger.release(40).unwrap();
+        ledger.release(60).unwrap();
+        assert_eq!(ledger.reserved(), 0);
+        assert_eq!(ledger.available(), 100);
+        assert_eq!(ledger.peak_reserved(), 100);
+    }
+
+    #[test]
+    fn overcommit_is_a_hard_error_and_leaves_the_ledger_unchanged() {
+        let mut ledger = BudgetLedger::new(100);
+        ledger.reserve(70).unwrap();
+        let err = ledger.reserve(31).unwrap_err();
+        assert_eq!(
+            err,
+            LedgerError::Overcommit {
+                requested: 31,
+                reserved: 70,
+                capacity: 100
+            }
+        );
+        assert_eq!(ledger.reserved(), 70, "failed reserve must not book");
+        // Exactly filling the capacity is fine.
+        ledger.reserve(30).unwrap();
+        assert_eq!(ledger.available(), 0);
+    }
+
+    #[test]
+    fn overcommit_catches_u64_overflow() {
+        let mut ledger = BudgetLedger::new(u64::MAX);
+        ledger.reserve(u64::MAX - 1).unwrap();
+        let err = ledger.reserve(u64::MAX).unwrap_err();
+        assert!(matches!(err, LedgerError::Overcommit { .. }));
+        assert_eq!(ledger.reserved(), u64::MAX - 1);
+    }
+
+    #[test]
+    fn over_release_is_a_hard_error_not_saturation() {
+        let mut ledger = BudgetLedger::new(100);
+        ledger.reserve(50).unwrap();
+        ledger.release(50).unwrap();
+        // The double release — the drift the PR-4 debug_assert missed in
+        // release builds — is now a first-class error.
+        let err = ledger.release(50).unwrap_err();
+        assert_eq!(
+            err,
+            LedgerError::OverRelease {
+                requested: 50,
+                reserved: 0
+            }
+        );
+        assert_eq!(ledger.reserved(), 0, "failed release must not unbook");
+    }
+
+    #[test]
+    fn partial_over_release_reports_the_reserved_total() {
+        let mut ledger = BudgetLedger::new(100);
+        ledger.reserve(10).unwrap();
+        let err = ledger.release(11).unwrap_err();
+        assert_eq!(
+            err,
+            LedgerError::OverRelease {
+                requested: 11,
+                reserved: 10
+            }
+        );
+        ledger.release(10).unwrap();
+    }
+
+    #[test]
+    fn peak_tracks_the_high_water_mark() {
+        let mut ledger = BudgetLedger::new(100);
+        ledger.reserve(30).unwrap();
+        ledger.reserve(40).unwrap();
+        ledger.release(60).unwrap();
+        ledger.reserve(20).unwrap();
+        assert_eq!(ledger.peak_reserved(), 70);
+        assert!(ledger.peak_reserved() <= ledger.capacity());
+    }
+
+    #[test]
+    fn errors_display_their_numbers() {
+        let e = LedgerError::Overcommit {
+            requested: 3,
+            reserved: 2,
+            capacity: 4,
+        };
+        for needle in ["3", "2", "4"] {
+            assert!(e.to_string().contains(needle));
+        }
+        let e = LedgerError::OverRelease {
+            requested: 9,
+            reserved: 1,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('1'));
+    }
+}

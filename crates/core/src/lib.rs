@@ -33,6 +33,7 @@
 
 pub mod activation;
 pub mod error;
+pub mod ledger;
 pub mod lower_bound;
 pub mod membooking;
 pub mod moldable;
@@ -43,6 +44,7 @@ pub mod spec;
 
 pub use activation::Activation;
 pub use error::SchedError;
+pub use ledger::{BudgetLedger, LedgerError};
 pub use lower_bound::LowerBounds;
 pub use membooking::{MemBooking, MemBookingRef};
 pub use moldable::{AllotmentCaps, MoldableMemBooking};

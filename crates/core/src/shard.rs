@@ -20,13 +20,22 @@
 use crate::error::SchedError;
 use memtree_tree::TaskTree;
 
-/// The minimum memory any booking policy provably needs on `tree`: the
-/// sequential peak of the peak-minimising postorder (never 0, so it can
-/// serve as a proportional-split weight).
+/// The minimum memory the default booking policy (MemBooking under the
+/// paper's memPO orders) provably needs on `tree` — a thin delegate to
+/// [`PolicySpec::min_feasible`](crate::PolicySpec::min_feasible), which is
+/// the one feasibility floor in this workspace.
+///
+/// Convenient when no concrete spec is in hand (tests sizing a "roomy"
+/// bound, proportional-split weights). **Admission control must not use
+/// this**: a tenant's floor depends on its spec's kind and orders —
+/// RedTree's statically-booked subtree requirements raise the bar well
+/// past the memPO sequential peak — so admitting against this function
+/// would admit sessions whose policies then refuse to construct. Always
+/// ask the session's own spec via `PolicySpec::min_feasible`.
 pub fn min_feasible_memory(tree: &TaskTree) -> u64 {
-    memtree_order::mem_postorder(tree)
-        .sequential_peak(tree)
-        .max(1)
+    // The memory field is irrelevant to the floor; 0 keeps the delegate
+    // honest about not depending on it.
+    crate::PolicySpec::new(crate::HeuristicKind::MemBooking, 0).min_feasible(tree)
 }
 
 /// How a global memory bound splits across per-shard booking ledgers.
@@ -171,5 +180,21 @@ mod tests {
         let spec = crate::PolicySpec::new(crate::HeuristicKind::MemBooking, m);
         let inst = spec.instantiate(&tree).unwrap();
         assert!(inst.scheduler(&tree).is_ok());
+    }
+
+    #[test]
+    fn min_feasible_memory_delegates_to_the_spec_level_floor() {
+        // One implementation of the floor: the free function is the
+        // default spec's answer, bit for bit, and the spec-level method is
+        // the one admission must consult (RedTree's floor is higher).
+        let tree = memtree_gen::synthetic::paper_tree(120, 7);
+        let default_spec = crate::PolicySpec::new(crate::HeuristicKind::MemBooking, 0);
+        assert_eq!(min_feasible_memory(&tree), default_spec.min_feasible(&tree));
+        let redtree = crate::PolicySpec::new(crate::HeuristicKind::MemBookingRedTree, 0);
+        assert!(
+            redtree.min_feasible(&tree) > min_feasible_memory(&tree),
+            "RedTree's floor exceeds the memPO sequential peak — admitting \
+             against the free function would under-provision it"
+        );
     }
 }

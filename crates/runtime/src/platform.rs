@@ -28,7 +28,7 @@
 
 use crate::executor::{execute, execute_moldable, RuntimeConfig, RuntimeError};
 use crate::workload::Workload;
-use memtree_sched::{PolicyInstance, PolicySpec, SchedError};
+use memtree_sched::{LedgerError, PolicyInstance, PolicySpec, SchedError};
 use memtree_sim::{simulate, MoldableScheduler, SimConfig, SimError, SpeedupModel};
 use memtree_tree::TaskTree;
 use std::fmt;
@@ -73,6 +73,11 @@ pub enum PlatformError {
     /// The forest partitioner produced an invalid shard plan (caught by
     /// shard-aware validation before any worker launches).
     Partition(String),
+    /// Coordinator-level budget accounting stopped balancing (double
+    /// release, overcommitted reservation) — always a bug in the
+    /// coordinating platform, surfaced loudly by the shared
+    /// [`memtree_sched::BudgetLedger`] instead of drifting silently.
+    Ledger(LedgerError),
     /// A shard worker failed; carries the shard index and the underlying
     /// failure. The coordinator has already drained the other shards and
     /// released every budget reservation.
@@ -99,6 +104,7 @@ impl fmt::Display for PlatformError {
             PlatformError::Sim(e) => write!(f, "simulation failed: {e}"),
             PlatformError::Runtime(e) => write!(f, "threaded execution failed: {e}"),
             PlatformError::Partition(msg) => write!(f, "invalid shard plan: {msg}"),
+            PlatformError::Ledger(e) => write!(f, "budget accounting failed: {e}"),
             PlatformError::ShardFailed { shard, source } => {
                 write!(f, "shard {shard} failed: {source}")
             }
@@ -126,6 +132,12 @@ impl From<SimError> for PlatformError {
 impl From<RuntimeError> for PlatformError {
     fn from(e: RuntimeError) -> Self {
         PlatformError::Runtime(e)
+    }
+}
+
+impl From<LedgerError> for PlatformError {
+    fn from(e: LedgerError) -> Self {
+        PlatformError::Ledger(e)
     }
 }
 

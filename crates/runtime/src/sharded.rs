@@ -39,54 +39,13 @@
 use crate::platform::{Platform, PlatformError, RunReport, ThreadedPlatform};
 use crate::workload::Workload;
 use crossbeam::channel::{self, RecvTimeoutError, TryRecvError};
-use memtree_sched::{AllotmentCaps, PolicyInstance, PolicySpec, ShardBudget};
+use memtree_sched::{AllotmentCaps, BudgetLedger, PolicyInstance, PolicySpec, ShardBudget};
 use memtree_sim::validate::validate_shard_plan;
 use memtree_tree::partition::{partition, Partition, PartitionPolicy};
 use memtree_tree::TaskTree;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-/// The coordinator's view of the global memory bound: budgets are
-/// reserved per shard up front and must all come back before the
-/// residual phase may claim the full bound. Purely an accounting device —
-/// the per-shard driver ledgers do the real enforcement — but it turns a
-/// budget-release bug into a loud error instead of silent overcommit.
-#[derive(Debug)]
-struct BudgetLedger {
-    capacity: u64,
-    reserved: u64,
-}
-
-impl BudgetLedger {
-    fn new(capacity: u64) -> Self {
-        BudgetLedger {
-            capacity,
-            reserved: 0,
-        }
-    }
-
-    fn reserve(&mut self, amount: u64) -> Result<(), PlatformError> {
-        let next = self.reserved.saturating_add(amount);
-        if next > self.capacity {
-            return Err(PlatformError::Partition(format!(
-                "budget reservation {next} exceeds the bound {}",
-                self.capacity
-            )));
-        }
-        self.reserved = next;
-        Ok(())
-    }
-
-    fn release(&mut self, amount: u64) {
-        debug_assert!(amount <= self.reserved, "releasing more than reserved");
-        self.reserved = self.reserved.saturating_sub(amount);
-    }
-
-    fn leaked(&self) -> u64 {
-        self.reserved
-    }
-}
 
 /// The sharded forest backend; see the module docs.
 #[derive(Clone, Copy, Debug)]
@@ -206,6 +165,9 @@ impl ShardedPlatform {
             PlatformError::Sched(e)
         })?;
         let budgets: Vec<u64> = shard_specs.iter().map(|s| s.memory).collect();
+        // The coordinator level of the budget hierarchy: the shared
+        // hard-error ledger (memtree_sched::BudgetLedger) — a release bug
+        // is a loud PlatformError::Ledger, never silent drift.
         let mut ledger = BudgetLedger::new(spec.memory);
         for &b in &budgets {
             ledger.reserve(b)?;
@@ -213,7 +175,7 @@ impl ShardedPlatform {
 
         // Phase 1: every shard on its own channel-connected worker.
         let shard_reports = self.run_shard_phase(&part, spec, shard_specs, &budgets, &mut ledger);
-        debug_assert_eq!(ledger.leaked(), 0, "a shard budget leaked");
+        debug_assert_eq!(ledger.reserved(), 0, "a shard budget leaked");
         let shard_reports = shard_reports?;
 
         // Phase 2: the merge — all budgets are back with the parent
@@ -238,8 +200,8 @@ impl ShardedPlatform {
             workload: self.workload,
         }
         .run(&part.residual.tree, &residual_spec)?;
-        ledger.release(spec.memory);
-        debug_assert_eq!(ledger.leaked(), 0);
+        ledger.release(spec.memory)?;
+        debug_assert_eq!(ledger.reserved(), 0);
 
         Ok(ShardedReport::roll_up(
             &part,
@@ -342,13 +304,13 @@ impl ShardedPlatform {
             };
             match msg {
                 Ok((k, Ok(report))) => {
-                    ledger.release(budgets[k]);
+                    ledger.release(budgets[k])?;
                     released[k] = true;
                     reports[k] = Some(report);
                     reported += 1;
                 }
                 Ok((k, Err(e))) => {
-                    ledger.release(budgets[k]);
+                    ledger.release(budgets[k])?;
                     released[k] = true;
                     reported += 1;
                     if first_err.as_ref().is_none_or(|(j, _)| k < *j) {
@@ -371,8 +333,10 @@ impl ShardedPlatform {
         }
         if stalled {
             // Any error from an already-reported shard loses to the
-            // stall: the stall is what stopped the phase.
-            self.release_stalled_budgets(&handles, &rx, budgets, ledger, &mut released, deadline);
+            // stall: the stall is what stopped the phase (a ledger
+            // accounting error during the cleanup still trumps both —
+            // the books stopped balancing).
+            self.release_stalled_budgets(&handles, &rx, budgets, ledger, &mut released, deadline)?;
             drop(rx);
             return Err(PlatformError::ShardStalled { reported, total });
         }
@@ -409,7 +373,7 @@ impl ShardedPlatform {
         ledger: &mut BudgetLedger,
         released: &mut [bool],
         deadline: Option<Instant>,
-    ) {
+    ) -> Result<(), PlatformError> {
         // The grace is the *smaller* of one idle-watchdog period and the
         // deadline remainder: an idle-watchdog stall must stay fail-fast
         // even under a long overall deadline, and a deadline stall must
@@ -421,14 +385,14 @@ impl ShardedPlatform {
             // its memory is gone, its budget comes back.
             while let Ok((k, _outcome)) = rx.try_recv() {
                 if !released[k] {
-                    ledger.release(budgets[k]);
+                    ledger.release(budgets[k])?;
                     released[k] = true;
                 }
             }
             // A joined (finished) worker holds no memory either.
             for (k, handle) in handles.iter().enumerate() {
                 if !released[k] && handle.is_finished() {
-                    ledger.release(budgets[k]);
+                    ledger.release(budgets[k])?;
                     released[k] = true;
                 }
             }
@@ -442,9 +406,10 @@ impl ShardedPlatform {
         // documented residual-risk window.
         for (k, &done) in released.iter().enumerate() {
             if !done {
-                ledger.release(budgets[k]);
+                ledger.release(budgets[k])?;
             }
         }
+        Ok(())
     }
 }
 
@@ -576,16 +541,18 @@ mod tests {
     }
 
     #[test]
-    fn budget_ledger_guards_overcommit() {
+    fn ledger_errors_surface_as_platform_errors() {
+        // The promoted hard-error ledger (memtree_sched::BudgetLedger)
+        // maps into the platform error space; accounting drift is loud
+        // and distinguishable from a feasibility refusal.
         let mut ledger = BudgetLedger::new(100);
-        ledger.reserve(60).unwrap();
-        ledger.reserve(40).unwrap();
-        assert!(ledger.reserve(1).is_err());
-        ledger.release(40);
-        ledger.release(60);
-        assert_eq!(ledger.leaked(), 0);
         ledger.reserve(100).unwrap();
-        assert_eq!(ledger.leaked(), 100);
+        let err = PlatformError::from(ledger.reserve(1).unwrap_err());
+        assert!(matches!(err, PlatformError::Ledger(_)), "got {err}");
+        assert!(!err.is_infeasible());
+        ledger.release(100).unwrap();
+        let err = PlatformError::from(ledger.release(1).unwrap_err());
+        assert!(err.to_string().contains("over-release"), "got {err}");
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! **`ServicePlatform`** — the service as a
+//! [`Platform`](memtree_runtime::Platform), so the conformance suite and
+//! differential tests can drive it exactly like sim/threaded/async.
+//!
+//! `run` starts a one-shot [`Service`](crate::Service) over `spec.memory`,
+//! submits the tree as the only tenant, waits for the outcome, and
+//! relabels the report `"service"`. Under [`GrantPolicy::AllAvailable`]
+//! (the default) the lone tenant is granted exactly its requested bound,
+//! so the report is the direct backend run's report bit-for-bit (modulo
+//! wall-clock fields) — the single-tenant differential contract of
+//! DESIGN.md §6.9. Admission refusals surface as
+//! [`SchedError::InfeasibleMemory`], making `is_infeasible()` true just
+//! as on every other platform.
+
+use crate::service::{Service, ServiceConfig, SessionBackend, SessionRequest, SubmitError};
+use crate::GrantPolicy;
+use memtree_runtime::{Platform, PlatformError, RunReport, RuntimeError};
+use memtree_sched::{PolicyInstance, PolicySpec, SchedError};
+use memtree_tree::TaskTree;
+use std::sync::Arc;
+
+/// One-shot service runs over a configurable backend; see the module
+/// docs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServicePlatform {
+    /// The execution regime sessions run on.
+    pub backend: SessionBackend,
+    /// The grant policy — keep [`GrantPolicy::AllAvailable`] for
+    /// bit-for-bit single-tenant equivalence.
+    pub grant: GrantPolicy,
+}
+
+impl ServicePlatform {
+    /// A service platform over `backend` with the default
+    /// (all-available) grant policy.
+    pub fn new(backend: SessionBackend) -> Self {
+        ServicePlatform {
+            backend,
+            grant: GrantPolicy::AllAvailable,
+        }
+    }
+
+    /// Overrides the grant policy.
+    pub fn with_grant(mut self, grant: GrantPolicy) -> Self {
+        self.grant = grant;
+        self
+    }
+}
+
+impl Platform for ServicePlatform {
+    fn name(&self) -> &'static str {
+        "service"
+    }
+
+    /// An already-instantiated policy carries no spec to price admission
+    /// against, so it runs directly on the backend (relabelled); the
+    /// admission path is [`Platform::run`].
+    fn run_instance(
+        &self,
+        tree: &TaskTree,
+        instance: &PolicyInstance,
+    ) -> Result<RunReport, PlatformError> {
+        let mut report = match self.backend {
+            SessionBackend::Sim { processors } => {
+                memtree_runtime::SimPlatform::new(processors).run_instance(tree, instance)?
+            }
+            SessionBackend::Threaded { workers, workload } => {
+                memtree_runtime::ThreadedPlatform { workers, workload }
+                    .run_instance(tree, instance)?
+            }
+            SessionBackend::Async {
+                workers,
+                threads,
+                workload,
+            } => memtree_runtime::AsyncPlatform {
+                workers,
+                threads,
+                workload,
+            }
+            .run_instance(tree, instance)?,
+        };
+        report.platform = self.name();
+        Ok(report)
+    }
+
+    fn run(&self, tree: &TaskTree, spec: &PolicySpec) -> Result<RunReport, PlatformError> {
+        let service = Service::start(
+            ServiceConfig::new(spec.memory)
+                .with_backend(self.backend)
+                .with_grant(self.grant),
+        );
+        let submitted = service.submit(SessionRequest::new(spec.clone(), Arc::new(tree.clone())));
+        let result = match submitted {
+            Ok(ticket) => match ticket.wait() {
+                Ok(outcome) => outcome.result,
+                Err(_) => Err(PlatformError::Runtime(RuntimeError::WorkerPanic)),
+            },
+            Err(SubmitError::Infeasible(refusal)) => {
+                Err(PlatformError::Sched(SchedError::InfeasibleMemory {
+                    required: refusal.required(),
+                    available: refusal.limit(),
+                }))
+            }
+            Err(_) => Err(PlatformError::Runtime(RuntimeError::WorkerPanic)),
+        };
+        service.shutdown();
+        let mut report = result?;
+        report.platform = self.name();
+        Ok(report)
+    }
+}

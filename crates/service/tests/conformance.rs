@@ -1,0 +1,21 @@
+//! The shared platform invariant suite, stamped over the service
+//! (DESIGN.md §7): the service is a `Platform` like any other, so the
+//! same contract — every kind completes inside the envelope, infeasible
+//! bounds are distinguishable, completion sets are deterministic,
+//! moldable and transforming specs are first-class — holds when every
+//! run goes through admission control.
+
+memtree_runtime::platform_conformance!(
+    service_over_sim,
+    ::memtree_service::ServicePlatform::new(::memtree_service::SessionBackend::sim(4))
+);
+
+memtree_runtime::platform_conformance!(
+    service_over_threaded,
+    ::memtree_service::ServicePlatform::new(::memtree_service::SessionBackend::threaded(2))
+);
+
+memtree_runtime::platform_conformance!(
+    service_over_async,
+    ::memtree_service::ServicePlatform::new(::memtree_service::SessionBackend::asynchronous(2))
+);

@@ -5,5 +5,6 @@ pub use memtree_multifrontal as multifrontal;
 pub use memtree_order as order;
 pub use memtree_runtime as runtime;
 pub use memtree_sched as sched;
+pub use memtree_service as service;
 pub use memtree_sim as sim;
 pub use memtree_tree as tree;
