@@ -38,6 +38,7 @@ pub mod lower_bound;
 pub mod membooking;
 pub mod moldable;
 pub mod redtree;
+pub mod rescheduler;
 pub mod seq;
 pub mod shard;
 pub mod spec;
@@ -49,6 +50,7 @@ pub use lower_bound::LowerBounds;
 pub use membooking::{MemBooking, MemBookingRef};
 pub use moldable::{AllotmentCaps, MoldableMemBooking};
 pub use redtree::{to_reduction_tree, RedTreeBooking, ReductionTransform};
+pub use rescheduler::{ProportionalRescheduler, ReschedulePolicy};
 pub use seq::Sequential;
 pub use shard::{min_feasible_memory, ShardBudget};
 pub use spec::{PolicyInstance, PolicySpec};

@@ -22,14 +22,17 @@
 //! `platform_conformance!` pin the equivalence with `SimPlatform` and
 //! `ThreadedPlatform`.
 
-use crate::executor::{to_runtime_error, GangState, RuntimeError, RuntimeReport};
+use crate::executor::{to_runtime_error, GangState, RuntimeError, RuntimeReport, MALLEABLE_CHUNKS};
 use crate::platform::{Platform, PlatformError, RunReport};
 use crate::workload::Workload;
 use crossbeam::channel::{self, RecvTimeoutError};
-use memtree_sim::driver::{drive_gang, DriveConfig, DriveError, GangBackend, UnitAllotments};
+use memtree_sched::{ProportionalRescheduler, ReschedulePolicy};
+use memtree_sim::driver::{
+    drive_gang_with, DriveConfig, DriveError, GangBackend, Rescheduler, UnitAllotments,
+};
 use memtree_sim::MoldableScheduler;
 use memtree_tree::{NodeId, TaskTree};
-use std::sync::atomic::Ordering;
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -51,6 +54,11 @@ pub struct AsyncPlatform {
     /// Per-task payload, as on the other platforms (timed payloads run
     /// their async interpretation, [`Workload::run_shard_async`]).
     pub workload: Workload,
+    /// When set, moldable runs become **malleable**: a
+    /// [`ProportionalRescheduler`] built from the executed tree resizes
+    /// running gangs from live backlog (DESIGN.md §6.10). Ignored by
+    /// sequential policies.
+    pub reschedule: Option<ReschedulePolicy>,
 }
 
 impl AsyncPlatform {
@@ -61,6 +69,7 @@ impl AsyncPlatform {
             workers,
             threads: 2,
             workload: Workload::Noop,
+            reschedule: None,
         }
     }
 
@@ -81,16 +90,24 @@ impl AsyncPlatform {
         self
     }
 
+    /// Enables malleability for moldable runs under `policy`.
+    pub fn with_rescheduler(mut self, policy: ReschedulePolicy) -> Self {
+        self.reschedule = Some(policy);
+        self
+    }
+
     fn execute(
         &self,
         exec: &TaskTree,
         memory: u64,
         scheduler: impl MoldableScheduler,
+        rescheduler: Option<&mut dyn Rescheduler>,
     ) -> Result<RuntimeReport, RuntimeError> {
         if self.workers == 0 {
             return Err(RuntimeError::BadConfig("zero workers".into()));
         }
         let started_at = std::time::Instant::now();
+        let malleable = rescheduler.is_some();
         // Spawned member futures are `'static`, so they share the tree by
         // `Arc` — one O(n) clone per run, amortised over the whole tree.
         let tree = Arc::new(exec.clone());
@@ -102,12 +119,16 @@ impl AsyncPlatform {
             workload: self.workload,
             done_tx,
             done_rx,
+            gangs: HashMap::new(),
+            workers: self.workers,
+            malleable,
         };
-        let stats = drive_gang(
+        let stats = drive_gang_with(
             exec,
             DriveConfig::new(self.workers, memory),
             scheduler,
             &mut backend,
+            rescheduler,
         )
         .map_err(to_runtime_error)?;
         Ok(RuntimeReport {
@@ -126,45 +147,89 @@ impl AsyncPlatform {
 /// The futures gang backend: launching a task with allotment `q` spawns
 /// `q` member futures onto the executor; awaiting blocks on the
 /// completion channel, waking periodically to notice panicked payloads.
+/// Running gangs live in a registry so a [`Rescheduler`] can resize them:
+/// growing spawns extra member futures over the shared [`GangState`],
+/// shrinking retires members at their next shard boundary.
 struct AsyncGangBackend<'rt> {
     rt: &'rt minitok::Runtime,
     tree: Arc<TaskTree>,
     workload: Workload,
     done_tx: channel::Sender<NodeId>,
     done_rx: channel::Receiver<NodeId>,
+    gangs: HashMap<NodeId, Arc<GangState>>,
+    workers: usize,
+    malleable: bool,
 }
 
-impl GangBackend for AsyncGangBackend<'_> {
-    fn launch(&mut self, i: NodeId, procs: usize, _epoch: u32) -> Result<(), DriveError> {
-        // The same claim-and-countdown gang protocol as the threaded
-        // pool (`GangState`), with futures for members.
-        let gang = Arc::new(GangState::new(procs));
-        for _ in 0..procs {
+impl AsyncGangBackend<'_> {
+    /// Spawns `n` member futures running the same claim-retire-report
+    /// protocol as the threaded pool's worker loop.
+    fn spawn_members(&self, i: NodeId, gang: &Arc<GangState>, n: usize) {
+        for _ in 0..n {
             let gang = gang.clone();
             let tree = self.tree.clone();
             let workload = self.workload;
             let done_tx = self.done_tx.clone();
             self.rt.spawn(async move {
-                let size = gang.size;
+                let mut retired = false;
                 loop {
-                    let shard = gang.next_shard.fetch_add(1, Ordering::Relaxed);
-                    if shard >= size as usize {
+                    // Shard boundaries are the only malleability points:
+                    // check for retirement before claiming.
+                    if gang.try_retire() {
+                        retired = true;
                         break;
                     }
-                    workload.run_shard_async(&tree, i, shard as u32, size).await;
+                    let Some(shard) = gang.claim() else { break };
+                    workload.run_shard_async(&tree, i, shard, gang.shards).await;
+                    gang.finish_shard();
                 }
-                // The member countdown reaches zero only once every
-                // claimed shard has run; the last member out reports the
-                // one completion that releases the whole gang.
-                if gang.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Retired members never report: the member ledger keeps at
+                // least one member who exits via payload exhaustion, and
+                // the last such exit is the one completion that releases
+                // the whole gang.
+                if !retired && gang.member_exit() {
                     let _ = done_tx.send(i);
                 }
             });
         }
+    }
+}
+
+impl GangBackend for AsyncGangBackend<'_> {
+    fn launch(&mut self, i: NodeId, procs: usize, _epoch: u64) -> Result<(), DriveError> {
+        let shards = if self.malleable {
+            (self.workers * MALLEABLE_CHUNKS) as u32
+        } else {
+            procs as u32
+        };
+        let gang = Arc::new(GangState::new(procs, shards));
+        self.gangs.insert(i, gang.clone());
+        self.spawn_members(i, &gang, procs);
         Ok(())
     }
 
-    fn await_batch(&mut self, _epoch: u32, batch: &mut Vec<NodeId>) -> Result<(), DriveError> {
+    fn resize(&mut self, i: NodeId, from: usize, to: usize, _epoch: u64) -> Result<(), DriveError> {
+        let gang = self
+            .gangs
+            .get(&i)
+            .cloned()
+            .ok_or_else(|| DriveError::Backend(format!("resize of unknown gang {i:?}")))?;
+        if to > from {
+            // Admit before spawning: the active count covers the not-yet-
+            // polled futures, so the completion countdown cannot race them.
+            gang.admit(to - from);
+            self.spawn_members(i, &gang, to - from);
+        } else if to < from {
+            gang.release(from - to);
+        }
+        Ok(())
+    }
+
+    fn progress(&self, i: NodeId) -> Option<(u32, u32)> {
+        self.gangs.get(&i).map(|g| g.progress())
+    }
+
+    fn await_batch(&mut self, _epoch: u64, batch: &mut Vec<NodeId>) -> Result<(), DriveError> {
         // Block for one completion, then drain whatever else arrived. The
         // backend keeps a live sender, so a panicked payload future never
         // disconnects the channel — instead the executor counts the death
@@ -188,6 +253,9 @@ impl GangBackend for AsyncGangBackend<'_> {
         while let Ok(i) = self.done_rx.try_recv() {
             batch.push(i);
         }
+        for i in batch.iter() {
+            self.gangs.remove(i);
+        }
         Ok(())
     }
 }
@@ -210,11 +278,17 @@ impl Platform for AsyncPlatform {
             // futures sharing the payload's shard index.
             let sched = instance.moldable(tree)?;
             policy = MoldableScheduler::name(&sched).to_string();
-            report = self.execute(exec, instance.memory(), sched)?;
+            report = match self.reschedule {
+                Some(p) => {
+                    let mut resched = ProportionalRescheduler::new(exec, p);
+                    self.execute(exec, instance.memory(), sched, Some(&mut resched))?
+                }
+                None => self.execute(exec, instance.memory(), sched, None)?,
+            };
         } else {
             let sched = instance.scheduler(tree)?;
             policy = sched.name().to_string();
-            report = self.execute(exec, instance.memory(), UnitAllotments::new(sched))?;
+            report = self.execute(exec, instance.memory(), UnitAllotments::new(sched), None)?;
         }
         Ok(RunReport {
             platform: self.name(),
@@ -293,6 +367,7 @@ mod tests {
             workers: 0,
             threads: 1,
             workload: Workload::Noop,
+            reschedule: None,
         }
         .run(&tree, &spec)
         .unwrap_err();

@@ -23,12 +23,22 @@
 
 use crate::workload::Workload;
 use crossbeam::channel;
-use memtree_sim::driver::{drive_gang, DriveConfig, DriveError, GangBackend, UnitAllotments};
+use memtree_sim::driver::{
+    drive_gang_with, DriveConfig, DriveError, GangBackend, Rescheduler, UnitAllotments,
+};
 use memtree_sim::{MoldableScheduler, Scheduler};
 use memtree_tree::{NodeId, TaskTree};
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Payload shards per *worker* for a malleable gang. A fixed-allotment
+/// gang has exactly one shard per member, but a gang that may grow to the
+/// whole machine shards its payload at machine granularity times this
+/// oversubscription factor, so retirement (which only happens at shard
+/// boundaries) stays responsive and grown members find work to claim.
+pub(crate) const MALLEABLE_CHUNKS: usize = 4;
 
 /// Executor configuration.
 #[derive(Clone, Copy, Debug)]
@@ -143,28 +153,116 @@ pub(crate) fn to_runtime_error(e: DriveError) -> RuntimeError {
 }
 
 /// Shared state of one gang: the payload shards its members claim and the
-/// member countdown that decides who reports the completion. One protocol
+/// member ledger that decides who reports the completion. One protocol
 /// for both gang pools — threaded members here, futures in
-/// [`crate::async_platform`].
+/// [`crate::async_platform`] — and the substrate of malleability: a
+/// [`Rescheduler`] grows a gang by admitting extra members that share this
+/// state, and shrinks it by lowering `target` so surplus members retire
+/// at their next shard boundary.
 pub(crate) struct GangState {
-    /// Gang size `q` — also the shard count.
-    pub(crate) size: u32,
+    /// Fixed payload shard count. Equals the launch allotment for a
+    /// fixed gang; a malleable gang shards at machine granularity
+    /// (workers × [`MALLEABLE_CHUNKS`]) so any allotment in `1..=p`
+    /// divides the payload usefully.
+    pub(crate) shards: u32,
     /// Next unclaimed payload shard (rayon-style dynamic claiming: a
     /// member delayed by the OS donates its shards to its gang mates).
-    pub(crate) next_shard: AtomicUsize,
-    /// Members that have not finished yet; the last one out sends the
-    /// completion, releasing the whole gang at once.
-    pub(crate) remaining: AtomicUsize,
+    next_shard: AtomicUsize,
+    /// Shards whose payload has finished executing — the backlog signal
+    /// [`GangBackend::progress`] reports to the rescheduler.
+    shards_done: AtomicUsize,
+    /// Members the gang is entitled to — the driver's current allotment.
+    /// Only the driver thread moves it (via resize), and it never drops
+    /// below 1 while the gang runs.
+    target: AtomicUsize,
+    /// Members admitted and not yet exited. Counts queued member messages
+    /// too: admission increments on the driver thread *before* the
+    /// message is sent, so a slow pickup can never let the count touch
+    /// zero early and double-report the completion.
+    active: AtomicUsize,
+    /// Latches the single completion report. A grow can land on a gang
+    /// whose completion is already in flight (the driver resizes before
+    /// it reaps the batch); the late members re-raise `active` from zero
+    /// and drain it again, and without the latch the last of them would
+    /// report the gang a second time.
+    reported: AtomicBool,
 }
 
 impl GangState {
-    /// A fresh gang of `procs` members with no shard claimed yet.
-    pub(crate) fn new(procs: usize) -> Self {
+    /// A fresh gang of `procs` members over `shards` payload shards.
+    pub(crate) fn new(procs: usize, shards: u32) -> Self {
         GangState {
-            size: procs as u32,
+            shards,
             next_shard: AtomicUsize::new(0),
-            remaining: AtomicUsize::new(procs),
+            shards_done: AtomicUsize::new(0),
+            target: AtomicUsize::new(procs),
+            active: AtomicUsize::new(procs),
+            reported: AtomicBool::new(false),
         }
+    }
+
+    /// Claims the next unexecuted payload shard, or `None` when the
+    /// payload is exhausted (the member should exit).
+    pub(crate) fn claim(&self) -> Option<u32> {
+        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed);
+        (shard < self.shards as usize).then_some(shard as u32)
+    }
+
+    /// Records one shard's payload as finished (progress accounting).
+    pub(crate) fn finish_shard(&self) {
+        self.shards_done.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// `(shards finished, total shards)` for the rescheduler's backlog.
+    pub(crate) fn progress(&self) -> (u32, u32) {
+        let done = self.shards_done.load(Ordering::Acquire);
+        (done.min(self.shards as usize) as u32, self.shards)
+    }
+
+    /// True when this member must retire at the current shard boundary:
+    /// more members are active than the shrunk target entitles, and this
+    /// member won the CAS race to be the one that leaves. The CAS floor
+    /// guarantees `active` never drops below `max(target, 1)`, so a gang
+    /// always keeps a member to finish the payload and report completion.
+    pub(crate) fn try_retire(&self) -> bool {
+        let mut active = self.active.load(Ordering::Acquire);
+        loop {
+            if active <= 1 || active <= self.target.load(Ordering::Acquire) {
+                return false;
+            }
+            match self.active.compare_exchange_weak(
+                active,
+                active - 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => active = seen,
+            }
+        }
+    }
+
+    /// Admits `extra` members (driver thread, **before** their member
+    /// messages are queued).
+    pub(crate) fn admit(&self, extra: usize) {
+        self.active.fetch_add(extra, Ordering::AcqRel);
+        self.target.fetch_add(extra, Ordering::AcqRel);
+    }
+
+    /// Lowers the member entitlement by `members`; surplus members retire
+    /// at their next shard boundary. The driver guarantees the target
+    /// stays ≥ 1.
+    pub(crate) fn release(&self, members: usize) {
+        self.target.fetch_sub(members, Ordering::AcqRel);
+    }
+
+    /// Records a non-retirement member exit (payload exhausted); true for
+    /// the last member out, who must report the gang's completion — at
+    /// that point every claimed shard has finished and every member has
+    /// already left the occupancy counter.
+    pub(crate) fn member_exit(&self) -> bool {
+        self.active.fetch_sub(1, Ordering::AcqRel) == 1
+            && !self.reported.swap(true, Ordering::AcqRel)
     }
 }
 
@@ -177,16 +275,19 @@ struct GangMember {
 /// The worker-thread gang backend: launching a task with allotment `q`
 /// sends `q` member messages to the channel (the driver guarantees `q`
 /// idle workers, so the claim is effectively atomic); awaiting blocks on
-/// the completion channel and drains stragglers.
+/// the completion channel and drains stragglers. Running gangs are kept
+/// in a registry so a [`Rescheduler`] can resize them mid-flight.
 struct GangThreadedBackend {
     task_tx: channel::Sender<GangMember>,
     done_rx: channel::Receiver<NodeId>,
+    gangs: HashMap<NodeId, Arc<GangState>>,
+    workers: usize,
+    malleable: bool,
 }
 
-impl GangBackend for GangThreadedBackend {
-    fn launch(&mut self, i: NodeId, procs: usize, _epoch: u32) -> Result<(), DriveError> {
-        let gang = Arc::new(GangState::new(procs));
-        for _ in 0..procs {
+impl GangThreadedBackend {
+    fn send_members(&self, i: NodeId, gang: &Arc<GangState>, n: usize) -> Result<(), DriveError> {
+        for _ in 0..n {
             self.task_tx
                 .send(GangMember {
                     task: i,
@@ -196,8 +297,21 @@ impl GangBackend for GangThreadedBackend {
         }
         Ok(())
     }
+}
 
-    fn await_batch(&mut self, _epoch: u32, batch: &mut Vec<NodeId>) -> Result<(), DriveError> {
+impl GangBackend for GangThreadedBackend {
+    fn launch(&mut self, i: NodeId, procs: usize, _epoch: u64) -> Result<(), DriveError> {
+        let shards = if self.malleable {
+            (self.workers * MALLEABLE_CHUNKS) as u32
+        } else {
+            procs as u32
+        };
+        let gang = Arc::new(GangState::new(procs, shards));
+        self.gangs.insert(i, gang.clone());
+        self.send_members(i, &gang, procs)
+    }
+
+    fn await_batch(&mut self, _epoch: u64, batch: &mut Vec<NodeId>) -> Result<(), DriveError> {
         // Block for one completion, then drain whatever else arrived.
         match self.done_rx.recv() {
             Ok(i) => batch.push(i),
@@ -206,7 +320,31 @@ impl GangBackend for GangThreadedBackend {
         while let Ok(i) = self.done_rx.try_recv() {
             batch.push(i);
         }
+        for i in batch.iter() {
+            self.gangs.remove(i);
+        }
         Ok(())
+    }
+
+    fn resize(&mut self, i: NodeId, from: usize, to: usize, _epoch: u64) -> Result<(), DriveError> {
+        let gang = self
+            .gangs
+            .get(&i)
+            .cloned()
+            .ok_or_else(|| DriveError::Backend(format!("resize of unknown gang {i:?}")))?;
+        if to > from {
+            // Admit before queueing: the active count covers the queued
+            // messages, so the completion countdown cannot race them.
+            gang.admit(to - from);
+            self.send_members(i, &gang, to - from)?;
+        } else if to < from {
+            gang.release(from - to);
+        }
+        Ok(())
+    }
+
+    fn progress(&self, i: NodeId) -> Option<(u32, u32)> {
+        self.gangs.get(&i).map(|g| g.progress())
     }
 }
 
@@ -232,10 +370,28 @@ pub fn execute_moldable<S: MoldableScheduler>(
     scheduler: S,
     workload: Workload,
 ) -> Result<RuntimeReport, RuntimeError> {
+    execute_moldable_with(tree, cfg, scheduler, workload, None)
+}
+
+/// [`execute_moldable`] with an optional [`Rescheduler`] closing the
+/// feedback loop: the driver ticks it once per event with a
+/// [`memtree_sim::LiveStats`] snapshot, and grow/shrink actions land on
+/// the running gangs through the shared [`GangState`] — growing queues
+/// extra member messages, shrinking retires surplus members at their next
+/// shard boundary. With a rescheduler present, gangs shard their payload
+/// at machine granularity so any allotment divides it usefully.
+pub fn execute_moldable_with<S: MoldableScheduler>(
+    tree: &TaskTree,
+    cfg: RuntimeConfig,
+    scheduler: S,
+    workload: Workload,
+    rescheduler: Option<&mut dyn Rescheduler>,
+) -> Result<RuntimeReport, RuntimeError> {
     if cfg.workers == 0 {
         return Err(RuntimeError::BadConfig("zero workers".into()));
     }
     let started_at = std::time::Instant::now();
+    let malleable = rescheduler.is_some();
 
     let (task_tx, task_rx) = channel::unbounded::<GangMember>();
     let (done_tx, done_rx) = channel::unbounded::<NodeId>();
@@ -251,22 +407,28 @@ pub fn execute_moldable<S: MoldableScheduler>(
             let (busy, peak_busy) = (&busy, &peak_busy);
             scope.spawn(move || {
                 while let Ok(member) = task_rx.recv() {
-                    let size = member.gang.size;
+                    let gang = &member.gang;
                     let now_busy = busy.fetch_add(1, Ordering::AcqRel) + 1;
                     peak_busy.fetch_max(now_busy, Ordering::AcqRel);
+                    let mut retired = false;
                     loop {
-                        let shard = member.gang.next_shard.fetch_add(1, Ordering::Relaxed);
-                        if shard >= size as usize {
+                        // Shard boundaries are the only malleability
+                        // points: check for retirement before claiming.
+                        if gang.try_retire() {
+                            retired = true;
                             break;
                         }
-                        workload.run_shard(tree, member.task, shard as u32, size);
+                        let Some(shard) = gang.claim() else { break };
+                        workload.run_shard(tree, member.task, shard, gang.shards);
+                        gang.finish_shard();
                     }
                     busy.fetch_sub(1, Ordering::AcqRel);
-                    // The member countdown only reaches zero once every
-                    // claimed shard has finished executing.
-                    if member.gang.remaining.fetch_sub(1, Ordering::AcqRel) == 1
-                        && done_tx.send(member.task).is_err()
-                    {
+                    // Retired members never report: the member ledger
+                    // keeps at least one member who exits via payload
+                    // exhaustion, and the last such exit is the
+                    // completion — every shard claimed and finished,
+                    // every member already out of the occupancy count.
+                    if !retired && member.gang.member_exit() && done_tx.send(member.task).is_err() {
                         return;
                     }
                 }
@@ -275,16 +437,25 @@ pub fn execute_moldable<S: MoldableScheduler>(
         drop(task_rx);
         drop(done_tx);
 
-        let mut backend = GangThreadedBackend { task_tx, done_rx };
-        let result = drive_gang(
+        let mut backend = GangThreadedBackend {
+            task_tx,
+            done_rx,
+            gangs: HashMap::new(),
+            workers: cfg.workers,
+            malleable,
+        };
+        let result = drive_gang_with(
             tree,
             DriveConfig::new(cfg.workers, cfg.memory),
             scheduler,
             &mut backend,
+            rescheduler,
         );
         // Closing the task channel terminates the workers; drain stragglers
         // so the scope join does not race a worker mid-send.
-        let GangThreadedBackend { task_tx, done_rx } = backend;
+        let GangThreadedBackend {
+            task_tx, done_rx, ..
+        } = backend;
         drop(task_tx);
         while done_rx.try_recv().is_ok() {}
         result

@@ -30,7 +30,9 @@ pub mod sharded;
 pub mod workload;
 
 pub use async_platform::AsyncPlatform;
-pub use executor::{execute, execute_moldable, RuntimeConfig, RuntimeError, RuntimeReport};
+pub use executor::{
+    execute, execute_moldable, execute_moldable_with, RuntimeConfig, RuntimeError, RuntimeReport,
+};
 pub use platform::{Platform, PlatformError, RunReport, SimPlatform, ThreadedPlatform};
 pub use sharded::{ShardedPlatform, ShardedReport};
 pub use workload::Workload;

@@ -26,9 +26,11 @@
 //! assert_eq!(sim.tasks_run, real.tasks_run);
 //! ```
 
-use crate::executor::{execute, execute_moldable, RuntimeConfig, RuntimeError};
+use crate::executor::{execute, execute_moldable_with, RuntimeConfig, RuntimeError};
 use crate::workload::Workload;
-use memtree_sched::{LedgerError, PolicyInstance, PolicySpec, SchedError};
+use memtree_sched::{
+    LedgerError, PolicyInstance, PolicySpec, ProportionalRescheduler, ReschedulePolicy, SchedError,
+};
 use memtree_sim::{simulate, MoldableScheduler, SimConfig, SimError, SpeedupModel};
 use memtree_tree::TaskTree;
 use std::fmt;
@@ -183,6 +185,11 @@ pub struct SimPlatform {
     pub processors: usize,
     /// Speedup model used when the spec carries moldable caps.
     pub speedup: SpeedupModel,
+    /// When set, moldable runs become **malleable**: a
+    /// [`ProportionalRescheduler`] built from the executed tree resizes
+    /// running gangs from live backlog (DESIGN.md §6.10). Ignored by
+    /// sequential policies.
+    pub reschedule: Option<ReschedulePolicy>,
 }
 
 impl SimPlatform {
@@ -191,12 +198,19 @@ impl SimPlatform {
         SimPlatform {
             processors,
             speedup: SpeedupModel::Linear,
+            reschedule: None,
         }
     }
 
     /// Overrides the moldable speedup model.
     pub fn with_speedup(mut self, speedup: SpeedupModel) -> Self {
         self.speedup = speedup;
+        self
+    }
+
+    /// Enables malleability for moldable runs under `policy`.
+    pub fn with_rescheduler(mut self, policy: ReschedulePolicy) -> Self {
+        self.reschedule = Some(policy);
         self
     }
 }
@@ -215,12 +229,18 @@ impl Platform for SimPlatform {
         let started_at = std::time::Instant::now();
         if instance.is_moldable() {
             let sched = instance.moldable(tree)?;
-            let trace = memtree_sim::simulate_moldable(
+            let mut resched = self
+                .reschedule
+                .map(|p| ProportionalRescheduler::new(exec, p));
+            let trace = memtree_sim::simulate_moldable_with(
                 exec,
                 self.processors,
                 instance.memory(),
                 self.speedup,
                 sched,
+                resched
+                    .as_mut()
+                    .map(|r| r as &mut dyn memtree_sim::Rescheduler),
             )?;
             debug_assert!(trace.validate(exec, self.speedup).is_ok());
             return Ok(RunReport {
@@ -263,6 +283,11 @@ pub struct ThreadedPlatform {
     pub workers: usize,
     /// Per-task payload executed by the workers.
     pub workload: Workload,
+    /// When set, moldable runs become **malleable**: a
+    /// [`ProportionalRescheduler`] built from the executed tree resizes
+    /// running gangs from live backlog (DESIGN.md §6.10). Ignored by
+    /// sequential policies.
+    pub reschedule: Option<ReschedulePolicy>,
 }
 
 impl ThreadedPlatform {
@@ -272,12 +297,19 @@ impl ThreadedPlatform {
         ThreadedPlatform {
             workers,
             workload: Workload::Noop,
+            reschedule: None,
         }
     }
 
     /// Overrides the per-task payload.
     pub fn with_workload(mut self, workload: Workload) -> Self {
         self.workload = workload;
+        self
+    }
+
+    /// Enables malleability for moldable runs under `policy`.
+    pub fn with_rescheduler(mut self, policy: ReschedulePolicy) -> Self {
+        self.reschedule = Some(policy);
         self
     }
 }
@@ -304,7 +336,13 @@ impl Platform for ThreadedPlatform {
             // of workers and runs its payload shard-parallel.
             let sched = instance.moldable(tree)?;
             policy = MoldableScheduler::name(&sched).to_string();
-            report = execute_moldable(exec, cfg, sched, self.workload)?;
+            report = match self.reschedule {
+                Some(p) => {
+                    let mut resched = ProportionalRescheduler::new(exec, p);
+                    execute_moldable_with(exec, cfg, sched, self.workload, Some(&mut resched))?
+                }
+                None => execute_moldable_with(exec, cfg, sched, self.workload, None)?,
+            };
         } else {
             let sched = instance.scheduler(tree)?;
             policy = sched.name().to_string();

@@ -198,6 +198,7 @@ impl ShardedPlatform {
         let residual = ThreadedPlatform {
             workers: self.total_workers(),
             workload: self.workload,
+            reschedule: None,
         }
         .run(&part.residual.tree, &residual_spec)?;
         ledger.release(spec.memory)?;
@@ -241,6 +242,7 @@ impl ShardedPlatform {
             let inner = ThreadedPlatform {
                 workers: self.workers_per_shard,
                 workload: self.workload,
+                reschedule: None,
             };
             let part = part.clone();
             let tx = tx.clone();
@@ -399,7 +401,19 @@ impl ShardedPlatform {
             if released.iter().all(|&r| r) || Instant::now() >= grace_end {
                 break;
             }
-            std::thread::sleep(Duration::from_millis(1));
+            // Bounded park instead of a busy-spin across the grace
+            // window: a late report wakes the coordinator immediately, a
+            // join with no report is noticed at the next slice boundary,
+            // and the slice never overshoots the grace end.
+            let slice = grace_end
+                .saturating_duration_since(Instant::now())
+                .min(Duration::from_millis(5));
+            if let Ok((k, _outcome)) = rx.recv_timeout(slice) {
+                if !released[k] {
+                    ledger.release(budgets[k])?;
+                    released[k] = true;
+                }
+            }
         }
         // Deadline passed with workers still running: reclaim anyway (the
         // ledger must not leak) and leave the threads detached — the
@@ -538,6 +552,57 @@ mod tests {
             }
             assert!(detailed.residual.peak_booked <= m);
         }
+    }
+
+    /// CPU time (user + system) of the calling thread, in clock ticks.
+    #[cfg(target_os = "linux")]
+    fn thread_cpu_ticks() -> u64 {
+        let stat = std::fs::read_to_string("/proc/thread-self/stat").expect("procfs available");
+        // The comm field may contain spaces: fields 3.. start after the
+        // closing paren. utime/stime are fields 14 and 15 (1-indexed).
+        let rest = stat.rsplit(')').next().expect("stat has a comm field");
+        let fields: Vec<&str> = rest.split_whitespace().collect();
+        let utime: u64 = fields[11].parse().expect("utime parses");
+        let stime: u64 = fields[12].parse().expect("stime parses");
+        utime + stime
+    }
+
+    /// The stall path — watchdog trip plus budget-release grace — must
+    /// park, not spin: pinned by the coordinator thread's CPU time
+    /// staying near zero across a run that is wall-clock dominated by
+    /// exactly those two waits.
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn stall_grace_parks_instead_of_spinning() {
+        let tree = memtree_gen::synthetic::paper_tree(60, 13);
+        let m = min_memory(&tree) * 8;
+        let spec = PolicySpec::new(HeuristicKind::MemBooking, m);
+        // Every task sleeps ~1 s, so no shard reports within the 150 ms
+        // watchdog: the run stalls, then spends the grace window waiting
+        // for workers that will not finish in time.
+        let platform = ShardedPlatform::new(2)
+            .with_workload(Workload::Sleep {
+                nanos_per_time_unit: 1_000_000_000.0,
+                max_nanos: 1_000_000_000,
+            })
+            .with_timeout(Duration::from_millis(150));
+        let cpu_before = thread_cpu_ticks();
+        let wall = Instant::now();
+        let err = platform.run(&tree, &spec).unwrap_err();
+        let wall = wall.elapsed();
+        let cpu_ticks = thread_cpu_ticks() - cpu_before;
+        assert!(matches!(err, PlatformError::ShardStalled { .. }), "{err}");
+        assert!(
+            wall >= Duration::from_millis(150),
+            "the watchdog cannot have tripped yet: {wall:?}"
+        );
+        // ~300 ms of waiting; a busy-spin would burn it all as CPU
+        // (≥ 30 ticks at the usual 100 Hz). Parked waits leave only
+        // setup/partition work — well under 100 ms of ticks.
+        assert!(
+            cpu_ticks < 10,
+            "stall path burned {cpu_ticks} CPU ticks over {wall:?} wall"
+        );
     }
 
     #[test]

@@ -28,3 +28,25 @@ memtree_runtime::platform_conformance!(
     async_single_thread,
     memtree_runtime::AsyncPlatform::new(4).with_threads(1)
 );
+
+// Malleable flavours: the same backends with the feedback rescheduler
+// resizing gangs mid-run. Grow/shrink must not be observable in the
+// contract — every invariant (completion, occupancy, booking envelope)
+// holds unchanged.
+memtree_runtime::platform_conformance!(
+    sim_rescheduled,
+    memtree_runtime::SimPlatform::new(4)
+        .with_rescheduler(memtree_sched::ReschedulePolicy::default())
+);
+
+memtree_runtime::platform_conformance!(
+    threaded_rescheduled,
+    memtree_runtime::ThreadedPlatform::new(4)
+        .with_rescheduler(memtree_sched::ReschedulePolicy::default())
+);
+
+memtree_runtime::platform_conformance!(
+    async_rescheduled,
+    memtree_runtime::AsyncPlatform::new(4)
+        .with_rescheduler(memtree_sched::ReschedulePolicy::default())
+);

@@ -15,7 +15,7 @@
 use crate::service::{Service, ServiceConfig, SessionBackend, SessionRequest, SubmitError};
 use crate::GrantPolicy;
 use memtree_runtime::{Platform, PlatformError, RunReport, RuntimeError};
-use memtree_sched::{PolicyInstance, PolicySpec, SchedError};
+use memtree_sched::{PolicyInstance, PolicySpec, ReschedulePolicy, SchedError};
 use memtree_tree::TaskTree;
 use std::sync::Arc;
 
@@ -28,21 +28,30 @@ pub struct ServicePlatform {
     /// The grant policy — keep [`GrantPolicy::AllAvailable`] for
     /// bit-for-bit single-tenant equivalence.
     pub grant: GrantPolicy,
+    /// When set, moldable sessions run malleable (DESIGN.md §6.10).
+    pub reschedule: Option<ReschedulePolicy>,
 }
 
 impl ServicePlatform {
     /// A service platform over `backend` with the default
-    /// (all-available) grant policy.
+    /// (all-available) grant policy and no rescheduler.
     pub fn new(backend: SessionBackend) -> Self {
         ServicePlatform {
             backend,
             grant: GrantPolicy::AllAvailable,
+            reschedule: None,
         }
     }
 
     /// Overrides the grant policy.
     pub fn with_grant(mut self, grant: GrantPolicy) -> Self {
         self.grant = grant;
+        self
+    }
+
+    /// Makes moldable sessions malleable under `policy`.
+    pub fn with_rescheduler(mut self, policy: ReschedulePolicy) -> Self {
+        self.reschedule = Some(policy);
         self
     }
 }
@@ -62,12 +71,16 @@ impl Platform for ServicePlatform {
     ) -> Result<RunReport, PlatformError> {
         let mut report = match self.backend {
             SessionBackend::Sim { processors } => {
-                memtree_runtime::SimPlatform::new(processors).run_instance(tree, instance)?
+                let mut sim = memtree_runtime::SimPlatform::new(processors);
+                sim.reschedule = self.reschedule;
+                sim.run_instance(tree, instance)?
             }
-            SessionBackend::Threaded { workers, workload } => {
-                memtree_runtime::ThreadedPlatform { workers, workload }
-                    .run_instance(tree, instance)?
+            SessionBackend::Threaded { workers, workload } => memtree_runtime::ThreadedPlatform {
+                workers,
+                workload,
+                reschedule: self.reschedule,
             }
+            .run_instance(tree, instance)?,
             SessionBackend::Async {
                 workers,
                 threads,
@@ -76,6 +89,7 @@ impl Platform for ServicePlatform {
                 workers,
                 threads,
                 workload,
+                reschedule: self.reschedule,
             }
             .run_instance(tree, instance)?,
         };
@@ -84,11 +98,11 @@ impl Platform for ServicePlatform {
     }
 
     fn run(&self, tree: &TaskTree, spec: &PolicySpec) -> Result<RunReport, PlatformError> {
-        let service = Service::start(
-            ServiceConfig::new(spec.memory)
-                .with_backend(self.backend)
-                .with_grant(self.grant),
-        );
+        let mut config = ServiceConfig::new(spec.memory)
+            .with_backend(self.backend)
+            .with_grant(self.grant);
+        config.reschedule = self.reschedule;
+        let service = Service::start(config);
         let submitted = service.submit(SessionRequest::new(spec.clone(), Arc::new(tree.clone())));
         let result = match submitted {
             Ok(ticket) => match ticket.wait() {

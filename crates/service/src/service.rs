@@ -29,7 +29,7 @@ use crossbeam::channel::{self, Receiver, Sender};
 use memtree_runtime::{
     AsyncPlatform, Platform, PlatformError, RunReport, SimPlatform, ThreadedPlatform, Workload,
 };
-use memtree_sched::PolicySpec;
+use memtree_sched::{PolicySpec, ReschedulePolicy};
 use memtree_tree::TaskTree;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -134,13 +134,28 @@ impl SessionBackend {
         }
     }
 
-    /// Runs one session's spec over its tree on this regime.
-    fn run(&self, tree: &TaskTree, spec: &PolicySpec) -> Result<RunReport, PlatformError> {
+    /// Runs one session's spec over its tree on this regime. A
+    /// `reschedule` policy makes moldable sessions malleable — the
+    /// backend's feedback rescheduler resizes gangs mid-run; non-moldable
+    /// specs ignore it.
+    fn run(
+        &self,
+        tree: &TaskTree,
+        spec: &PolicySpec,
+        reschedule: Option<ReschedulePolicy>,
+    ) -> Result<RunReport, PlatformError> {
         match *self {
-            SessionBackend::Sim { processors } => SimPlatform::new(processors).run(tree, spec),
-            SessionBackend::Threaded { workers, workload } => {
-                ThreadedPlatform { workers, workload }.run(tree, spec)
+            SessionBackend::Sim { processors } => {
+                let mut sim = SimPlatform::new(processors);
+                sim.reschedule = reschedule;
+                sim.run(tree, spec)
             }
+            SessionBackend::Threaded { workers, workload } => ThreadedPlatform {
+                workers,
+                workload,
+                reschedule,
+            }
+            .run(tree, spec),
             SessionBackend::Async {
                 workers,
                 threads,
@@ -149,6 +164,7 @@ impl SessionBackend {
                 workers,
                 threads,
                 workload,
+                reschedule,
             }
             .run(tree, spec),
         }
@@ -165,16 +181,20 @@ pub struct ServiceConfig {
     pub backend: SessionBackend,
     /// How much of the free budget an admitted session is granted.
     pub grant: GrantPolicy,
+    /// When set, moldable sessions run malleable: the backend's feedback
+    /// rescheduler resizes their gangs mid-run (DESIGN.md §6.10).
+    pub reschedule: Option<ReschedulePolicy>,
 }
 
 impl ServiceConfig {
     /// A service over `memory` units: simulator sessions on 4 virtual
-    /// processors, [`GrantPolicy::AllAvailable`] grants.
+    /// processors, [`GrantPolicy::AllAvailable`] grants, no rescheduler.
     pub fn new(memory: u64) -> Self {
         ServiceConfig {
             memory,
             backend: SessionBackend::sim(4),
             grant: GrantPolicy::AllAvailable,
+            reschedule: None,
         }
     }
 
@@ -187,6 +207,12 @@ impl ServiceConfig {
     /// Overrides the grant policy.
     pub fn with_grant(mut self, grant: GrantPolicy) -> Self {
         self.grant = grant;
+        self
+    }
+
+    /// Makes moldable sessions malleable under `policy`.
+    pub fn with_rescheduler(mut self, policy: ReschedulePolicy) -> Self {
+        self.reschedule = Some(policy);
         self
     }
 }
@@ -613,6 +639,7 @@ impl Coordinator {
     /// only view of the session is the channel.
     fn launch(config: &ServiceConfig, self_tx: &Sender<Msg>, grant: Grant, session: &mut Session) {
         let backend = config.backend;
+        let reschedule = config.reschedule;
         let spec = session.req.spec.clone().with_memory(grant.budget);
         let tree = session.req.tree.clone();
         let tx = self_tx.clone();
@@ -620,10 +647,11 @@ impl Coordinator {
         let handle = std::thread::Builder::new()
             .name(format!("memtree-session-{id}"))
             .spawn(move || {
-                let result = catch_unwind(AssertUnwindSafe(|| backend.run(&tree, &spec)))
-                    .unwrap_or(Err(PlatformError::Runtime(
-                        memtree_runtime::RuntimeError::WorkerPanic,
-                    )));
+                let result =
+                    catch_unwind(AssertUnwindSafe(|| backend.run(&tree, &spec, reschedule)))
+                        .unwrap_or(Err(PlatformError::Runtime(
+                            memtree_runtime::RuntimeError::WorkerPanic,
+                        )));
                 let _ = tx.send(Msg::Done {
                     id,
                     result: Box::new(result),
@@ -661,6 +689,34 @@ mod tests {
         assert_eq!(stats.admission.completed, 1);
         assert_eq!(stats.failed, 0);
         assert!(stats.peak_reserved <= stats.capacity);
+    }
+
+    #[test]
+    fn rescheduled_moldable_session_completes_in_envelope() {
+        let tree = arc_tree(100, 7);
+        let floor = memtree_sched::min_feasible_memory(&tree);
+        let workers = 3;
+        let service = Service::start(
+            ServiceConfig::new(floor * 4)
+                .with_backend(SessionBackend::Threaded {
+                    workers,
+                    workload: Workload::Noop,
+                })
+                .with_rescheduler(ReschedulePolicy::default()),
+        );
+        let caps = memtree_sched::AllotmentCaps::uniform(&tree, workers as u32);
+        let spec = PolicySpec::new(HeuristicKind::MemBooking, floor * 4).with_caps(caps);
+        let ticket = service
+            .submit(SessionRequest::new(spec, tree.clone()))
+            .unwrap();
+        let outcome = ticket.wait().unwrap();
+        let report = outcome.result.unwrap();
+        assert_eq!(report.tasks_run, tree.len());
+        assert!(report.peak_booked <= floor * 4);
+        assert!(report.peak_actual <= report.peak_booked);
+        let stats = service.shutdown();
+        assert_eq!(stats.admission.completed, 1);
+        assert_eq!(stats.failed, 0);
     }
 
     #[test]

@@ -115,6 +115,7 @@ fn async_single_tenant_matches_direct_runs() {
                 workers,
                 threads: 2,
                 workload: Workload::Noop,
+                reschedule: None,
             }
             .run(&tree, &spec)
             .unwrap();

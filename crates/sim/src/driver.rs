@@ -62,6 +62,100 @@ impl DriveConfig {
     }
 }
 
+/// Live snapshot of one running gang, taken between events for a
+/// [`Rescheduler`].
+#[derive(Clone, Copy, Debug)]
+pub struct GangSnapshot {
+    /// The running task.
+    pub node: NodeId,
+    /// Processors currently allotted to it.
+    pub allotment: u32,
+    /// Payload shards the gang was launched with (0 when the backend does
+    /// not track shard progress — e.g. the unit-allotment adapters).
+    pub shards: u32,
+    /// Shards already completed.
+    pub shards_done: u32,
+}
+
+impl GangSnapshot {
+    /// Fraction of the payload still to run, in `[0, 1]`. Backends that
+    /// report no progress count as all-remaining (1.0).
+    pub fn remaining_fraction(&self) -> f64 {
+        if self.shards == 0 {
+            return 1.0;
+        }
+        1.0 - (self.shards_done.min(self.shards) as f64 / self.shards as f64)
+    }
+}
+
+/// Snapshot of the driver's state between events, handed to a
+/// [`Rescheduler`] once per event (after starts and invariant checks,
+/// before the driver blocks for the next completion batch).
+#[derive(Clone, Debug)]
+pub struct LiveStats {
+    /// The current event index (1-based; the initial event is 1).
+    pub event: u64,
+    /// Configured processor count `p`.
+    pub workers: usize,
+    /// Processors currently claimed by running gangs (Σ allotments).
+    pub busy: usize,
+    /// Processors idle (`workers − busy`).
+    pub idle: usize,
+    /// Tasks completed so far.
+    pub completed: usize,
+    /// Total tasks in the tree.
+    pub total: usize,
+    /// Tasks the scheduler reports ready-but-not-started (0 when the
+    /// policy does not track a ready set).
+    pub ready_depth: usize,
+    /// Memory currently booked by the policy.
+    pub booked: u64,
+    /// Actual resident memory at this instant.
+    pub actual: u64,
+    /// One snapshot per running gang, in ascending node id.
+    pub gangs: Vec<GangSnapshot>,
+}
+
+/// An allotment change requested by a [`Rescheduler`]. The driver applies
+/// actions in order and keeps its processor ledger exact: growing claims
+/// idle processors immediately, shrinking returns them immediately (the
+/// backend retires the members at the next chunk boundary).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RescheduleAction {
+    /// Add `extra` processors to the running gang of `node`.
+    Grow {
+        /// The running task to grow.
+        node: NodeId,
+        /// Processors to add (must be ≤ the idle pool at application).
+        extra: usize,
+    },
+    /// Release `release` processors from the running gang of `node`
+    /// (its allotment must stay ≥ 1).
+    Shrink {
+        /// The running task to shrink.
+        node: NodeId,
+        /// Processors to release.
+        release: usize,
+    },
+}
+
+/// A feedback policy over the gang driver: once per event the driver
+/// hands it a [`LiveStats`] snapshot and applies whatever allotment
+/// changes it pushes (malleable tasks — DESIGN.md §6.10).
+pub trait Rescheduler {
+    /// Inspect the live state and push allotment changes. Called between
+    /// events with at least one task in flight; illegal actions (growing
+    /// past the idle pool, shrinking to zero, resizing a task that is not
+    /// running) abort the run loudly.
+    fn tick(&mut self, stats: &LiveStats, actions: &mut Vec<RescheduleAction>);
+}
+
+impl<R: Rescheduler + ?Sized> Rescheduler for &mut R {
+    fn tick(&mut self, stats: &LiveStats, actions: &mut Vec<RescheduleAction>) {
+        (**self).tick(stats, actions)
+    }
+}
+
 /// What the driver learned from a completed run.
 #[derive(Clone, Copy, Debug)]
 pub struct DriveStats {
@@ -186,15 +280,37 @@ impl std::error::Error for DriveError {}
 pub trait GangBackend {
     /// Starts task `i` on a gang of `procs` workers at the current
     /// instant. `epoch` is the driver's event index (useful for trace
-    /// records). The driver guarantees `procs ≥ 1` and that at least
+    /// records; `u64` — a million-node tree clears 2^32 events without
+    /// wrapping). The driver guarantees `procs ≥ 1` and that at least
     /// `procs` workers are idle, so the backend may claim the whole gang
     /// unconditionally — no partial gangs, no hold-and-wait deadlock.
-    fn launch(&mut self, i: NodeId, procs: usize, epoch: u32) -> Result<(), DriveError>;
+    fn launch(&mut self, i: NodeId, procs: usize, epoch: u64) -> Result<(), DriveError>;
 
     /// Observation hook, called once per event after the booking checks
     /// with the current memory state (used for memory profiles).
     fn observe(&mut self, actual: u64, booked: u64) {
         let _ = (actual, booked);
+    }
+
+    /// Changes the running gang of `i` from `from` to `to` members — the
+    /// malleable hook behind [`Rescheduler`]. Growing enrols `to − from`
+    /// extra members into the gang; shrinking retires `from − to` members
+    /// at their next chunk boundary. The default declines: a backend that
+    /// never sees a rescheduler never needs this.
+    fn resize(&mut self, i: NodeId, from: usize, to: usize, epoch: u64) -> Result<(), DriveError> {
+        let _ = (i, from, to, epoch);
+        Err(DriveError::Backend(
+            "backend does not support malleable resize".into(),
+        ))
+    }
+
+    /// Shard progress of the running task `i` as `(done, total)`, for
+    /// [`LiveStats`] snapshots. `None` (the default) means the backend
+    /// does not track progress; the snapshot then reports the whole
+    /// payload as remaining.
+    fn progress(&self, i: NodeId) -> Option<(u32, u32)> {
+        let _ = i;
+        None
     }
 
     /// Blocks until at least one launched task completes and pushes the
@@ -203,7 +319,7 @@ pub trait GangBackend {
     /// guarantees at least one task is in flight. A completion releases
     /// the task's whole gang at once — the driver returns its allotment to
     /// the idle pool before the next scheduler event.
-    fn await_batch(&mut self, epoch: u32, batch: &mut Vec<NodeId>) -> Result<(), DriveError>;
+    fn await_batch(&mut self, epoch: u64, batch: &mut Vec<NodeId>) -> Result<(), DriveError>;
 }
 
 /// An execution vehicle for classic one-processor-per-task scheduling.
@@ -212,9 +328,9 @@ pub trait GangBackend {
 /// the gang loop with every allotment pinned to 1.
 pub trait Backend {
     /// Starts task `i` at the current instant. `epoch` is the driver's
-    /// event index (useful for trace records). The driver guarantees a
-    /// worker is idle.
-    fn launch(&mut self, i: NodeId, epoch: u32) -> Result<(), DriveError>;
+    /// event index (useful for trace records; `u64`, never wrapping at
+    /// realistic tree sizes). The driver guarantees a worker is idle.
+    fn launch(&mut self, i: NodeId, epoch: u64) -> Result<(), DriveError>;
 
     /// Observation hook, called once per event after the booking checks
     /// with the current memory state (used for memory profiles).
@@ -226,7 +342,7 @@ pub trait Backend {
     /// completions into `batch` (driver sorts them). `epoch` is the event
     /// index the completions will take effect at, minus one. The driver
     /// guarantees at least one task is in flight.
-    fn await_batch(&mut self, epoch: u32, batch: &mut Vec<NodeId>) -> Result<(), DriveError>;
+    fn await_batch(&mut self, epoch: u64, batch: &mut Vec<NodeId>) -> Result<(), DriveError>;
 }
 
 /// Adapter: a sequential [`Scheduler`] viewed as a [`MoldableScheduler`]
@@ -269,14 +385,14 @@ impl<S: Scheduler> MoldableScheduler for UnitAllotments<S> {
 struct UnitBackend<'a, B>(&'a mut B);
 
 impl<B: Backend> GangBackend for UnitBackend<'_, B> {
-    fn launch(&mut self, i: NodeId, procs: usize, epoch: u32) -> Result<(), DriveError> {
+    fn launch(&mut self, i: NodeId, procs: usize, epoch: u64) -> Result<(), DriveError> {
         debug_assert_eq!(procs, 1, "UnitAllotments only issues unit gangs");
         self.0.launch(i, epoch)
     }
     fn observe(&mut self, actual: u64, booked: u64) {
         self.0.observe(actual, booked)
     }
-    fn await_batch(&mut self, epoch: u32, batch: &mut Vec<NodeId>) -> Result<(), DriveError> {
+    fn await_batch(&mut self, epoch: u64, batch: &mut Vec<NodeId>) -> Result<(), DriveError> {
         self.0.await_batch(epoch, batch)
     }
 }
@@ -309,8 +425,29 @@ pub fn drive<S: Scheduler, B: Backend>(
 pub fn drive_gang<S: MoldableScheduler, B: GangBackend>(
     tree: &TaskTree,
     cfg: DriveConfig,
+    scheduler: S,
+    backend: &mut B,
+) -> Result<DriveStats, DriveError> {
+    drive_gang_with(tree, cfg, scheduler, backend, None)
+}
+
+/// [`drive_gang`] with an optional [`Rescheduler`] hook: once per event —
+/// after starts are issued and the invariants re-checked, before the
+/// driver blocks for the next completion batch — the rescheduler sees a
+/// [`LiveStats`] snapshot and may grow or shrink running gangs. The
+/// processor ledger stays exact through every transition (grow claims
+/// idle processors, shrink returns them immediately), and booking is
+/// untouched: memory is booked per task, not per processor.
+///
+/// The hook is a parameter rather than a `DriveConfig` field because the
+/// config is a plain `Copy` value shared by every platform; a trait
+/// object would poison that.
+pub fn drive_gang_with<S: MoldableScheduler, B: GangBackend>(
+    tree: &TaskTree,
+    cfg: DriveConfig,
     mut scheduler: S,
     backend: &mut B,
+    mut rescheduler: Option<&mut dyn Rescheduler>,
 ) -> Result<DriveStats, DriveError> {
     if cfg.workers == 0 {
         return Err(DriveError::BadConfig("zero workers".into()));
@@ -320,6 +457,9 @@ pub fn drive_gang<S: MoldableScheduler, B: GangBackend>(
     let mut finished = vec![false; n];
     // Live allotment of each running task, for gang release on completion.
     let mut allotment = vec![0u32; n];
+    // Running tasks in ascending node id (kept sorted for deterministic
+    // LiveStats snapshots).
+    let mut running: Vec<NodeId> = Vec::new();
     let mut live = LiveSet::new(tree);
     let mut peak_booked = 0u64;
     let mut completed = 0usize;
@@ -332,6 +472,7 @@ pub fn drive_gang<S: MoldableScheduler, B: GangBackend>(
     let mut scheduling_seconds = 0f64;
     let mut to_start: Vec<(NodeId, usize)> = Vec::new();
     let mut finished_batch: Vec<NodeId> = Vec::new();
+    let mut actions: Vec<RescheduleAction> = Vec::new();
 
     scheduler.on_begin();
 
@@ -365,10 +506,12 @@ pub fn drive_gang<S: MoldableScheduler, B: GangBackend>(
             }
             started[i.index()] = true;
             allotment[i.index()] = q as u32;
-            backend.launch(i, q, events as u32)?;
+            backend.launch(i, q, events as u64)?;
             live.start(i);
             busy += q;
             in_flight += 1;
+            let pos = running.partition_point(|&r| r < i);
+            running.insert(pos, i);
         }
         peak_busy = peak_busy.max(busy);
 
@@ -402,10 +545,95 @@ pub fn drive_gang<S: MoldableScheduler, B: GangBackend>(
             });
         }
 
+        // The rescheduler tick: state is settled (starts issued, booking
+        // re-checked, at least one task in flight), the driver is about to
+        // block — the one instant per event where allotments may change.
+        if let Some(resched) = rescheduler.as_deref_mut() {
+            let stats = LiveStats {
+                event: events as u64,
+                workers: cfg.workers,
+                busy,
+                idle: cfg.workers - busy,
+                completed,
+                total: n,
+                ready_depth: scheduler.ready_depth(),
+                booked,
+                actual: live.current(),
+                gangs: running
+                    .iter()
+                    .map(|&i| {
+                        let (done, shards) = backend.progress(i).unwrap_or((0, 0));
+                        GangSnapshot {
+                            node: i,
+                            allotment: allotment[i.index()],
+                            shards,
+                            shards_done: done,
+                        }
+                    })
+                    .collect(),
+            };
+            actions.clear();
+            let t0 = cfg.measure_overhead.then(std::time::Instant::now);
+            resched.tick(&stats, &mut actions);
+            if let Some(t0) = t0 {
+                scheduling_seconds += t0.elapsed().as_secs_f64();
+            }
+            for &action in &actions {
+                match action {
+                    RescheduleAction::Grow { node, extra } => {
+                        if extra == 0 {
+                            continue;
+                        }
+                        let k = node.index();
+                        if !started[k] || finished[k] {
+                            return Err(DriveError::Backend(format!(
+                                "rescheduler grew {node:?}, which is not running"
+                            )));
+                        }
+                        let idle_now = cfg.workers - busy;
+                        if extra > idle_now {
+                            return Err(DriveError::TooManyStarts {
+                                requested: extra,
+                                idle: idle_now,
+                            });
+                        }
+                        let from = allotment[k] as usize;
+                        backend.resize(node, from, from + extra, events as u64)?;
+                        allotment[k] += extra as u32;
+                        busy += extra;
+                    }
+                    RescheduleAction::Shrink { node, release } => {
+                        if release == 0 {
+                            continue;
+                        }
+                        let k = node.index();
+                        if !started[k] || finished[k] {
+                            return Err(DriveError::Backend(format!(
+                                "rescheduler shrank {node:?}, which is not running"
+                            )));
+                        }
+                        let from = allotment[k] as usize;
+                        if release >= from {
+                            // Shrinking to zero members is starting a gang
+                            // with none: the same contract violation.
+                            return Err(DriveError::ZeroAllotment { node });
+                        }
+                        backend.resize(node, from, from - release, events as u64)?;
+                        allotment[k] -= release as u32;
+                        busy -= release;
+                    }
+                }
+            }
+            // One tick's resizes are atomic for the occupancy ledger: the
+            // peak reflects the settled allotments, not the transient
+            // order actions were applied in.
+            peak_busy = peak_busy.max(busy);
+        }
+
         // Block until the next completion batch; each completion releases
         // its whole gang back to the idle pool.
         finished_batch.clear();
-        backend.await_batch(events as u32, &mut finished_batch)?;
+        backend.await_batch(events as u64, &mut finished_batch)?;
         finished_batch.sort_unstable();
         for &i in &finished_batch {
             debug_assert!(started[i.index()] && !finished[i.index()]);
@@ -414,6 +642,9 @@ pub fn drive_gang<S: MoldableScheduler, B: GangBackend>(
             completed += 1;
             in_flight -= 1;
             busy -= allotment[i.index()] as usize;
+            if let Ok(pos) = running.binary_search(&i) {
+                running.remove(pos);
+            }
         }
     }
 
@@ -438,11 +669,11 @@ mod tests {
     }
 
     impl Backend for Immediate {
-        fn launch(&mut self, i: NodeId, _epoch: u32) -> Result<(), DriveError> {
+        fn launch(&mut self, i: NodeId, _epoch: u64) -> Result<(), DriveError> {
             self.pending.push(i);
             Ok(())
         }
-        fn await_batch(&mut self, _epoch: u32, batch: &mut Vec<NodeId>) -> Result<(), DriveError> {
+        fn await_batch(&mut self, _epoch: u64, batch: &mut Vec<NodeId>) -> Result<(), DriveError> {
             batch.append(&mut self.pending);
             Ok(())
         }
@@ -605,12 +836,12 @@ mod tests {
     }
 
     impl GangBackend for ImmediateGang {
-        fn launch(&mut self, i: NodeId, procs: usize, _epoch: u32) -> Result<(), DriveError> {
+        fn launch(&mut self, i: NodeId, procs: usize, _epoch: u64) -> Result<(), DriveError> {
             self.pending.push(i);
             self.launched.push((i, procs));
             Ok(())
         }
-        fn await_batch(&mut self, _epoch: u32, batch: &mut Vec<NodeId>) -> Result<(), DriveError> {
+        fn await_batch(&mut self, _epoch: u64, batch: &mut Vec<NodeId>) -> Result<(), DriveError> {
             batch.append(&mut self.pending);
             Ok(())
         }
@@ -724,6 +955,289 @@ mod tests {
         };
         let err = drive_gang(&t, DriveConfig::new(2, 1_000), Empty, &mut backend).unwrap_err();
         assert_eq!(err, DriveError::ZeroAllotment { node: NodeId(1) });
+    }
+
+    /// [`ImmediateGang`] plus resize support and canned progress — the
+    /// minimal malleable backend.
+    struct ResizableGang {
+        pending: Vec<NodeId>,
+        resized: Vec<(NodeId, usize, usize)>,
+    }
+
+    impl GangBackend for ResizableGang {
+        fn launch(&mut self, i: NodeId, _procs: usize, _epoch: u64) -> Result<(), DriveError> {
+            self.pending.push(i);
+            Ok(())
+        }
+        fn await_batch(&mut self, _epoch: u64, batch: &mut Vec<NodeId>) -> Result<(), DriveError> {
+            batch.append(&mut self.pending);
+            Ok(())
+        }
+        fn resize(
+            &mut self,
+            i: NodeId,
+            from: usize,
+            to: usize,
+            _epoch: u64,
+        ) -> Result<(), DriveError> {
+            self.resized.push((i, from, to));
+            Ok(())
+        }
+        fn progress(&self, _i: NodeId) -> Option<(u32, u32)> {
+            Some((1, 4))
+        }
+    }
+
+    /// Replays canned actions at given events and records every snapshot.
+    struct Script {
+        plan: Vec<(u64, RescheduleAction)>,
+        snapshots: Vec<LiveStats>,
+    }
+
+    impl Rescheduler for Script {
+        fn tick(&mut self, stats: &LiveStats, actions: &mut Vec<RescheduleAction>) {
+            self.snapshots.push(stats.clone());
+            for &(ev, a) in &self.plan {
+                if ev == stats.event {
+                    actions.push(a);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rescheduler_tick_sees_settled_state_and_grows() {
+        let t = fork();
+        let mut backend = ResizableGang {
+            pending: Vec::new(),
+            resized: Vec::new(),
+        };
+        let mut script = Script {
+            plan: vec![(
+                1,
+                RescheduleAction::Grow {
+                    node: NodeId(1),
+                    extra: 2,
+                },
+            )],
+            snapshots: Vec::new(),
+        };
+        let stats = drive_gang_with(
+            &t,
+            DriveConfig::new(4, 1_000),
+            WholeMachine {
+                tree: &t,
+                order: vec![NodeId(1), NodeId(2), NodeId(0)],
+                next: 0,
+                procs: 2,
+            },
+            &mut backend,
+            Some(&mut script),
+        )
+        .unwrap();
+        assert_eq!(stats.completed, 3);
+        // The grown gang held 4 processors before its completion event.
+        assert_eq!(stats.peak_busy, 4);
+        assert_eq!(backend.resized, vec![(NodeId(1), 2, 4)]);
+        // The first tick saw the just-launched gang with its launch
+        // allotment and the backend's progress, booking settled.
+        let snap = &script.snapshots[0];
+        assert_eq!(snap.event, 1);
+        assert_eq!((snap.workers, snap.busy, snap.idle), (4, 2, 2));
+        assert_eq!(snap.gangs.len(), 1);
+        assert_eq!(snap.gangs[0].node, NodeId(1));
+        assert_eq!(snap.gangs[0].allotment, 2);
+        assert_eq!((snap.gangs[0].shards_done, snap.gangs[0].shards), (1, 4));
+        assert!((snap.gangs[0].remaining_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rescheduler_shrink_frees_capacity_in_the_ledger() {
+        let t = fork();
+        let mut backend = ResizableGang {
+            pending: Vec::new(),
+            resized: Vec::new(),
+        };
+        let mut script = Script {
+            plan: vec![(
+                1,
+                RescheduleAction::Shrink {
+                    node: NodeId(1),
+                    release: 2,
+                },
+            )],
+            snapshots: Vec::new(),
+        };
+        let stats = drive_gang_with(
+            &t,
+            DriveConfig::new(3, 1_000),
+            WholeMachine {
+                tree: &t,
+                order: vec![NodeId(1), NodeId(2), NodeId(0)],
+                next: 0,
+                procs: 3,
+            },
+            &mut backend,
+            Some(&mut script),
+        )
+        .unwrap();
+        assert_eq!(stats.completed, 3);
+        assert_eq!(backend.resized, vec![(NodeId(1), 3, 1)]);
+        // The completion after the shrink released the *current*
+        // allotment (1), not the launch allotment (3): the ledger would
+        // underflow otherwise, and the next gang still fit.
+        let second = script
+            .snapshots
+            .iter()
+            .find(|s| s.event == 2)
+            .expect("a second tick");
+        assert_eq!((second.busy, second.idle), (3, 0));
+    }
+
+    #[test]
+    fn rescheduler_overgrow_rejected() {
+        let t = fork();
+        let mut backend = ResizableGang {
+            pending: Vec::new(),
+            resized: Vec::new(),
+        };
+        let mut script = Script {
+            plan: vec![(
+                1,
+                RescheduleAction::Grow {
+                    node: NodeId(1),
+                    extra: 3,
+                },
+            )],
+            snapshots: Vec::new(),
+        };
+        let err = drive_gang_with(
+            &t,
+            DriveConfig::new(4, 1_000),
+            WholeMachine {
+                tree: &t,
+                order: vec![NodeId(1), NodeId(2), NodeId(0)],
+                next: 0,
+                procs: 2,
+            },
+            &mut backend,
+            Some(&mut script),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            DriveError::TooManyStarts {
+                requested: 3,
+                idle: 2
+            }
+        );
+        assert!(backend.resized.is_empty(), "no resize past the ledger");
+    }
+
+    #[test]
+    fn rescheduler_shrink_to_zero_rejected() {
+        let t = fork();
+        let mut backend = ResizableGang {
+            pending: Vec::new(),
+            resized: Vec::new(),
+        };
+        let mut script = Script {
+            plan: vec![(
+                1,
+                RescheduleAction::Shrink {
+                    node: NodeId(1),
+                    release: 2,
+                },
+            )],
+            snapshots: Vec::new(),
+        };
+        let err = drive_gang_with(
+            &t,
+            DriveConfig::new(4, 1_000),
+            WholeMachine {
+                tree: &t,
+                order: vec![NodeId(1), NodeId(2), NodeId(0)],
+                next: 0,
+                procs: 2,
+            },
+            &mut backend,
+            Some(&mut script),
+        )
+        .unwrap_err();
+        assert_eq!(err, DriveError::ZeroAllotment { node: NodeId(1) });
+    }
+
+    #[test]
+    fn rescheduler_resize_of_not_running_task_rejected() {
+        let t = fork();
+        let mut backend = ResizableGang {
+            pending: Vec::new(),
+            resized: Vec::new(),
+        };
+        // Node 0 (the root) has not started at event 1.
+        let mut script = Script {
+            plan: vec![(
+                1,
+                RescheduleAction::Grow {
+                    node: NodeId(0),
+                    extra: 1,
+                },
+            )],
+            snapshots: Vec::new(),
+        };
+        let err = drive_gang_with(
+            &t,
+            DriveConfig::new(4, 1_000),
+            WholeMachine {
+                tree: &t,
+                order: vec![NodeId(1), NodeId(2), NodeId(0)],
+                next: 0,
+                procs: 2,
+            },
+            &mut backend,
+            Some(&mut script),
+        )
+        .unwrap_err();
+        match err {
+            DriveError::Backend(msg) => assert!(msg.contains("not running"), "{msg}"),
+            other => panic!("expected Backend, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backend_without_resize_support_errors_loudly() {
+        let t = fork();
+        let mut backend = ImmediateGang {
+            pending: Vec::new(),
+            launched: Vec::new(),
+        };
+        let mut script = Script {
+            plan: vec![(
+                1,
+                RescheduleAction::Grow {
+                    node: NodeId(1),
+                    extra: 1,
+                },
+            )],
+            snapshots: Vec::new(),
+        };
+        let err = drive_gang_with(
+            &t,
+            DriveConfig::new(4, 1_000),
+            WholeMachine {
+                tree: &t,
+                order: vec![NodeId(1), NodeId(2), NodeId(0)],
+                next: 0,
+                procs: 2,
+            },
+            &mut backend,
+            Some(&mut script),
+        )
+        .unwrap_err();
+        match err {
+            DriveError::Backend(msg) => assert!(msg.contains("resize"), "{msg}"),
+            other => panic!("expected Backend, got {other:?}"),
+        }
     }
 
     #[test]

@@ -100,7 +100,7 @@ impl<'t> SimBackend<'t> {
 }
 
 impl Backend for SimBackend<'_> {
-    fn launch(&mut self, i: NodeId, epoch: u32) -> Result<(), DriveError> {
+    fn launch(&mut self, i: NodeId, epoch: u64) -> Result<(), DriveError> {
         let proc = self
             .free_procs
             .pop()
@@ -127,7 +127,7 @@ impl Backend for SimBackend<'_> {
         }
     }
 
-    fn await_batch(&mut self, epoch: u32, batch: &mut Vec<NodeId>) -> Result<(), DriveError> {
+    fn await_batch(&mut self, epoch: u64, batch: &mut Vec<NodeId>) -> Result<(), DriveError> {
         let Some(&Reverse((Time(t), _))) = self.running.peek() else {
             // Unreachable through `drive` (it checks in-flight > 0 first).
             return Err(DriveError::Backend("no task is running".into()));

@@ -30,12 +30,14 @@ pub mod trace;
 pub mod validate;
 
 pub use driver::{
-    drive, drive_gang, Backend, DriveConfig, DriveError, DriveStats, GangBackend, UnitAllotments,
+    drive, drive_gang, drive_gang_with, Backend, DriveConfig, DriveError, DriveStats, GangBackend,
+    GangSnapshot, LiveStats, RescheduleAction, Rescheduler, UnitAllotments,
 };
 pub use engine::{simulate, SimConfig};
 pub use error::SimError;
 pub use moldable::{
-    simulate_moldable, MoldableRecord, MoldableScheduler, MoldableTrace, SpeedupModel,
+    simulate_moldable, simulate_moldable_with, AllotmentSegment, MoldableRecord, MoldableScheduler,
+    MoldableTrace, SpeedupModel,
 };
 pub use scheduler::Scheduler;
 pub use trace::{TaskRecord, Trace};

@@ -17,7 +17,7 @@
 //! notes a parallel run would need extra workspace; modelling that extra
 //! is orthogonal and left to the policy via inflated `n_i` if desired).
 
-use crate::driver::{drive_gang, DriveConfig, DriveError, GangBackend};
+use crate::driver::{drive_gang_with, DriveConfig, DriveError, GangBackend, Rescheduler};
 use crate::error::SimError;
 use crate::trace::MemSample;
 use memtree_tree::{NodeId, TaskTree};
@@ -63,6 +63,12 @@ pub trait MoldableScheduler {
     fn booked(&self) -> u64;
     /// Optional hook: called once by the driver before the first event.
     fn on_begin(&mut self) {}
+    /// Tasks ready to start but held back (memory, caps, idle workers) —
+    /// surfaced to a [`Rescheduler`] through `LiveStats::ready_depth`.
+    /// Policies without a ready set report 0.
+    fn ready_depth(&self) -> usize {
+        0
+    }
 }
 
 /// Blanket impl so `&mut S` can be passed where a moldable scheduler is
@@ -80,6 +86,9 @@ impl<S: MoldableScheduler + ?Sized> MoldableScheduler for &mut S {
     fn on_begin(&mut self) {
         (**self).on_begin()
     }
+    fn ready_depth(&self) -> usize {
+        (**self).ready_depth()
+    }
 }
 
 impl<S: MoldableScheduler + ?Sized> MoldableScheduler for Box<S> {
@@ -95,6 +104,9 @@ impl<S: MoldableScheduler + ?Sized> MoldableScheduler for Box<S> {
     fn on_begin(&mut self) {
         (**self).on_begin()
     }
+    fn ready_depth(&self) -> usize {
+        (**self).ready_depth()
+    }
 }
 
 /// Start/finish record of a moldable task.
@@ -104,7 +116,23 @@ pub struct MoldableRecord {
     pub start: f64,
     /// Completion time.
     pub finish: f64,
-    /// Processors allotted.
+    /// Processors allotted. On a malleable run (a [`Rescheduler`] resized
+    /// gangs mid-flight) this is the task's **peak** allotment; the full
+    /// history lives in [`MoldableTrace::segments`].
+    pub procs: u32,
+}
+
+/// One constant-allotment stretch of a task's execution. A task that was
+/// never resized has exactly one segment spanning start to finish.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AllotmentSegment {
+    /// The task.
+    pub node: NodeId,
+    /// Segment start time.
+    pub start: f64,
+    /// Segment end time (the next resize or the task's completion).
+    pub end: f64,
+    /// Processors held during the segment.
     pub procs: u32,
 }
 
@@ -132,6 +160,12 @@ pub struct MoldableTrace {
     pub scheduling_seconds: f64,
     /// Memory profile (always recorded; moldable runs are small).
     pub profile: Vec<MemSample>,
+    /// Per-task allotment history, in execution order. Empty on a plain
+    /// moldable run (no resizes possible); on a malleable run every task
+    /// contributes one segment per constant-allotment stretch.
+    pub segments: Vec<AllotmentSegment>,
+    /// Peak sum of live allotments, from the driver's processor ledger.
+    pub peak_busy: usize,
 }
 
 impl MoldableTrace {
@@ -148,8 +182,15 @@ impl MoldableTrace {
     }
 
     /// Validates the trace: every task ran once, precedence held, the sum
-    /// of allotments never exceeded `p`, memory stayed under the bound.
+    /// of allotments never exceeded `p`, and each task's duration matches
+    /// the speedup model. Malleable traces (non-empty
+    /// [`MoldableTrace::segments`]) are checked segment-wise through
+    /// [`MoldableTrace::validate_malleable`] — the duration check becomes
+    /// work conservation across resizes.
     pub fn validate(&self, tree: &TaskTree, model: SpeedupModel) -> Result<(), String> {
+        if !self.segments.is_empty() {
+            return self.validate_malleable(tree, model);
+        }
         let n = tree.len();
         if self.records.len() != n {
             return Err("record count mismatch".into());
@@ -185,17 +226,147 @@ impl MoldableTrace {
         }
         Ok(())
     }
+
+    /// Validates a malleable trace from its allotment segments: per task,
+    /// segments tile `[start, finish]` without gaps and conserve the
+    /// sequential work under the speedup model (`Σ len/t(1, q) = t_seq` —
+    /// both models are linear in `t`, so `t(t_seq, q) = t_seq · t(1, q)`);
+    /// precedence holds on the records; the segment-wise occupancy sweep
+    /// never exceeds `p` and matches [`MoldableTrace::peak_busy`].
+    pub fn validate_malleable(&self, tree: &TaskTree, model: SpeedupModel) -> Result<(), String> {
+        let n = tree.len();
+        if self.records.len() != n {
+            return Err("record count mismatch".into());
+        }
+        let mut segs: Vec<Vec<&AllotmentSegment>> = vec![Vec::new(); n];
+        for s in &self.segments {
+            if s.procs == 0 {
+                return Err(format!("zero-processor segment for {:?}", s.node));
+            }
+            if s.end < s.start - 1e-12 {
+                return Err(format!("segment of {:?} ends before it starts", s.node));
+            }
+            segs[s.node.index()].push(s);
+        }
+        for i in tree.nodes() {
+            let r = self.records[i.index()];
+            if !r.start.is_finite() {
+                return Err(format!("task {i:?} never ran"));
+            }
+            for &c in tree.children(i) {
+                if self.records[c.index()].finish > r.start + 1e-9 {
+                    return Err(format!("precedence violated at {i:?}"));
+                }
+            }
+            let list = &segs[i.index()];
+            if list.is_empty() {
+                return Err(format!("task {i:?} has no allotment segment"));
+            }
+            let eps = 1e-9 * r.finish.abs().max(1.0);
+            if (list[0].start - r.start).abs() > eps {
+                return Err(format!("task {i:?} first segment misses its start"));
+            }
+            if (list[list.len() - 1].end - r.finish).abs() > eps {
+                return Err(format!("task {i:?} last segment misses its finish"));
+            }
+            let mut consumed = 0.0;
+            let mut peak_q = 0u32;
+            for (k, s) in list.iter().enumerate() {
+                if k + 1 < list.len() && (s.end - list[k + 1].start).abs() > eps {
+                    return Err(format!("task {i:?} has a gap between segments"));
+                }
+                consumed += (s.end - s.start) / model.time(1.0, s.procs as usize);
+                peak_q = peak_q.max(s.procs);
+            }
+            let t = tree.time(i);
+            if (consumed - t).abs() > 1e-6 * t.max(1.0) {
+                return Err(format!(
+                    "task {i:?} work not conserved: did {consumed}, needs {t}"
+                ));
+            }
+            if peak_q != r.procs {
+                return Err(format!("task {i:?} record procs is not the segment peak"));
+            }
+        }
+        let peak = self.occupancy_peak();
+        if peak > self.processors {
+            return Err(format!("{peak} processors used with {}", self.processors));
+        }
+        if self.peak_busy > self.processors {
+            return Err(format!(
+                "driver ledger peak {} exceeds {} processors",
+                self.peak_busy, self.processors
+            ));
+        }
+        if peak > self.peak_busy {
+            return Err(format!(
+                "segment occupancy peak {peak} exceeds the driver ledger {}",
+                self.peak_busy
+            ));
+        }
+        Ok(())
+    }
+
+    /// Peak concurrent allotment replayed from the trace: a sweep over
+    /// [`MoldableTrace::segments`] when present, over the records
+    /// otherwise. Segment ends sort before segment starts at equal times,
+    /// so back-to-back hand-offs and same-instant resizes never count both
+    /// allotments at once. On a valid trace this never exceeds
+    /// [`MoldableTrace::peak_busy`], and equals it whenever no resize lands
+    /// in the same instant the resized task's current segment opened — the
+    /// ledger additionally records that pre-resize transient (e.g. a
+    /// zero-duration task, or a gang resized at the event that started it),
+    /// which a zero-width segment cannot represent.
+    pub fn occupancy_peak(&self) -> usize {
+        let mut events: Vec<(f64, i64)> = Vec::new();
+        if self.segments.is_empty() {
+            for r in &self.records {
+                events.push((r.start, r.procs as i64));
+                events.push((r.finish, -(r.procs as i64)));
+            }
+        } else {
+            for s in &self.segments {
+                events.push((s.start, s.procs as i64));
+                events.push((s.end, -(s.procs as i64)));
+            }
+        }
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        let mut used = 0i64;
+        let mut peak = 0i64;
+        for (_, d) in events {
+            used += d;
+            peak = peak.max(used);
+        }
+        peak.max(0) as usize
+    }
+}
+
+/// Virtual-clock state of one running (possibly resized) task.
+struct RunningTask {
+    /// Sequential work left as of `segment_start`.
+    remaining: f64,
+    /// When the current constant-allotment segment began.
+    segment_start: f64,
+    /// Current allotment.
+    procs: u32,
+    /// Bumped on every resize; heap entries carry the generation they were
+    /// pushed under, so stale completion times are skipped on pop.
+    gen: u64,
 }
 
 /// The virtual-clock gang backend: gangs "run" on a completion-time heap
 /// with the speedup model applied, and a batch is everything finishing at
-/// the next instant.
+/// the next instant. Resizes are exact: the model is linear in the
+/// sequential time, so the work a segment consumed is `len / t(1, q)` and
+/// the remainder reruns at the new allotment from the resize instant.
 struct MoldableSimBackend<'t> {
     tree: &'t TaskTree,
     model: SpeedupModel,
     now: f64,
-    running: BinaryHeap<Reverse<(OrderedTime, NodeId)>>,
+    heap: BinaryHeap<Reverse<(OrderedTime, NodeId, u64)>>,
+    state: Vec<Option<RunningTask>>,
     records: Vec<MoldableRecord>,
+    segments: Vec<AllotmentSegment>,
     profile: Vec<MemSample>,
 }
 
@@ -205,7 +376,8 @@ impl<'t> MoldableSimBackend<'t> {
             tree,
             model,
             now: 0.0,
-            running: BinaryHeap::new(),
+            heap: BinaryHeap::new(),
+            state: (0..tree.len()).map(|_| None).collect(),
             records: vec![
                 MoldableRecord {
                     start: f64::NAN,
@@ -214,21 +386,64 @@ impl<'t> MoldableSimBackend<'t> {
                 };
                 tree.len()
             ],
+            segments: Vec::new(),
             profile: Vec::new(),
         }
     }
 }
 
 impl GangBackend for MoldableSimBackend<'_> {
-    fn launch(&mut self, i: NodeId, procs: usize, _epoch: u32) -> Result<(), DriveError> {
+    fn launch(&mut self, i: NodeId, procs: usize, _epoch: u64) -> Result<(), DriveError> {
         let finish = self.now + self.model.time(self.tree.time(i), procs);
         self.records[i.index()] = MoldableRecord {
             start: self.now,
             finish,
             procs: procs as u32,
         };
-        self.running.push(Reverse((OrderedTime(finish), i)));
+        self.state[i.index()] = Some(RunningTask {
+            remaining: self.tree.time(i),
+            segment_start: self.now,
+            procs: procs as u32,
+            gen: 0,
+        });
+        self.heap.push(Reverse((OrderedTime(finish), i, 0)));
         Ok(())
+    }
+
+    fn resize(&mut self, i: NodeId, from: usize, to: usize, _epoch: u64) -> Result<(), DriveError> {
+        let st = self.state[i.index()]
+            .as_mut()
+            .ok_or_else(|| DriveError::Backend(format!("resize of idle task {i:?}")))?;
+        debug_assert_eq!(st.procs as usize, from, "driver and backend agree");
+        let elapsed = self.now - st.segment_start;
+        st.remaining = (st.remaining - elapsed / self.model.time(1.0, from)).max(0.0);
+        self.segments.push(AllotmentSegment {
+            node: i,
+            start: st.segment_start,
+            end: self.now,
+            procs: st.procs,
+        });
+        st.segment_start = self.now;
+        st.procs = to as u32;
+        st.gen += 1;
+        let finish = self.now + self.model.time(st.remaining, to);
+        self.records[i.index()].finish = finish;
+        self.records[i.index()].procs = self.records[i.index()].procs.max(to as u32);
+        self.heap.push(Reverse((OrderedTime(finish), i, st.gen)));
+        Ok(())
+    }
+
+    fn progress(&self, i: NodeId) -> Option<(u32, u32)> {
+        const GRAIN: u32 = 1_000;
+        let st = self.state[i.index()].as_ref()?;
+        let total = self.tree.time(i);
+        if total <= 0.0 {
+            return Some((GRAIN, GRAIN));
+        }
+        let elapsed = self.now - st.segment_start;
+        let remaining = (st.remaining - elapsed / self.model.time(1.0, st.procs as usize)).max(0.0);
+        let done = ((1.0 - remaining / total).clamp(0.0, 1.0) * GRAIN as f64).round() as u32;
+        Some((done, GRAIN))
     }
 
     fn observe(&mut self, actual: u64, booked: u64) {
@@ -240,17 +455,36 @@ impl GangBackend for MoldableSimBackend<'_> {
         });
     }
 
-    fn await_batch(&mut self, _epoch: u32, batch: &mut Vec<NodeId>) -> Result<(), DriveError> {
-        let Some(&Reverse((OrderedTime(t), _))) = self.running.peek() else {
-            // Unreachable through `drive_gang` (it checks in-flight > 0).
-            return Err(DriveError::Backend("no task is running".into()));
+    fn await_batch(&mut self, _epoch: u64, batch: &mut Vec<NodeId>) -> Result<(), DriveError> {
+        // The next genuine completion: skip heap entries whose generation
+        // a resize has outdated.
+        let t = loop {
+            let Some(&Reverse((OrderedTime(t), i, gen))) = self.heap.peek() else {
+                // Unreachable through `drive_gang` (it checks in-flight > 0).
+                return Err(DriveError::Backend("no task is running".into()));
+            };
+            if self.state[i.index()].as_ref().is_some_and(|s| s.gen == gen) {
+                break t;
+            }
+            self.heap.pop();
         };
         self.now = t;
-        while let Some(&Reverse((OrderedTime(ft), i))) = self.running.peek() {
+        while let Some(&Reverse((OrderedTime(ft), i, gen))) = self.heap.peek() {
             if ft > t {
                 break;
             }
-            self.running.pop();
+            self.heap.pop();
+            if self.state[i.index()].as_ref().is_none_or(|s| s.gen != gen) {
+                continue; // stale generation
+            }
+            let st = self.state[i.index()].take().expect("checked live");
+            self.segments.push(AllotmentSegment {
+                node: i,
+                start: st.segment_start,
+                end: t,
+                procs: st.procs,
+            });
+            self.records[i.index()].finish = t;
             batch.push(i);
         }
         Ok(())
@@ -265,16 +499,34 @@ pub fn simulate_moldable<S: MoldableScheduler>(
     model: SpeedupModel,
     scheduler: S,
 ) -> Result<MoldableTrace, SimError> {
+    simulate_moldable_with(tree, processors, memory, model, scheduler, None)
+}
+
+/// [`simulate_moldable`] with an optional [`Rescheduler`]: the policy's
+/// malleable decisions run against the virtual clock, predicting the
+/// makespan the threaded/async backends should approach. The returned
+/// trace carries the full [`MoldableTrace::segments`] history when a
+/// rescheduler was supplied (and validates segment-wise).
+pub fn simulate_moldable_with<S: MoldableScheduler>(
+    tree: &TaskTree,
+    processors: usize,
+    memory: u64,
+    model: SpeedupModel,
+    scheduler: S,
+    rescheduler: Option<&mut dyn Rescheduler>,
+) -> Result<MoldableTrace, SimError> {
     if processors == 0 {
         return Err(SimError::BadConfig("zero processors".into()));
     }
+    let malleable = rescheduler.is_some();
     let name = scheduler.name().to_string();
     let mut backend = MoldableSimBackend::new(tree, model);
-    let stats = drive_gang(
+    let stats = drive_gang_with(
         tree,
         DriveConfig::new(processors, memory),
         scheduler,
         &mut backend,
+        rescheduler,
     )
     .map_err(crate::engine::to_sim_error)?;
     Ok(MoldableTrace {
@@ -288,6 +540,12 @@ pub fn simulate_moldable<S: MoldableScheduler>(
         events: stats.events,
         scheduling_seconds: stats.scheduling_seconds,
         profile: backend.profile,
+        segments: if malleable {
+            backend.segments
+        } else {
+            Vec::new()
+        },
+        peak_busy: stats.peak_busy,
     })
 }
 

@@ -14,9 +14,9 @@ pub struct TaskRecord {
     /// Engine event index at which the task started. Zero-duration tasks
     /// start and finish at the same simulated time; epochs disambiguate
     /// the causal order for trace validation.
-    pub start_epoch: u32,
+    pub start_epoch: u64,
     /// Engine event index at which the completion took effect.
-    pub finish_epoch: u32,
+    pub finish_epoch: u64,
 }
 
 /// One sampled point of the memory profile (taken at every event).

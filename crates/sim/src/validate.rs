@@ -66,7 +66,7 @@ pub fn validate_trace(tree: &TaskTree, trace: &Trace) -> Result<(), String> {
         Finish(NodeId),
         Start(NodeId),
     }
-    let mut events: Vec<(f64, u32, u8, Ev)> = Vec::with_capacity(2 * n);
+    let mut events: Vec<(f64, u64, u8, Ev)> = Vec::with_capacity(2 * n);
     for i in tree.nodes() {
         let r = trace.record(i);
         if r.finish_epoch <= r.start_epoch {

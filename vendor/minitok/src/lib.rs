@@ -33,7 +33,7 @@ use std::future::Future;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
 use std::task::{Context, Poll, Wake, Waker};
 use std::time::{Duration, Instant};
 
@@ -97,6 +97,11 @@ impl Wake for Task {
 pub struct Runtime {
     queue: Arc<Queue>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    /// Every task ever spawned, weakly. A task parked in the timer is
+    /// reachable only through the waker cycle (`Task` → future → `Sleep`
+    /// → waker slot → `Task`); this list lets `drop` break that cycle by
+    /// taking the futures of whatever is still alive.
+    spawned: Mutex<Vec<std::sync::Weak<Task>>>,
 }
 
 impl Runtime {
@@ -124,7 +129,11 @@ impl Runtime {
                     .expect("spawning a minitok worker")
             })
             .collect();
-        Runtime { queue, workers }
+        Runtime {
+            queue,
+            workers,
+            spawned: Mutex::new(Vec::new()),
+        }
     }
 
     /// Submits `future` to the run queue (fire-and-forget).
@@ -137,6 +146,14 @@ impl Runtime {
             queue: self.queue.clone(),
             queued: AtomicBool::new(false),
         });
+        {
+            let mut spawned = self.spawned.lock().expect("spawn list poisoned");
+            // Keep the list proportional to *live* tasks, amortised O(1).
+            if spawned.len() == spawned.capacity() {
+                spawned.retain(|t| t.strong_count() > 0);
+            }
+            spawned.push(Arc::downgrade(&task));
+        }
         task.schedule();
     }
 
@@ -166,6 +183,19 @@ impl Drop for Runtime {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        // Tasks parked in the timer survive the queue clear through the
+        // waker cycle (task → future → Sleep → waker slot → task). The
+        // workers are joined, so no poll is in flight: take their futures
+        // to break the cycle and kill their timer registrations…
+        for task in self.spawned.lock().expect("spawn list poisoned").drain(..) {
+            if let Some(task) = task.upgrade() {
+                *task.future.lock().expect("task future poisoned") = None;
+            }
+        }
+        // …then sweep the dead weak handles out of the process-global
+        // heap (the timer itself only ever wakes live registrations: a
+        // dead handle fails to upgrade and wakes nobody).
+        prune_dead_timers();
     }
 }
 
@@ -243,12 +273,22 @@ pub fn block_on<F: Future>(future: F) -> F::Output {
 
 // ---------------------------------------------------------------------
 // Timer: one process-global thread, a deadline min-heap, timed condvar
-// waits. A sleeping future registers (deadline, waker) and occupies no
-// executor thread until fired.
+// waits. A sleeping future registers a **weak** handle to its waker slot
+// and occupies no executor thread until fired. Weakness is load-bearing:
+// the timer outlives every `Runtime`, so a strong registration would let
+// a late fire wake a task slot belonging to a dead executor; instead the
+// registration dies with its `Sleep` future and the fire is a no-op.
+
+/// The waker slot a pending [`Sleep`] shares with the timer thread. The
+/// future owns the only strong reference — dropping it (task completed,
+/// panicked, or its runtime dropped) invalidates the registration.
+struct SleepShared {
+    waker: Mutex<Option<Waker>>,
+}
 
 struct TimerEntry {
     deadline: Instant,
-    waker: Waker,
+    handle: Weak<SleepShared>,
 }
 
 impl PartialEq for TimerEntry {
@@ -274,8 +314,9 @@ struct Timer {
     changed: Condvar,
 }
 
+static TIMER: OnceLock<&'static Timer> = OnceLock::new();
+
 fn timer() -> &'static Timer {
-    static TIMER: OnceLock<&'static Timer> = OnceLock::new();
     TIMER.get_or_init(|| {
         let timer: &'static Timer = Box::leak(Box::new(Timer {
             entries: Mutex::new(BinaryHeap::new()),
@@ -289,7 +330,16 @@ fn timer() -> &'static Timer {
                 while entries.peek().is_some_and(|e| e.deadline <= now) {
                     let entry = entries.pop().expect("peeked entry");
                     drop(entries);
-                    entry.waker.wake();
+                    // A registration whose `Sleep` is gone fails to
+                    // upgrade: nobody gets woken, in particular no task
+                    // slot of an already-dropped runtime.
+                    if let Some(shared) = entry.handle.upgrade() {
+                        if let Some(waker) =
+                            shared.waker.lock().expect("waker slot poisoned").take()
+                        {
+                            waker.wake();
+                        }
+                    }
                     entries = timer.entries.lock().expect("timer heap poisoned");
                 }
                 entries = match entries.peek().map(|e| e.deadline) {
@@ -310,30 +360,79 @@ fn timer() -> &'static Timer {
     })
 }
 
+/// Sweeps timer registrations whose `Sleep` future is gone. Called on
+/// [`Runtime`] drop; a no-op when the timer was never started.
+fn prune_dead_timers() {
+    if let Some(t) = TIMER.get() {
+        let mut entries = t.entries.lock().expect("timer heap poisoned");
+        if entries.iter().any(|e| Weak::strong_count(&e.handle) == 0) {
+            let live: BinaryHeap<TimerEntry> = entries
+                .drain()
+                .filter(|e| Weak::strong_count(&e.handle) > 0)
+                .collect();
+            *entries = live;
+        }
+    }
+}
+
+/// Live timer registrations with deadlines beyond `now + horizon` — a
+/// diagnostic for embeddings and tests (the process-global timer serves
+/// every runtime, so counts close to now are inherently racy; a far
+/// horizon isolates a known long registration).
+pub fn pending_timers_beyond(horizon: Duration) -> usize {
+    match TIMER.get() {
+        None => 0,
+        Some(t) => {
+            let cutoff = Instant::now() + horizon;
+            t.entries
+                .lock()
+                .expect("timer heap poisoned")
+                .iter()
+                .filter(|e| e.deadline > cutoff && Weak::strong_count(&e.handle) > 0)
+                .count()
+        }
+    }
+}
+
 /// Future returned by [`sleep`].
 pub struct Sleep {
     deadline: Instant,
+    /// The registration this future shares with the timer thread, created
+    /// on the first pending poll. Owning the only strong reference ties
+    /// the registration's validity to this future's lifetime.
+    shared: Option<Arc<SleepShared>>,
 }
 
 impl Future for Sleep {
     type Output = ();
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
-        if Instant::now() >= self.deadline {
+        let this = self.get_mut();
+        if Instant::now() >= this.deadline {
             return Poll::Ready(());
         }
-        // Re-register on every pending poll: wakers may differ between
-        // polls (spurious wakes, task migration), and a stale waker in
-        // the heap only costs a redundant wake.
-        let t = timer();
-        t.entries
-            .lock()
-            .expect("timer heap poisoned")
-            .push(TimerEntry {
-                deadline: self.deadline,
-                waker: cx.waker().clone(),
-            });
-        t.changed.notify_one();
+        match &this.shared {
+            // Already registered: refresh the waker in place (wakers may
+            // differ between polls — spurious wakes, task migration).
+            Some(shared) => {
+                *shared.waker.lock().expect("waker slot poisoned") = Some(cx.waker().clone());
+            }
+            None => {
+                let shared = Arc::new(SleepShared {
+                    waker: Mutex::new(Some(cx.waker().clone())),
+                });
+                let t = timer();
+                t.entries
+                    .lock()
+                    .expect("timer heap poisoned")
+                    .push(TimerEntry {
+                        deadline: this.deadline,
+                        handle: Arc::downgrade(&shared),
+                    });
+                this.shared = Some(shared);
+                t.changed.notify_one();
+            }
+        }
         Poll::Pending
     }
 }
@@ -343,6 +442,7 @@ impl Future for Sleep {
 pub fn sleep(duration: Duration) -> Sleep {
     Sleep {
         deadline: Instant::now() + duration,
+        shared: None,
     }
 }
 
@@ -449,6 +549,71 @@ mod tests {
             sleep(Duration::from_millis(5)).await;
         });
         drop(rt); // must not hang or panic
+    }
+
+    /// A waker that records having fired — stands in for the task slot a
+    /// stale timer registration would wake.
+    struct Flag(AtomicBool);
+
+    impl Wake for Flag {
+        fn wake(self: Arc<Self>) {
+            self.0.store(true, Ordering::Release);
+        }
+    }
+
+    #[test]
+    fn dropped_sleep_never_fires_its_waker() {
+        // The regression: the timer used to hold wakers strongly, so a
+        // Sleep dropped before its deadline (task dropped with its
+        // runtime) still woke a dead task slot when the deadline passed.
+        let fired = Arc::new(Flag(AtomicBool::new(false)));
+        let waker = Waker::from(fired.clone());
+        let mut cx = Context::from_waker(&waker);
+        let mut fut = Box::pin(sleep(Duration::from_millis(30)));
+        assert!(fut.as_mut().poll(&mut cx).is_pending());
+        drop(fut); // the registration dies with the future
+        std::thread::sleep(Duration::from_millis(80)); // deadline passes
+        assert!(
+            !fired.0.load(Ordering::Acquire),
+            "a dropped Sleep's waker fired after the deadline"
+        );
+
+        // Control: the same registration kept alive does fire.
+        let fired = Arc::new(Flag(AtomicBool::new(false)));
+        let waker = Waker::from(fired.clone());
+        let mut cx = Context::from_waker(&waker);
+        let mut fut = Box::pin(sleep(Duration::from_millis(20)));
+        assert!(fut.as_mut().poll(&mut cx).is_pending());
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !fired.0.load(Ordering::Acquire) {
+            assert!(Instant::now() < deadline, "live Sleep never woken");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn dropping_the_runtime_prunes_dead_timer_entries() {
+        // An hour-long sleep is unambiguous in the process-global heap:
+        // no other test registers anything within half an hour of it.
+        let horizon = Duration::from_secs(1800);
+        let rt = Runtime::new(1);
+        rt.spawn(async {
+            sleep(Duration::from_secs(3600)).await;
+        });
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while pending_timers_beyond(horizon) == 0 {
+            assert!(
+                Instant::now() < deadline,
+                "the spawned sleep never reached the timer"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        drop(rt); // clears tasks → drops the Sleep → kills the registration
+        assert_eq!(
+            pending_timers_beyond(horizon),
+            0,
+            "runtime drop left a live long-deadline registration behind"
+        );
     }
 
     #[test]
