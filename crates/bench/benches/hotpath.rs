@@ -1,0 +1,72 @@
+//! Criterion benchmarks of the driver hot path on large streaming trees
+//! (DESIGN.md §6.11) — the statistical companion to the `bench_hotpath`
+//! binary's single-shot sweep.
+//!
+//! These isolate the event loop: orders and the memory bound are computed
+//! once per group, each iteration mints a scheduler and drives the
+//! simulator over a 10⁴–10⁵-node tree. Activation runs every shape (O(1)
+//! per event — pure driver cost); MemBooking runs only the random shape,
+//! whose Θ(log n) height keeps its booking walks off the critical path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memtree_gen::large::{build, LargeShape};
+use memtree_order::mem_postorder;
+use memtree_sched::{Activation, MemBooking};
+use memtree_sim::{simulate, SimConfig};
+
+fn bench_driver_shapes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_driver");
+    for shape in [
+        LargeShape::Chain,
+        LargeShape::Caterpillar { legs: 4 },
+        LargeShape::Random,
+    ] {
+        for &n in &[10_000usize, 100_000] {
+            let tree = build(shape, n, 42);
+            let ao = mem_postorder(&tree);
+            let m = ao.sequential_peak(&tree) * 2;
+            let cfg = SimConfig {
+                measure_overhead: false,
+                ..SimConfig::new(4, m)
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("Activation/{}", shape.label()), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let s = Activation::try_new(&tree, &ao, &ao, m).unwrap();
+                        simulate(&tree, cfg, s).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_membooking_random(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_membooking");
+    for &n in &[10_000usize, 100_000] {
+        let tree = build(LargeShape::Random, n, 42);
+        let ao = mem_postorder(&tree);
+        let m = ao.sequential_peak(&tree) * 2;
+        let cfg = SimConfig {
+            measure_overhead: false,
+            ..SimConfig::new(4, m)
+        };
+        group.bench_with_input(BenchmarkId::new("random", n), &n, |b, _| {
+            b.iter(|| {
+                let s = MemBooking::try_new(&tree, &ao, &ao, m).unwrap();
+                simulate(&tree, cfg, s).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_driver_shapes, bench_membooking_random
+}
+criterion_main!(benches);

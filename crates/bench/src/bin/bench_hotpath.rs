@@ -1,0 +1,169 @@
+//! The million-node hot-path gate: driver throughput on huge trees,
+//! reported as ns per scheduled node (DESIGN.md §6.11).
+//!
+//! ```text
+//! bench_hotpath [quick|full] [--out-dir DIR]
+//!               [--max-sim-ns-per-node X] [--max-threaded-ns-per-node X]
+//! ```
+//!
+//! `quick` (the `hotpath-smoke` CI scale) sweeps 10⁵-node simulator
+//! cells; `full` sweeps 10⁶-node ones. Writes into `--out-dir` (default
+//! `bench-out`):
+//!
+//! * `hotpath.csv` — every cell: shape, n, policy, backend, events,
+//!   wall seconds, ns/node, nodes/sec.
+//! * `BENCH_hotpath.json` — the perf trajectory artifact: the per-cell
+//!   numbers plus totals and a peak-RSS proxy (`VmHWM`), uploaded per-PR
+//!   so hot-path regressions show up as a trend.
+//!
+//! The `--max-*-ns-per-node` flags turn the run into a gate: exit 1 when
+//! any cell on that backend is slower than the floor. CI floors carry
+//! ~10× slack over measured steady-state numbers — they catch asymptotic
+//! regressions (a per-event O(R) shift or allocation creeping back into
+//! the loop), not scheduler jitter.
+
+use memtree_bench::cli::peak_rss_kb;
+use memtree_bench::{ArgParser, HotCell, HotSweep};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: bench_hotpath [quick|full] [--out-dir DIR] \
+         [--max-sim-ns-per-node X] [--max-threaded-ns-per-node X]"
+    );
+    std::process::exit(2);
+}
+
+fn take_float(parser: &mut ArgParser, name: &str) -> Option<f64> {
+    parser
+        .take_value(name)
+        .unwrap_or_else(|e| fail(&e))
+        .map(|v| {
+            v.parse::<f64>()
+                .ok()
+                .filter(|x| *x > 0.0)
+                .unwrap_or_else(|| fail(&format!("{name} wants a positive number")))
+        })
+}
+
+fn main() {
+    let mut parser = ArgParser::from_env();
+    let out_dir = parser
+        .take_value("--out-dir")
+        .unwrap_or_else(|e| fail(&e))
+        .map_or_else(|| PathBuf::from("bench-out"), PathBuf::from);
+    let max_sim = take_float(&mut parser, "--max-sim-ns-per-node");
+    let max_threaded = take_float(&mut parser, "--max-threaded-ns-per-node");
+    let scale = parser
+        .take_positional()
+        .or_else(|| std::env::var("MEMTREE_SCALE").ok());
+    let sweep = match scale.as_deref() {
+        Some("full") => HotSweep::full(),
+        Some("quick") | None => HotSweep::quick(),
+        Some(other) => fail(&format!("unknown scale {other:?} (quick|full)")),
+    };
+    parser.finish().unwrap_or_else(|e| fail(&e));
+
+    let started = std::time::Instant::now();
+    let cells = sweep.run();
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    std::fs::create_dir_all(&out_dir)
+        .unwrap_or_else(|e| fail(&format!("cannot create {}: {e}", out_dir.display())));
+
+    let mut csv = String::new();
+    csv.push_str(HotCell::csv_header());
+    csv.push('\n');
+    for c in &cells {
+        csv.push_str(&c.csv_row());
+        csv.push('\n');
+    }
+    let csv_path = out_dir.join("hotpath.csv");
+    std::fs::write(&csv_path, csv).unwrap_or_else(|e| fail(&format!("writing hotpath.csv: {e}")));
+
+    // The trajectory artifact: per-cell ns/node plus run totals.
+    let total_nodes: usize = cells.iter().map(|c| c.tasks_run).sum();
+    let peak_rss = peak_rss_kb();
+    let peak_rss_json = peak_rss.map_or_else(|| "null".to_string(), |kb| kb.to_string());
+    let mut json = String::from("{\n  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let sep = if i + 1 < cells.len() { "," } else { "" };
+        writeln!(
+            json,
+            "    {{\"shape\": \"{}\", \"n\": {}, \"policy\": \"{}\", \"backend\": \"{}\", \
+             \"processors\": {}, \"events\": {}, \"tasks_run\": {}, \
+             \"wall_seconds\": {:.6}, \"scheduling_seconds\": {:.6}, \
+             \"gen_seconds\": {:.6}, \"ns_per_node\": {:.1}, \"nodes_per_sec\": {:.0}}}{sep}",
+            c.shape,
+            c.n,
+            c.policy,
+            c.backend,
+            c.processors,
+            c.events,
+            c.tasks_run,
+            c.wall_seconds,
+            c.scheduling_seconds,
+            c.gen_seconds,
+            c.ns_per_node(),
+            c.nodes_per_sec(),
+        )
+        .unwrap();
+    }
+    writeln!(
+        json,
+        "  ],\n  \"cell_count\": {},\n  \"total_nodes\": {total_nodes},\n  \
+         \"wall_seconds\": {wall_seconds:.6},\n  \"cells_per_sec\": {:.3},\n  \
+         \"peak_rss_kb\": {peak_rss_json}\n}}",
+        cells.len(),
+        if wall_seconds > 0.0 {
+            cells.len() as f64 / wall_seconds
+        } else {
+            0.0
+        },
+    )
+    .unwrap();
+    let json_path = out_dir.join("BENCH_hotpath.json");
+    std::fs::write(&json_path, json)
+        .unwrap_or_else(|e| fail(&format!("writing BENCH_hotpath.json: {e}")));
+
+    for c in &cells {
+        println!(
+            "bench_hotpath: {:>11} {:<22} {:>9} nodes on {:<8}: {:>8.1} ns/node ({:>9.0} nodes/s, {} events)",
+            c.shape,
+            c.policy,
+            c.n,
+            c.backend,
+            c.ns_per_node(),
+            c.nodes_per_sec(),
+            c.events,
+        );
+    }
+    println!(
+        "bench_hotpath: {} cells, {total_nodes} scheduled nodes in {wall_seconds:.2}s, peak RSS {}",
+        cells.len(),
+        peak_rss.map_or_else(|| "unavailable".to_string(), |kb| format!("{kb} kB")),
+    );
+    println!("wrote {} and {}", csv_path.display(), json_path.display());
+
+    let mut gate_failed = false;
+    for (backend, floor) in [("sim", max_sim), ("threaded", max_threaded)] {
+        let Some(floor) = floor else { continue };
+        for c in cells.iter().filter(|c| c.backend == backend) {
+            if c.ns_per_node() > floor {
+                eprintln!(
+                    "bench_hotpath: {} {} on {}: {:.1} ns/node exceeds the {floor:.1} floor",
+                    c.shape,
+                    c.policy,
+                    backend,
+                    c.ns_per_node(),
+                );
+                gate_failed = true;
+            }
+        }
+    }
+    if gate_failed {
+        std::process::exit(1);
+    }
+}

@@ -14,11 +14,10 @@
 //! tasks can ever overlap — Section 3.1's motivating criticism.
 
 use crate::error::SchedError;
+use crate::readyset::RankQueue;
 use memtree_order::Order;
 use memtree_sim::Scheduler;
 use memtree_tree::{NodeId, TaskTree};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Algorithm 1.
 pub struct Activation<'a> {
@@ -32,8 +31,10 @@ pub struct Activation<'a> {
     activated: Vec<bool>,
     /// Children not yet finished, per node.
     ch_not_fin: Vec<u32>,
-    /// Activated nodes whose children have all finished, keyed by EO rank.
-    ready: BinaryHeap<Reverse<(u32, NodeId)>>,
+    /// Activated nodes whose children have all finished, as EO ranks
+    /// (popped ascending — identical order to the old rank-keyed heap;
+    /// see [`crate::readyset`]).
+    ready: RankQueue,
 }
 
 impl<'a> Activation<'a> {
@@ -62,7 +63,7 @@ impl<'a> Activation<'a> {
             next_ao: 0,
             activated: vec![false; tree.len()],
             ch_not_fin: tree.nodes().map(|i| tree.degree(i) as u32).collect(),
-            ready: BinaryHeap::new(),
+            ready: RankQueue::with_universe(tree.len()),
         })
     }
 
@@ -77,7 +78,7 @@ impl<'a> Activation<'a> {
             self.activated[i.index()] = true;
             self.next_ao += 1;
             if self.ch_not_fin[i.index()] == 0 {
-                self.ready.push(Reverse((self.eo.rank(i), i)));
+                self.ready.insert(self.eo.rank(i));
             }
         }
     }
@@ -97,7 +98,7 @@ impl Scheduler for Activation<'_> {
             if let Some(p) = self.tree.parent(j) {
                 self.ch_not_fin[p.index()] -= 1;
                 if self.ch_not_fin[p.index()] == 0 && self.activated[p.index()] {
-                    self.ready.push(Reverse((self.eo.rank(p), p)));
+                    self.ready.insert(self.eo.rank(p));
                 }
             }
         }
@@ -105,10 +106,10 @@ impl Scheduler for Activation<'_> {
         self.activate_while_possible();
 
         while to_start.len() < idle {
-            let Some(Reverse((_, i))) = self.ready.pop() else {
+            let Some(rank) = self.ready.pop_min() else {
                 break;
             };
-            to_start.push(i);
+            to_start.push(self.eo.at(rank as usize));
         }
     }
 

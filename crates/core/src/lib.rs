@@ -37,6 +37,7 @@ pub mod ledger;
 pub mod lower_bound;
 pub mod membooking;
 pub mod moldable;
+pub mod readyset;
 pub mod redtree;
 pub mod rescheduler;
 pub mod seq;
@@ -49,6 +50,7 @@ pub use ledger::{BudgetLedger, LedgerError};
 pub use lower_bound::LowerBounds;
 pub use membooking::{MemBooking, MemBookingRef};
 pub use moldable::{AllotmentCaps, MoldableMemBooking};
+pub use readyset::RankQueue;
 pub use redtree::{to_reduction_tree, RedTreeBooking, ReductionTransform};
 pub use rescheduler::{ProportionalRescheduler, ReschedulePolicy};
 pub use seq::Sequential;

@@ -3,21 +3,25 @@
 use super::BBS_UNSET;
 use crate::activation::check_orders;
 use crate::error::SchedError;
+use crate::readyset::RankQueue;
 use memtree_order::Order;
 use memtree_sim::Scheduler;
 use memtree_tree::{NodeId, TaskTree};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// MemBooking with the Appendix-B data structures:
 ///
-/// * `CAND` — binary heap keyed by AO rank (candidates for activation);
-/// * `ACTf` — binary heap keyed by EO rank (activated nodes whose children
+/// * `CAND` — rank queue keyed by AO rank (candidates for activation);
+/// * `ACTf` — rank queue keyed by EO rank (activated nodes whose children
 ///   all finished, i.e. the runnable pool);
 /// * `ChNotAct` / `ChNotFin` — per-node counters of children not yet
 ///   activated / finished;
 /// * `Booked` / `BookedBySubtree` — the booking ledgers, with
 ///   `BookedBySubtree` materialised lazily (the paper's `-1` sentinel).
+///
+/// The Appendix prescribes binary heaps for `CAND`/`ACTf`; since both are
+/// keyed by ranks of a dense order, a [`RankQueue`] (hierarchical bitset,
+/// O(1) insert / amortised-O(1) pop, zero steady-state allocations) pops
+/// in the identical order — pinned by the determinism regression suite.
 pub struct MemBooking<'a> {
     tree: &'a TaskTree,
     ao: &'a Order,
@@ -30,8 +34,8 @@ pub struct MemBooking<'a> {
     ch_not_fin: Vec<u32>,
     activated: Vec<bool>,
     mbooked: u64,
-    cand: BinaryHeap<Reverse<(u32, NodeId)>>,
-    actf: BinaryHeap<Reverse<(u32, NodeId)>>,
+    cand: RankQueue,
+    actf: RankQueue,
 }
 
 impl<'a> MemBooking<'a> {
@@ -52,9 +56,9 @@ impl<'a> MemBooking<'a> {
             });
         }
         let n = tree.len();
-        let mut cand = BinaryHeap::with_capacity(tree.leaf_count());
+        let mut cand = RankQueue::with_universe(n);
         for l in tree.leaves() {
-            cand.push(Reverse((ao.rank(l), l)));
+            cand.insert(ao.rank(l));
         }
         Ok(MemBooking {
             tree,
@@ -69,7 +73,7 @@ impl<'a> MemBooking<'a> {
             activated: vec![false; n],
             mbooked: 0,
             cand,
-            actf: BinaryHeap::new(),
+            actf: RankQueue::with_universe(n),
         })
     }
 
@@ -99,7 +103,7 @@ impl<'a> MemBooking<'a> {
         let px = parent.index();
         self.ch_not_fin[px] -= 1;
         if self.ch_not_fin[px] == 0 && self.activated[px] {
-            self.actf.push(Reverse((self.eo.rank(parent), parent)));
+            self.actf.insert(self.eo.rank(parent));
         }
         let fj = self.tree.output(j);
         self.booked[px] += fj;
@@ -133,7 +137,8 @@ impl<'a> MemBooking<'a> {
     /// Algorithm 6, lines 18–30: activate candidates in AO order while the
     /// missing memory fits.
     fn update_cand_act(&mut self) {
-        while let Some(&Reverse((_, i))) = self.cand.peek() {
+        while let Some(rank) = self.cand.peek_min() {
+            let i = self.ao.at(rank as usize);
             let ix = i.index();
             if self.bbs[ix] == BBS_UNSET {
                 let children_sum: u64 = self
@@ -148,7 +153,7 @@ impl<'a> MemBooking<'a> {
             if self.mbooked + missing > self.memory {
                 return; // WaitForMoreMem
             }
-            self.cand.pop();
+            self.cand.pop_min();
             self.booked[ix] += missing;
             self.mbooked += missing;
             self.bbs[ix] += missing;
@@ -166,14 +171,14 @@ impl<'a> MemBooking<'a> {
                 "Lemma 3(3): BookedBySubtree must equal Booked plus children's"
             );
             if self.ch_not_fin[ix] == 0 {
-                self.actf.push(Reverse((self.eo.rank(i), i)));
+                self.actf.insert(self.eo.rank(i));
             }
             if let Some(p) = self.tree.parent(i) {
                 self.ch_not_act[p.index()] -= 1;
                 if self.ch_not_act[p.index()] == 0 {
                     // All children activated: the parent becomes a
                     // candidate. AO rank keying keeps Lemma 1's order.
-                    self.cand.push(Reverse((self.ao.rank(p), p)));
+                    self.cand.insert(self.ao.rank(p));
                 }
             }
         }
@@ -191,9 +196,10 @@ impl Scheduler for MemBooking<'_> {
         }
         self.update_cand_act();
         while to_start.len() < idle {
-            let Some(Reverse((_, i))) = self.actf.pop() else {
+            let Some(rank) = self.actf.pop_min() else {
                 break;
             };
+            let i = self.eo.at(rank as usize);
             debug_assert_eq!(
                 self.booked[i.index()],
                 self.mem_needed[i.index()],

@@ -87,6 +87,10 @@ impl AllotmentCaps {
 pub struct MoldableMemBooking<'a> {
     inner: MemBooking<'a>,
     caps: AllotmentCaps,
+    /// Event-loop scratch (DESIGN.md §6.11: buffers are recycled across
+    /// events — the steady state allocates nothing).
+    picks: Vec<NodeId>,
+    allotments: Vec<usize>,
 }
 
 impl<'a> MoldableMemBooking<'a> {
@@ -103,6 +107,8 @@ impl<'a> MoldableMemBooking<'a> {
         Ok(MoldableMemBooking {
             inner: MemBooking::try_new(tree, ao, eo, memory)?,
             caps,
+            picks: Vec::new(),
+            allotments: Vec::new(),
         })
     }
 }
@@ -115,18 +121,18 @@ impl MoldableScheduler for MoldableMemBooking<'_> {
     fn on_event(&mut self, finished: &[NodeId], idle: usize, to_start: &mut Vec<(NodeId, usize)>) {
         // Let the sequential policy pick which tasks may start: tree
         // parallelism first.
-        let mut picks = Vec::new();
-        self.inner.on_event(finished, idle, &mut picks);
-        if picks.is_empty() {
+        self.picks.clear();
+        self.inner.on_event(finished, idle, &mut self.picks);
+        if self.picks.is_empty() {
             return;
         }
         // Spread the idle processors evenly, capped per task; leftovers go
         // to the earliest picks (they have the highest EO priority).
-        let base = idle / picks.len();
-        let mut extra = idle % picks.len();
+        let base = idle / self.picks.len();
+        let mut extra = idle % self.picks.len();
         let mut spare = 0usize;
-        let mut allotments: Vec<usize> = Vec::with_capacity(picks.len());
-        for &i in &picks {
+        self.allotments.clear();
+        for &i in &self.picks {
             let mut q = base;
             if extra > 0 {
                 q += 1;
@@ -137,20 +143,25 @@ impl MoldableScheduler for MoldableMemBooking<'_> {
                 spare += q - cap;
                 q = cap;
             }
-            allotments.push(q.max(1));
+            self.allotments.push(q.max(1));
         }
         // Second pass: hand the spare processors to uncapped tasks.
-        for (k, &i) in picks.iter().enumerate() {
+        for (k, &i) in self.picks.iter().enumerate() {
             if spare == 0 {
                 break;
             }
             let cap = self.caps.cap(i) as usize;
-            let room = cap.saturating_sub(allotments[k]);
+            let room = cap.saturating_sub(self.allotments[k]);
             let give = room.min(spare);
-            allotments[k] += give;
+            self.allotments[k] += give;
             spare -= give;
         }
-        to_start.extend(picks.into_iter().zip(allotments));
+        to_start.extend(
+            self.picks
+                .iter()
+                .copied()
+                .zip(self.allotments.iter().copied()),
+        );
     }
 
     fn booked(&self) -> u64 {

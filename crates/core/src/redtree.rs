@@ -31,11 +31,10 @@
 
 use crate::activation::check_orders;
 use crate::error::SchedError;
+use crate::readyset::RankQueue;
 use memtree_order::Order;
 use memtree_sim::Scheduler;
 use memtree_tree::{NodeId, TaskSpec, TaskTree, TreeBuilder};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Result of the reduction-tree transform.
 #[derive(Clone, Debug)]
@@ -136,7 +135,9 @@ pub struct RedTreeBooking<'a> {
     next_ao: usize,
     activated: Vec<bool>,
     ch_not_fin: Vec<u32>,
-    ready: BinaryHeap<Reverse<(u32, NodeId)>>,
+    /// Runnable pool as EO ranks (ascending pops — see
+    /// [`crate::readyset`]).
+    ready: RankQueue,
 }
 
 impl<'a> RedTreeBooking<'a> {
@@ -167,7 +168,7 @@ impl<'a> RedTreeBooking<'a> {
             next_ao: 0,
             activated: vec![false; tree.len()],
             ch_not_fin: tree.nodes().map(|i| tree.degree(i) as u32).collect(),
-            ready: BinaryHeap::new(),
+            ready: RankQueue::with_universe(tree.len()),
         })
     }
 
@@ -192,7 +193,7 @@ impl Scheduler for RedTreeBooking<'_> {
             if let Some(p) = self.tree.parent(j) {
                 self.ch_not_fin[p.index()] -= 1;
                 if self.ch_not_fin[p.index()] == 0 && self.activated[p.index()] {
-                    self.ready.push(Reverse((self.eo.rank(p), p)));
+                    self.ready.insert(self.eo.rank(p));
                 }
             }
         }
@@ -207,15 +208,15 @@ impl Scheduler for RedTreeBooking<'_> {
             self.activated[i.index()] = true;
             self.next_ao += 1;
             if self.ch_not_fin[i.index()] == 0 {
-                self.ready.push(Reverse((self.eo.rank(i), i)));
+                self.ready.insert(self.eo.rank(i));
             }
         }
 
         while to_start.len() < idle {
-            let Some(Reverse((_, i))) = self.ready.pop() else {
+            let Some(rank) = self.ready.pop_min() else {
                 break;
             };
-            to_start.push(i);
+            to_start.push(self.eo.at(rank as usize));
         }
     }
 

@@ -1,0 +1,180 @@
+//! **Streaming million-node generators** for the hot-path benchmarks
+//! (DESIGN.md §6.11).
+//!
+//! The named [`crate::shapes`] builders are fine at test scale but the
+//! hot-path sweep builds 10⁵–10⁶-node trees per cell; this module
+//! streams `(parent, spec)` pairs straight into a pre-sized
+//! [`TreeBuilder`] — the parent of node `i` is computed, not stored, so
+//! generation costs **no per-node `Vec` churn**: the only allocations
+//! are the builder's SoA arrays (sized up front) and the CSR arrays
+//! `build()` assembles, a constant number of allocations regardless of
+//! `n`.
+//!
+//! Specs follow a reduction-style pattern (modest execution data, output
+//! no larger than the combined inputs) so the sequential peak — and with
+//! it the memory bound of a bench cell — stays `O(height + degree)`
+//! rather than `O(n)`: the interesting regime, where the scheduler's
+//! ready set and booking ledger actually cycle.
+
+use memtree_tree::{TaskSpec, TaskTree, TreeBuilder};
+use rand::Rng;
+use rand::SeedableRng;
+
+/// The tree families the hot-path sweep exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LargeShape {
+    /// A single dependency chain: serial pops, height `n` — the
+    /// worst case for position-shifting running sets.
+    Chain,
+    /// A caterpillar with `legs` leaves per spine node: bursts of
+    /// parallel leaves feeding a serial spine.
+    Caterpillar {
+        /// Leaves per spine node.
+        legs: u32,
+    },
+    /// A random recursive tree (parent of `i` uniform over `0..i`):
+    /// logarithmic expected height, high-degree hubs.
+    Random,
+}
+
+impl LargeShape {
+    /// Stable label for bench output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LargeShape::Chain => "chain",
+            LargeShape::Caterpillar { .. } => "caterpillar",
+            LargeShape::Random => "random",
+        }
+    }
+}
+
+/// Builds an `n`-node tree of the given shape, deterministic in `seed`
+/// (the seed only matters for [`LargeShape::Random`]).
+///
+/// Single streaming pass, O(1) allocations beyond the tree's own arrays.
+pub fn build(shape: LargeShape, n: usize, seed: u64) -> TaskTree {
+    assert!(n > 0);
+    let mut b = TreeBuilder::with_capacity(n);
+    match shape {
+        LargeShape::Chain => {
+            // Root first (node 0), each node the parent of the next —
+            // node i's only child is i + 1; leaf last. Uniform
+            // reduction-ish specs keep the chain's sequential peak tiny.
+            let spec = TaskSpec::new(2, 8, 1.0);
+            b.push(None, spec);
+            for i in 1..n {
+                b.push_with_parent_index(Some(i - 1), spec);
+            }
+        }
+        LargeShape::Caterpillar { legs } => {
+            let legs = legs.max(1) as usize;
+            let spine_spec = TaskSpec::new(2, 6, 1.0);
+            let leg_spec = TaskSpec::new(1, 3, 1.0);
+            // Stream blocks of `1 + legs`: each block pushes the next
+            // spine node first, then the current spine node's legs. The
+            // spine child therefore precedes the legs in child order, so
+            // a plain postorder descends the spine before holding any
+            // leg outputs — the sequential peak stays O(legs), not O(n).
+            let mut spine = 0usize;
+            let mut emitted = 1usize;
+            b.push(None, spine_spec);
+            while emitted < n {
+                let new_spine = emitted;
+                b.push_with_parent_index(Some(spine), spine_spec);
+                emitted += 1;
+                let block_legs = legs.min(n - emitted);
+                for _ in 0..block_legs {
+                    b.push_with_parent_index(Some(spine), leg_spec);
+                }
+                emitted += block_legs;
+                spine = new_spine;
+            }
+        }
+        LargeShape::Random => {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let spec = TaskSpec::new(1, 4, 1.0);
+            b.push(None, spec);
+            for i in 1..n {
+                let p = rng.random_range(0..i);
+                b.push_with_parent_index(Some(p), spec);
+            }
+        }
+    }
+    debug_assert_eq!(b.len(), n);
+    b.build().expect("streamed shapes are valid trees")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_matches_named_shape() {
+        let spec = TaskSpec::new(2, 8, 1.0);
+        let named = crate::shapes::chain(100, spec);
+        let streamed = build(LargeShape::Chain, 100, 0);
+        assert_eq!(streamed.len(), named.len());
+        for i in streamed.nodes() {
+            assert_eq!(streamed.parent(i), named.parent(i));
+            assert_eq!(streamed.exec(i), named.exec(i));
+            assert_eq!(streamed.output(i), named.output(i));
+        }
+    }
+
+    #[test]
+    fn random_matches_named_shape() {
+        // Same parent stream as shapes::random_recursive for the same
+        // seed (both draw uniform over 0..i from StdRng).
+        let spec = TaskSpec::new(1, 4, 1.0);
+        let named = crate::shapes::random_recursive(500, spec, 42);
+        let streamed = build(LargeShape::Random, 500, 42);
+        for i in streamed.nodes() {
+            assert_eq!(streamed.parent(i), named.parent(i));
+        }
+    }
+
+    #[test]
+    fn caterpillar_shape_is_sound() {
+        let t = build(LargeShape::Caterpillar { legs: 3 }, 1000, 0);
+        assert_eq!(t.len(), 1000);
+        memtree_tree::validate::check_consistency(&t).unwrap();
+        // Roughly 3 leaves per spine node.
+        let leaves = t.leaves().count();
+        assert!(leaves > 700, "caterpillar is leaf-dominated: {leaves}");
+    }
+
+    #[test]
+    fn sequential_peak_stays_flat() {
+        // The bench regime: the memory bound of a 10×-larger tree must
+        // not grow 10× (else big cells book everything up front and the
+        // ready set never cycles).
+        for shape in [
+            LargeShape::Chain,
+            LargeShape::Caterpillar { legs: 4 },
+            LargeShape::Random,
+        ] {
+            let small = build(shape, 1_000, 7);
+            let big = build(shape, 10_000, 7);
+            let peak = |t: &TaskTree| {
+                let po = memtree_tree::traverse::postorder(t);
+                memtree_tree::memory::sequential_peak(t, &po).unwrap()
+            };
+            let (ps, pb) = (peak(&small), peak(&big));
+            assert!(
+                pb < ps.saturating_mul(4),
+                "{}: peak grew {ps} -> {pb}",
+                shape.label()
+            );
+        }
+    }
+
+    #[test]
+    fn exact_block_boundaries() {
+        // n that lands mid-block must still produce a valid tree.
+        for n in [1usize, 2, 5, 6, 7, 23] {
+            let t = build(LargeShape::Caterpillar { legs: 4 }, n, 0);
+            assert_eq!(t.len(), n);
+            memtree_tree::validate::check_consistency(&t).unwrap();
+        }
+    }
+}

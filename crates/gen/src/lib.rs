@@ -10,8 +10,10 @@
 //! All generators are deterministic given a seed.
 
 pub mod distributions;
+pub mod large;
 pub mod shapes;
 pub mod synthetic;
 
 pub use distributions::TruncatedExp;
+pub use large::LargeShape;
 pub use synthetic::{FrontierDiscipline, SyntheticConfig, TimeMode};

@@ -1,0 +1,178 @@
+//! Determinism regression suite for the hot-path rewrite (DESIGN.md
+//! §6.11): schedule order and `RunReport` must stay **byte-identical**
+//! to the original heap-based implementation.
+//!
+//! The golden hashes below were captured from the pre-rewrite code
+//! (`BinaryHeap` ready sets in Activation/MemBooking, sorted-`Vec`
+//! running set in the gang driver). Every cell folds the full per-task
+//! trace — start/finish times, processor, start/finish epochs — plus
+//! the deterministic `RunReport` fields into one FNV-1a digest per
+//! corpus tree. Any drift in pop order, batch ordering or the booking
+//! ledgers changes the digest.
+//!
+//! Regenerate (ONLY when a schedule change is intended and justified):
+//!
+//! ```text
+//! cargo test -p memtree_runtime --test determinism -- --ignored --nocapture print_goldens
+//! ```
+
+use memtree_runtime::{Platform as _, SimPlatform};
+use memtree_sched::{AllotmentCaps, HeuristicKind, PolicySpec};
+use memtree_sim::{simulate, SimConfig};
+use memtree_tree::{Fnv64, TaskSpec, TaskTree};
+
+/// The corpus: the `platform_conformance!` trees (paper synthetic family)
+/// plus named shapes stressing each ready-set regime — deep chain (serial
+/// pops), caterpillar (bursts of leaves), random recursive (mixed).
+fn corpus() -> Vec<(&'static str, TaskTree)> {
+    vec![
+        ("paper-150-17", memtree_gen::synthetic::paper_tree(150, 17)),
+        ("paper-120-23", memtree_gen::synthetic::paper_tree(120, 23)),
+        ("paper-300-5", memtree_gen::synthetic::paper_tree(300, 5)),
+        (
+            "chain-64",
+            memtree_gen::shapes::chain(64, TaskSpec::new(2, 5, 1.0)),
+        ),
+        (
+            "caterpillar-20x3",
+            memtree_gen::shapes::caterpillar(
+                20,
+                3,
+                TaskSpec::new(1, 4, 2.0),
+                TaskSpec::new(0, 3, 1.0),
+            ),
+        ),
+        (
+            "random-400-9",
+            memtree_gen::shapes::random_recursive(400, TaskSpec::new(1, 2, 1.0), 9),
+        ),
+    ]
+}
+
+/// Captured from the pre-rewrite implementation; same order as
+/// [`corpus`].
+const GOLDENS: &[(&str, u64)] = &[
+    ("paper-150-17", 0xc1b3393ce5c3a482),
+    ("paper-120-23", 0x2e72596b760f9cdd),
+    ("paper-300-5", 0xa02b1b5c413b688d),
+    ("chain-64", 0x020b72a3f97c4b11),
+    ("caterpillar-20x3", 0x7a5da09f0835ff63),
+    ("random-400-9", 0x6c296950a0123077),
+];
+
+fn fold_report(h: &mut Fnv64, label: &str, report: &memtree_runtime::RunReport) {
+    h.write_str(label);
+    h.write_str(&report.policy);
+    h.write_f64(report.makespan);
+    h.write_u64(report.peak_booked);
+    h.write_u64(report.peak_actual);
+    h.write_u64(report.events as u64);
+    h.write_u64(report.tasks_run as u64);
+}
+
+/// One digest per tree: every (kind × memory × processors) cell's full
+/// sim trace plus the platform-level `RunReport`, moldable caps included.
+fn tree_digest(tree: &TaskTree) -> u64 {
+    let mut h = Fnv64::with_tag("memtree-determinism-v1");
+    for kind in HeuristicKind::all() {
+        let tight = PolicySpec::new(kind, 0).min_feasible(tree);
+        for (mem_label, memory) in [("tight", tight), ("roomy", tight.saturating_mul(1000))] {
+            for p in [1usize, 4] {
+                let label = format!("{kind}/{mem_label}/p{p}");
+                // Platform-level report (the public contract).
+                let spec = PolicySpec::new(kind, memory);
+                let report = SimPlatform::new(p)
+                    .run(tree, &spec)
+                    .unwrap_or_else(|e| panic!("{label}: {e}"));
+                fold_report(&mut h, &label, &report);
+
+                // Trace-level schedule order (start/finish instants,
+                // processor assignment, causal epochs — the bytes).
+                let instance = spec.instantiate(tree).unwrap();
+                let exec = instance.exec_tree(tree);
+                let sched = instance.scheduler(tree).unwrap();
+                let trace = simulate(exec, SimConfig::new(p, memory), sched)
+                    .unwrap_or_else(|e| panic!("{label} (trace): {e}"));
+                h.write_u64(trace.records.len() as u64);
+                for r in &trace.records {
+                    h.write_f64(r.start);
+                    h.write_f64(r.finish);
+                    h.write_u32(r.processor);
+                    h.write_u64(r.start_epoch);
+                    h.write_u64(r.finish_epoch);
+                }
+                h.write_f64(trace.makespan);
+                h.write_u64(trace.peak_booked);
+                h.write_u64(trace.peak_actual);
+                h.write_u64(trace.events as u64);
+            }
+        }
+    }
+    // Moldable caps ride the gang loop proper (allotments > 1).
+    let tight = PolicySpec::new(HeuristicKind::MemBooking, 0).min_feasible(tree);
+    for caps in [2u32, 4] {
+        let spec = PolicySpec::new(HeuristicKind::MemBooking, tight.saturating_mul(1000))
+            .with_caps(AllotmentCaps::uniform(tree, caps));
+        let report = SimPlatform::new(4)
+            .run(tree, &spec)
+            .unwrap_or_else(|e| panic!("caps{caps}: {e}"));
+        fold_report(&mut h, &format!("moldable-caps{caps}"), &report);
+    }
+    h.finish()
+}
+
+#[test]
+fn schedules_match_pre_rewrite_goldens() {
+    for ((name, tree), &(gname, golden)) in corpus().iter().zip(GOLDENS) {
+        assert_eq!(*name, gname, "corpus/golden tables out of sync");
+        let got = tree_digest(tree);
+        assert_eq!(
+            got, golden,
+            "{name}: schedule digest {got:#018x} != golden {golden:#018x} \
+             — the ready-set/driver rewrite changed schedule order"
+        );
+    }
+}
+
+/// Run-twice determinism, independent of the pinned constants.
+#[test]
+fn digests_are_stable_across_runs() {
+    let tree = memtree_gen::synthetic::paper_tree(150, 17);
+    assert_eq!(tree_digest(&tree), tree_digest(&tree));
+}
+
+/// 10⁵-node smoke at scale — in the **debug** profile, where a per-event
+/// O(R) shift or a superlinear booking walk turns seconds into hours.
+/// Deliberately not a digest: just "the big runs complete, run the whole
+/// tree, and a rerun schedules identically".
+#[test]
+fn hundred_thousand_nodes_complete_under_debug() {
+    for shape in [
+        memtree_gen::LargeShape::Chain,
+        memtree_gen::LargeShape::Caterpillar { legs: 4 },
+        memtree_gen::LargeShape::Random,
+    ] {
+        let tree = memtree_gen::large::build(shape, 100_000, 42);
+        let spec = PolicySpec::new(HeuristicKind::Activation, 0);
+        let memory = spec.min_feasible(&tree).saturating_mul(2);
+        let spec = spec.with_memory(memory);
+        let run = || {
+            let report = SimPlatform::new(4)
+                .run(&tree, &spec)
+                .unwrap_or_else(|e| panic!("{}: {e}", shape.label()));
+            assert_eq!(report.tasks_run, tree.len());
+            let mut h = Fnv64::with_tag("memtree-determinism-large");
+            fold_report(&mut h, shape.label(), &report);
+            h.finish()
+        };
+        assert_eq!(run(), run(), "{}: rerun drifted", shape.label());
+    }
+}
+
+#[test]
+#[ignore = "golden regeneration helper, not a check"]
+fn print_goldens() {
+    for (name, tree) in corpus() {
+        println!("    (\"{name}\", {:#018x}),", tree_digest(&tree));
+    }
+}

@@ -33,7 +33,7 @@
 use crate::moldable::MoldableScheduler;
 use crate::scheduler::Scheduler;
 use memtree_tree::memory::LiveSet;
-use memtree_tree::{NodeId, TaskTree};
+use memtree_tree::{BitSet, NodeId, TaskTree};
 
 /// Driver configuration shared by all platforms.
 #[derive(Clone, Copy, Debug)]
@@ -453,13 +453,16 @@ pub fn drive_gang_with<S: MoldableScheduler, B: GangBackend>(
         return Err(DriveError::BadConfig("zero workers".into()));
     }
     let n = tree.len();
-    let mut started = vec![false; n];
-    let mut finished = vec![false; n];
+    let mut started = BitSet::new(n);
+    let mut finished = BitSet::new(n);
     // Live allotment of each running task, for gang release on completion.
     let mut allotment = vec![0u32; n];
-    // Running tasks in ascending node id (kept sorted for deterministic
-    // LiveStats snapshots).
-    let mut running: Vec<NodeId> = Vec::new();
+    // Running tasks, unordered; `run_pos[i]` is task i's slot in `running`
+    // (u32::MAX when not running), so completion removal is a swap-remove —
+    // O(1) instead of the old sorted-insert/shift. Every gang needs ≥ 1
+    // processor, so at most `workers` tasks run at once.
+    let mut running: Vec<NodeId> = Vec::with_capacity(cfg.workers.min(n));
+    let mut run_pos: Vec<u32> = vec![u32::MAX; n];
     let mut live = LiveSet::new(tree);
     let mut peak_booked = 0u64;
     let mut completed = 0usize;
@@ -470,9 +473,36 @@ pub fn drive_gang_with<S: MoldableScheduler, B: GangBackend>(
     let mut in_flight = 0usize;
     let mut events = 0usize;
     let mut scheduling_seconds = 0f64;
-    let mut to_start: Vec<(NodeId, usize)> = Vec::new();
-    let mut finished_batch: Vec<NodeId> = Vec::new();
+    // Event-loop scratch, recycled across every event: the steady state
+    // allocates nothing (asserted by tests/alloc_count.rs).
+    let mut to_start: Vec<(NodeId, usize)> = Vec::with_capacity(cfg.workers.min(n));
+    let mut finished_batch: Vec<NodeId> = Vec::with_capacity(cfg.workers.min(n));
     let mut actions: Vec<RescheduleAction> = Vec::new();
+    // LiveStats is built only when a rescheduler is attached; the snapshot
+    // struct and its gang vector are recycled across ticks, and the
+    // ascending-node-id ordering contract is met by sorting a scratch copy
+    // of `running` only when a snapshot is actually published.
+    let mut stats = LiveStats {
+        event: 0,
+        workers: cfg.workers,
+        busy: 0,
+        idle: 0,
+        completed: 0,
+        total: n,
+        ready_depth: 0,
+        booked: 0,
+        actual: 0,
+        gangs: Vec::with_capacity(if rescheduler.is_some() {
+            cfg.workers.min(n)
+        } else {
+            0
+        }),
+    };
+    let mut snapshot_order: Vec<NodeId> = Vec::with_capacity(if rescheduler.is_some() {
+        cfg.workers.min(n)
+    } else {
+        0
+    });
 
     scheduler.on_begin();
 
@@ -498,20 +528,20 @@ pub fn drive_gang_with<S: MoldableScheduler, B: GangBackend>(
             if q == 0 {
                 return Err(DriveError::ZeroAllotment { node: i });
             }
-            if started[i.index()] {
+            if started.get(i.index()) {
                 return Err(DriveError::DoubleStart { node: i });
             }
-            if tree.children(i).iter().any(|c| !finished[c.index()]) {
+            if tree.children(i).iter().any(|c| !finished.get(c.index())) {
                 return Err(DriveError::PrecedenceViolation { node: i });
             }
-            started[i.index()] = true;
+            started.set(i.index());
             allotment[i.index()] = q as u32;
             backend.launch(i, q, events as u64)?;
             live.start(i);
             busy += q;
             in_flight += 1;
-            let pos = running.partition_point(|&r| r < i);
-            running.insert(pos, i);
+            run_pos[i.index()] = running.len() as u32;
+            running.push(i);
         }
         peak_busy = peak_busy.max(busy);
 
@@ -549,29 +579,29 @@ pub fn drive_gang_with<S: MoldableScheduler, B: GangBackend>(
         // re-checked, at least one task in flight), the driver is about to
         // block — the one instant per event where allotments may change.
         if let Some(resched) = rescheduler.as_deref_mut() {
-            let stats = LiveStats {
-                event: events as u64,
-                workers: cfg.workers,
-                busy,
-                idle: cfg.workers - busy,
-                completed,
-                total: n,
-                ready_depth: scheduler.ready_depth(),
-                booked,
-                actual: live.current(),
-                gangs: running
-                    .iter()
-                    .map(|&i| {
-                        let (done, shards) = backend.progress(i).unwrap_or((0, 0));
-                        GangSnapshot {
-                            node: i,
-                            allotment: allotment[i.index()],
-                            shards,
-                            shards_done: done,
-                        }
-                    })
-                    .collect(),
-            };
+            // The snapshot contract (gangs in ascending node id) is paid
+            // for only here, on the publish path: the running set itself
+            // stays unordered for O(1) completion removal.
+            snapshot_order.clear();
+            snapshot_order.extend_from_slice(&running);
+            snapshot_order.sort_unstable();
+            stats.event = events as u64;
+            stats.busy = busy;
+            stats.idle = cfg.workers - busy;
+            stats.completed = completed;
+            stats.ready_depth = scheduler.ready_depth();
+            stats.booked = booked;
+            stats.actual = live.current();
+            stats.gangs.clear();
+            stats.gangs.extend(snapshot_order.iter().map(|&i| {
+                let (done, shards) = backend.progress(i).unwrap_or((0, 0));
+                GangSnapshot {
+                    node: i,
+                    allotment: allotment[i.index()],
+                    shards,
+                    shards_done: done,
+                }
+            }));
             actions.clear();
             let t0 = cfg.measure_overhead.then(std::time::Instant::now);
             resched.tick(&stats, &mut actions);
@@ -585,7 +615,7 @@ pub fn drive_gang_with<S: MoldableScheduler, B: GangBackend>(
                             continue;
                         }
                         let k = node.index();
-                        if !started[k] || finished[k] {
+                        if !started.get(k) || finished.get(k) {
                             return Err(DriveError::Backend(format!(
                                 "rescheduler grew {node:?}, which is not running"
                             )));
@@ -607,7 +637,7 @@ pub fn drive_gang_with<S: MoldableScheduler, B: GangBackend>(
                             continue;
                         }
                         let k = node.index();
-                        if !started[k] || finished[k] {
+                        if !started.get(k) || finished.get(k) {
                             return Err(DriveError::Backend(format!(
                                 "rescheduler shrank {node:?}, which is not running"
                             )));
@@ -636,14 +666,20 @@ pub fn drive_gang_with<S: MoldableScheduler, B: GangBackend>(
         backend.await_batch(events as u64, &mut finished_batch)?;
         finished_batch.sort_unstable();
         for &i in &finished_batch {
-            debug_assert!(started[i.index()] && !finished[i.index()]);
-            finished[i.index()] = true;
+            debug_assert!(started.get(i.index()) && !finished.get(i.index()));
+            finished.set(i.index());
             live.finish(i);
             completed += 1;
             in_flight -= 1;
             busy -= allotment[i.index()] as usize;
-            if let Ok(pos) = running.binary_search(&i) {
-                running.remove(pos);
+            // Swap-remove from the unordered running set, patching the
+            // moved task's position index.
+            let pos = run_pos[i.index()] as usize;
+            debug_assert!(pos < running.len() && running[pos] == i);
+            run_pos[i.index()] = u32::MAX;
+            running.swap_remove(pos);
+            if pos < running.len() {
+                run_pos[running[pos].index()] = pos as u32;
             }
         }
     }

@@ -81,7 +81,9 @@ impl<'t> SimBackend<'t> {
         SimBackend {
             tree,
             now: 0.0,
-            running: BinaryHeap::new(),
+            // At most one entry per processor is ever in flight; sizing
+            // up front keeps the steady-state loop allocation-free.
+            running: BinaryHeap::with_capacity(processors.min(tree.len()) + 1),
             free_procs: (0..processors as u32).rev().collect(),
             records: vec![
                 TaskRecord {

@@ -1,0 +1,83 @@
+//! A fixed-capacity bitset for per-node flags.
+//!
+//! The event-loop driver keeps `started`/`finished` flags per node; at
+//! million-node scale a `Vec<bool>` costs 8× the cache footprint of a
+//! bitset and the flags are on the hottest path in the loop (precedence
+//! checks touch every child of every started node). `BitSet` is the
+//! minimal fixed-size replacement: all storage up front, no growth, no
+//! per-operation allocation (DESIGN.md §6.11).
+
+/// A fixed-size set of indices `0..len`, one bit each.
+#[derive(Clone, Debug)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty set over `0..len`. All storage is allocated here.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64).max(1)],
+            len,
+        }
+    }
+
+    /// The universe size this set was built for.
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Whether `i` is in the set.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Inserts `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Removes `i`.
+    #[inline]
+    pub fn unset(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Number of indices in the set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_unset_roundtrip() {
+        let mut b = BitSet::new(130);
+        assert_eq!(b.capacity(), 130);
+        for i in [0usize, 63, 64, 65, 129] {
+            assert!(!b.get(i));
+            b.set(i);
+            assert!(b.get(i));
+        }
+        assert_eq!(b.count(), 5);
+        b.unset(64);
+        assert!(!b.get(64));
+        assert!(b.get(63) && b.get(65));
+        assert_eq!(b.count(), 4);
+    }
+
+    #[test]
+    fn zero_capacity_is_fine() {
+        let b = BitSet::new(0);
+        assert_eq!(b.count(), 0);
+    }
+}

@@ -31,6 +31,7 @@
 //! trees of sparse factorizations routinely reach heights of 10⁵, which
 //! would overflow any thread stack.
 
+pub mod bitset;
 pub mod builder;
 pub mod error;
 pub mod hash;
@@ -43,6 +44,7 @@ pub mod traverse;
 pub mod tree;
 pub mod validate;
 
+pub use bitset::BitSet;
 pub use builder::TreeBuilder;
 pub use error::TreeError;
 pub use hash::Fnv64;
