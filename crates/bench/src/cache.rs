@@ -317,6 +317,17 @@ mod tests {
                 2.0,
                 100,
             ),
+            // Same shard count, different backing (threads vs processes):
+            // still distinct addresses.
+            cell_key(
+                1,
+                HeuristicKind::MemBooking,
+                pair,
+                8,
+                Backend::Process(2),
+                2.0,
+                100,
+            ),
             cell_key(
                 1,
                 HeuristicKind::MemBooking,

@@ -13,8 +13,8 @@
 //! * `--fresh` recomputes everything while refreshing the store;
 //! * `--window` overrides the streaming sweep's in-flight case window;
 //! * `--backend` sets the execution-backend axis (comma-separated:
-//!   `sim`, `threaded`, `async`, `sharded:N`, or bare `sharded` which
-//!   expands against the `--shards` counts);
+//!   `sim`, `threaded`, `async`, `sharded:N`, `process:N`, or bare
+//!   `sharded`/`process` which expand against the `--shards` counts);
 //! * `--shards` sets the shard-count axis (comma-separated; `0` is the
 //!   unsharded simulator) — the PR-4 spelling, mapped onto the backend
 //!   axis when `--backend` is absent.
@@ -116,9 +116,9 @@ pub struct BenchArgs {
     /// [`BenchArgs::backends_axis`].
     pub shards: Option<Vec<usize>>,
     /// Execution-backend axis (`--backend`, comma-separated names —
-    /// `sim`, `threaded`, `async`, `sharded:N`; bare `sharded` expands
-    /// against the `--shards` counts), `None` when the flag was not
-    /// given. Feed [`BenchArgs::backends_axis`] to
+    /// `sim`, `threaded`, `async`, `sharded:N`, `process:N`; bare
+    /// `sharded`/`process` expand against the `--shards` counts), `None`
+    /// when the flag was not given. Feed [`BenchArgs::backends_axis`] to
     /// [`crate::Sweep::backends`].
     pub backends: Option<Vec<Backend>>,
 }
@@ -189,9 +189,9 @@ impl BenchArgs {
             .map(|v| {
                 let mut out = Vec::new();
                 for name in v.split(',').map(str::trim) {
-                    if name == "sharded" {
-                        // Bare `sharded` expands against the --shards
-                        // counts (default: 2 shards).
+                    if name == "sharded" || name == "process" {
+                        // Bare `sharded`/`process` expands against the
+                        // --shards counts (default: 2 shards).
                         let counts = shards
                             .clone()
                             .unwrap_or_else(|| vec![2])
@@ -199,11 +199,14 @@ impl BenchArgs {
                             .filter(|&s| s >= 1)
                             .collect::<Vec<_>>();
                         if counts.is_empty() {
-                            return Err(String::from(
-                                "--backend sharded needs a --shards count >= 1",
-                            ));
+                            return Err(format!("--backend {name} needs a --shards count >= 1"));
                         }
-                        out.extend(counts.into_iter().map(Backend::Sharded));
+                        let wrap = if name == "sharded" {
+                            Backend::Sharded
+                        } else {
+                            Backend::Process
+                        };
+                        out.extend(counts.into_iter().map(wrap));
                     } else {
                         out.push(Backend::parse(name)?);
                     }
@@ -445,6 +448,40 @@ mod tests {
         let mut p = ArgParser::from_args(&["--backend", "sharded:0"]);
         assert!(BenchArgs::from_parser(&mut p).is_err());
         let mut p = ArgParser::from_args(&["--backend", "sharded:two"]);
+        assert!(BenchArgs::from_parser(&mut p).is_err());
+    }
+
+    #[test]
+    fn backend_axis_parses_and_expands_process() {
+        let mut p = ArgParser::from_args(&["--backend", "process:2,process:4"]);
+        let args = BenchArgs::from_parser(&mut p).unwrap();
+        p.finish().unwrap();
+        assert_eq!(
+            args.backends_axis(),
+            vec![Backend::Process(2), Backend::Process(4)]
+        );
+        assert_eq!(Backend::Process(4).label(), "process:4");
+
+        // Bare `process` expands against --shards, skipping the 0 entry
+        // (the unsharded simulator is not a process configuration).
+        let mut p = ArgParser::from_args(&["--backend", "process", "--shards", "0,1,4"]);
+        let args = BenchArgs::from_parser(&mut p).unwrap();
+        p.finish().unwrap();
+        assert_eq!(
+            args.backends_axis(),
+            vec![Backend::Process(1), Backend::Process(4)]
+        );
+
+        // … and defaults to 2 shards without --shards.
+        let mut p = ArgParser::from_args(&["--backend", "process"]);
+        assert_eq!(
+            BenchArgs::from_parser(&mut p).unwrap().backends_axis(),
+            vec![Backend::Process(2)]
+        );
+
+        let mut p = ArgParser::from_args(&["--backend", "process:0"]);
+        assert!(BenchArgs::from_parser(&mut p).is_err());
+        let mut p = ArgParser::from_args(&["--backend", "process:", "--shards", "2"]);
         assert!(BenchArgs::from_parser(&mut p).is_err());
     }
 }

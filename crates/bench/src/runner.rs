@@ -134,16 +134,22 @@ pub enum Backend {
     /// The sharded forest platform with up to this many shard workers
     /// (≥ 1, wall-clock).
     Sharded(usize),
+    /// The shard protocol over real worker *processes*
+    /// (`ProcessPlatform`, wall-clock): up to this many worker processes
+    /// (≥ 1), each fed its shard over a pipe.
+    Process(usize),
 }
 
 impl Backend {
-    /// CSV/cache label: `sim`, `threaded`, `async`, `sharded:N`.
+    /// CSV/cache label: `sim`, `threaded`, `async`, `sharded:N`,
+    /// `process:N`.
     pub fn label(&self) -> String {
         match self {
             Backend::Sim => "sim".into(),
             Backend::Threaded => "threaded".into(),
             Backend::Async => "async".into(),
             Backend::Sharded(n) => format!("sharded:{n}"),
+            Backend::Process(n) => format!("process:{n}"),
         }
     }
 
@@ -173,26 +179,33 @@ impl Backend {
         ]
     }
 
-    /// Parses one backend name: `sim`, `threaded`, `async`, or
-    /// `sharded:N` (N ≥ 1). A bare `sharded` is rejected here — the CLI
-    /// expands it against its `--shards` counts before parsing.
+    /// Parses one backend name: `sim`, `threaded`, `async`, `sharded:N`,
+    /// or `process:N` (N ≥ 1). A bare `sharded`/`process` is rejected
+    /// here — the CLI expands those against its `--shards` counts before
+    /// parsing.
     ///
     /// # Errors
     /// On an unknown name or a malformed/zero shard count.
     pub fn parse(s: &str) -> Result<Backend, String> {
+        fn counted(s: &str, prefix: &str) -> Option<usize> {
+            s.strip_prefix(prefix)
+                .and_then(|n| n.trim().parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+        }
         match s {
             "sim" => Ok(Backend::Sim),
             "threaded" => Ok(Backend::Threaded),
             "async" => Ok(Backend::Async),
             _ => {
-                let n = s
-                    .strip_prefix("sharded:")
-                    .and_then(|n| n.trim().parse::<usize>().ok())
-                    .filter(|&n| n >= 1)
-                    .ok_or_else(|| {
-                        format!("unknown backend {s:?} (sim|threaded|async|sharded:N)")
-                    })?;
-                Ok(Backend::Sharded(n))
+                if let Some(n) = counted(s, "sharded:") {
+                    Ok(Backend::Sharded(n))
+                } else if let Some(n) = counted(s, "process:") {
+                    Ok(Backend::Process(n))
+                } else {
+                    Err(format!(
+                        "unknown backend {s:?} (sim|threaded|async|sharded:N|process:N)"
+                    ))
+                }
             }
         }
     }
@@ -381,7 +394,12 @@ pub fn run_heuristic(
 /// * `Sharded(s)` runs up to `min(s, processors)` shard workers of
 ///   `⌊processors / shard count⌋` threads each — never more threads than
 ///   the cell's processor budget (non-dividing counts idle the remainder
-///   rather than oversubscribe).
+///   rather than oversubscribe);
+/// * `Process(s)` splits exactly like `Sharded(s)` but each shard runs in
+///   a real worker process behind the wire protocol — the cost of the
+///   serialise/spawn/pipe round trip is part of the measurement. The
+///   worker binary is resolved beside the current executable (both land
+///   in `target/<profile>/`) or via `MEMTREE_WORKER_BIN`.
 ///
 /// Infeasible memory — a construction refusal or a sharded budget split
 /// that cannot fit — counts as unscheduled on every backend.
@@ -416,6 +434,14 @@ pub fn run_heuristic_backend(
             let shard_count = s.min(processors).max(1);
             memtree_runtime::ShardedPlatform::new(shard_count)
                 .with_workers_per_shard(processors / shard_count)
+                .run(&case.tree, &spec)
+        }
+        Backend::Process(s) => {
+            let spec =
+                memtree_sched::PolicySpec::new(kind, memory).with_orders(orders.ao, orders.eo);
+            let shard_count = s.min(processors).max(1);
+            memtree_runtime::ProcessPlatform::new(shard_count)
+                .with_workers_per_shard((processors / shard_count).max(1))
                 .run(&case.tree, &spec)
         }
     };

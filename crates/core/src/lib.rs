@@ -55,7 +55,7 @@ pub use redtree::{to_reduction_tree, RedTreeBooking, ReductionTransform};
 pub use rescheduler::{ProportionalRescheduler, ReschedulePolicy};
 pub use seq::Sequential;
 pub use shard::{min_feasible_memory, ShardBudget};
-pub use spec::{PolicyInstance, PolicySpec};
+pub use spec::{spec_from_str, spec_to_string, PolicyInstance, PolicySpec};
 
 /// Which heuristic to instantiate — the legend of Figures 2/9/10/15.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -96,6 +96,15 @@ impl HeuristicKind {
             HeuristicKind::MemBookingRedTree => "MemBookingRedTree",
             HeuristicKind::Sequential => "Sequential",
         }
+    }
+
+    /// The inverse of [`HeuristicKind::label`] — `None` for an unknown
+    /// label. Wire formats (the serialized `PolicySpec` a shard-worker
+    /// process receives) round-trip kinds through their labels.
+    pub fn from_label(label: &str) -> Option<HeuristicKind> {
+        HeuristicKind::all()
+            .into_iter()
+            .find(|k| k.label() == label)
     }
 }
 

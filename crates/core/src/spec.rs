@@ -147,6 +147,112 @@ impl PolicySpec {
             .collect())
     }
 
+    /// Serialises the spec in the `memtree-spec v1` wire format — the
+    /// policy half of the shard-worker handshake (the subtree travels as
+    /// `memtree_tree::io`'s v1 text format alongside it).
+    ///
+    /// One `key value` line per field, kinds and orders spelled as their
+    /// [`label`](HeuristicKind::label)s, `caps` (present only when the
+    /// spec is moldable) as space-separated per-node caps. The format is
+    /// pinned to [`PolicySpec::fingerprint`]: a round trip through
+    /// [`spec_from_str`](PolicySpec::spec_from_str) is fingerprint-equal,
+    /// so a serialized spec addresses exactly the cached cells its sender
+    /// would.
+    pub fn spec_to_string(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("# memtree-spec v1\n");
+        let _ = writeln!(out, "kind {}", self.kind.label());
+        let _ = writeln!(out, "ao {}", self.ao.label());
+        let _ = writeln!(out, "eo {}", self.eo.label());
+        let _ = writeln!(out, "memory {}", self.memory);
+        if let Some(caps) = &self.caps {
+            out.push_str("caps");
+            for &c in caps.as_slice() {
+                let _ = write!(out, " {c}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the `memtree-spec v1` wire format written by
+    /// [`PolicySpec::spec_to_string`].
+    ///
+    /// Strict, like the tree parser on the other half of the handshake:
+    /// unknown keys, duplicate keys, missing required keys, malformed
+    /// values and trailing data are all [`SchedError::InvalidSpec`] —
+    /// across a process boundary a lenient parser turns corruption into
+    /// a silently different policy.
+    pub fn spec_from_str(s: &str) -> Result<PolicySpec, SchedError> {
+        let bad = |msg: String| SchedError::InvalidSpec(format!("spec wire format: {msg}"));
+        let mut kind: Option<HeuristicKind> = None;
+        let mut ao: Option<OrderKind> = None;
+        let mut eo: Option<OrderKind> = None;
+        let mut memory: Option<u64> = None;
+        let mut caps: Option<AllotmentCaps> = None;
+        for (no, line) in s.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once(' ')
+                .ok_or_else(|| bad(format!("line {}: missing value in {line:?}", no + 1)))?;
+            let value = value.trim();
+            let dup = |k: &str| bad(format!("line {}: duplicate key {k:?}", no + 1));
+            match key {
+                "kind" => {
+                    if kind
+                        .replace(
+                            HeuristicKind::from_label(value)
+                                .ok_or_else(|| bad(format!("unknown kind {value:?}")))?,
+                        )
+                        .is_some()
+                    {
+                        return Err(dup("kind"));
+                    }
+                }
+                "ao" | "eo" => {
+                    let parsed = OrderKind::from_label(value)
+                        .ok_or_else(|| bad(format!("unknown order {value:?}")))?;
+                    let slot = if key == "ao" { &mut ao } else { &mut eo };
+                    if slot.replace(parsed).is_some() {
+                        return Err(dup(key));
+                    }
+                }
+                "memory" => {
+                    let parsed = value
+                        .parse::<u64>()
+                        .map_err(|_| bad(format!("bad memory {value:?}")))?;
+                    if memory.replace(parsed).is_some() {
+                        return Err(dup("memory"));
+                    }
+                }
+                "caps" => {
+                    let parsed: Result<Vec<u32>, _> =
+                        value.split_whitespace().map(str::parse::<u32>).collect();
+                    let parsed =
+                        parsed.map_err(|_| bad(format!("bad caps list on line {}", no + 1)))?;
+                    if parsed.is_empty() {
+                        return Err(bad("empty caps list".into()));
+                    }
+                    if caps.replace(AllotmentCaps::from_caps(parsed)).is_some() {
+                        return Err(dup("caps"));
+                    }
+                }
+                other => return Err(bad(format!("line {}: unknown key {other:?}", no + 1))),
+            }
+        }
+        Ok(PolicySpec {
+            kind: kind.ok_or_else(|| bad("missing kind".into()))?,
+            ao: ao.ok_or_else(|| bad("missing ao".into()))?,
+            eo: eo.ok_or_else(|| bad("missing eo".into()))?,
+            memory: memory.ok_or_else(|| bad("missing memory".into()))?,
+            caps,
+        })
+    }
+
     /// Resolves the spec against `tree`: applies any tree transformation
     /// the policy needs and computes its orders on the tree the policy
     /// will actually schedule.
@@ -175,6 +281,20 @@ impl PolicySpec {
             self.caps.clone(),
         )
     }
+}
+
+/// Free-function spelling of [`PolicySpec::spec_to_string`].
+pub fn spec_to_string(spec: &PolicySpec) -> String {
+    spec.spec_to_string()
+}
+
+/// Free-function spelling of [`PolicySpec::spec_from_str`].
+///
+/// # Errors
+/// [`SchedError::InvalidSpec`] on any malformed, missing, duplicate or
+/// trailing input — see [`PolicySpec::spec_from_str`].
+pub fn spec_from_str(s: &str) -> Result<PolicySpec, SchedError> {
+    PolicySpec::spec_from_str(s)
 }
 
 /// A [`PolicySpec`] resolved against a concrete tree: the (possibly
@@ -445,6 +565,55 @@ mod tests {
         let tree = memtree_gen::synthetic::paper_tree(30, 2);
         let capped = base.clone().with_caps(AllotmentCaps::uniform(&tree, 2));
         assert_ne!(base.fingerprint(), capped.fingerprint());
+    }
+
+    #[test]
+    fn spec_wire_roundtrip_is_fingerprint_equal() {
+        let tree = memtree_gen::synthetic::paper_tree(30, 2);
+        let specs = [
+            PolicySpec::new(HeuristicKind::MemBooking, 12_345),
+            PolicySpec::new(HeuristicKind::Activation, 1)
+                .with_orders(OrderKind::OptSeq, OrderKind::CriticalPath),
+            PolicySpec::new(HeuristicKind::MemBookingRedTree, u64::MAX),
+            PolicySpec::new(HeuristicKind::Sequential, 7)
+                .with_orders(OrderKind::PerfPostorder, OrderKind::AvgMemPostorder),
+            PolicySpec::new(HeuristicKind::MemBooking, 999)
+                .with_caps(AllotmentCaps::uniform(&tree, 4)),
+        ];
+        for spec in &specs {
+            let text = spec.spec_to_string();
+            let back = PolicySpec::spec_from_str(&text)
+                .unwrap_or_else(|e| panic!("reparse of {text:?}: {e}"));
+            assert_eq!(spec.fingerprint(), back.fingerprint(), "{text}");
+            // The free-function spellings agree with the methods.
+            assert_eq!(super::spec_to_string(spec), text);
+            assert_eq!(
+                super::spec_from_str(&text).unwrap().fingerprint(),
+                spec.fingerprint()
+            );
+        }
+    }
+
+    #[test]
+    fn spec_wire_parser_is_strict() {
+        let good = PolicySpec::new(HeuristicKind::MemBooking, 42).spec_to_string();
+        PolicySpec::spec_from_str(&good).unwrap();
+        let reject = |text: String, why: &str| {
+            let err = PolicySpec::spec_from_str(&text)
+                .err()
+                .unwrap_or_else(|| panic!("{why}: accepted {text:?}"));
+            assert!(matches!(err, SchedError::InvalidSpec(_)), "{why}: {err}");
+        };
+        reject(format!("{good}kind MemBooking\n"), "duplicate key");
+        reject(format!("{good}bogus 1\n"), "unknown key");
+        reject(good.replace("kind MemBooking\n", ""), "missing kind");
+        reject(good.replace("memory 42", "memory forty-two"), "bad memory");
+        reject(good.replace("ao memPO", "ao nosuchorder"), "unknown order");
+        reject("kind\n".into(), "key without value");
+        reject(format!("{good}caps 1 2 x\n"), "bad caps entry");
+        reject(format!("{good}caps\n"), "caps without value");
+        // Comments and blank lines remain legal anywhere.
+        PolicySpec::spec_from_str(&format!("# c\n\n{good}# tail\n")).unwrap();
     }
 
     #[test]

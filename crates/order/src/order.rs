@@ -33,6 +33,22 @@ impl OrderKind {
             OrderKind::NaturalPostorder => "naturalPO",
         }
     }
+
+    /// The inverse of [`OrderKind::label`] — `None` for an unknown label.
+    /// Wire formats (the serialized `PolicySpec` a shard-worker process
+    /// receives) round-trip order kinds through their labels.
+    pub fn from_label(label: &str) -> Option<OrderKind> {
+        [
+            OrderKind::MemPostorder,
+            OrderKind::OptSeq,
+            OrderKind::CriticalPath,
+            OrderKind::PerfPostorder,
+            OrderKind::AvgMemPostorder,
+            OrderKind::NaturalPostorder,
+        ]
+        .into_iter()
+        .find(|k| k.label() == label)
+    }
 }
 
 impl std::fmt::Display for OrderKind {

@@ -300,6 +300,7 @@ impl Platform for AsyncPlatform {
             events: report.events,
             scheduling_seconds: report.scheduling_seconds,
             tasks_run: report.tasks_run,
+            quarantined: 0,
         })
     }
 }

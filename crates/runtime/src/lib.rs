@@ -16,8 +16,10 @@
 //! `memtree_sched::PolicySpec` in any regime — [`SimPlatform`] (virtual
 //! time), [`ThreadedPlatform`] (real threads), [`ShardedPlatform`]
 //! (the tree cut into shard subtrees, each on its own channel-connected
-//! worker with an independent booking ledger; see [`sharded`]) or
-//! [`AsyncPlatform`] (workers are futures on a small hand-rolled
+//! worker with an independent booking ledger; see [`sharded`]),
+//! [`ProcessPlatform`] (the same shard protocol over real worker
+//! *processes* behind strict stdin/stdout wire framing; see [`process`])
+//! or [`AsyncPlatform`] (workers are futures on a small hand-rolled
 //! executor, for IO-bound fronts; see [`async_platform`]) — behind
 //! the common [`Platform`] trait returning a common [`RunReport`]. The
 //! [`conformance`] module stamps one invariant suite out per platform.
@@ -26,6 +28,8 @@ pub mod async_platform;
 pub mod conformance;
 pub mod executor;
 pub mod platform;
+pub mod process;
+pub mod quarantine;
 pub mod sharded;
 pub mod workload;
 
@@ -34,5 +38,6 @@ pub use executor::{
     execute, execute_moldable, execute_moldable_with, RuntimeConfig, RuntimeError, RuntimeReport,
 };
 pub use platform::{Platform, PlatformError, RunReport, SimPlatform, ThreadedPlatform};
+pub use process::{ChaosKill, ProcessPlatform};
 pub use sharded::{ShardedPlatform, ShardedReport};
 pub use workload::Workload;

@@ -60,6 +60,12 @@ pub struct RunReport {
     /// [`PolicyInstance::exec_tree`] on success (larger than the original
     /// tree for RedTree, whose transform adds fictitious leaves).
     pub tasks_run: usize,
+    /// Memory (model units) still **quarantined** process-wide when this
+    /// report was rolled up: budgets of stalled shard workers from
+    /// *earlier* runs whose exit has not yet been confirmed (see
+    /// [`crate::quarantine`]). Always 0 on the single-ledger platforms
+    /// (sim, threaded, async), which never quarantine.
+    pub quarantined: u64,
 }
 
 /// Failures of a platform run.
@@ -80,6 +86,13 @@ pub enum PlatformError {
     /// coordinating platform, surfaced loudly by the shared
     /// [`memtree_sched::BudgetLedger`] instead of drifting silently.
     Ledger(LedgerError),
+    /// A worker *process* failed at the process level — spawn failure,
+    /// death without a verdict (nonzero exit, signal, closed pipe), or a
+    /// wire-protocol violation. Process death is retryable (the
+    /// [`crate::ProcessPlatform`] requeues the shard onto a fresh worker
+    /// up to its retry budget); spawn failures and protocol violations
+    /// are not.
+    Process(String),
     /// A shard worker failed; carries the shard index and the underlying
     /// failure. The coordinator has already drained the other shards and
     /// released every budget reservation.
@@ -90,12 +103,18 @@ pub enum PlatformError {
         source: Box<PlatformError>,
     },
     /// Shard workers went silent past the platform's watchdog timeout —
-    /// the sharded analogue of the driver's stall detection.
+    /// the sharded analogue of the driver's stall detection. Workers that
+    /// were still running when the watchdog fired are quarantined: their
+    /// budgets stay held until their exit is confirmed (never released
+    /// while the worker can still report; see [`crate::quarantine`]).
     ShardStalled {
         /// Shards that reported before the watchdog fired.
         reported: usize,
         /// Shards launched.
         total: usize,
+        /// Budget (model units) quarantined by this stall — held by
+        /// still-running workers, reclaimed only on confirmed exit.
+        quarantined: u64,
     },
 }
 
@@ -107,11 +126,20 @@ impl fmt::Display for PlatformError {
             PlatformError::Runtime(e) => write!(f, "threaded execution failed: {e}"),
             PlatformError::Partition(msg) => write!(f, "invalid shard plan: {msg}"),
             PlatformError::Ledger(e) => write!(f, "budget accounting failed: {e}"),
+            PlatformError::Process(msg) => write!(f, "worker process failed: {msg}"),
             PlatformError::ShardFailed { shard, source } => {
                 write!(f, "shard {shard} failed: {source}")
             }
-            PlatformError::ShardStalled { reported, total } => {
-                write!(f, "shard workers stalled: {reported}/{total} reported")
+            PlatformError::ShardStalled {
+                reported,
+                total,
+                quarantined,
+            } => {
+                write!(
+                    f,
+                    "shard workers stalled: {reported}/{total} reported, \
+                     {quarantined} memory units quarantined"
+                )
             }
         }
     }
@@ -253,6 +281,7 @@ impl Platform for SimPlatform {
                 events: trace.events,
                 scheduling_seconds: trace.scheduling_seconds,
                 tasks_run: trace.records.len(),
+                quarantined: 0,
             });
         }
         let sched = instance.scheduler(tree)?;
@@ -272,6 +301,7 @@ impl Platform for SimPlatform {
             events: trace.events,
             scheduling_seconds: trace.scheduling_seconds,
             tasks_run: trace.records.len(),
+            quarantined: 0,
         })
     }
 }
@@ -358,6 +388,7 @@ impl Platform for ThreadedPlatform {
             events: report.events,
             scheduling_seconds: report.scheduling_seconds,
             tasks_run: report.tasks_run,
+            quarantined: 0,
         })
     }
 }

@@ -1,0 +1,667 @@
+//! **`ProcessPlatform`** — the shard protocol over real worker
+//! *processes* (DESIGN.md §6.12).
+//!
+//! The coordinator speaks exactly the protocol [`crate::sharded`]
+//! established — budgets split through [`ShardBudget`], reports merged
+//! shard-by-shard, failures surfaced as [`PlatformError::ShardFailed`] /
+//! [`PlatformError::ShardStalled`] — but each shard worker is a spawned
+//! `memtree-shard-worker` process connected only by its stdin/stdout
+//! pipes. The coordinator serialises the shard's subtree (the
+//! `memtree_tree::io` v1 text format), the shard's [`PolicySpec`] (the
+//! `memtree-spec v1` format, pinned to `PolicySpec::fingerprint`) and the
+//! run parameters down the pipe; the worker answers with a line-framed
+//! report stream (`ready`, `heartbeat`, then exactly one `done …` or
+//! `failed …` verdict). Both parsers are strict — across a process
+//! boundary, lenient parsing turns corruption into a silently different
+//! schedule.
+//!
+//! Process death is first-class: a worker that exits nonzero, is killed
+//! by a signal, or closes its pipe before a verdict surfaces as a
+//! retryable failure, and the coordinator **requeues** the shard onto a
+//! fresh worker process (budget kept reserved across the retry — the
+//! shard still owns its memory slice) up to [`ProcessPlatform::retries`];
+//! only then does it fail the run as [`PlatformError::ShardFailed`]. On a
+//! stall the coordinator kills every live worker and *waits* for each
+//! exit: unlike the thread backend there is nothing to quarantine,
+//! because a reaped process provably holds no memory — the stall error
+//! always carries `quarantined: 0`, with every reservation released.
+//!
+//! Heartbeats keep the idle watchdog honest: a worker mid-subtree emits
+//! `heartbeat` lines on a timer, so the watchdog only fires on a worker
+//! that is genuinely gone (killed, wedged, or its heartbeats disabled).
+
+use crate::platform::{Platform, PlatformError, RunReport, ThreadedPlatform};
+use crate::sharded::ShardedReport;
+use crate::workload::Workload;
+use crossbeam::channel::{self, RecvTimeoutError, Sender, TryRecvError};
+use memtree_sched::{BudgetLedger, PolicyInstance, PolicySpec, ShardBudget};
+use memtree_sim::validate::validate_shard_plan;
+use memtree_tree::partition::{partition, Partition, PartitionPolicy};
+use memtree_tree::TaskTree;
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+pub mod wire;
+
+/// Fault injection for the process chaos suite: the coordinator passes
+/// `--chaos-kill` to exactly one spawned worker — shard `shard`, spawn
+/// attempt `attempt` (0-based) — which then SIGKILLs itself after
+/// acknowledging the job, exercising the death-detection and requeue
+/// paths deterministically.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosKill {
+    /// Shard whose worker self-kills.
+    pub shard: usize,
+    /// Spawn attempt (0 = the first process for the shard).
+    pub attempt: usize,
+}
+
+/// The process-backed shard platform; see the module docs.
+#[derive(Clone, Debug)]
+pub struct ProcessPlatform {
+    /// Maximum shard count the partitioner may cut (≥ 1).
+    pub shards: usize,
+    /// Worker threads inside each worker process's executor.
+    pub workers_per_shard: usize,
+    /// How the global memory bound splits into per-shard ledgers.
+    pub budget: ShardBudget,
+    /// Per-task payload run by the worker processes (and the local
+    /// residual phase).
+    pub workload: Workload,
+    /// Idle watchdog: no worker message (reports *or* heartbeats) for
+    /// this long fails the run as [`PlatformError::ShardStalled`].
+    pub shard_timeout: Option<Duration>,
+    /// Overall deadline for the whole shard phase.
+    pub shard_deadline: Option<Duration>,
+    /// How many times a shard is requeued onto a fresh worker process
+    /// after its worker *dies* (exit without a verdict). Clean `failed`
+    /// verdicts are never retried — the policy's refusal is
+    /// deterministic.
+    pub retries: usize,
+    /// Worker heartbeat period ([`Duration::ZERO`] disables heartbeats,
+    /// leaving the watchdog to judge workers by reports alone).
+    pub heartbeat: Duration,
+    /// Explicit path to the `memtree-shard-worker` binary. When unset,
+    /// the `MEMTREE_WORKER_BIN` environment variable is consulted, then
+    /// the directory of the current executable and its parent (which
+    /// finds `target/<profile>/memtree-shard-worker` from both
+    /// integration tests and installed binaries).
+    pub worker_bin: Option<PathBuf>,
+    /// Chaos fault injection; `None` in production.
+    pub chaos_kill: Option<ChaosKill>,
+}
+
+impl ProcessPlatform {
+    /// Up to `shards` worker processes of one thread each, proportional
+    /// budget split, no-op payload, no watchdog, one retry, 50 ms
+    /// heartbeats.
+    ///
+    /// # Panics
+    /// When `shards` is 0.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "a process platform needs at least one shard");
+        ProcessPlatform {
+            shards,
+            workers_per_shard: 1,
+            budget: ShardBudget::Proportional,
+            workload: Workload::Noop,
+            shard_timeout: None,
+            shard_deadline: None,
+            retries: 1,
+            heartbeat: Duration::from_millis(50),
+            worker_bin: None,
+            chaos_kill: None,
+        }
+    }
+
+    /// Overrides the per-process worker-thread count.
+    pub fn with_workers_per_shard(mut self, workers: usize) -> Self {
+        self.workers_per_shard = workers;
+        self
+    }
+
+    /// Overrides the budget split policy.
+    pub fn with_budget(mut self, budget: ShardBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Overrides the per-task payload.
+    pub fn with_workload(mut self, workload: Workload) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Enables the idle watchdog.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.shard_timeout = Some(timeout);
+        self
+    }
+
+    /// Enables the overall shard-phase deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.shard_deadline = Some(deadline);
+        self
+    }
+
+    /// Overrides the death-requeue budget (0 = fail on first death).
+    pub fn with_retries(mut self, retries: usize) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Overrides the worker heartbeat period (`Duration::ZERO` disables).
+    pub fn with_heartbeat(mut self, heartbeat: Duration) -> Self {
+        self.heartbeat = heartbeat;
+        self
+    }
+
+    /// Pins the worker binary path (tests use
+    /// `env!("CARGO_BIN_EXE_memtree-shard-worker")`).
+    pub fn with_worker_bin(mut self, path: impl Into<PathBuf>) -> Self {
+        self.worker_bin = Some(path.into());
+        self
+    }
+
+    /// Arms chaos fault injection.
+    pub fn with_chaos_kill(mut self, chaos: ChaosKill) -> Self {
+        self.chaos_kill = Some(chaos);
+        self
+    }
+
+    /// The machine this platform models: every worker process's threads.
+    /// The residual phase reclaims the whole machine locally.
+    pub fn total_workers(&self) -> usize {
+        self.shards * self.workers_per_shard
+    }
+
+    fn resolve_worker_bin(&self) -> Result<PathBuf, PlatformError> {
+        if let Some(p) = &self.worker_bin {
+            return Ok(p.clone());
+        }
+        if let Ok(p) = std::env::var("MEMTREE_WORKER_BIN") {
+            return Ok(PathBuf::from(p));
+        }
+        let exe = std::env::current_exe().map_err(|e| {
+            PlatformError::Process(format!("cannot locate current executable: {e}"))
+        })?;
+        let mut dir = exe.parent();
+        while let Some(d) = dir {
+            let candidate = d.join("memtree-shard-worker");
+            if candidate.is_file() {
+                return Ok(candidate);
+            }
+            // Integration tests run from target/<profile>/deps/; the
+            // worker lands one level up in target/<profile>/.
+            if d.file_name().is_some_and(|n| n != "deps") {
+                break;
+            }
+            dir = d.parent();
+        }
+        Err(PlatformError::Process(
+            "memtree-shard-worker binary not found; build it with \
+             `cargo build -p memtree_runtime --bin memtree-shard-worker`, \
+             set MEMTREE_WORKER_BIN, or use with_worker_bin(..)"
+                .into(),
+        ))
+    }
+
+    /// Runs `spec` over `tree` with one worker process per shard,
+    /// returning full per-shard detail. The report's `platform` is
+    /// `"process"`; shard reports carry `"process-worker"`.
+    pub fn run_detailed(
+        &self,
+        tree: &TaskTree,
+        spec: &PolicySpec,
+    ) -> Result<ShardedReport, PlatformError> {
+        let started_at = Instant::now();
+        let part = partition(tree, &PartitionPolicy::balanced(self.shards));
+        validate_shard_plan(tree, &part.assignment, part.shard_count())
+            .map_err(PlatformError::Partition)?;
+
+        let mins: Vec<u64> = part
+            .shards
+            .iter()
+            .map(|s| spec.min_feasible(&s.tree))
+            .collect();
+        let shard_specs = spec
+            .shard_specs(self.budget, &mins)
+            .map_err(PlatformError::Sched)?;
+        let budgets: Vec<u64> = shard_specs.iter().map(|s| s.memory).collect();
+        let mut ledger = BudgetLedger::new(spec.memory);
+        for &b in &budgets {
+            ledger.reserve(b)?;
+        }
+
+        // Phase 1: one worker process per shard, retried across deaths.
+        let shard_reports = self.run_shard_phase(&part, spec, shard_specs, &budgets, &mut ledger);
+        debug_assert_eq!(ledger.reserved(), 0, "a shard budget leaked");
+        let shard_reports = shard_reports?;
+
+        // Phase 2: the merge runs locally (the residual tree is tiny —
+        // one proxy leaf per shard plus the glue above the frontier), on
+        // the whole machine under the full bound.
+        ledger.reserve(spec.memory)?;
+        let mut residual_spec = PolicySpec {
+            kind: spec.kind,
+            ao: spec.ao,
+            eo: spec.eo,
+            memory: spec.memory,
+            caps: None,
+        };
+        if let Some(caps) = &spec.caps {
+            residual_spec.caps = Some(crate::sharded::project_caps(
+                caps,
+                part.residual.origin.iter().copied(),
+            ));
+        }
+        let residual = ThreadedPlatform {
+            workers: self.total_workers(),
+            workload: self.workload,
+            reschedule: None,
+        }
+        .run(&part.residual.tree, &residual_spec)?;
+        ledger.release(spec.memory)?;
+        debug_assert_eq!(ledger.reserved(), 0);
+
+        Ok(ShardedReport::roll_up_on(
+            "process",
+            &part,
+            budgets,
+            shard_reports,
+            residual,
+            started_at.elapsed().as_secs_f64(),
+        ))
+    }
+
+    /// Spawns, supervises and (on death) requeues one worker process per
+    /// shard. Budget rule: a shard's reservation is released exactly once
+    /// — on its verdict (success or clean failure), on retry exhaustion,
+    /// or on the stall path after the worker's exit has been *confirmed*
+    /// by a reap. Never while a worker that could still report is alive.
+    fn run_shard_phase(
+        &self,
+        part: &Partition,
+        spec: &PolicySpec,
+        shard_specs: Vec<PolicySpec>,
+        budgets: &[u64],
+        ledger: &mut BudgetLedger,
+    ) -> Result<Vec<RunReport>, PlatformError> {
+        let total = part.shard_count();
+        if total == 0 {
+            return Ok(Vec::new());
+        }
+        let worker_bin = self.resolve_worker_bin()?;
+
+        // One serialized job per shard, reused verbatim across retries —
+        // a requeued worker sees byte-identical input.
+        let mut payloads = Vec::with_capacity(total);
+        for (k, mut shard_spec) in shard_specs.into_iter().enumerate() {
+            if let Some(caps) = &spec.caps {
+                shard_spec.caps = Some(crate::sharded::project_caps(
+                    caps,
+                    part.shards[k].to_global.iter().map(|&g| Some(g)),
+                ));
+            }
+            payloads.push(wire::job_to_string(
+                &part.shards[k].tree,
+                &shard_spec,
+                self.workers_per_shard,
+                self.workload,
+                self.heartbeat,
+            ));
+        }
+
+        let (tx, rx) = channel::unbounded::<(usize, wire::WorkerMsg)>();
+        let mut live: Vec<Option<Supervisor>> = (0..total).map(|_| None).collect();
+        let mut attempts = vec![0usize; total];
+        let mut reports: Vec<Option<RunReport>> = (0..total).map(|_| None).collect();
+        let mut released = vec![false; total];
+        let mut first_err: Option<(usize, PlatformError)> = None;
+        let mut reported = 0usize;
+
+        // A failed spawn is not retryable (the environment, not the
+        // worker, is broken): account the shard as failed immediately.
+        for k in 0..total {
+            match self.spawn_attempt(k, 0, &worker_bin, &payloads[k], tx.clone()) {
+                Ok(sup) => live[k] = Some(sup),
+                Err(e) => {
+                    ledger.release(budgets[k])?;
+                    released[k] = true;
+                    reported += 1;
+                    if first_err.as_ref().is_none_or(|(j, _)| k < *j) {
+                        first_err = Some((k, e));
+                    }
+                }
+            }
+        }
+
+        // The coordinator keeps `tx` alive for respawns, so the channel
+        // never disconnects; stalls are judged purely by the clocks.
+        let deadline = self.shard_deadline.map(|d| Instant::now() + d);
+        let mut stalled = false;
+        while reported < total {
+            let msg = match rx.try_recv() {
+                Ok(m) => Some(m),
+                Err(TryRecvError::Disconnected) => unreachable!("coordinator holds a sender"),
+                Err(TryRecvError::Empty) => {
+                    let until_deadline =
+                        deadline.map(|d| d.saturating_duration_since(Instant::now()));
+                    if until_deadline.is_some_and(|d| d.is_zero()) {
+                        stalled = true;
+                        break;
+                    }
+                    let timeout = match (self.shard_timeout, until_deadline) {
+                        (Some(idle), Some(rest)) => Some(idle.min(rest)),
+                        (Some(idle), None) => Some(idle),
+                        (None, rest) => rest,
+                    };
+                    match timeout {
+                        Some(timeout) => match rx.recv_timeout(timeout) {
+                            Ok(m) => Some(m),
+                            Err(RecvTimeoutError::Timeout) => {
+                                stalled = true;
+                                break;
+                            }
+                            Err(RecvTimeoutError::Disconnected) => {
+                                unreachable!("coordinator holds a sender")
+                            }
+                        },
+                        None => Some(rx.recv().expect("coordinator holds a sender")),
+                    }
+                }
+            };
+            let Some((k, msg)) = msg else { continue };
+            match msg {
+                // Any line from a worker proves liveness; the heartbeat
+                // reset the watchdog simply by arriving.
+                wire::WorkerMsg::Ready | wire::WorkerMsg::Heartbeat => {}
+                wire::WorkerMsg::Done(report) => {
+                    self.reap_supervisor(&mut live[k]);
+                    ledger.release(budgets[k])?;
+                    released[k] = true;
+                    reports[k] = Some(report);
+                    reported += 1;
+                }
+                wire::WorkerMsg::Failed(e) => {
+                    // A clean verdict: deterministic, never requeued.
+                    self.reap_supervisor(&mut live[k]);
+                    ledger.release(budgets[k])?;
+                    released[k] = true;
+                    reported += 1;
+                    if first_err.as_ref().is_none_or(|(j, _)| k < *j) {
+                        first_err = Some((k, e));
+                    }
+                }
+                wire::WorkerMsg::Died(reason) => {
+                    self.reap_supervisor(&mut live[k]);
+                    if attempts[k] < self.retries {
+                        // Requeue onto a fresh process; the budget stays
+                        // reserved — the shard still owns its slice.
+                        attempts[k] += 1;
+                        match self.spawn_attempt(
+                            k,
+                            attempts[k],
+                            &worker_bin,
+                            &payloads[k],
+                            tx.clone(),
+                        ) {
+                            Ok(sup) => live[k] = Some(sup),
+                            Err(e) => {
+                                ledger.release(budgets[k])?;
+                                released[k] = true;
+                                reported += 1;
+                                if first_err.as_ref().is_none_or(|(j, _)| k < *j) {
+                                    first_err = Some((k, e));
+                                }
+                            }
+                        }
+                    } else {
+                        ledger.release(budgets[k])?;
+                        released[k] = true;
+                        reported += 1;
+                        let e = PlatformError::Process(format!(
+                            "worker died after {} attempts: {reason}",
+                            attempts[k] + 1
+                        ));
+                        if first_err.as_ref().is_none_or(|(j, _)| k < *j) {
+                            first_err = Some((k, e));
+                        }
+                    }
+                }
+            }
+        }
+
+        if stalled {
+            // Kill every live worker, then *wait* for each: a reaped
+            // process provably holds no memory, so — unlike the thread
+            // backend — every budget comes back with nothing quarantined.
+            for sup in live.iter().flatten() {
+                sup.kill();
+            }
+            for slot in live.iter_mut() {
+                self.reap_supervisor(slot);
+            }
+            // Verdicts that raced the kill still count as releases (the
+            // run fails as stalled regardless — the watchdog's verdict
+            // stands), and double releases are guarded below.
+            drop(tx);
+            while let Ok((k, msg)) = rx.try_recv() {
+                if matches!(msg, wire::WorkerMsg::Done(_) | wire::WorkerMsg::Failed(_))
+                    && !released[k]
+                {
+                    ledger.release(budgets[k])?;
+                    released[k] = true;
+                }
+            }
+            for (k, done) in released.iter_mut().enumerate() {
+                if !*done {
+                    ledger.release(budgets[k])?;
+                    *done = true;
+                }
+            }
+            return Err(PlatformError::ShardStalled {
+                reported,
+                total,
+                quarantined: 0,
+            });
+        }
+
+        for slot in live.iter_mut() {
+            self.reap_supervisor(slot);
+        }
+        if let Some((shard, source)) = first_err {
+            return Err(PlatformError::ShardFailed {
+                shard,
+                source: Box::new(source),
+            });
+        }
+        Ok(reports
+            .into_iter()
+            .map(|r| r.expect("every shard reported"))
+            .collect())
+    }
+
+    /// Spawns one worker process and its supervisor thread. The
+    /// supervisor writes the job down stdin, closes it, then relays every
+    /// stdout line to the coordinator channel; on EOF it reaps the child
+    /// and, if no verdict was seen, reports the death. Exactly one
+    /// terminal message ([`wire::WorkerMsg::Done`] / `Failed` / `Died`)
+    /// is sent per attempt.
+    fn spawn_attempt(
+        &self,
+        shard: usize,
+        attempt: usize,
+        worker_bin: &PathBuf,
+        payload: &str,
+        tx: Sender<(usize, wire::WorkerMsg)>,
+    ) -> Result<Supervisor, PlatformError> {
+        let mut cmd = Command::new(worker_bin);
+        cmd.arg("--shard")
+            .arg(shard.to_string())
+            .arg("--attempt")
+            .arg(attempt.to_string())
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        if self
+            .chaos_kill
+            .is_some_and(|c| c.shard == shard && c.attempt == attempt)
+        {
+            cmd.arg("--chaos-kill");
+        }
+        let mut child = cmd.spawn().map_err(|e| {
+            PlatformError::Process(format!(
+                "spawning {} for shard {shard}: {e}",
+                worker_bin.display()
+            ))
+        })?;
+        let stdin = child.stdin.take().expect("stdin was piped");
+        let stdout = child.stdout.take().expect("stdout was piped");
+        let child = Arc::new(Mutex::new(Some(child)));
+        let payload = payload.to_string();
+        let thread_child = child.clone();
+        let thread = std::thread::Builder::new()
+            .name(format!("memtree-proc-sup-{shard}-{attempt}"))
+            .spawn(move || {
+                supervise(shard, stdin, stdout, thread_child, payload, tx);
+            })
+            .expect("spawning a worker supervisor");
+        Ok(Supervisor { child, thread })
+    }
+
+    /// Joins a finished (or killed) supervisor. Safe to call on an empty
+    /// slot; blocks until the supervisor has reaped its child, which is
+    /// prompt once the child is dead or has closed its pipe.
+    fn reap_supervisor(&self, slot: &mut Option<Supervisor>) {
+        if let Some(sup) = slot.take() {
+            let _ = sup.thread.join();
+        }
+    }
+}
+
+/// One worker-process attempt under supervision: the shared child handle
+/// (the coordinator kills through it; the supervisor reaps through it)
+/// and the supervisor thread.
+struct Supervisor {
+    child: Arc<Mutex<Option<Child>>>,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl Supervisor {
+    /// SIGKILLs the child if it is still ours to kill. The lock is never
+    /// held across a blocking wait (the supervisor reaps with `try_wait`
+    /// under the same discipline), so this cannot deadlock.
+    fn kill(&self) {
+        if let Ok(mut guard) = self.child.lock() {
+            if let Some(child) = guard.as_mut() {
+                let _ = child.kill();
+            }
+        }
+    }
+}
+
+/// The supervisor body: feed the job, relay the report stream, reap.
+fn supervise(
+    shard: usize,
+    mut stdin: std::process::ChildStdin,
+    stdout: std::process::ChildStdout,
+    child: Arc<Mutex<Option<Child>>>,
+    payload: String,
+    tx: Sender<(usize, wire::WorkerMsg)>,
+) {
+    // Write-then-read cannot deadlock here: the worker drains its whole
+    // stdin before writing anything, and its replies are tiny lines that
+    // fit the pipe buffer regardless.
+    let fed = stdin
+        .write_all(payload.as_bytes())
+        .and_then(|()| stdin.flush());
+    drop(stdin); // EOF tells the worker the job is complete
+    let mut verdict_sent = false;
+    if fed.is_ok() {
+        for line in BufReader::new(stdout).lines() {
+            let Ok(line) = line else { break };
+            match wire::parse_report_line(&line) {
+                Ok(msg) => {
+                    let terminal =
+                        matches!(msg, wire::WorkerMsg::Done(_) | wire::WorkerMsg::Failed(_));
+                    let _ = tx.send((shard, msg));
+                    if terminal {
+                        verdict_sent = true;
+                        break;
+                    }
+                }
+                Err(e) => {
+                    // A malformed line is a protocol violation — a clean,
+                    // non-retryable failure (retrying corruption would
+                    // re-run a worker we no longer understand).
+                    let _ = tx.send((
+                        shard,
+                        wire::WorkerMsg::Failed(PlatformError::Process(format!(
+                            "protocol violation from worker: {e}"
+                        ))),
+                    ));
+                    verdict_sent = true;
+                    break;
+                }
+            }
+        }
+    }
+    // Reap. try_wait under the lock, never a blocking wait: the
+    // coordinator takes the same lock to kill on the stall path.
+    let status = loop {
+        let mut guard = child.lock().expect("child mutex");
+        match guard.as_mut().map(|c| c.try_wait()) {
+            None => break None, // already reaped (cannot happen twice)
+            Some(Ok(Some(status))) => {
+                guard.take();
+                break Some(status);
+            }
+            Some(Ok(None)) => {}
+            Some(Err(_)) => {
+                guard.take();
+                break None;
+            }
+        }
+        drop(guard);
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    if !verdict_sent {
+        let reason = match (fed, status) {
+            (Err(e), _) => format!("worker closed stdin mid-job: {e}"),
+            (Ok(()), Some(status)) => format!("worker exited without a verdict ({status})"),
+            (Ok(()), None) => "worker exited without a verdict".to_string(),
+        };
+        let _ = tx.send((shard, wire::WorkerMsg::Died(reason)));
+    }
+}
+
+impl Platform for ProcessPlatform {
+    fn name(&self) -> &'static str {
+        "process"
+    }
+
+    fn run_instance(
+        &self,
+        tree: &TaskTree,
+        instance: &PolicyInstance,
+    ) -> Result<RunReport, PlatformError> {
+        // Like the thread-backed shard platform: per-part specs are
+        // re-derived, so reconstruct the spec from the instance.
+        let spec = PolicySpec {
+            kind: instance.kind(),
+            ao: instance.ao().kind(),
+            eo: instance.eo().kind(),
+            memory: instance.memory(),
+            caps: instance.caps().cloned(),
+        };
+        Ok(self.run_detailed(tree, &spec)?.report)
+    }
+
+    fn run(&self, tree: &TaskTree, spec: &PolicySpec) -> Result<RunReport, PlatformError> {
+        Ok(self.run_detailed(tree, spec)?.report)
+    }
+}

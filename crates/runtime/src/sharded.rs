@@ -31,10 +31,17 @@
 //! index deterministically), a silent one trips the optional idle
 //! watchdog — and the optional overall deadline bounds the whole phase
 //! even under trickling reports — as [`PlatformError::ShardStalled`].
-//! In every case all budget reservations are released before the error
-//! returns; on the stall path a shard's budget only comes back after its
-//! worker joins or the grace deadline passes (the residual-risk window
-//! of DESIGN.md §6.7) — the chaos suite pins all of this down.
+//! On the failure paths every budget reservation is released before the
+//! error returns. On the **stall** path a budget is released only when
+//! its worker provably holds no memory any more (a late report arrived,
+//! or the thread finished); workers still running are **quarantined** —
+//! their budgets stay held, counted in the process-wide
+//! [`crate::quarantine`] gauge, surfaced through
+//! [`PlatformError::ShardStalled`]'s `quarantined` field and every
+//! report's [`RunReport::quarantined`], and reclaimed only once a reaper
+//! thread confirms the worker's exit by joining it. A budget is never
+//! released while the worker it backs can still report — the chaos suite
+//! pins all of this down.
 
 use crate::platform::{Platform, PlatformError, RunReport, ThreadedPlatform};
 use crate::workload::Workload;
@@ -65,10 +72,9 @@ pub struct ShardedPlatform {
     /// Overall deadline for the whole shard phase, measured from its
     /// start. The idle watchdog alone cannot bound the phase — shards
     /// that keep trickling reports reset it — so a deadline caps the
-    /// total even when every individual gap stays short. It also bounds
-    /// the stall path's join grace: a stalled shard's budget is only
-    /// released once its worker thread has joined *or* the deadline has
-    /// passed (see `release_stalled_budgets`).
+    /// total even when every individual gap stays short. On either stall
+    /// the phase returns immediately; still-running workers are
+    /// quarantined with their budgets held (see [`crate::quarantine`]).
     pub shard_deadline: Option<Duration>,
 }
 
@@ -127,15 +133,6 @@ impl ShardedPlatform {
         self.shards * self.workers_per_shard
     }
 
-    /// Projects per-node allotment caps from the original tree onto a
-    /// part: mapped nodes take their original cap, proxy leaves get 1.
-    fn project_caps(
-        caps: &AllotmentCaps,
-        origin: impl Iterator<Item = Option<memtree_tree::NodeId>>,
-    ) -> AllotmentCaps {
-        AllotmentCaps::from_caps(origin.map(|g| g.map_or(1, |g| caps.cap(g))).collect())
-    }
-
     /// Runs `spec` sharded over `tree`, returning the full per-shard
     /// detail ([`ShardedReport`]); [`Platform::run`] flattens this to the
     /// common [`RunReport`].
@@ -175,7 +172,15 @@ impl ShardedPlatform {
 
         // Phase 1: every shard on its own channel-connected worker.
         let shard_reports = self.run_shard_phase(&part, spec, shard_specs, &budgets, &mut ledger);
-        debug_assert_eq!(ledger.reserved(), 0, "a shard budget leaked");
+        // On a stall the quarantined workers' reservations legitimately
+        // stay on the books (held, not leaked); every other path must
+        // come back balanced.
+        if !matches!(
+            &shard_reports,
+            Err(PlatformError::ShardStalled { quarantined, .. }) if *quarantined > 0
+        ) {
+            debug_assert_eq!(ledger.reserved(), 0, "a shard budget leaked");
+        }
         let shard_reports = shard_reports?;
 
         // Phase 2: the merge — all budgets are back with the parent
@@ -190,10 +195,7 @@ impl ShardedPlatform {
             caps: None,
         };
         if let Some(caps) = &spec.caps {
-            residual_spec.caps = Some(Self::project_caps(
-                caps,
-                part.residual.origin.iter().copied(),
-            ));
+            residual_spec.caps = Some(project_caps(caps, part.residual.origin.iter().copied()));
         }
         let residual = ThreadedPlatform {
             workers: self.total_workers(),
@@ -234,7 +236,7 @@ impl ShardedPlatform {
         let mut handles = Vec::with_capacity(total);
         for (k, mut shard_spec) in shard_specs.into_iter().enumerate() {
             if let Some(caps) = &spec.caps {
-                shard_spec.caps = Some(Self::project_caps(
+                shard_spec.caps = Some(project_caps(
                     caps,
                     part.shards[k].to_global.iter().map(|&g| Some(g)),
                 ));
@@ -338,9 +340,39 @@ impl ShardedPlatform {
             // stall: the stall is what stopped the phase (a ledger
             // accounting error during the cleanup still trumps both —
             // the books stopped balancing).
-            self.release_stalled_budgets(&handles, &rx, budgets, ledger, &mut released, deadline)?;
+            //
+            // Budget rule: a reservation is released here only when its
+            // worker provably holds no memory — a late report arrived
+            // (the subtree finished) or the thread already finished.
+            // Everything else is quarantined: the budget stays reserved
+            // on this ledger and counted in the process-wide gauge until
+            // a reaper thread confirms the worker's exit by joining it.
+            // Never released while the worker can still report.
+            while let Ok((k, _outcome)) = rx.try_recv() {
+                if !released[k] {
+                    ledger.release(budgets[k])?;
+                    released[k] = true;
+                }
+            }
+            let mut stragglers = Vec::new();
+            for (k, handle) in handles.into_iter().enumerate() {
+                if released[k] {
+                    let _ = handle.join();
+                } else if handle.is_finished() {
+                    let _ = handle.join();
+                    ledger.release(budgets[k])?;
+                    released[k] = true;
+                } else {
+                    stragglers.push((handle, budgets[k]));
+                }
+            }
             drop(rx);
-            return Err(PlatformError::ShardStalled { reported, total });
+            let quarantined = crate::quarantine::quarantine_threads(stragglers);
+            return Err(PlatformError::ShardStalled {
+                reported,
+                total,
+                quarantined,
+            });
         }
         for handle in handles {
             let _ = handle.join();
@@ -356,75 +388,16 @@ impl ShardedPlatform {
             .map(|r| r.expect("every shard reported"))
             .collect())
     }
+}
 
-    /// The stall path's budget release, join-or-deadline: a stalled
-    /// shard's worker thread may still hold real memory, so its
-    /// reservation is reclaimed as soon as its thread joins — and only at
-    /// the end of the grace window (one idle-watchdog period, capped by
-    /// whatever remains of the overall deadline) for workers that never
-    /// do. Late reports arriving during the grace release their budgets
-    /// too (the run still fails as stalled — the watchdog verdict
-    /// stands). Releasing a never-joined worker's budget at the deadline
-    /// is a deliberate residual risk: the ledger must not leak, and the
-    /// window is documented in DESIGN.md §6.7.
-    fn release_stalled_budgets(
-        &self,
-        handles: &[std::thread::JoinHandle<()>],
-        rx: &channel::Receiver<(usize, Result<RunReport, PlatformError>)>,
-        budgets: &[u64],
-        ledger: &mut BudgetLedger,
-        released: &mut [bool],
-        deadline: Option<Instant>,
-    ) -> Result<(), PlatformError> {
-        // The grace is the *smaller* of one idle-watchdog period and the
-        // deadline remainder: an idle-watchdog stall must stay fail-fast
-        // even under a long overall deadline, and a deadline stall must
-        // not extend the phase past the deadline it just enforced.
-        let idle_grace = Instant::now() + self.shard_timeout.unwrap_or(Duration::ZERO);
-        let grace_end = deadline.map_or(idle_grace, |d| d.min(idle_grace));
-        loop {
-            // A late report means the worker has finished its subtree —
-            // its memory is gone, its budget comes back.
-            while let Ok((k, _outcome)) = rx.try_recv() {
-                if !released[k] {
-                    ledger.release(budgets[k])?;
-                    released[k] = true;
-                }
-            }
-            // A joined (finished) worker holds no memory either.
-            for (k, handle) in handles.iter().enumerate() {
-                if !released[k] && handle.is_finished() {
-                    ledger.release(budgets[k])?;
-                    released[k] = true;
-                }
-            }
-            if released.iter().all(|&r| r) || Instant::now() >= grace_end {
-                break;
-            }
-            // Bounded park instead of a busy-spin across the grace
-            // window: a late report wakes the coordinator immediately, a
-            // join with no report is noticed at the next slice boundary,
-            // and the slice never overshoots the grace end.
-            let slice = grace_end
-                .saturating_duration_since(Instant::now())
-                .min(Duration::from_millis(5));
-            if let Ok((k, _outcome)) = rx.recv_timeout(slice) {
-                if !released[k] {
-                    ledger.release(budgets[k])?;
-                    released[k] = true;
-                }
-            }
-        }
-        // Deadline passed with workers still running: reclaim anyway (the
-        // ledger must not leak) and leave the threads detached — the
-        // documented residual-risk window.
-        for (k, &done) in released.iter().enumerate() {
-            if !done {
-                ledger.release(budgets[k])?;
-            }
-        }
-        Ok(())
-    }
+/// Projects per-node allotment caps from the original tree onto a part:
+/// mapped nodes take their original cap, proxy leaves get 1. Shared by
+/// every shard-protocol coordinator (thread- and process-backed).
+pub(crate) fn project_caps(
+    caps: &AllotmentCaps,
+    origin: impl Iterator<Item = Option<memtree_tree::NodeId>>,
+) -> AllotmentCaps {
+    AllotmentCaps::from_caps(origin.map(|g| g.map_or(1, |g| caps.cap(g))).collect())
 }
 
 /// The full outcome of a sharded run: the rolled-up [`RunReport`] plus
@@ -452,6 +425,27 @@ impl ShardedReport {
         residual: RunReport,
         wall_seconds: f64,
     ) -> ShardedReport {
+        Self::roll_up_on(
+            "sharded",
+            part,
+            budgets,
+            shard_reports,
+            residual,
+            wall_seconds,
+        )
+    }
+
+    /// The shard-protocol roll-up under a backend-specific platform name —
+    /// shared by the thread-backed coordinator and the process-backed one
+    /// ([`crate::ProcessPlatform`]), which run the same merge protocol.
+    pub(crate) fn roll_up_on(
+        platform: &'static str,
+        part: &Partition,
+        budgets: Vec<u64>,
+        shard_reports: Vec<RunReport>,
+        residual: RunReport,
+        wall_seconds: f64,
+    ) -> ShardedReport {
         // Phase 1 runs the shards concurrently, so the platform-level
         // peak is bounded by the *sum* of the shard ledgers' peaks; the
         // residual phase runs alone. The rolled-up peak is the larger of
@@ -461,7 +455,7 @@ impl ShardedReport {
         let shard_actual: u64 = shard_reports.iter().map(|r| r.peak_actual).sum();
         let proxy_tasks = part.shard_count();
         let report = RunReport {
-            platform: "sharded",
+            platform,
             policy: residual.policy.clone(),
             makespan: wall_seconds,
             wall_seconds,
@@ -479,6 +473,11 @@ impl ShardedReport {
             tasks_run: shard_reports.iter().map(|r| r.tasks_run).sum::<usize>()
                 + residual.tasks_run
                 - proxy_tasks,
+            // This run stalled nothing (it succeeded), but earlier
+            // stalled runs may still have workers winding down; the
+            // snapshot tells the caller how much machine memory is
+            // spoken for outside this run's budget.
+            quarantined: crate::quarantine::held(),
         };
         ShardedReport {
             report,
@@ -567,19 +566,18 @@ mod tests {
         utime + stime
     }
 
-    /// The stall path — watchdog trip plus budget-release grace — must
-    /// park, not spin: pinned by the coordinator thread's CPU time
-    /// staying near zero across a run that is wall-clock dominated by
-    /// exactly those two waits.
+    /// The stall path must park while waiting (never busy-spin) and must
+    /// quarantine the still-running workers' budgets rather than release
+    /// them: pinned by the coordinator thread's CPU time staying near
+    /// zero and by the `quarantined` accounting on the error.
     #[cfg(target_os = "linux")]
     #[test]
-    fn stall_grace_parks_instead_of_spinning() {
+    fn stall_parks_and_quarantines_instead_of_releasing() {
         let tree = memtree_gen::synthetic::paper_tree(60, 13);
         let m = min_memory(&tree) * 8;
         let spec = PolicySpec::new(HeuristicKind::MemBooking, m);
         // Every task sleeps ~1 s, so no shard reports within the 150 ms
-        // watchdog: the run stalls, then spends the grace window waiting
-        // for workers that will not finish in time.
+        // watchdog: the run stalls with both workers still mid-subtree.
         let platform = ShardedPlatform::new(2)
             .with_workload(Workload::Sleep {
                 nanos_per_time_unit: 1_000_000_000.0,
@@ -591,18 +589,33 @@ mod tests {
         let err = platform.run(&tree, &spec).unwrap_err();
         let wall = wall.elapsed();
         let cpu_ticks = thread_cpu_ticks() - cpu_before;
-        assert!(matches!(err, PlatformError::ShardStalled { .. }), "{err}");
+        let quarantined = match err {
+            PlatformError::ShardStalled { quarantined, .. } => quarantined,
+            other => panic!("expected a stall, got {other}"),
+        };
+        // Both workers were still running: their budgets must be held in
+        // quarantine, not released on a grace timer.
+        assert!(quarantined > 0, "stalled workers' budgets were released");
         assert!(
             wall >= Duration::from_millis(150),
             "the watchdog cannot have tripped yet: {wall:?}"
         );
-        // ~300 ms of waiting; a busy-spin would burn it all as CPU
-        // (≥ 30 ticks at the usual 100 Hz). Parked waits leave only
-        // setup/partition work — well under 100 ms of ticks.
+        // The watchdog wait parks; a busy-spin would burn the wall time
+        // as CPU (≥ 15 ticks at the usual 100 Hz). Parked waits leave
+        // only setup/partition work.
         assert!(
             cpu_ticks < 10,
             "stall path burned {cpu_ticks} CPU ticks over {wall:?} wall"
         );
+        // The gauge drains once the reaper confirms the workers' exits.
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while crate::quarantine::held() > 0 {
+            assert!(
+                Instant::now() < deadline,
+                "quarantined budgets never reclaimed"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
     }
 
     #[test]

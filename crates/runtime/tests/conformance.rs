@@ -21,6 +21,22 @@ memtree_runtime::platform_conformance!(sharded_x4, memtree_runtime::ShardedPlatf
 
 memtree_runtime::platform_conformance!(async_x4, memtree_runtime::AsyncPlatform::new(4));
 
+// Process backend: the shard protocol over real worker processes. The
+// suite runs completely unmodified — CARGO_BIN_EXE pins the worker
+// binary Cargo built alongside this test.
+memtree_runtime::platform_conformance!(
+    process_x2,
+    memtree_runtime::ProcessPlatform::new(2)
+        .with_workers_per_shard(2)
+        .with_worker_bin(env!("CARGO_BIN_EXE_memtree-shard-worker"))
+);
+
+memtree_runtime::platform_conformance!(
+    process_x4,
+    memtree_runtime::ProcessPlatform::new(4)
+        .with_worker_bin(env!("CARGO_BIN_EXE_memtree-shard-worker"))
+);
+
 // The single-threaded executor flavour: p = 4 logical workers polled by
 // one OS thread — the IO-bound configuration must satisfy the exact same
 // contract.

@@ -12,6 +12,13 @@
 //! ```
 //!
 //! Nodes appear in id order; the `i`-th data line describes node `i`.
+//!
+//! The parser is **strict**: exactly `n` node lines of exactly four
+//! fields each, and nothing but comments or blank lines after them. A
+//! tree document crosses process boundaries (the shard-worker wire
+//! protocol frames subtrees in this format), where a concatenated file,
+//! a wrong node count or a stray field is silent corruption if accepted
+//! — all three are hard [`TreeError::Parse`] errors.
 
 use crate::error::TreeError;
 use crate::node::TaskSpec;
@@ -96,12 +103,28 @@ pub fn read_tree<R: BufRead>(r: &mut R) -> Result<TaskTree> {
             line: no,
             msg: "bad time".into(),
         })?;
+        if let Some(extra) = fields.next() {
+            return Err(TreeError::Parse {
+                line: no,
+                msg: format!("unexpected extra field {extra:?} after the four node fields"),
+            });
+        }
         let parent = if parent < 0 {
             None
         } else {
             Some(parent as usize)
         };
         builder.push_with_parent_index(parent, TaskSpec { exec, output, time });
+    }
+    // Drain the rest of the input: after the declared node count only
+    // comments and blank lines may follow. Anything else means the count
+    // was wrong or two documents were concatenated — either way the tree
+    // just parsed does not describe the input, so reject it.
+    if let Some((no, line)) = next_data_line(&mut lines)? {
+        return Err(TreeError::Parse {
+            line: no,
+            msg: format!("unexpected data {line:?} after the declared {n} node lines"),
+        });
     }
     builder.build()
 }
@@ -111,19 +134,40 @@ pub fn tree_from_str(s: &str) -> Result<TaskTree> {
     read_tree(&mut s.as_bytes())
 }
 
-/// Writes `tree` to the file at `path`.
-pub fn save_tree(tree: &TaskTree, path: &std::path::Path) -> Result<()> {
-    let file = std::fs::File::create(path)?;
-    let mut w = std::io::BufWriter::new(file);
-    write_tree(tree, &mut w)?;
-    w.flush()?;
-    Ok(())
+/// Adds the file path to an error raised while reading or writing it:
+/// I/O failures and parse errors alike must name the offending file —
+/// a worker handshake that dies on a bare "permission denied" with no
+/// path is undebuggable.
+fn with_path(e: TreeError, path: &std::path::Path) -> TreeError {
+    match e {
+        TreeError::Io(msg) => TreeError::Io(format!("{}: {msg}", path.display())),
+        TreeError::Parse { line, msg } => TreeError::Parse {
+            line,
+            msg: format!("{}: {msg}", path.display()),
+        },
+        other => other,
+    }
 }
 
-/// Reads a tree from the file at `path`.
+/// Writes `tree` to the file at `path`. Failures name `path`.
+pub fn save_tree(tree: &TaskTree, path: &std::path::Path) -> Result<()> {
+    let save = || -> Result<()> {
+        let file = std::fs::File::create(path)?;
+        let mut w = std::io::BufWriter::new(file);
+        write_tree(tree, &mut w)?;
+        w.flush()?;
+        Ok(())
+    };
+    save().map_err(|e| with_path(e, path))
+}
+
+/// Reads a tree from the file at `path`. Failures name `path`.
 pub fn load_tree(path: &std::path::Path) -> Result<TaskTree> {
-    let file = std::fs::File::open(path)?;
-    read_tree(&mut std::io::BufReader::new(file))
+    let load = || -> Result<TaskTree> {
+        let file = std::fs::File::open(path)?;
+        read_tree(&mut std::io::BufReader::new(file))
+    };
+    load().map_err(|e| with_path(e, path))
 }
 
 #[cfg(test)]
@@ -177,6 +221,87 @@ mod tests {
             tree_from_str("1\n-1 x 3 1\n"),
             Err(TreeError::Parse { .. })
         ));
+    }
+
+    #[test]
+    fn trailing_data_after_the_node_count_is_rejected() {
+        // One declared node, two node lines: the classic concatenated-file
+        // / wrong-count corruption. Must be a parse error, not a silently
+        // truncated tree.
+        let err = tree_from_str("1\n-1 0 3 1\n0 0 4 2\n").unwrap_err();
+        match err {
+            TreeError::Parse { line, msg } => {
+                assert_eq!(line, 3);
+                assert!(msg.contains("after the declared 1 node lines"), "{msg}");
+            }
+            other => panic!("expected Parse, got {other}"),
+        }
+        // Two concatenated well-formed documents are rejected too.
+        let doc = tree_to_string(&sample());
+        let twice = format!("{doc}{doc}");
+        assert!(matches!(
+            tree_from_str(&twice),
+            Err(TreeError::Parse { .. })
+        ));
+        // Trailing comments and blank lines stay legal.
+        let t = tree_from_str("1\n-1 0 3 1\n\n# trailing comment\n\n").unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn extra_fields_on_a_node_line_are_rejected() {
+        let err = tree_from_str("1\n-1 0 3 1 99\n").unwrap_err();
+        match err {
+            TreeError::Parse { line, msg } => {
+                assert_eq!(line, 2);
+                assert!(msg.contains("extra field"), "{msg}");
+                assert!(msg.contains("99"), "{msg}");
+            }
+            other => panic!("expected Parse, got {other}"),
+        }
+    }
+
+    #[test]
+    fn off_by_one_node_count_is_rejected_both_ways() {
+        // Count says 2, input has 1: missing-line error (pre-existing).
+        assert!(matches!(
+            tree_from_str("2\n-1 0 3 1\n"),
+            Err(TreeError::Parse { .. })
+        ));
+        // Count says 1, input has 2: trailing-data error (the fixed half).
+        assert!(matches!(
+            tree_from_str("1\n-1 0 3 1\n0 0 4 2\n"),
+            Err(TreeError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn file_errors_name_the_offending_path() {
+        let dir = std::env::temp_dir().join("memtree-io-path-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let missing = dir.join("does-not-exist.tree");
+        let err = load_tree(&missing).unwrap_err();
+        assert!(
+            err.to_string().contains("does-not-exist.tree"),
+            "load error must name the path: {err}"
+        );
+        // A parse failure inside an existing file names it too.
+        let corrupt = dir.join("corrupt.tree");
+        std::fs::write(&corrupt, "1\n-1 0 3 1 extra\n").unwrap();
+        let err = load_tree(&corrupt).unwrap_err();
+        assert!(matches!(err, TreeError::Parse { .. }), "got {err}");
+        assert!(
+            err.to_string().contains("corrupt.tree"),
+            "parse error must name the path: {err}"
+        );
+        // Writing into a missing directory names the target path.
+        let unwritable = dir.join("no-such-dir").join("out.tree");
+        let err = save_tree(&sample(), &unwritable).unwrap_err();
+        assert!(
+            err.to_string().contains("out.tree"),
+            "save error must name the path: {err}"
+        );
+        std::fs::remove_file(&corrupt).ok();
     }
 
     #[test]

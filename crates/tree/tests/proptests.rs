@@ -8,6 +8,15 @@ use memtree_tree::validate::check_consistency;
 use memtree_tree::{NodeId, TaskSpec, TaskTree, TreeStats};
 use proptest::prelude::*;
 
+/// Short lowercase/digit garbage for strictness tests — built from index
+/// vectors because the vendored proptest has no string-regex strategies.
+fn arb_garbage() -> impl Strategy<Value = String> {
+    const CHARSET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+    (1usize..13)
+        .prop_flat_map(|len| proptest::collection::vec(0usize..CHARSET.len(), len))
+        .prop_map(|ixs| ixs.into_iter().map(|i| CHARSET[i] as char).collect())
+}
+
 /// Strategy: a random tree of `1..=max_n` nodes where node `i`'s parent is a
 /// uniformly random earlier node — the classic random recursive tree.
 fn arb_tree(max_n: usize) -> impl Strategy<Value = TaskTree> {
@@ -59,6 +68,33 @@ proptest! {
         let text = tree_to_string(&tree);
         let back = tree_from_str(&text).unwrap();
         prop_assert_eq!(tree, back);
+    }
+
+    #[test]
+    fn io_roundtrip_is_content_hash_equal(tree in arb_tree(48)) {
+        // The wire guarantee the process backend leans on: a subtree
+        // serialized to a worker is, as a scheduling problem, the
+        // identical tree — pinned by the canonical content hash, not
+        // just structural equality.
+        let text = tree_to_string(&tree);
+        let back = tree_from_str(&text).unwrap();
+        prop_assert_eq!(tree.content_hash(), back.content_hash());
+    }
+
+    #[test]
+    fn io_rejects_trailing_garbage(tree in arb_tree(32), garbage in arb_garbage()) {
+        // Strictness: any data line after the declared node count is a
+        // parse error, whatever it says.
+        let text = format!("{}{garbage}\n", tree_to_string(&tree));
+        prop_assert!(tree_from_str(&text).is_err());
+    }
+
+    #[test]
+    fn io_rejects_concatenated_documents(tree in arb_tree(24)) {
+        // Two valid documents back to back must not silently parse as
+        // the first: across a pipe that would swallow a framing bug.
+        let text = tree_to_string(&tree);
+        prop_assert!(tree_from_str(&format!("{text}{text}")).is_err());
     }
 
     #[test]
