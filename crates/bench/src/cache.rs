@@ -159,6 +159,8 @@ impl CellCache {
         let tmp = self.dir.join(format!(
             ".tmp-{}-{}-{:016x}{:016x}",
             std::process::id(),
+            // ordering: Relaxed — only uniqueness of the counter value
+            // matters (it lands in a file name); no data rides on it.
             self.seq.fetch_add(1, Ordering::Relaxed),
             key.hi,
             key.lo

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Experiment harness regenerating every table and figure of the paper.
 //!

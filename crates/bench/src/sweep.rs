@@ -543,6 +543,8 @@ impl<'a> Sweep<'a> {
         if !self.fresh {
             if let (Some(cache), Some(key)) = (&self.cache, &key) {
                 if let Some(outcome) = cache.lookup(key) {
+                    // ordering: Relaxed — statistics counter; read only
+                    // after the rayon join barrier, which orders it.
                     hits.fetch_add(1, Ordering::Relaxed);
                     return SweepCell {
                         case_index,
@@ -559,6 +561,8 @@ impl<'a> Sweep<'a> {
             }
         }
         let outcome = run_heuristic_backend(case, kind, pair, processors, factor, backend);
+        // ordering: Relaxed — statistics counter; read only after the
+        // rayon join barrier, which orders it.
         computed.fetch_add(1, Ordering::Relaxed);
         if let (Some(cache), Some(key)) = (&self.cache, &key) {
             // Best-effort: a full disk must not kill the sweep.

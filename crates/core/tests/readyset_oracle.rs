@@ -1,0 +1,177 @@
+//! Differential proptest: [`memtree_sched::RankQueue`] vs a
+//! `BinaryHeap<Reverse<u32>>` oracle (DESIGN.md §6.11).
+//!
+//! The queue's contract is a min-priority set over a fixed rank
+//! universe, with each rank present at most once. The oracle is the
+//! obviously-correct heap; the properties drive both through the same
+//! operation sequences — interleaved insert/pop, full drains followed
+//! by dense re-insertion (which exercises the monotone `cursor` reset
+//! path), and the max-rank / word-boundary edges of the three-level
+//! bitmap.
+
+use memtree_sched::RankQueue;
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Oracle wrapper keeping the "each rank present at most once"
+/// precondition the queue documents.
+struct Oracle {
+    heap: BinaryHeap<Reverse<u32>>,
+    present: HashSet<u32>,
+}
+
+impl Oracle {
+    fn new() -> Self {
+        Oracle {
+            heap: BinaryHeap::new(),
+            present: HashSet::new(),
+        }
+    }
+    fn insert(&mut self, rank: u32) -> bool {
+        if self.present.insert(rank) {
+            self.heap.push(Reverse(rank));
+            true
+        } else {
+            false
+        }
+    }
+    fn pop_min(&mut self) -> Option<u32> {
+        let Reverse(rank) = self.heap.pop()?;
+        self.present.remove(&rank);
+        Some(rank)
+    }
+    fn peek_min(&self) -> Option<u32> {
+        self.heap.peek().map(|&Reverse(rank)| rank)
+    }
+    fn len(&self) -> usize {
+        self.present.len()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32),
+    PopMin,
+    /// Pop everything, checking order, then re-insert `k` dense ranks
+    /// starting at 0 — the pattern the schedulers produce between
+    /// frontier waves, and the one that must reset the pop cursor.
+    DrainThenDense(u16),
+}
+
+fn op_strategy(universe: u32) -> impl Strategy<Value = Op> {
+    // Weighted choice by discriminant range: 4/8 insert, 3/8 pop, 1/8
+    // drain-then-dense (the vendored proptest has no `prop_oneof!`).
+    (0u8..8, 0..universe, 0u16..64).prop_map(|(d, rank, k)| match d {
+        0..=3 => Op::Insert(rank),
+        4..=6 => Op::PopMin,
+        _ => Op::DrainThenDense(k),
+    })
+}
+
+fn check_agree(queue: &RankQueue, oracle: &Oracle) {
+    assert_eq!(queue.len(), oracle.len(), "len diverged");
+    assert_eq!(queue.is_empty(), oracle.len() == 0, "is_empty diverged");
+    assert_eq!(queue.peek_min(), oracle.peek_min(), "peek_min diverged");
+}
+
+fn run_ops(universe: u32, ops: &[Op]) {
+    let mut queue = RankQueue::with_universe(universe as usize);
+    let mut oracle = Oracle::new();
+    for op in ops {
+        match op {
+            Op::Insert(rank) => {
+                // The queue forbids double-insertion of a present rank;
+                // the oracle tracks presence so we only mirror fresh ones.
+                if oracle.insert(*rank) {
+                    queue.insert(*rank);
+                }
+            }
+            Op::PopMin => {
+                assert_eq!(queue.pop_min(), oracle.pop_min(), "pop_min diverged");
+            }
+            Op::DrainThenDense(k) => {
+                loop {
+                    let (a, b) = (queue.pop_min(), oracle.pop_min());
+                    assert_eq!(a, b, "drain order diverged");
+                    if a.is_none() {
+                        break;
+                    }
+                }
+                assert!(queue.is_empty());
+                let dense = u32::from(*k).min(universe);
+                for rank in 0..dense {
+                    if oracle.insert(rank) {
+                        queue.insert(rank);
+                    }
+                }
+            }
+        }
+        check_agree(&queue, &oracle);
+    }
+    // Final full drain must agree to the end.
+    loop {
+        let (a, b) = (queue.pop_min(), oracle.pop_min());
+        assert_eq!(a, b, "final drain diverged");
+        if a.is_none() {
+            break;
+        }
+    }
+}
+
+proptest! {
+    /// Arbitrary interleavings over a universe spanning several level-0
+    /// words and at least one level-1 word boundary.
+    #[test]
+    fn matches_heap_oracle(ops in proptest::collection::vec(op_strategy(300), 150)) {
+        run_ops(300, &ops);
+    }
+
+    /// A one-word universe: every rank shares words[0], so all the
+    /// bit-level edge cases (first/last bit, single survivor) recur.
+    #[test]
+    fn matches_heap_oracle_tiny_universe(ops in proptest::collection::vec(op_strategy(7), 80)) {
+        run_ops(7, &ops);
+    }
+}
+
+/// Max-rank boundary: the highest representable rank in universes sized
+/// exactly at and just past the 64-bit word edges.
+#[test]
+fn max_rank_at_word_boundaries() {
+    for universe in [1usize, 63, 64, 65, 4095, 4096, 4097] {
+        let mut queue = RankQueue::with_universe(universe);
+        let max = (universe - 1) as u32;
+        queue.insert(max);
+        assert_eq!(queue.peek_min(), Some(max));
+        if max > 0 {
+            queue.insert(0);
+            assert_eq!(queue.pop_min(), Some(0));
+        }
+        assert_eq!(queue.pop_min(), Some(max));
+        assert_eq!(queue.pop_min(), None);
+        assert!(queue.is_empty());
+    }
+}
+
+/// Dense re-insertion after a full drain: pops advance the internal
+/// cursor monotonically; re-inserting low ranks afterwards must reset
+/// it, or the minimum silently disappears.
+#[test]
+fn dense_reinsert_after_full_drain() {
+    let universe = 4096;
+    let mut queue = RankQueue::with_universe(universe);
+    // Drain from the high end so the cursor walks all the way up.
+    for rank in (universe as u32 - 64)..universe as u32 {
+        queue.insert(rank);
+    }
+    while queue.pop_min().is_some() {}
+    // Now the low end must still work.
+    for rank in 0..128u32 {
+        queue.insert(rank);
+    }
+    for rank in 0..128u32 {
+        assert_eq!(queue.pop_min(), Some(rank));
+    }
+    assert_eq!(queue.pop_min(), None);
+}

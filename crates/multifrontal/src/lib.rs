@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Symbolic multifrontal analysis: from a sparse symmetric matrix pattern
 //! to an assembly task tree.

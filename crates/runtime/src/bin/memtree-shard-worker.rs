@@ -71,6 +71,8 @@ fn run() -> i32 {
         let period = job.heartbeat;
         std::thread::spawn(move || {
             let mut due = Instant::now() + period;
+            // ordering: SeqCst — a once-per-5ms shutdown flag on a
+            // process boundary: clarity over the unmeasurable cost.
             while !stop.load(Ordering::SeqCst) {
                 // Short sleep slices so the thread notices `stop`
                 // promptly even under long heartbeat periods.
@@ -93,6 +95,7 @@ fn run() -> i32 {
     }))
     .unwrap_or(Err(PlatformError::Runtime(RuntimeError::WorkerPanic)));
 
+    // ordering: SeqCst — pairs with the heartbeat loop's load above.
     stop.store(true, Ordering::SeqCst);
     if let Some(h) = heartbeat {
         let _ = h.join();

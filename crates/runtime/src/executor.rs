@@ -21,6 +21,7 @@
 //! at every event, so a booking bug aborts the run rather than silently
 //! overcommitting.
 
+use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use crate::workload::Workload;
 use crossbeam::channel;
 use memtree_sim::driver::{
@@ -30,7 +31,6 @@ use memtree_sim::{MoldableScheduler, Scheduler};
 use memtree_tree::{NodeId, TaskTree};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Payload shards per *worker* for a malleable gang. A fixed-allotment
@@ -159,7 +159,12 @@ pub(crate) fn to_runtime_error(e: DriveError) -> RuntimeError {
 /// [`Rescheduler`] grows a gang by admitting extra members that share this
 /// state, and shrinks it by lowering `target` so surplus members retire
 /// at their next shard boundary.
-pub(crate) struct GangState {
+///
+/// Public (not `pub(crate)`) so the `memtree_loom` model suite in
+/// `tests/model/` can drive the protocol directly under minloom's
+/// exhaustive scheduler; the invariants it enumerates are inventoried in
+/// DESIGN.md §6.13.
+pub struct GangState {
     /// Fixed payload shard count. Equals the launch allotment for a
     /// fixed gang; a malleable gang shards at machine granularity
     /// (workers × [`MALLEABLE_CHUNKS`]) so any allotment in `1..=p`
@@ -190,7 +195,7 @@ pub(crate) struct GangState {
 
 impl GangState {
     /// A fresh gang of `procs` members over `shards` payload shards.
-    pub(crate) fn new(procs: usize, shards: u32) -> Self {
+    pub fn new(procs: usize, shards: u32) -> Self {
         GangState {
             shards,
             next_shard: AtomicUsize::new(0),
@@ -203,18 +208,28 @@ impl GangState {
 
     /// Claims the next unexecuted payload shard, or `None` when the
     /// payload is exhausted (the member should exit).
-    pub(crate) fn claim(&self) -> Option<u32> {
+    pub fn claim(&self) -> Option<u32> {
+        // ordering: Relaxed — the fetch_add only allocates a unique shard
+        // index; the payload it indexes was published to every member by
+        // the spawn/channel-send edge before the gang started. Model-
+        // checked by model/gang.rs::claim_complete_exhaustive.
         let shard = self.next_shard.fetch_add(1, Ordering::Relaxed);
         (shard < self.shards as usize).then_some(shard as u32)
     }
 
     /// Records one shard's payload as finished (progress accounting).
-    pub(crate) fn finish_shard(&self) {
+    pub fn finish_shard(&self) {
+        // ordering: AcqRel — the release half publishes the shard's
+        // payload effects to whoever observes the count ([`progress`]
+        // loads Acquire); the acquire half chains prior finishers so the
+        // count covers their payloads too.
         self.shards_done.fetch_add(1, Ordering::AcqRel);
     }
 
     /// `(shards finished, total shards)` for the rescheduler's backlog.
-    pub(crate) fn progress(&self) -> (u32, u32) {
+    pub fn progress(&self) -> (u32, u32) {
+        // ordering: Acquire — pairs with the release in [`finish_shard`]:
+        // a count of n implies n shards' payload effects are visible.
         let done = self.shards_done.load(Ordering::Acquire);
         (done.min(self.shards as usize) as u32, self.shards)
     }
@@ -224,12 +239,32 @@ impl GangState {
     /// member won the CAS race to be the one that leaves. The CAS floor
     /// guarantees `active` never drops below `max(target, 1)`, so a gang
     /// always keeps a member to finish the payload and report completion.
-    pub(crate) fn try_retire(&self) -> bool {
+    pub fn try_retire(&self) -> bool {
+        // ordering: Acquire on both loads — the retire decision must see
+        // the freshest entitlement a driver-side release published; the
+        // CAS below revalidates anyway, so these could arguably relax,
+        // but the pairing keeps the proof local. Model-checked by
+        // model/gang.rs::shrink_retires_exact_surplus.
         let mut active = self.active.load(Ordering::Acquire);
         loop {
             if active <= 1 || active <= self.target.load(Ordering::Acquire) {
                 return false;
             }
+            #[cfg(memtree_loom_mutate_cas_floor)]
+            {
+                // Seeded regression (CI teeth check): a blind decrement
+                // instead of the validating CAS lets every member that
+                // read the same stale `active` retire at once, dropping
+                // the gang below max(target, 1) — the model suite must
+                // catch the unfinished payload / missing report.
+                self.active.fetch_sub(1, Ordering::AcqRel);
+                return true;
+            }
+            #[cfg(not(memtree_loom_mutate_cas_floor))]
+            // ordering: AcqRel/Acquire — success is a member-ledger edit
+            // others must observe atomically with the guard above
+            // (release publishes this member's payload work, acquire
+            // chains the ledger); failure re-reads like the initial load.
             match self.active.compare_exchange_weak(
                 active,
                 active - 1,
@@ -244,15 +279,29 @@ impl GangState {
 
     /// Admits `extra` members (driver thread, **before** their member
     /// messages are queued).
-    pub(crate) fn admit(&self, extra: usize) {
-        self.active.fetch_add(extra, Ordering::AcqRel);
+    pub fn admit(&self, extra: usize) {
+        // ordering: AcqRel ×2, and `target` must rise FIRST. A running
+        // member's retire check loads `active` then `target` (both
+        // Acquire): if `active` rose first, the member could observe the
+        // raised occupancy while still reading the stale entitlement —
+        // no happens-before edge forces the fresh `target` — and retire
+        // spuriously (harmless for safety, the CAS floor still holds,
+        // but it sheds a worker the driver just granted). With `target`
+        // first, a member that observes the raised `active` synchronizes
+        // with this RMW's release, which already carries the new
+        // entitlement. Found by, and model-checked in,
+        // model/gang.rs::grow_after_final_shard_reports_once.
         self.target.fetch_add(extra, Ordering::AcqRel);
+        self.active.fetch_add(extra, Ordering::AcqRel);
     }
 
     /// Lowers the member entitlement by `members`; surplus members retire
     /// at their next shard boundary. The driver guarantees the target
     /// stays ≥ 1.
-    pub(crate) fn release(&self, members: usize) {
+    pub fn release(&self, members: usize) {
+        // ordering: AcqRel — the lowered entitlement must be observable
+        // to [`try_retire`]'s Acquire loads; acquire half orders it after
+        // any prior admit on the driver thread.
         self.target.fetch_sub(members, Ordering::AcqRel);
     }
 
@@ -260,9 +309,23 @@ impl GangState {
     /// the last member out, who must report the gang's completion — at
     /// that point every claimed shard has finished and every member has
     /// already left the occupancy counter.
-    pub(crate) fn member_exit(&self) -> bool {
-        self.active.fetch_sub(1, Ordering::AcqRel) == 1
-            && !self.reported.swap(true, Ordering::AcqRel)
+    pub fn member_exit(&self) -> bool {
+        // ordering: AcqRel — the acquire half is load-bearing: the member
+        // whose decrement lands on 1 synchronizes with every earlier
+        // exit's release, which carries those members' finish_shard
+        // writes, so the reporter provably observes the whole payload
+        // complete. Model-checked by model/gang.rs (the
+        // memtree_loom_mutate_relaxed_exit teeth check downgrades this
+        // to Relaxed and the suite must fail on the stale progress read).
+        #[cfg(not(memtree_loom_mutate_relaxed_exit))]
+        let last_out = self.active.fetch_sub(1, Ordering::AcqRel) == 1;
+        #[cfg(memtree_loom_mutate_relaxed_exit)]
+        let last_out = self.active.fetch_sub(1, Ordering::Relaxed) == 1;
+        // ordering: AcqRel — the latch must be a single atomic
+        // read-modify-write: a grow landing after completion re-raises
+        // `active` from zero and drains it again, and only the swap keeps
+        // the second drain from reporting twice.
+        last_out && !self.reported.swap(true, Ordering::AcqRel)
     }
 }
 
@@ -478,7 +541,9 @@ pub fn execute_moldable_with<S: MoldableScheduler>(
     })
 }
 
-#[cfg(test)]
+// Unit tests drive real thread pools; under the loom cfg the façade's
+// primitives only work inside minloom::model, so they are compiled out.
+#[cfg(all(test, not(memtree_loom)))]
 mod tests {
     use super::*;
     use memtree_order::mem_postorder;

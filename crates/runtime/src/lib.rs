@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Threaded runtime: execute a task tree with real worker threads under a
 //! memory-aware scheduler, and the unified [`platform`] API.
@@ -31,6 +32,7 @@ pub mod platform;
 pub mod process;
 pub mod quarantine;
 pub mod sharded;
+pub mod sync;
 pub mod workload;
 
 pub use async_platform::AsyncPlatform;

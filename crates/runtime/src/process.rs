@@ -370,7 +370,16 @@ impl ProcessPlatform {
                                 unreachable!("coordinator holds a sender")
                             }
                         },
-                        None => Some(rx.recv().expect("coordinator holds a sender")),
+                        None => match rx.recv() {
+                            Ok(m) => Some(m),
+                            // The coordinator holds `tx`, so disconnection
+                            // is impossible; treat it as a stall rather
+                            // than panic if it ever happens.
+                            Err(_) => {
+                                stalled = true;
+                                break;
+                            }
+                        },
                     }
                 }
             };
@@ -479,10 +488,21 @@ impl ProcessPlatform {
                 source: Box::new(source),
             });
         }
-        Ok(reports
-            .into_iter()
-            .map(|r| r.expect("every shard reported"))
-            .collect())
+        let mut out = Vec::with_capacity(total);
+        for (k, report) in reports.into_iter().enumerate() {
+            match report {
+                Some(report) => out.push(report),
+                // `reported == total` with no first_err should imply every
+                // slot is filled; a hole is a coordinator bug surfaced as
+                // an error, not a panic.
+                None => {
+                    return Err(PlatformError::Process(format!(
+                        "shard {k} never produced a report"
+                    )));
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Spawns one worker process and its supervisor thread. The
@@ -519,8 +539,15 @@ impl ProcessPlatform {
                 worker_bin.display()
             ))
         })?;
-        let stdin = child.stdin.take().expect("stdin was piped");
-        let stdout = child.stdout.take().expect("stdout was piped");
+        // Both pipes were requested above; a hole means the OS handed us a
+        // broken child — reap it and fail the attempt instead of panicking.
+        let (Some(stdin), Some(stdout)) = (child.stdin.take(), child.stdout.take()) else {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(PlatformError::Process(format!(
+                "worker pipes missing for shard {shard}"
+            )));
+        };
         let child = Arc::new(Mutex::new(Some(child)));
         let payload = payload.to_string();
         let thread_child = child.clone();
@@ -529,7 +556,17 @@ impl ProcessPlatform {
             .spawn(move || {
                 supervise(shard, stdin, stdout, thread_child, payload, tx);
             })
-            .expect("spawning a worker supervisor");
+            .map_err(|e| {
+                // No supervisor means nobody will ever reap the child:
+                // kill and wait for it here, then fail the attempt.
+                if let Ok(mut guard) = child.lock() {
+                    if let Some(mut orphan) = guard.take() {
+                        let _ = orphan.kill();
+                        let _ = orphan.wait();
+                    }
+                }
+                PlatformError::Process(format!("spawning supervisor for shard {shard}: {e}"))
+            })?;
         Ok(Supervisor { child, thread })
     }
 
@@ -613,7 +650,12 @@ fn supervise(
     // Reap. try_wait under the lock, never a blocking wait: the
     // coordinator takes the same lock to kill on the stall path.
     let status = loop {
-        let mut guard = child.lock().expect("child mutex");
+        // A poisoned lock only means the coordinator panicked mid-kill;
+        // the child handle inside is still valid, so keep reaping.
+        let mut guard = match child.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
         match guard.as_mut().map(|c| c.try_wait()) {
             None => break None, // already reaped (cannot happen twice)
             Some(Ok(Some(status))) => {

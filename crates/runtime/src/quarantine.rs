@@ -21,8 +21,8 @@
 //! still pending via their reports, and the gauge drains to zero as the
 //! runaway workers finish.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::thread::JoinHandle;
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::thread::JoinHandle;
 
 static HELD: AtomicU64 = AtomicU64::new(0);
 
@@ -30,6 +30,12 @@ static HELD: AtomicU64 = AtomicU64::new(0);
 /// process: budgets of stalled shard workers whose exit has not yet been
 /// confirmed by a reaper join.
 pub fn held() -> u64 {
+    // ordering: SeqCst — the gauge is a cross-run, cross-thread fact
+    // (coordinator adds, reaper subtracts, any thread reads); a single
+    // total order over all three keeps "add observed ⇒ matching sub not
+    // yet observed means the budget is still held" true without
+    // reasoning about pairings. Model-checked by
+    // model/quarantine.rs::stall_join_race_conserves_budget.
     HELD.load(Ordering::SeqCst)
 }
 
@@ -37,27 +43,76 @@ pub fn held() -> u64 {
 /// reserved for them — into quarantine: adds their budgets to the global
 /// gauge and spawns a detached reaper that joins each worker and releases
 /// its budget **only then**. Returns the total quarantined now.
-pub(crate) fn quarantine_threads(entries: Vec<(JoinHandle<()>, u64)>) -> u64 {
-    if entries.is_empty() {
-        return 0;
-    }
-    let total: u64 = entries.iter().map(|(_, budget)| budget).sum();
-    HELD.fetch_add(total, Ordering::SeqCst);
-    std::thread::Builder::new()
-        .name("memtree-quarantine-reaper".into())
-        .spawn(move || {
-            for (handle, budget) in entries {
-                // Confirmed exit (a panic is an exit too) — only now is
-                // the worker's memory provably gone.
-                let _ = handle.join();
-                HELD.fetch_sub(budget, Ordering::SeqCst);
-            }
-        })
-        .expect("spawning the quarantine reaper");
-    total
+///
+/// Public so the `memtree_loom` model suite can race it against worker
+/// exits and `held` readers; production callers stay inside the crate.
+pub fn quarantine_threads(entries: Vec<(JoinHandle<()>, u64)>) -> u64 {
+    quarantine_impl(entries).0
 }
 
-#[cfg(test)]
+/// [`quarantine_threads`], additionally returning the reaper's join
+/// handle (when one was spawned). Model-suite only: joining the reaper
+/// is the happens-after edge that lets a test assert the gauge has
+/// drained *exactly* to zero; production code must never wait on the
+/// reaper (the whole point is that the stalled coordinator moves on).
+#[cfg(memtree_loom)]
+pub fn quarantine_threads_with_reaper(
+    entries: Vec<(JoinHandle<()>, u64)>,
+) -> (u64, Option<JoinHandle<()>>) {
+    quarantine_impl(entries)
+}
+
+fn quarantine_impl(entries: Vec<(JoinHandle<()>, u64)>) -> (u64, Option<JoinHandle<()>>) {
+    if entries.is_empty() {
+        return (0, None);
+    }
+    let total: u64 = entries.iter().map(|(_, budget)| budget).sum();
+    // ordering: SeqCst — see [`held`]: the add must precede the reaper's
+    // subs in the single total order, so the gauge can never observably
+    // go negative or double-drain.
+    HELD.fetch_add(total, Ordering::SeqCst);
+    // The entry list rides in a shared slot so a failed spawn can take it
+    // back: the reaper must never be silently dropped, or the gauge leaks.
+    let shared = std::sync::Arc::new(crate::sync::Mutex::new(Some(entries)));
+    let in_reaper = shared.clone();
+    let reaper = crate::sync::thread::Builder::new()
+        .name("memtree-quarantine-reaper".into())
+        .spawn(move || reap(&in_reaper));
+    match reaper {
+        Ok(handle) => (total, Some(handle)),
+        Err(err) => {
+            // No thread to detach into (resource exhaustion): reap inline.
+            // Slower — the stalled coordinator waits on the stragglers —
+            // but the accounting invariant (drain only after a confirmed
+            // join) is preserved, which beats leaking the gauge forever.
+            eprintln!("memtree: quarantine reaper spawn failed ({err}); reaping inline");
+            reap(&shared);
+            (total, None)
+        }
+    }
+}
+
+type QuarantineEntries = Option<Vec<(JoinHandle<()>, u64)>>;
+
+/// Joins each quarantined worker and releases its budget only on the
+/// confirmed exit. Idempotent: the first caller takes the entries.
+fn reap(shared: &crate::sync::Mutex<QuarantineEntries>) {
+    let entries = match shared.lock() {
+        Ok(mut slot) => slot.take(),
+        Err(poisoned) => poisoned.into_inner().take(),
+    };
+    for (handle, budget) in entries.into_iter().flatten() {
+        // Confirmed exit (a panic is an exit too) — only now is the
+        // worker's memory provably gone.
+        let _ = handle.join();
+        // ordering: SeqCst — see [`held`].
+        HELD.fetch_sub(budget, Ordering::SeqCst);
+    }
+}
+
+// Real-thread timing tests; the loom build replaces them with the
+// exhaustive model suite in tests/model/quarantine.rs.
+#[cfg(all(test, not(memtree_loom)))]
 mod tests {
     use super::*;
     use std::time::{Duration, Instant};

@@ -1,3 +1,7 @@
+// Real-thread integration tests: excluded from the `memtree_loom` model
+// build, where sync primitives only work inside a minloom model.
+#![cfg(not(memtree_loom))]
+
 //! The shared platform invariant suite, stamped out per platform by
 //! `platform_conformance!` — one contract, three backends (and one
 //! instantiation line per future backend).

@@ -1,3 +1,7 @@
+// Real-thread integration tests: excluded from the `memtree_loom` model
+// build, where sync primitives only work inside a minloom model.
+#![cfg(not(memtree_loom))]
+
 //! Determinism regression suite for the hot-path rewrite (DESIGN.md
 //! §6.11): schedule order and `RunReport` must stay **byte-identical**
 //! to the original heap-based implementation.

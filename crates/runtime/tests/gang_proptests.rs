@@ -1,3 +1,7 @@
+// Real-thread integration tests: excluded from the `memtree_loom` model
+// build, where sync primitives only work inside a minloom model.
+#![cfg(not(memtree_loom))]
+
 //! Property tests for the gang pool: whatever legal gang pattern a
 //! moldable policy produces on whatever tree, the threaded executor
 //! (a) never runs more concurrent gang members than it has workers —

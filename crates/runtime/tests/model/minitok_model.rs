@@ -1,0 +1,106 @@
+//! Minitok executor models: a wake landing during a poll is never lost
+//! (the absorbed-wake/AcqRel-swap protocol in `worker_loop`), and a
+//! sleep registration's fire-vs-drop race wakes at most once and never
+//! after the future is gone.
+
+use std::task::{Wake, Waker};
+
+use minitok::model_api::{ModelQueue, ModelSleep};
+use minloom::sync::atomic::{AtomicUsize, Ordering};
+use minloom::sync::Arc;
+use minloom::{thread, Config};
+
+/// The executor's core liveness claim: a task polls Pending because its
+/// readiness flag is not yet set; a foreign thread sets the flag and
+/// wakes it, racing the worker's mid-poll `queued` clear. The task must
+/// eventually be re-polled and complete — a lost wakeup leaves the main
+/// thread blocked on the completion condvar forever, which minloom
+/// reports as a deadlock (this is exactly how the
+/// `memtree_loom_mutate_minitok_store` teeth check dies: the mutated
+/// plain store has no acquire half, so the re-poll can read a stale
+/// readiness flag).
+#[test]
+fn wake_during_poll_not_lost() {
+    minloom::model_with(Config::with_preemption_bound(2), || {
+        let queue = Arc::new(ModelQueue::new());
+        let ready = Arc::new(minloom::sync::atomic::AtomicBool::new(false));
+        let done = Arc::new((
+            minloom::sync::Mutex::new(false),
+            minloom::sync::Condvar::new(),
+        ));
+
+        let task = {
+            let ready = ready.clone();
+            let done = done.clone();
+            queue.spawn(std::future::poll_fn(move |_cx| {
+                // ordering: Acquire — pairs with the waker's Release
+                // store; the AcqRel queued-swap chain must carry it here.
+                if ready.load(Ordering::Acquire) {
+                    *done.0.lock().expect("done flag") = true;
+                    done.1.notify_all();
+                    std::task::Poll::Ready(())
+                } else {
+                    std::task::Poll::Pending
+                }
+            }))
+        };
+        let task = Arc::new(task);
+
+        let waker = {
+            let task = task.clone();
+            let ready = ready.clone();
+            thread::spawn(move || {
+                // ordering: Release — publishes readiness; the wake must
+                // carry it into the re-poll even when absorbed.
+                ready.store(true, Ordering::Release);
+                task.wake();
+            })
+        };
+        let worker = {
+            let queue = queue.clone();
+            thread::spawn(move || queue.run_worker())
+        };
+
+        // The completion signal: blocks until the task really finished.
+        {
+            let mut finished = done.0.lock().expect("done flag");
+            while !*finished {
+                finished = done.1.wait(finished).expect("done flag");
+            }
+        }
+        waker.join().expect("waker panicked");
+        queue.close();
+        worker.join().expect("worker panicked");
+    });
+}
+
+/// The sleep registration race: the timer firing a registration races
+/// the future being dropped (task cancelled). The waker must fire at
+/// most once, and never once the registration's owner is gone — the
+/// weak-handle upgrade is what protects a dead runtime's task slots.
+#[test]
+fn sleep_fire_vs_drop_wakes_at_most_once() {
+    struct CountingWaker(Arc<AtomicUsize>);
+    impl Wake for CountingWaker {
+        fn wake(self: std::sync::Arc<Self>) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    minloom::model_with(Config::default(), || {
+        let wakes = Arc::new(AtomicUsize::new(0));
+        let sleep = ModelSleep::new(Waker::from(std::sync::Arc::new(CountingWaker(
+            wakes.clone(),
+        ))));
+        let handle = sleep.timer_handle();
+        // Timer thread: fire the registration…
+        let timer = thread::spawn(move || handle.fire());
+        // …racing the owner dropping it (task cancelled / runtime gone).
+        drop(sleep);
+        timer.join().expect("timer panicked");
+        assert!(
+            wakes.load(Ordering::Relaxed) <= 1,
+            "a sleep registration fires at most once"
+        );
+    });
+}

@@ -1,0 +1,61 @@
+//! Quarantine gauge model: a stalled worker's budget is held for exactly
+//! as long as the worker provably runs, is drained exactly once, and the
+//! gauge is conserved — a concurrent reader only ever sees "fully held"
+//! or "fully drained", never a partial or negative value.
+//!
+//! The gauge (`HELD`) is a process-global static; under minloom its
+//! state is generation-stamped, so each explored schedule starts from a
+//! clean zero.
+
+use memtree_runtime::quarantine::{held, quarantine_threads_with_reaper};
+use minloom::sync::Arc;
+use minloom::{thread, Config};
+
+#[test]
+fn stall_join_race_conserves_budget() {
+    minloom::model_with(Config::with_preemption_bound(2), || {
+        // A worker that stays provably alive until the gate opens —
+        // the stand-in for a runaway shard worker mid-stall.
+        let gate = Arc::new(minloom::sync::Mutex::new(false));
+        let cv = Arc::new(minloom::sync::Condvar::new());
+        let worker = {
+            let (gate, cv) = (gate.clone(), cv.clone());
+            thread::spawn(move || {
+                let mut open = gate.lock().expect("gate");
+                while !*open {
+                    open = cv.wait(open).expect("gate");
+                }
+            })
+        };
+        // A concurrent reader: the gauge must be conserved — 0 (not yet
+        // quarantined, or already reaped) or 7 (held), never partial.
+        let reader = thread::spawn(|| {
+            let seen = held();
+            assert!(
+                seen == 0 || seen == 7,
+                "gauge must be conserved, saw {seen}"
+            );
+        });
+
+        let (total, reaper) = quarantine_threads_with_reaper(vec![(worker, 7)]);
+        assert_eq!(total, 7);
+        // The worker cannot have exited yet (the gate is still closed),
+        // so the budget is certainly held: this is the claim that makes
+        // quarantine accounting trustworthy — no timer ever releases it.
+        assert_eq!(held(), 7, "budget held while the worker runs");
+
+        // Open the gate: the worker exits, the reaper's join confirms it.
+        *gate.lock().expect("gate") = true;
+        cv.notify_all();
+
+        // Joining the reaper is the happens-after edge for the final
+        // read. Exactly-once drain rides on the same assert: a double
+        // fetch_sub would wrap the u64 far away from zero.
+        reaper
+            .expect("model build always spawns a reaper")
+            .join()
+            .expect("reaper panicked");
+        assert_eq!(held(), 0, "budget drained exactly once after the join");
+        reader.join().expect("reader panicked");
+    });
+}

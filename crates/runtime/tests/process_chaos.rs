@@ -1,3 +1,7 @@
+// Real-thread integration tests: excluded from the `memtree_loom` model
+// build, where sync primitives only work inside a minloom model.
+#![cfg(not(memtree_loom))]
+
 //! Chaos and differential suite for `ProcessPlatform`: real worker
 //! processes killed mid-shard, death-requeue, retry exhaustion, stall
 //! closure, and observational equivalence against the in-process

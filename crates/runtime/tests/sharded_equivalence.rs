@@ -1,3 +1,7 @@
+// Real-thread integration tests: excluded from the `memtree_loom` model
+// build, where sync primitives only work inside a minloom model.
+#![cfg(not(memtree_loom))]
+
 //! Differential tests: `ShardedPlatform` against `SimPlatform` and
 //! `ThreadedPlatform`.
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # memtree_service — multi-tenant scheduling as a service
 //!
 //! The per-run entry points (`Platform::run`, the sweep harness, the

@@ -364,10 +364,17 @@ impl Service {
         let coordinator = std::thread::Builder::new()
             .name("memtree-service".into())
             .spawn(move || Coordinator::new(config, done_tx).run(rx))
-            .expect("spawning the service coordinator");
+            .map_err(|err| {
+                // No coordinator thread (resource exhaustion): the
+                // receiver just died with the failed closure, so every
+                // submit observes the closed channel and returns
+                // `SubmitError::ServiceDown` — degraded, never panicked.
+                eprintln!("memtree-service: coordinator spawn failed ({err}); service is down");
+            })
+            .ok();
         Service {
             tx,
-            coordinator: Some(coordinator),
+            coordinator,
             next_id: AtomicU64::new(0),
         }
     }
@@ -382,6 +389,8 @@ impl Service {
     /// alone, [`SubmitError::Draining`] after shutdown started.
     pub fn submit(&self, req: SessionRequest) -> Result<SessionTicket, SubmitError> {
         let floor = req.spec.min_feasible(&req.tree);
+        // ordering: Relaxed — ticket ids only need uniqueness; every
+        // transfer of session state rides the coordinator channel.
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (reply_tx, reply_rx) = channel::unbounded();
         self.tx
@@ -594,38 +603,49 @@ impl Coordinator {
     }
 
     fn on_done(&mut self, id: SessionId, result: Result<RunReport, PlatformError>) {
-        let completion = self
-            .controller
-            .complete(id)
-            .expect("a Done message only comes from a launched session");
-        let mut session = self
-            .sessions
-            .remove(&id)
-            .expect("a tracked session completed");
-        if let Some(handle) = session.handle.take() {
-            let _ = handle.join();
-        }
+        // Ledger or session-map misses here are coordinator invariant
+        // violations. They are logged loudly and survived — one corrupt
+        // session must degrade, not take the whole coordinator thread
+        // (and with it every tenant) down with a panic.
+        let completion = match self.controller.complete(id) {
+            Ok(c) => c,
+            Err(err) => {
+                eprintln!("memtree-service: completion for unlaunched session {id}: {err}");
+                return;
+            }
+        };
         if result.is_err() {
             self.failed += 1;
         }
-        let outcome = SessionOutcome {
-            id,
-            budget: completion.released,
-            admission_wait: session
-                .admitted_at
-                .unwrap_or(session.submitted_at)
-                .duration_since(session.submitted_at),
-            result,
-        };
-        // The ticket may have been dropped; the outcome is then simply
-        // unobserved.
-        let _ = session.done_tx.send(outcome);
+        match self.sessions.remove(&id) {
+            Some(mut session) => {
+                if let Some(handle) = session.handle.take() {
+                    let _ = handle.join();
+                }
+                let outcome = SessionOutcome {
+                    id,
+                    budget: completion.released,
+                    admission_wait: session
+                        .admitted_at
+                        .unwrap_or(session.submitted_at)
+                        .duration_since(session.submitted_at),
+                    result,
+                };
+                // The ticket may have been dropped; the outcome is then
+                // simply unobserved.
+                let _ = session.done_tx.send(outcome);
+            }
+            None => {
+                eprintln!("memtree-service: completed session {id} was not tracked");
+            }
+        }
         // Rebalance: the freed budget admits queued sessions right now.
         for grant in completion.admitted {
-            let session = self
-                .sessions
-                .get_mut(&grant.session)
-                .expect("a queued session is tracked");
+            let grant_id = grant.session;
+            let Some(session) = self.sessions.get_mut(&grant_id) else {
+                eprintln!("memtree-service: admission granted to untracked session {grant_id}");
+                continue;
+            };
             session.granted = Some(grant);
             session.admitted_at = Some(Instant::now());
             Self::launch(&self.config, &self.self_tx, grant, session);
@@ -644,7 +664,7 @@ impl Coordinator {
         let tree = session.req.tree.clone();
         let tx = self_tx.clone();
         let id = grant.session;
-        let handle = std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name(format!("memtree-session-{id}"))
             .spawn(move || {
                 let result =
@@ -656,9 +676,25 @@ impl Coordinator {
                     id,
                     result: Box::new(result),
                 });
-            })
-            .expect("spawning a session worker");
-        session.handle = Some(handle);
+            });
+        match spawned {
+            Ok(handle) => session.handle = Some(handle),
+            Err(err) => {
+                // Out of threads: fail this session through the normal
+                // Done path so its budget is released and its ticket
+                // resolves, instead of panicking the coordinator or
+                // leaking a granted-but-never-run session.
+                eprintln!("memtree-service: session worker spawn failed for {id}: {err}");
+                let _ = self_tx.send(Msg::Done {
+                    id,
+                    result: Box::new(Err(PlatformError::Runtime(
+                        memtree_runtime::RuntimeError::Protocol(format!(
+                            "session worker spawn failed: {err}"
+                        )),
+                    ))),
+                });
+            }
+        }
     }
 }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Discrete-event simulator for shared-memory parallel tree scheduling.
 //!

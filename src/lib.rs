@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Facade crate re-exporting the memtree workspace API.
 pub use memtree_gen as gen;

@@ -14,7 +14,18 @@
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
-    use std::sync::{Arc, Condvar, Mutex};
+    use std::sync::Arc;
+
+    // Sync façade: `std` in production, `minloom` under
+    // `--cfg memtree_loom` so the no-lost/no-duplicated-message claim is
+    // model-checked (memtree_runtime tests/model/channel.rs). The
+    // blocking behaviour (recv parks, disconnect wakes) rides entirely on
+    // these two types, so the swap covers the whole protocol.
+    #[cfg(not(memtree_loom))]
+    use std::sync::{Condvar, Mutex};
+
+    #[cfg(memtree_loom)]
+    use minloom::sync::{Condvar, Mutex};
 
     struct State<T> {
         queue: VecDeque<T>,
@@ -223,7 +234,10 @@ pub mod channel {
         }
     }
 
-    #[cfg(test)]
+    // Real-thread tests; under `memtree_loom` the channel is exercised by
+    // the exhaustive model suite in memtree_runtime tests/model/channel.rs
+    // instead (these would panic: minloom primitives outside a model).
+    #[cfg(all(test, not(memtree_loom)))]
     mod tests {
         use super::*;
 

@@ -32,10 +32,42 @@ use std::collections::{BinaryHeap, VecDeque};
 use std::future::Future;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::pin::Pin;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
+use std::sync::{Arc, OnceLock, Weak};
 use std::task::{Context, Poll, Wake, Waker};
 use std::time::{Duration, Instant};
+
+use sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use sync::{Condvar, Mutex};
+
+/// Sync façade: `std` in production, `minloom` under `--cfg memtree_loom`
+/// so the run-queue/future-slot/wake protocol can be model-checked
+/// (DESIGN.md §6.13). The process-global timer is deliberately excluded —
+/// it is wall-clock-driven and keeps `std::sync` below; under the loom
+/// cfg the model suite exercises the sleep wake path through
+/// [`model_api`] instead of the real timer thread.
+mod sync {
+    #[cfg(not(memtree_loom))]
+    pub(crate) use std::sync::{Condvar, Mutex};
+
+    #[cfg(memtree_loom)]
+    pub(crate) use minloom::sync::{Condvar, Mutex};
+
+    pub(crate) mod atomic {
+        #[cfg(not(memtree_loom))]
+        pub(crate) use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+        #[cfg(memtree_loom)]
+        pub(crate) use minloom::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    }
+
+    pub(crate) mod thread {
+        #[cfg(not(memtree_loom))]
+        pub(crate) use std::thread::{Builder, JoinHandle};
+
+        #[cfg(memtree_loom)]
+        pub(crate) use minloom::thread::{Builder, JoinHandle};
+    }
+}
 
 /// Timer futures. The module path mirrors `tokio::time`.
 pub mod time {
@@ -69,6 +101,12 @@ struct Task {
 
 impl Task {
     fn schedule(self: &Arc<Self>) {
+        // ordering: AcqRel — the release half publishes everything the
+        // waking thread wrote before the wake (the data the future will
+        // read when re-polled) into the flag; the worker's AcqRel swap in
+        // [`worker_loop`] picks it up even when this wake is absorbed by
+        // an already-set flag. The acquire half orders chained wakes.
+        // Model-checked by model/minitok.rs::wake_during_poll_not_lost.
         if self.queued.swap(true, Ordering::AcqRel) {
             return;
         }
@@ -96,7 +134,7 @@ impl Wake for Task {
 /// mirrored API subset.
 pub struct Runtime {
     queue: Arc<Queue>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    workers: Vec<sync::thread::JoinHandle<()>>,
     /// Every task ever spawned, weakly. A task parked in the timer is
     /// reachable only through the waker cycle (`Task` → future → `Sleep`
     /// → waker slot → `Task`); this list lets `drop` break that cycle by
@@ -123,7 +161,7 @@ impl Runtime {
         let workers = (0..threads)
             .map(|k| {
                 let queue = queue.clone();
-                std::thread::Builder::new()
+                sync::thread::Builder::new()
                     .name(format!("minitok-worker-{k}"))
                     .spawn(move || worker_loop(&queue))
                     .expect("spawning a minitok worker")
@@ -162,6 +200,10 @@ impl Runtime {
     /// waits on task completions should treat a rising count as a dead
     /// peer, not keep waiting.
     pub fn panicked_tasks(&self) -> usize {
+        // ordering: Acquire — pairs with the AcqRel fetch_add in
+        // [`worker_loop`]: a count of n implies the n dead tasks'
+        // partial effects are visible to the embedding deciding to stop
+        // waiting on them.
         self.queue.panicked.load(Ordering::Acquire)
     }
 
@@ -222,6 +264,21 @@ fn worker_loop(queue: &Arc<Queue>) {
             continue; // already completed (or panicked)
         };
         // Cleared *before* polling so a wake arriving mid-poll re-enqueues.
+        //
+        // ordering: AcqRel swap, not a store — the acquire half is
+        // load-bearing. A wake landing between the pop above and this
+        // clear is *absorbed* (its swap saw `true` and did not enqueue);
+        // the only happens-before edge carrying that waker's writes into
+        // the poll below is this swap acquiring the waker's release. The
+        // old `store(false, Release)` had no acquire half: the poll could
+        // read stale data, return Pending, and — the wake being absorbed —
+        // never run again. Found by, and model-checked in,
+        // model/minitok.rs::wake_during_poll_not_lost; the
+        // memtree_loom_mutate_minitok_store teeth check reinstates the
+        // store and the model suite must fail on the lost wakeup.
+        #[cfg(not(memtree_loom_mutate_minitok_store))]
+        task.queued.swap(false, Ordering::AcqRel);
+        #[cfg(memtree_loom_mutate_minitok_store)]
         task.queued.store(false, Ordering::Release);
         let waker = Waker::from(task.clone());
         let mut cx = Context::from_waker(&waker);
@@ -232,6 +289,9 @@ fn worker_loop(queue: &Arc<Queue>) {
                 // Drop the future and count the death so embeddings can
                 // stop waiting on its completion.
                 *slot = None;
+                // ordering: AcqRel — release publishes the dead task's
+                // last writes with the count ([`Runtime::panicked_tasks`]
+                // loads Acquire); acquire chains earlier deaths.
                 queue.panicked.fetch_add(1, Ordering::AcqRel);
             }
         }
@@ -286,6 +346,17 @@ struct SleepShared {
     waker: Mutex<Option<Waker>>,
 }
 
+impl SleepShared {
+    /// Takes and fires the registered waker, if any — the single fire
+    /// path shared by the timer thread and the `memtree_loom` model
+    /// suite's drop-vs-fire race.
+    fn fire(&self) {
+        if let Some(waker) = self.waker.lock().expect("waker slot poisoned").take() {
+            waker.wake();
+        }
+    }
+}
+
 struct TimerEntry {
     deadline: Instant,
     handle: Weak<SleepShared>,
@@ -309,9 +380,11 @@ impl Ord for TimerEntry {
     }
 }
 
+// Wall-clock driven and process-global: deliberately `std::sync`, never
+// the façade — the model has no clock (see the `sync` module docs).
 struct Timer {
-    entries: Mutex<BinaryHeap<TimerEntry>>,
-    changed: Condvar,
+    entries: std::sync::Mutex<BinaryHeap<TimerEntry>>,
+    changed: std::sync::Condvar,
 }
 
 static TIMER: OnceLock<&'static Timer> = OnceLock::new();
@@ -319,8 +392,8 @@ static TIMER: OnceLock<&'static Timer> = OnceLock::new();
 fn timer() -> &'static Timer {
     TIMER.get_or_init(|| {
         let timer: &'static Timer = Box::leak(Box::new(Timer {
-            entries: Mutex::new(BinaryHeap::new()),
-            changed: Condvar::new(),
+            entries: std::sync::Mutex::new(BinaryHeap::new()),
+            changed: std::sync::Condvar::new(),
         }));
         std::thread::Builder::new()
             .name("minitok-timer".into())
@@ -334,11 +407,7 @@ fn timer() -> &'static Timer {
                     // upgrade: nobody gets woken, in particular no task
                     // slot of an already-dropped runtime.
                     if let Some(shared) = entry.handle.upgrade() {
-                        if let Some(waker) =
-                            shared.waker.lock().expect("waker slot poisoned").take()
-                        {
-                            waker.wake();
-                        }
+                        shared.fire();
                     }
                     entries = timer.entries.lock().expect("timer heap poisoned");
                 }
@@ -472,7 +541,127 @@ pub fn yield_now() -> YieldNow {
     YieldNow { yielded: false }
 }
 
-#[cfg(test)]
+/// Handles into the executor's internals for the `memtree_loom` model
+/// suite: a run queue and tasks it can drive from minloom threads,
+/// without the wall-clock timer or real worker pools.
+#[cfg(memtree_loom)]
+pub mod model_api {
+    use super::*;
+
+    /// A bare run queue the model drives directly: spawn tasks onto it,
+    /// run worker loops from minloom threads, close it to stop them.
+    pub struct ModelQueue {
+        queue: Arc<Queue>,
+    }
+
+    impl ModelQueue {
+        /// An open, empty run queue.
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> ModelQueue {
+            ModelQueue {
+                queue: Arc::new(Queue {
+                    ready: Mutex::new(QueueState {
+                        tasks: VecDeque::new(),
+                        closed: false,
+                    }),
+                    available: Condvar::new(),
+                    panicked: AtomicUsize::new(0),
+                }),
+            }
+        }
+
+        /// Spawns `future` as a task and schedules it; the returned
+        /// handle can re-wake the task externally (a stale-waker stand-in).
+        pub fn spawn<F>(&self, future: F) -> ModelTask
+        where
+            F: Future<Output = ()> + Send + 'static,
+        {
+            let task = Arc::new(Task {
+                future: Mutex::new(Some(Box::pin(future))),
+                queue: self.queue.clone(),
+                queued: AtomicBool::new(false),
+            });
+            task.schedule();
+            ModelTask { task }
+        }
+
+        /// Runs [`worker_loop`] on the calling (minloom) thread until the
+        /// queue is closed.
+        pub fn run_worker(&self) {
+            worker_loop(&self.queue);
+        }
+
+        /// Closes the queue (workers drain out), mirroring the first half
+        /// of `Runtime::drop`.
+        pub fn close(&self) {
+            {
+                let mut state = self.queue.ready.lock().expect("run queue poisoned");
+                state.closed = true;
+                state.tasks.clear();
+            }
+            self.queue.available.notify_all();
+        }
+
+        /// Panicked-task count, as [`Runtime::panicked_tasks`].
+        pub fn panicked(&self) -> usize {
+            self.queue.panicked.load(Ordering::Acquire)
+        }
+    }
+
+    /// External handle to a spawned task.
+    pub struct ModelTask {
+        task: Arc<Task>,
+    }
+
+    impl ModelTask {
+        /// Wakes the task as a foreign waker clone would: schedule unless
+        /// already queued.
+        pub fn wake(&self) {
+            self.task.schedule();
+        }
+    }
+
+    /// A sleep registration the model can race: fire (timer path) against
+    /// drop (future cancelled) — the waker must fire at most once and a
+    /// dropped registration must never fire.
+    pub struct ModelSleep {
+        shared: Arc<SleepShared>,
+    }
+
+    impl ModelSleep {
+        /// Registers `waker` the way a pending `Sleep::poll` does.
+        pub fn new(waker: Waker) -> ModelSleep {
+            ModelSleep {
+                shared: Arc::new(SleepShared {
+                    waker: Mutex::new(Some(waker)),
+                }),
+            }
+        }
+
+        /// A weak handle standing in for the timer heap's entry.
+        pub fn timer_handle(&self) -> ModelTimerHandle {
+            ModelTimerHandle(Arc::downgrade(&self.shared))
+        }
+    }
+
+    /// The timer heap's view of a registration: weak, so a dropped
+    /// `Sleep` invalidates it.
+    pub struct ModelTimerHandle(Weak<SleepShared>);
+
+    impl ModelTimerHandle {
+        /// Fires exactly as the timer thread does — a no-op when the
+        /// registration is already dropped.
+        pub fn fire(&self) {
+            if let Some(shared) = self.0.upgrade() {
+                shared.fire();
+            }
+        }
+    }
+}
+
+// Wall-clock tests; the loom build runs the exhaustive model suite in
+// memtree_runtime/tests/model/minitok.rs instead.
+#[cfg(all(test, not(memtree_loom)))]
 mod tests {
     use super::*;
     use std::sync::mpsc;

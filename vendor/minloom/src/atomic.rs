@@ -1,0 +1,448 @@
+//! Model atomics with a per-location store history and vector-clock
+//! visibility: a weak load may observe any sufficiently-recent store the
+//! C11 coherence and happens-before rules allow, and each such choice is
+//! a DFS branch.
+//!
+//! Subset scope (documented divergences from the full C11 model):
+//! - `SeqCst` is approximated as "read the latest store in modification
+//!   order" plus acquire/release — the same practical approximation loom
+//!   ships. No global SC order is tracked beyond modification order.
+//! - The store history is capped (Config::store_history): loads cannot
+//!   observe stores older than the cap. This bounds branching; real
+//!   executions that need deeper staleness are out of scope.
+//! - `compare_exchange_weak` never fails spuriously (every call site in
+//!   this repo loops, so spurious failure adds schedules without adding
+//!   observable outcomes).
+
+use crate::exec::{current, VClock};
+use std::sync::{Mutex as StdMutex, OnceLock, PoisonError};
+
+pub use std::sync::atomic::Ordering;
+
+struct StoreEvent {
+    value: u64,
+    /// Position in modification order (0 = the initial value).
+    seq: u64,
+    tid: usize,
+    /// The storing thread's own clock component at the store — used for
+    /// the must-read rule: a load whose thread has already observed the
+    /// storer past this point may not read anything older.
+    stamp: u64,
+    /// Clock released with the store (joined into acquiring loaders).
+    clock: VClock,
+    release: bool,
+}
+
+struct LocState {
+    gen: u64,
+    stores: Vec<StoreEvent>,
+    /// Per-thread coherence floor: the oldest seq this thread may still
+    /// read (monotone — reads never go backwards in modification order).
+    floor: Vec<u64>,
+    next_seq: u64,
+}
+
+impl LocState {
+    fn fresh(gen: u64, init: u64) -> LocState {
+        LocState {
+            gen,
+            stores: vec![StoreEvent {
+                value: init,
+                seq: 0,
+                tid: 0,
+                stamp: 0,
+                clock: VClock::default(),
+                release: true,
+            }],
+            floor: Vec::new(),
+            next_seq: 1,
+        }
+    }
+
+    fn floor_of(&mut self, tid: usize) -> u64 {
+        if self.floor.len() <= tid {
+            self.floor.resize(tid + 1, 0);
+        }
+        self.floor[tid]
+    }
+}
+
+/// One model atomic cell. `const fn new` so `static` atomics work; the
+/// generation stamp resets the state between schedules.
+pub(crate) struct Loc {
+    state: OnceLock<StdMutex<LocState>>,
+    init: u64,
+}
+
+fn is_acquire(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+impl Loc {
+    pub(crate) const fn new(init: u64) -> Loc {
+        Loc {
+            state: OnceLock::new(),
+            init,
+        }
+    }
+
+    fn with_state<R>(&self, gen: u64, f: impl FnOnce(&mut LocState) -> R) -> R {
+        let m = self
+            .state
+            .get_or_init(|| StdMutex::new(LocState::fresh(gen, self.init)));
+        let mut st = m.lock().unwrap_or_else(PoisonError::into_inner);
+        if st.gen != gen {
+            *st = LocState::fresh(gen, self.init);
+        }
+        f(&mut st)
+    }
+
+    pub(crate) fn load(&self, order: Ordering) -> u64 {
+        let (exec, tid) = current();
+        exec.op_point(tid);
+        let history = exec.store_history as u64;
+        let mut s = exec.sched_lock();
+        let clock = s.threads[tid].clock.clone();
+        // Candidates = kept stores at or above every applicable floor:
+        // coherence (this thread's prior reads), must-read (stores this
+        // thread already observed via happens-before), history cap, and
+        // latest-only for SeqCst.
+        let cands: Vec<(u64, u64, Option<VClock>)> = self.with_state(exec.generation, |st| {
+            let floor = st.floor_of(tid);
+            let latest = st.next_seq - 1;
+            let oldest_kept = latest.saturating_sub(history.saturating_sub(1));
+            let mut must_floor = 0;
+            for ev in &st.stores {
+                if ev.stamp > 0 && clock.get(ev.tid) >= ev.stamp && ev.seq > must_floor {
+                    must_floor = ev.seq;
+                }
+            }
+            let lo = floor
+                .max(must_floor)
+                .max(if matches!(order, Ordering::SeqCst) {
+                    latest
+                } else {
+                    oldest_kept
+                });
+            let mut cands: Vec<(u64, u64, Option<VClock>)> = st
+                .stores
+                .iter()
+                .filter(|ev| ev.seq >= lo)
+                .map(|ev| {
+                    (
+                        ev.seq,
+                        ev.value,
+                        if ev.release {
+                            Some(ev.clock.clone())
+                        } else {
+                            None
+                        },
+                    )
+                })
+                .collect();
+            // Latest first: alternative 0 is the "expected" value, so the
+            // first DFS pass mirrors an SC execution.
+            cands.sort_by_key(|c| std::cmp::Reverse(c.0));
+            cands
+        });
+        // choose() takes only the explorer lock; safe under the sched lock.
+        let pick = exec.choose(cands.len());
+        let (seq, value, rel_clock) = cands.into_iter().nth(pick).expect("candidate exists");
+        self.with_state(exec.generation, |st| {
+            let f = st.floor_of(tid);
+            if seq > f {
+                st.floor[tid] = seq;
+            }
+        });
+        if is_acquire(order) {
+            if let Some(rc) = &rel_clock {
+                s.threads[tid].clock.join(rc);
+            }
+        }
+        value
+    }
+
+    pub(crate) fn store(&self, value: u64, order: Ordering) {
+        let (exec, tid) = current();
+        exec.op_point(tid);
+        let history = exec.store_history;
+        let s = exec.sched_lock();
+        let clock = s.threads[tid].clock.clone();
+        let stamp = clock.get(tid);
+        self.with_state(exec.generation, |st| {
+            let seq = st.next_seq;
+            st.next_seq += 1;
+            st.stores.push(StoreEvent {
+                value,
+                seq,
+                tid,
+                stamp,
+                clock: clock.clone(),
+                release: is_release(order),
+            });
+            let keep_from = st.stores.len().saturating_sub(history.max(1));
+            st.stores.drain(..keep_from);
+            let f = st.floor_of(tid);
+            if seq > f {
+                st.floor[tid] = seq;
+            }
+        });
+        // A plain (non-release) store still advances this thread's clock
+        // entry implicitly via op_point; nothing else to do.
+        drop(s);
+    }
+
+    /// Read-modify-write: always reads the latest store in modification
+    /// order (RMW atomicity), acquires its clock if it was a release and
+    /// we acquire, and appends the new value.
+    pub(crate) fn rmw(&self, order: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
+        let (exec, tid) = current();
+        exec.op_point(tid);
+        let history = exec.store_history;
+        let mut s = exec.sched_lock();
+        let clock_snapshot = s.threads[tid].clock.clone();
+        let (old, acquired) = self.with_state(exec.generation, |st| {
+            let last = st.stores.last().expect("history never empty");
+            let old = last.value;
+            let acquired = if last.release && is_acquire(order) {
+                Some(last.clock.clone())
+            } else {
+                None
+            };
+            let new = f(old);
+            let seq = st.next_seq;
+            st.next_seq += 1;
+            // The RMW's released clock includes what it just acquired.
+            let mut released = clock_snapshot.clone();
+            if let Some(a) = &acquired {
+                released.join(a);
+            }
+            let stamp = released.get(tid);
+            st.stores.push(StoreEvent {
+                value: new,
+                seq,
+                tid,
+                stamp,
+                clock: released,
+                release: is_release(order),
+            });
+            let keep_from = st.stores.len().saturating_sub(history.max(1));
+            st.stores.drain(..keep_from);
+            let fl = st.floor_of(tid);
+            if seq > fl {
+                st.floor[tid] = seq;
+            }
+            (old, acquired)
+        });
+        if let Some(a) = acquired {
+            s.threads[tid].clock.join(&a);
+        }
+        old
+    }
+
+    /// Compare-exchange: success is an RMW; failure is a load of the
+    /// latest value under the failure ordering.
+    pub(crate) fn cas(
+        &self,
+        expected: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        let (exec, tid) = current();
+        exec.op_point(tid);
+        let history = exec.store_history;
+        let mut s = exec.sched_lock();
+        let clock_snapshot = s.threads[tid].clock.clone();
+        let (result, acquired) = self.with_state(exec.generation, |st| {
+            let last = st.stores.last().expect("history never empty");
+            let old = last.value;
+            let last_release_clock = if last.release {
+                Some(last.clock.clone())
+            } else {
+                None
+            };
+            let last_seq = last.seq;
+            if old == expected {
+                let acquired = if is_acquire(success) {
+                    last_release_clock
+                } else {
+                    None
+                };
+                let seq = st.next_seq;
+                st.next_seq += 1;
+                let mut released = clock_snapshot.clone();
+                if let Some(a) = &acquired {
+                    released.join(a);
+                }
+                let stamp = released.get(tid);
+                st.stores.push(StoreEvent {
+                    value: new,
+                    seq,
+                    tid,
+                    stamp,
+                    clock: released,
+                    release: is_release(success),
+                });
+                let keep_from = st.stores.len().saturating_sub(history.max(1));
+                st.stores.drain(..keep_from);
+                let fl = st.floor_of(tid);
+                if seq > fl {
+                    st.floor[tid] = seq;
+                }
+                (Ok(old), acquired)
+            } else {
+                let acquired = if is_acquire(failure) {
+                    last_release_clock
+                } else {
+                    None
+                };
+                let fl = st.floor_of(tid);
+                if last_seq > fl {
+                    st.floor[tid] = last_seq;
+                }
+                (Err(old), acquired)
+            }
+        });
+        if let Some(a) = acquired {
+            s.threads[tid].clock.join(&a);
+        }
+        result
+    }
+}
+
+macro_rules! atomic_type {
+    ($name:ident, $prim:ty) => {
+        /// Model replacement for the std atomic of the same name.
+        pub struct $name {
+            loc: Loc,
+        }
+
+        impl $name {
+            pub const fn new(v: $prim) -> Self {
+                $name {
+                    loc: Loc::new(v as u64),
+                }
+            }
+
+            pub fn load(&self, order: Ordering) -> $prim {
+                self.loc.load(order) as $prim
+            }
+
+            pub fn store(&self, v: $prim, order: Ordering) {
+                self.loc.store(v as u64, order)
+            }
+
+            pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                self.loc.rmw(order, |_| v as u64) as $prim
+            }
+
+            pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                self.loc
+                    .rmw(order, |old| (old as $prim).wrapping_add(v) as u64) as $prim
+            }
+
+            pub fn fetch_sub(&self, v: $prim, order: Ordering) -> $prim {
+                self.loc
+                    .rmw(order, |old| (old as $prim).wrapping_sub(v) as u64) as $prim
+            }
+
+            pub fn fetch_max(&self, v: $prim, order: Ordering) -> $prim {
+                self.loc.rmw(order, |old| (old as $prim).max(v) as u64) as $prim
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                self.loc
+                    .cas(current as u64, new as u64, success, failure)
+                    .map(|v| v as $prim)
+                    .map_err(|v| v as $prim)
+            }
+
+            pub fn compare_exchange_weak(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                // Never fails spuriously; see module docs.
+                self.compare_exchange(current, new, success, failure)
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(Default::default())
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_struct(stringify!($name)).finish_non_exhaustive()
+            }
+        }
+    };
+}
+
+atomic_type!(AtomicUsize, usize);
+atomic_type!(AtomicU64, u64);
+
+/// Model replacement for `std::sync::atomic::AtomicBool`.
+pub struct AtomicBool {
+    loc: Loc,
+}
+
+impl AtomicBool {
+    pub const fn new(v: bool) -> Self {
+        AtomicBool {
+            loc: Loc::new(v as u64),
+        }
+    }
+
+    pub fn load(&self, order: Ordering) -> bool {
+        self.loc.load(order) != 0
+    }
+
+    pub fn store(&self, v: bool, order: Ordering) {
+        self.loc.store(v as u64, order)
+    }
+
+    pub fn swap(&self, v: bool, order: Ordering) -> bool {
+        self.loc.rmw(order, |_| v as u64) != 0
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.loc
+            .cas(current as u64, new as u64, success, failure)
+            .map(|v| v != 0)
+            .map_err(|v| v != 0)
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> Self {
+        Self::new(false)
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicBool").finish_non_exhaustive()
+    }
+}

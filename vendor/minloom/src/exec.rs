@@ -1,0 +1,623 @@
+//! The controlling scheduler: serialized model threads, a DFS explorer
+//! over every nondeterministic choice (which thread runs next, which
+//! store a weak load observes, which timed wait fires), and the replay
+//! machinery for failing schedules.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once, PoisonError};
+
+/// Exploration limits and replay input for [`model_with`].
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Maximum context switches away from a still-runnable thread per
+    /// schedule (CHESS-style context bounding). `None` explores every
+    /// interleaving — right for tiny models; larger models set a small
+    /// bound to keep the DFS polynomial.
+    pub preemption_bound: Option<usize>,
+    /// Hard cap on explored schedules. Exceeding it panics: the model is
+    /// too big to call "enumerated", so shrink it or bound preemptions.
+    pub max_iterations: u64,
+    /// Hard cap on scheduling points within one schedule (runaway-loop
+    /// guard inside a single interleaving).
+    pub max_ops: u64,
+    /// Maximum live model threads per schedule.
+    pub max_threads: usize,
+    /// Store-history depth per atomic location: how many recent stores a
+    /// weak load may still observe. Older stores are forgotten (a
+    /// documented under-approximation that bounds load branching).
+    pub store_history: usize,
+    /// Replay exactly one schedule instead of exploring: the seed string
+    /// a failing run printed. Also read from `MINLOOM_REPLAY` when unset.
+    pub replay_seed: Option<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            preemption_bound: None,
+            max_iterations: 2_000_000,
+            max_ops: 200_000,
+            max_threads: 16,
+            store_history: 3,
+            replay_seed: std::env::var("MINLOOM_REPLAY").ok(),
+        }
+    }
+}
+
+impl Config {
+    /// Default limits with a preemption bound — the usual configuration
+    /// for models with more than a handful of scheduling points.
+    pub fn with_preemption_bound(bound: usize) -> Self {
+        Config {
+            preemption_bound: Some(bound),
+            ..Config::default()
+        }
+    }
+}
+
+/// A vector clock over model-thread ids: `clock[t]` counts thread `t`'s
+/// scheduling points observed (directly or through synchronization).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    pub(crate) fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn bump(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (mine, theirs) in self.0.iter_mut().zip(&other.0) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Status {
+    Runnable,
+    /// Parked on a mutex/condvar/join. `timed` waits may additionally be
+    /// woken by the scheduler itself (a timeout firing is one of the
+    /// explored alternatives).
+    Blocked {
+        timed: bool,
+    },
+    Finished,
+}
+
+pub(crate) struct TState {
+    pub(crate) status: Status,
+    pub(crate) clock: VClock,
+    /// Threads blocked in `JoinHandle::join` on this one.
+    pub(crate) join_waiters: Vec<usize>,
+}
+
+pub(crate) struct Sched {
+    pub(crate) threads: Vec<TState>,
+    /// The one thread currently granted the run token, if any.
+    active: Option<usize>,
+    /// Set when the controller tears an iteration down early: every
+    /// parked thread unwinds with an [`AbortToken`] panic.
+    abort: bool,
+    last_running: Option<usize>,
+    preemptions: usize,
+    ops: u64,
+    /// First user panic observed this iteration (an assertion failure in
+    /// the model closure), kept for resume after the seed is printed.
+    first_panic: Option<Box<dyn Any + Send>>,
+}
+
+/// One recorded nondeterministic decision: alternative `taken` of
+/// `total`. The sequence of these is the schedule — and the replay seed.
+#[derive(Clone, Copy, Debug)]
+struct Choice {
+    taken: usize,
+    total: usize,
+}
+
+struct Explorer {
+    path: Vec<Choice>,
+    cursor: usize,
+}
+
+/// Panic payload used to unwind parked model threads on teardown; never
+/// reported as a model failure.
+pub(crate) struct AbortToken;
+
+/// Per-iteration generation stamp: lets lazily-initialized location
+/// state (including `static` atomics) detect that it belongs to a
+/// previous schedule and reset itself.
+static GENERATION: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) struct Execution {
+    sched: Mutex<Sched>,
+    cv: Condvar,
+    explorer: Mutex<Explorer>,
+    os_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    pub(crate) generation: u64,
+    pub(crate) store_history: usize,
+    max_ops: u64,
+    max_threads: usize,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Execution>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The execution + model-thread id behind the calling thread, or a loud
+/// panic: minloom sync primitives only work inside [`model`].
+pub(crate) fn current() -> (Arc<Execution>, usize) {
+    CURRENT.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("minloom sync primitive used outside minloom::model")
+    })
+}
+
+fn unpoison<T>(r: Result<T, PoisonError<T>>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Execution {
+    fn new(config: &Config, path: Vec<Choice>) -> Execution {
+        Execution {
+            sched: Mutex::new(Sched {
+                threads: Vec::new(),
+                active: None,
+                abort: false,
+                last_running: None,
+                preemptions: 0,
+                ops: 0,
+                first_panic: None,
+            }),
+            cv: Condvar::new(),
+            explorer: Mutex::new(Explorer { path, cursor: 0 }),
+            os_handles: Mutex::new(Vec::new()),
+            generation: GENERATION.fetch_add(1, StdOrdering::Relaxed),
+            store_history: config.store_history,
+            max_ops: config.max_ops,
+            max_threads: config.max_threads,
+        }
+    }
+
+    pub(crate) fn sched_lock(&self) -> MutexGuard<'_, Sched> {
+        unpoison(self.sched.lock())
+    }
+
+    /// Resolves one `n`-way nondeterministic decision against the DFS
+    /// path: replayed while the cursor is inside the recorded prefix,
+    /// alternative 0 (and a fresh record) beyond it.
+    pub(crate) fn choose(&self, n: usize) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        let mut ex = unpoison(self.explorer.lock());
+        if ex.cursor < ex.path.len() {
+            let c = ex.path[ex.cursor];
+            ex.cursor += 1;
+            c.taken.min(n - 1)
+        } else {
+            ex.path.push(Choice { taken: 0, total: n });
+            ex.cursor += 1;
+            0
+        }
+    }
+
+    /// One scheduling point: hand the token back to the controller and
+    /// park until it is granted again, then stamp the thread's clock.
+    /// Every sync-object operation calls this first, which is what makes
+    /// each of them a potential context switch.
+    pub(crate) fn op_point(&self, tid: usize) {
+        if std::thread::panicking() {
+            // Called from a Drop during unwinding (e.g. a MutexGuard):
+            // never park a panicking thread, the controller is already
+            // tearing the iteration down.
+            return;
+        }
+        let mut s = self.sched_lock();
+        s.ops += 1;
+        if s.ops > self.max_ops {
+            drop(s);
+            panic!(
+                "minloom: a single schedule exceeded {} scheduling points (runaway loop?)",
+                self.max_ops
+            );
+        }
+        s.active = None;
+        self.cv.notify_all();
+        let mut s = self.wait_turn(s, tid);
+        s.threads[tid].clock.bump(tid);
+    }
+
+    /// Parks until the controller grants `tid` the token (or aborts).
+    fn wait_turn<'a>(&self, mut s: MutexGuard<'a, Sched>, tid: usize) -> MutexGuard<'a, Sched> {
+        loop {
+            if s.abort {
+                s.active = None;
+                self.cv.notify_all();
+                drop(s);
+                std::panic::panic_any(AbortToken);
+            }
+            if s.active == Some(tid) && s.threads[tid].status == Status::Runnable {
+                return s;
+            }
+            s = unpoison(self.cv.wait(s));
+        }
+    }
+
+    /// Parks a thread that has just marked itself [`Status::Blocked`]
+    /// (under the sched lock, which the caller passes in) until another
+    /// thread wakes it and the controller grants it the token.
+    pub(crate) fn park(&self, mut s: MutexGuard<'_, Sched>, tid: usize) {
+        if std::thread::panicking() {
+            // Teardown: a Drop handler mid-unwind hit a held lock. Never
+            // block (the holder may be parked) and never re-panic (that
+            // would abort the process); undo the Blocked mark and let the
+            // caller's loop spin — the panic hook has already woken every
+            // holder, so the lock frees shortly.
+            s.threads[tid].status = Status::Runnable;
+            drop(s);
+            std::thread::yield_now();
+            return;
+        }
+        s.active = None;
+        self.cv.notify_all();
+        let _s = self.wait_turn(s, tid);
+    }
+
+    /// Registers a model thread and spawns its OS carrier. The carrier
+    /// parks until first scheduled, runs `body`, then runs the finish
+    /// protocol. `body`'s panics (other than teardown aborts) become the
+    /// iteration's failure.
+    pub(crate) fn spawn_thread(
+        self: &Arc<Self>,
+        parent: Option<usize>,
+        name: Option<String>,
+        body: impl FnOnce() -> Option<Box<dyn Any + Send>> + Send + 'static,
+    ) -> usize {
+        let tid = {
+            let mut s = self.sched_lock();
+            let mut clock = match parent {
+                Some(p) => s.threads[p].clock.clone(),
+                None => VClock::default(),
+            };
+            let tid = s.threads.len();
+            if tid >= self.max_threads {
+                // Drop the sched lock before panicking: the panic hook
+                // re-takes it to begin teardown.
+                drop(s);
+                panic!(
+                    "minloom: model spawned more than {} threads",
+                    self.max_threads
+                );
+            }
+            clock.bump(tid);
+            s.threads.push(TState {
+                status: Status::Runnable,
+                clock,
+                join_waiters: Vec::new(),
+            });
+            tid
+        };
+        let exec = self.clone();
+        let handle = std::thread::Builder::new()
+            .name(name.unwrap_or_else(|| format!("minloom-{tid}")))
+            .spawn(move || {
+                CURRENT.with(|c| *c.borrow_mut() = Some((exec.clone(), tid)));
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    // Wait to be scheduled for the first time.
+                    let s = exec.sched_lock();
+                    drop(exec.wait_turn(s, tid));
+                    body()
+                }));
+                let mut s = exec.sched_lock();
+                s.threads[tid].status = Status::Finished;
+                let waiters = std::mem::take(&mut s.threads[tid].join_waiters);
+                for w in waiters {
+                    if s.threads[w].status != Status::Finished {
+                        s.threads[w].status = Status::Runnable;
+                    }
+                }
+                match outcome {
+                    // `body` may return a user panic it caught itself
+                    // (thread wrappers route payloads here so typed
+                    // results stay with their JoinHandle).
+                    Ok(Some(p)) => {
+                        if s.first_panic.is_none() {
+                            s.first_panic = Some(p);
+                        }
+                    }
+                    Ok(None) => {}
+                    Err(p) => {
+                        // Teardown aborts are ours, not a model failure.
+                        if !p.is::<AbortToken>() && s.first_panic.is_none() {
+                            s.first_panic = Some(p);
+                        }
+                    }
+                }
+                s.active = None;
+                exec.cv.notify_all();
+            })
+            .expect("spawning a minloom carrier thread");
+        unpoison(self.os_handles.lock()).push(handle);
+        tid
+    }
+}
+
+/// Installs (once, process-wide) a panic hook that begins iteration
+/// teardown the moment a model thread panics — *before* its unwind runs
+/// Drop handlers. Those handlers may acquire model locks (a channel
+/// endpoint's `Drop` does); the threads holding them are parked and only
+/// release on abort, so teardown must start at panic time, not when the
+/// carrier finally records the payload. Non-model panics pass through to
+/// the previous hook untouched; [`AbortToken`] unwinds are silent.
+fn install_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<AbortToken>() {
+                return;
+            }
+            let in_model = CURRENT.with(|c| c.borrow().clone());
+            if let Some((exec, _tid)) = in_model {
+                // try_lock with bounded retries, never a blocking lock:
+                // if the panicking thread itself holds the sched lock (an
+                // internal-invariant panic), a lock here would deadlock.
+                // Skipping the early abort then is safe — the carrier's
+                // finish protocol still reports the panic.
+                for _ in 0..64 {
+                    match exec.sched.try_lock() {
+                        Ok(s) => {
+                            abort_all(&exec, s);
+                            break;
+                        }
+                        Err(std::sync::TryLockError::Poisoned(p)) => {
+                            abort_all(&exec, p.into_inner());
+                            break;
+                        }
+                        Err(std::sync::TryLockError::WouldBlock) => {
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+            prev(info);
+        }));
+    });
+}
+
+enum Outcome {
+    Success,
+    Panic(Box<dyn Any + Send>),
+    Deadlock(String),
+}
+
+/// Runs one schedule to completion and returns its outcome plus the
+/// (possibly extended) choice path.
+fn run_iteration<F>(config: &Config, f: Arc<F>, path: Vec<Choice>) -> (Outcome, Vec<Choice>)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let exec = Arc::new(Execution::new(config, path));
+    let f0 = f.clone();
+    exec.spawn_thread(None, Some("minloom-0".into()), move || {
+        f0();
+        None
+    });
+
+    let outcome = loop {
+        let mut s = exec.sched_lock();
+        while s.active.is_some() {
+            s = unpoison(exec.cv.wait(s));
+        }
+        if let Some(p) = s.first_panic.take() {
+            abort_all(&exec, s);
+            break Outcome::Panic(p);
+        }
+        if s.abort {
+            // The panic hook started teardown before the payload reached
+            // us (the panicking thread is still unwinding, possibly
+            // through façade locks). Wait for every carrier to run its
+            // finish protocol, then take the payload it recorded.
+            while !s.threads.iter().all(|t| t.status == Status::Finished) {
+                s = unpoison(exec.cv.wait(s));
+            }
+            let p = s
+                .first_panic
+                .take()
+                .unwrap_or_else(|| Box::new("minloom: a model thread panicked during teardown"));
+            break Outcome::Panic(p);
+        }
+        // Enabled = runnable threads, plus timed waiters (firing their
+        // timeout is one of the alternatives the DFS explores).
+        let mut enabled: Vec<(usize, bool)> = Vec::new();
+        let cont = s.last_running.filter(|&l| {
+            s.threads
+                .get(l)
+                .is_some_and(|t| t.status == Status::Runnable)
+        });
+        if let Some(l) = cont {
+            enabled.push((l, false));
+        }
+        for (t, st) in s.threads.iter().enumerate() {
+            match st.status {
+                Status::Runnable if Some(t) != cont => enabled.push((t, false)),
+                Status::Blocked { timed: true } => enabled.push((t, true)),
+                _ => {}
+            }
+        }
+        if enabled.is_empty() {
+            if s.threads.iter().all(|t| t.status == Status::Finished) {
+                break Outcome::Success;
+            }
+            let dump: Vec<String> = s
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(t, st)| format!("thread {t}: {:?}", st.status))
+                .collect();
+            abort_all(&exec, s);
+            break Outcome::Deadlock(dump.join(", "));
+        }
+        // Context bounding: with the budget spent, a still-runnable
+        // current thread must continue (no branch recorded).
+        let budget_left = config.preemption_bound.is_none_or(|b| s.preemptions < b);
+        let pick = if !budget_left && cont.is_some() {
+            0
+        } else {
+            exec.choose(enabled.len())
+        };
+        let (tid, fire) = enabled[pick];
+        if cont.is_some() && Some(tid) != cont {
+            s.preemptions += 1;
+        }
+        if fire {
+            // The timeout fires: the thread becomes runnable while still
+            // on its wait queue — the waiting code detects the timeout by
+            // finding itself still enqueued.
+            s.threads[tid].status = Status::Runnable;
+        }
+        s.last_running = Some(tid);
+        s.active = Some(tid);
+        exec.cv.notify_all();
+        drop(s);
+    };
+
+    for h in unpoison(exec.os_handles.lock()).drain(..) {
+        let _ = h.join();
+    }
+    let path = std::mem::take(&mut unpoison(exec.explorer.lock()).path);
+    (outcome, path)
+}
+
+fn abort_all(exec: &Execution, mut s: MutexGuard<'_, Sched>) {
+    s.abort = true;
+    for t in s.threads.iter_mut() {
+        if t.status != Status::Finished {
+            t.status = Status::Runnable;
+        }
+    }
+    s.active = None;
+    exec.cv.notify_all();
+}
+
+fn seed_of(path: &[Choice]) -> String {
+    let parts: Vec<String> = path.iter().map(|c| c.taken.to_string()).collect();
+    parts.join(".")
+}
+
+fn parse_seed(seed: &str) -> Vec<Choice> {
+    if seed.is_empty() {
+        return Vec::new();
+    }
+    seed.split('.')
+        .map(|p| {
+            let taken = p
+                .trim()
+                .parse::<usize>()
+                .unwrap_or_else(|_| panic!("minloom: bad replay seed component {p:?}"));
+            Choice {
+                taken,
+                total: taken + 1,
+            }
+        })
+        .collect()
+}
+
+/// Advances the DFS path to the next unexplored schedule; false when the
+/// whole space has been enumerated.
+fn backtrack(path: &mut Vec<Choice>) -> bool {
+    while let Some(last) = path.last_mut() {
+        if last.taken + 1 < last.total {
+            last.taken += 1;
+            return true;
+        }
+        path.pop();
+    }
+    false
+}
+
+fn fail(outcome: Outcome, path: &[Choice], iterations: u64) -> ! {
+    let seed = seed_of(path);
+    eprintln!(
+        "minloom: schedule {iterations} failed; replay with \
+         MINLOOM_REPLAY=\"{seed}\" or minloom::replay(\"{seed}\", ..)"
+    );
+    match outcome {
+        Outcome::Panic(p) => std::panic::resume_unwind(p),
+        Outcome::Deadlock(dump) => {
+            panic!("minloom: deadlock — no runnable thread ({dump}); seed \"{seed}\"")
+        }
+        Outcome::Success => unreachable!("fail() on a successful schedule"),
+    }
+}
+
+/// Exhaustively enumerates every schedule of `f` under `config`,
+/// panicking (with a replay seed on stderr) on the first assertion
+/// failure or deadlock. Returns the number of schedules explored.
+pub fn model_with<F>(config: Config, f: F) -> u64
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_panic_hook();
+    let f = Arc::new(f);
+    if let Some(seed) = &config.replay_seed {
+        let path = parse_seed(seed);
+        let (outcome, path) = run_iteration(&config, f, path);
+        if !matches!(outcome, Outcome::Success) {
+            fail(outcome, &path, 1);
+        }
+        return 1;
+    }
+    let mut path: Vec<Choice> = Vec::new();
+    let mut iterations: u64 = 0;
+    loop {
+        iterations += 1;
+        assert!(
+            iterations <= config.max_iterations,
+            "minloom: exceeded the {}-schedule cap — shrink the model or set a preemption bound",
+            config.max_iterations
+        );
+        let (outcome, new_path) = run_iteration(&config, f.clone(), path);
+        if !matches!(outcome, Outcome::Success) {
+            fail(outcome, &new_path, iterations);
+        }
+        path = new_path;
+        if !backtrack(&mut path) {
+            return iterations;
+        }
+    }
+}
+
+/// [`model_with`] under the default [`Config`] (unbounded preemptions).
+pub fn model<F>(f: F) -> u64
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model_with(Config::default(), f)
+}
+
+/// Re-runs exactly the schedule a failing run printed.
+pub fn replay<F>(seed: &str, f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let config = Config {
+        replay_seed: Some(seed.to_string()),
+        ..Config::default()
+    };
+    model_with(config, f);
+}

@@ -1,0 +1,64 @@
+//! minloom — offline stand-in for a loom-style exhaustive-interleaving
+//! model checker (DESIGN.md §1 offline-subset convention, §6.13 scope).
+//!
+//! Shim types (`sync::atomic::*`, `sync::{Mutex, Condvar}`, `thread`)
+//! mirror the std API, but every operation yields to a controlling
+//! scheduler that DFS-enumerates interleavings: which thread runs next,
+//! which store a weak load observes, whether a timed wait times out.
+//! [`model`] runs a closure under every schedule (subject to
+//! [`Config`] bounds) and panics on the first assertion failure or
+//! deadlock, printing a replay seed for [`replay`] / `MINLOOM_REPLAY`.
+//!
+//! Usage mirrors loom:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use minloom::sync::atomic::{AtomicUsize, Ordering};
+//!
+//! minloom::model(|| {
+//!     let n = Arc::new(AtomicUsize::new(0));
+//!     let handles: Vec<_> = (0..2)
+//!         .map(|_| {
+//!             let n = n.clone();
+//!             minloom::thread::spawn(move || {
+//!                 n.fetch_add(1, Ordering::Relaxed);
+//!             })
+//!         })
+//!         .collect();
+//!     for h in handles {
+//!         h.join().unwrap();
+//!     }
+//!     assert_eq!(n.load(Ordering::Relaxed), 2);
+//! });
+//! ```
+//!
+//! Subset scope (divergences from loom proper) is documented on
+//! [`sync::atomic`] and in DESIGN.md §6.13: capped store history,
+//! SeqCst-as-latest-read, no spurious CAS-weak failure, no `UnsafeCell`
+//! tracking (the façaded code is `forbid(unsafe_code)`), no
+//! `thread::scope`.
+
+#![forbid(unsafe_code)]
+
+mod atomic;
+mod exec;
+pub mod thread;
+
+pub use exec::{model, model_with, replay, Config};
+
+/// Mirrors the `std::sync` paths the façades re-export.
+pub mod sync {
+    pub use crate::sync_impl::{
+        Condvar, LockResult, Mutex, MutexGuard, TryLockError, TryLockResult, WaitTimeoutResult,
+    };
+
+    /// Mirrors `std::sync::atomic`.
+    pub mod atomic {
+        pub use crate::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+    }
+
+    pub use std::sync::Arc;
+}
+
+#[path = "sync.rs"]
+mod sync_impl;

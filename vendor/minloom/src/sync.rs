@@ -1,0 +1,327 @@
+//! Model `Mutex`/`Condvar`: the data still lives behind a real
+//! `std::sync::Mutex` (exclusivity is enforced by the model state, so the
+//! inner lock is never contended), while acquisition order, blocking, and
+//! lost-wakeup behavior are scheduler choices the DFS explores.
+
+use crate::exec::{current, Execution, Sched, Status, VClock};
+use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard, OnceLock, PoisonError};
+
+pub use std::sync::{LockResult, TryLockError, TryLockResult};
+
+fn unpoison<T>(r: Result<T, PoisonError<T>>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+struct MxState {
+    gen: u64,
+    locked: bool,
+    /// Clock released by the last unlock, acquired by the next lock.
+    clock: VClock,
+    waiters: Vec<usize>,
+}
+
+/// Model replacement for `std::sync::Mutex`.
+pub struct Mutex<T: ?Sized> {
+    state: OnceLock<StdMutex<MxState>>,
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(t: T) -> Mutex<T> {
+        Mutex {
+            state: OnceLock::new(),
+            inner: StdMutex::new(t),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn with_state<R>(&self, gen: u64, f: impl FnOnce(&mut MxState) -> R) -> R {
+        let m = self.state.get_or_init(|| {
+            StdMutex::new(MxState {
+                gen,
+                locked: false,
+                clock: VClock::default(),
+                waiters: Vec::new(),
+            })
+        });
+        let mut st = unpoison(m.lock());
+        if st.gen != gen {
+            *st = MxState {
+                gen,
+                locked: false,
+                clock: VClock::default(),
+                waiters: Vec::new(),
+            };
+        }
+        f(&mut st)
+    }
+
+    /// Model-level acquire under the sched lock; true on success, false
+    /// after self-registering as a waiter.
+    fn model_try_acquire(&self, exec: &Execution, s: &mut Sched, tid: usize) -> bool {
+        let (acquired, clock) = self.with_state(exec.generation, |st| {
+            if st.locked {
+                if !st.waiters.contains(&tid) {
+                    st.waiters.push(tid);
+                }
+                (false, None)
+            } else {
+                st.locked = true;
+                (true, Some(st.clock.clone()))
+            }
+        });
+        if let Some(c) = clock {
+            s.threads[tid].clock.join(&c);
+        }
+        acquired
+    }
+
+    /// Model-level release under the sched lock: publish the holder's
+    /// clock and make every waiter re-race (acquisition-order
+    /// nondeterminism is a scheduler choice, like real futex wakeups).
+    fn model_release(&self, exec: &Execution, s: &mut Sched, tid: usize) {
+        let holder_clock = s.threads[tid].clock.clone();
+        let woken = self.with_state(exec.generation, |st| {
+            st.locked = false;
+            st.clock.join(&holder_clock);
+            std::mem::take(&mut st.waiters)
+        });
+        for w in woken {
+            if s.threads[w].status != Status::Finished {
+                s.threads[w].status = Status::Runnable;
+            }
+        }
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let (exec, tid) = current();
+        exec.op_point(tid);
+        loop {
+            let mut s = exec.sched_lock();
+            if self.model_try_acquire(&exec, &mut s, tid) {
+                drop(s);
+                let std = unpoison(self.inner.lock());
+                return Ok(MutexGuard {
+                    mutex: self,
+                    std: Some(std),
+                });
+            }
+            s.threads[tid].status = Status::Blocked { timed: false };
+            exec.park(s, tid);
+            // Woken by an unlock: loop and re-race for the lock.
+        }
+    }
+
+    pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+        let (exec, tid) = current();
+        exec.op_point(tid);
+        let mut s = exec.sched_lock();
+        let got = self.with_state(exec.generation, |st| {
+            if st.locked {
+                None
+            } else {
+                st.locked = true;
+                Some(st.clock.clone())
+            }
+        });
+        match got {
+            Some(c) => {
+                s.threads[tid].clock.join(&c);
+                drop(s);
+                let std = unpoison(self.inner.lock());
+                Ok(MutexGuard {
+                    mutex: self,
+                    std: Some(std),
+                })
+            }
+            None => Err(TryLockError::WouldBlock),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// Guard over the model mutex. Dropping it is a scheduling point that
+/// releases the model lock and wakes every waiter.
+pub struct MutexGuard<'a, T: ?Sized> {
+    mutex: &'a Mutex<T>,
+    /// `None` once defused (condvar wait consumed the guard).
+    std: Option<StdMutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.std.as_ref().expect("guard defused")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.std.as_mut().expect("guard defused")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.std.take().is_none() {
+            // Defused by Condvar::wait: the model release already ran.
+            return;
+        }
+        let (exec, tid) = current();
+        // Unlocking is a scheduling point; op_point no-ops while
+        // panicking so unwinding never parks.
+        exec.op_point(tid);
+        let mut s = exec.sched_lock();
+        self.mutex.model_release(&exec, &mut s, tid);
+    }
+}
+
+struct CvState {
+    gen: u64,
+    waiters: Vec<usize>,
+}
+
+/// Returned by [`Condvar::wait_timeout`]; std's equivalent cannot be
+/// constructed outside std, hence our own.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Model replacement for `std::sync::Condvar`. A `wait_timeout` may be
+/// woken by a notify or by the scheduler firing the timeout — both
+/// alternatives are explored.
+pub struct Condvar {
+    state: OnceLock<StdMutex<CvState>>,
+}
+
+impl Condvar {
+    pub const fn new() -> Condvar {
+        Condvar {
+            state: OnceLock::new(),
+        }
+    }
+
+    fn with_state<R>(&self, gen: u64, f: impl FnOnce(&mut CvState) -> R) -> R {
+        let m = self.state.get_or_init(|| {
+            StdMutex::new(CvState {
+                gen,
+                waiters: Vec::new(),
+            })
+        });
+        let mut st = unpoison(m.lock());
+        if st.gen != gen {
+            *st = CvState {
+                gen,
+                waiters: Vec::new(),
+            };
+        }
+        f(&mut st)
+    }
+
+    fn wait_inner<'a, T: ?Sized>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        timed: bool,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        let (exec, tid) = current();
+        let mutex = guard.mutex;
+        exec.op_point(tid);
+        let mut s = exec.sched_lock();
+        // Atomically (under the sched lock): enqueue on the condvar,
+        // release the mutex, and block — no wakeup can slip between.
+        self.with_state(exec.generation, |cv| cv.waiters.push(tid));
+        mutex.model_release(&exec, &mut s, tid);
+        drop(guard.std.take()); // defuses the guard's Drop
+        s.threads[tid].status = Status::Blocked { timed };
+        exec.park(s, tid);
+        // Awake: a notifier removed us from the wait queue, or (timed
+        // waits only) the scheduler fired the timeout and left us on it.
+        let timed_out = self.with_state(exec.generation, |cv| {
+            if let Some(pos) = cv.waiters.iter().position(|&w| w == tid) {
+                cv.waiters.remove(pos);
+                true
+            } else {
+                false
+            }
+        });
+        let guard = match mutex.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        (guard, WaitTimeoutResult(timed_out))
+    }
+
+    pub fn wait<'a, T: ?Sized>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let (guard, _) = self.wait_inner(guard, false);
+        Ok(guard)
+    }
+
+    /// The duration is ignored: whether the timeout fires is a scheduler
+    /// choice, which covers both "woke in time" and "timed out".
+    pub fn wait_timeout<'a, T: ?Sized>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        _dur: std::time::Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        Ok(self.wait_inner(guard, true))
+    }
+
+    pub fn notify_one(&self) {
+        let (exec, tid) = current();
+        exec.op_point(tid);
+        let mut s = exec.sched_lock();
+        let woken = self.with_state(exec.generation, |cv| {
+            if cv.waiters.is_empty() {
+                None
+            } else {
+                Some(cv.waiters.remove(0))
+            }
+        });
+        if let Some(w) = woken {
+            if s.threads[w].status != Status::Finished {
+                s.threads[w].status = Status::Runnable;
+            }
+        }
+    }
+
+    pub fn notify_all(&self) {
+        let (exec, tid) = current();
+        exec.op_point(tid);
+        let mut s = exec.sched_lock();
+        let woken = self.with_state(exec.generation, |cv| std::mem::take(&mut cv.waiters));
+        for w in woken {
+            if s.threads[w].status != Status::Finished {
+                s.threads[w].status = Status::Runnable;
+            }
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,134 @@
+//! Model threads: `spawn`/`Builder`/`JoinHandle` over the execution's
+//! carrier threads. A child panic (other than teardown) fails the whole
+//! model immediately, loom-style, so assertions inside spawned threads
+//! have teeth.
+
+use crate::exec::{current, AbortToken, Status};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+
+pub use std::thread::Result;
+
+type Slot<T> = Arc<StdMutex<Option<std::thread::Result<T>>>>;
+
+/// Model replacement for `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    tid: usize,
+    slot: Slot<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks until the thread finishes, joining its final clock
+    /// (everything it did happens-before the return).
+    pub fn join(self) -> std::thread::Result<T> {
+        let (exec, me) = current();
+        exec.op_point(me);
+        loop {
+            let mut s = exec.sched_lock();
+            if s.threads[self.tid].status == Status::Finished {
+                let child_clock = s.threads[self.tid].clock.clone();
+                s.threads[me].clock.join(&child_clock);
+                drop(s);
+                return self
+                    .slot
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take()
+                    .expect("finished minloom thread left no result");
+            }
+            s.threads[self.tid].join_waiters.push(me);
+            s.threads[me].status = Status::Blocked { timed: false };
+            exec.park(s, me);
+        }
+    }
+
+    /// Non-blocking finished check — a scheduling point, since polling a
+    /// handle is how the stall watchdog races the workers.
+    pub fn is_finished(&self) -> bool {
+        let (exec, me) = current();
+        exec.op_point(me);
+        let s = exec.sched_lock();
+        s.threads[self.tid].status == Status::Finished
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle").finish_non_exhaustive()
+    }
+}
+
+/// Model replacement for `std::thread::Builder` (name only; stack size
+/// is accepted and ignored).
+#[derive(Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    pub fn new() -> Builder {
+        Builder { name: None }
+    }
+
+    pub fn name(mut self, name: String) -> Builder {
+        self.name = Some(name);
+        self
+    }
+
+    pub fn stack_size(self, _size: usize) -> Builder {
+        self
+    }
+
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (exec, parent) = current();
+        let slot: Slot<T> = Arc::new(StdMutex::new(None));
+        let slot2 = slot.clone();
+        let tid = exec.spawn_thread(Some(parent), self.name, move || {
+            match catch_unwind(AssertUnwindSafe(f)) {
+                Ok(v) => {
+                    *slot2.lock().unwrap_or_else(PoisonError::into_inner) = Some(Ok(v));
+                    None
+                }
+                Err(p) if p.is::<AbortToken>() => resume_unwind(p),
+                Err(p) => {
+                    // The real payload becomes the model failure; the
+                    // slot gets a placeholder in case a join races in
+                    // before the controller aborts.
+                    *slot2.lock().unwrap_or_else(PoisonError::into_inner) =
+                        Some(Err(Box::new("minloom: spawned thread panicked")
+                            as Box<dyn std::any::Any + Send>));
+                    Some(p)
+                }
+            }
+        });
+        Ok(JoinHandle { tid, slot })
+    }
+}
+
+/// Model replacement for `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    Builder::new()
+        .spawn(f)
+        .expect("minloom spawn is infallible")
+}
+
+/// A scheduling point, nothing more — the model has no time.
+pub fn yield_now() {
+    let (exec, tid) = current();
+    exec.op_point(tid);
+}
+
+/// Sleeping is just a scheduling point: the model has no clock, so a
+/// sleep is "any other thread may run arbitrarily long first" — which
+/// the scheduler explores anyway.
+pub fn sleep(_dur: std::time::Duration) {
+    yield_now();
+}

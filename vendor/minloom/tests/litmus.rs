@@ -1,0 +1,307 @@
+//! Litmus tests for the checker itself: classic weak-memory shapes must
+//! reach exactly the outcomes C11 allows, mutual exclusion must hold,
+//! and buggy synchronization (a lost wakeup) must be *detected* — the
+//! checker's teeth, before the model suite relies on them.
+
+use minloom::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use minloom::sync::{Condvar, Mutex};
+use minloom::thread;
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex};
+
+#[test]
+fn fetch_add_is_atomic() {
+    let iterations = minloom::model(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let n = n.clone();
+                thread::spawn(move || {
+                    n.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::Relaxed), 3);
+    });
+    assert!(iterations > 1, "3 racing threads must yield many schedules");
+}
+
+/// Store buffering: with Relaxed everything, both loads may read the
+/// initial values — the weak outcome (0,0) must be reachable.
+#[test]
+fn store_buffering_relaxed_reaches_weak_outcome() {
+    let outcomes: Arc<StdMutex<HashSet<(u64, u64)>>> = Arc::new(StdMutex::new(HashSet::new()));
+    let sink = outcomes.clone();
+    minloom::model(move || {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let (x2, y2) = (x.clone(), y.clone());
+        let a = thread::spawn(move || {
+            x2.store(1, Ordering::Relaxed);
+            y2.load(Ordering::Relaxed)
+        });
+        let (x3, y3) = (x.clone(), y.clone());
+        let b = thread::spawn(move || {
+            y3.store(1, Ordering::Relaxed);
+            x3.load(Ordering::Relaxed)
+        });
+        let r1 = a.join().unwrap();
+        let r2 = b.join().unwrap();
+        sink.lock().unwrap().insert((r1, r2));
+    });
+    let seen = outcomes.lock().unwrap();
+    assert!(
+        seen.contains(&(0, 0)),
+        "weak outcome must be explored: {seen:?}"
+    );
+    assert!(seen.contains(&(1, 1)));
+}
+
+/// Store buffering with SeqCst: the weak outcome must be excluded.
+#[test]
+fn store_buffering_seqcst_excludes_weak_outcome() {
+    let outcomes: Arc<StdMutex<HashSet<(u64, u64)>>> = Arc::new(StdMutex::new(HashSet::new()));
+    let sink = outcomes.clone();
+    minloom::model(move || {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let (x2, y2) = (x.clone(), y.clone());
+        let a = thread::spawn(move || {
+            x2.store(1, Ordering::SeqCst);
+            y2.load(Ordering::SeqCst)
+        });
+        let (x3, y3) = (x.clone(), y.clone());
+        let b = thread::spawn(move || {
+            y3.store(1, Ordering::SeqCst);
+            x3.load(Ordering::SeqCst)
+        });
+        let r1 = a.join().unwrap();
+        let r2 = b.join().unwrap();
+        sink.lock().unwrap().insert((r1, r2));
+    });
+    let seen = outcomes.lock().unwrap();
+    assert!(!seen.contains(&(0, 0)), "SeqCst forbids (0,0): {seen:?}");
+    assert!(seen.len() >= 2, "interleavings must vary: {seen:?}");
+}
+
+/// Message passing: a Release store to the flag makes the earlier data
+/// store visible to an Acquire load that saw the flag — always.
+#[test]
+fn message_passing_release_acquire_never_stale() {
+    minloom::model(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d2, f2) = (data.clone(), flag.clone());
+        let writer = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(1, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(
+                data.load(Ordering::Relaxed),
+                42,
+                "acquire of the flag must publish the data store"
+            );
+        }
+        writer.join().unwrap();
+    });
+}
+
+/// The same shape with a Relaxed flag must be able to read stale data —
+/// proving the checker actually models the weakness the lint audits for.
+#[test]
+fn message_passing_relaxed_flag_reaches_stale_read() {
+    let saw_stale = Arc::new(StdMutex::new(false));
+    let sink = saw_stale.clone();
+    minloom::model(move || {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d2, f2) = (data.clone(), flag.clone());
+        let writer = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Relaxed) == 1 && data.load(Ordering::Relaxed) == 0 {
+            *sink.lock().unwrap() = true;
+        }
+        writer.join().unwrap();
+    });
+    assert!(
+        *saw_stale.lock().unwrap(),
+        "a relaxed flag must permit a stale data read in some schedule"
+    );
+}
+
+/// Mutex mutual exclusion: non-atomic increments under the lock never
+/// lose an update, in any schedule.
+#[test]
+fn mutex_guards_nonatomic_state() {
+    minloom::model(|| {
+        let n = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = n.clone();
+                thread::spawn(move || {
+                    let mut g = n.lock().unwrap();
+                    let v = *g;
+                    *g = v + 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*n.lock().unwrap(), 2);
+    });
+}
+
+/// A predicate-checked condvar wait completes in every schedule, even
+/// when the notify lands before the waiter blocks.
+#[test]
+fn condvar_with_predicate_never_hangs() {
+    minloom::model(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let setter = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            *m.lock().unwrap() = true;
+            cv.notify_one();
+        });
+        let (m, cv) = &*pair;
+        let mut done = m.lock().unwrap();
+        while !*done {
+            done = cv.wait(done).unwrap();
+        }
+        drop(done);
+        setter.join().unwrap();
+    });
+}
+
+/// Teeth: an unconditional wait (no predicate) loses the wakeup in the
+/// schedule where the notify runs first — the checker must report the
+/// deadlock with a replay seed.
+#[test]
+fn condvar_lost_wakeup_is_detected_as_deadlock() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        minloom::model(|| {
+            let pair = Arc::new((Mutex::new(()), Condvar::new()));
+            let p2 = pair.clone();
+            let notifier = thread::spawn(move || {
+                p2.1.notify_one();
+            });
+            let g = pair.0.lock().unwrap();
+            drop(pair.1.wait(g).unwrap());
+            notifier.join().unwrap();
+        });
+    }));
+    let payload = result.expect_err("the lost-wakeup schedule must fail");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("deadlock"),
+        "expected a deadlock report, got: {msg}"
+    );
+}
+
+/// wait_timeout explores both futures: woken by the notify, and the
+/// timeout firing first.
+#[test]
+fn wait_timeout_explores_both_outcomes() {
+    let outcomes: Arc<StdMutex<HashSet<bool>>> = Arc::new(StdMutex::new(HashSet::new()));
+    let sink = outcomes.clone();
+    minloom::model(move || {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let setter = thread::spawn(move || {
+            *p2.0.lock().unwrap() = true;
+            p2.1.notify_one();
+        });
+        let g = pair.0.lock().unwrap();
+        let (g, timeout) = pair
+            .1
+            .wait_timeout(g, std::time::Duration::from_millis(1))
+            .unwrap();
+        drop(g);
+        sink.lock().unwrap().insert(timeout.timed_out());
+        setter.join().unwrap();
+    });
+    let seen = outcomes.lock().unwrap();
+    assert!(
+        seen.contains(&true) && seen.contains(&false),
+        "both timeout outcomes must be explored: {seen:?}"
+    );
+}
+
+/// Replaying an empty seed runs exactly the first (SC-like) schedule.
+#[test]
+fn replay_runs_a_single_schedule() {
+    minloom::replay("", || {
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = n.clone();
+        let h = thread::spawn(move || {
+            n2.fetch_add(1, Ordering::AcqRel);
+        });
+        h.join().unwrap();
+        assert_eq!(n.load(Ordering::Acquire), 1);
+    });
+}
+
+/// A preemption bound shrinks the schedule count but still finds the
+/// weak outcome in the bounded space.
+#[test]
+fn preemption_bound_limits_exploration() {
+    let unbounded = minloom::model(|| {
+        let x = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let x = x.clone();
+                thread::spawn(move || {
+                    x.fetch_add(1, Ordering::Relaxed);
+                    x.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(x.load(Ordering::Relaxed), 4);
+    });
+    let bounded = minloom::model_with(minloom::Config::with_preemption_bound(1), || {
+        let x = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let x = x.clone();
+                thread::spawn(move || {
+                    x.fetch_add(1, Ordering::Relaxed);
+                    x.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(x.load(Ordering::Relaxed), 4);
+    });
+    assert!(
+        bounded < unbounded,
+        "bound must prune schedules: bounded={bounded} unbounded={unbounded}"
+    );
+}
+
+/// is_finished flips exactly once and join afterwards returns instantly.
+#[test]
+fn join_handle_is_finished() {
+    minloom::model(|| {
+        let h = thread::spawn(|| 7u32);
+        // May be true or false here — but after join it must have run.
+        let _ = h.is_finished();
+        assert_eq!(h.join().unwrap(), 7);
+    });
+}

@@ -140,6 +140,8 @@ fn parallel_map<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) ->
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                // ordering: Relaxed — allocates a unique index only; the
+                // item itself is handed over by the slot mutex.
                 let k = next.fetch_add(1, Ordering::Relaxed);
                 if k >= n {
                     break;
